@@ -1,0 +1,666 @@
+//! The HFT baseline: a Steward-style hierarchical architecture (Fig 1b).
+//!
+//! Every region ("site") hosts a cluster of `3f + 1` replicas running a
+//! site-local BFT agreement; threshold signatures let each site speak with
+//! one voice, so the wide-area protocol only needs to tolerate crashes:
+//!
+//! 1. A client submits its request to the local site; the site forwards it
+//!    to the *leader site*.
+//! 2. The leader site orders the request locally (PBFT) and emits a
+//!    threshold-signed `Proposal(seq, request)` to every site.
+//! 3. Each site locally agrees on the proposal, threshold-signs an
+//!    `Accept(seq)`, and exchanges it with all sites.
+//! 4. A request is globally committed once a majority of sites accepted
+//!    it; replicas execute in sequence order and the client's local site
+//!    replies.
+//!
+//! The expensive part — threshold-RSA shares and combines on every local
+//! agreement (§5) — is charged via the cost model, which is why HFT pays
+//! noticeably more CPU per request than Spider's plain channels.
+
+use crate::messages::{accept_digest, proposal_digest, BaseMsg, StewardMsg};
+use bytes::Bytes;
+use spider::app::Application;
+use spider::directory::Directory;
+use spider::messages::{ClientRequest, Reply};
+use spider::SpiderConfig;
+use spider_consensus::{Input, Output, Pbft, PbftConfig, TimerToken};
+use spider_crypto::threshold::ThresholdGroupId;
+use spider_crypto::{Digest, Digestible, SigShare, ThresholdKeyring};
+use spider_sim::{Actor, Context, Simulation, Timer, TimerId};
+use spider_types::{ClientId, GroupId, NodeId, OpKind, SeqNr, SimTime, WireSize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+const TAG_PBFT_BASE: u64 = 100;
+const GC_INTERVAL: u64 = 64;
+
+/// A replica of one Steward site.
+pub struct StewardReplica<A: Application> {
+    cfg: SpiderConfig,
+    site: u16,
+    me: usize,
+    leader_site: u16,
+    num_sites: usize,
+    directory: Directory,
+    tkr: ThresholdKeyring,
+    /// Site-local agreement (orders requests at the leader site, proposals
+    /// at follower sites).
+    pbft: Pbft<ClientRequest>,
+    app: A,
+
+    /// Leader site: next global sequence number to assign.
+    next_seq: u64,
+    /// Leader site: global seq already assigned per request digest —
+    /// a request re-delivered by the local agreement (e.g. after view
+    /// changes) must not consume a second sequence number.
+    assigned: HashMap<Digest, u64>,
+    /// Proposals known: seq -> (request, proposal digest).
+    proposals: BTreeMap<u64, (ClientRequest, Digest)>,
+    /// Follower site: proposals awaiting local agreement, by request
+    /// digest.
+    pending_local: HashMap<Digest, Vec<SeqNr>>,
+    /// Follower site: digests the local agreement already delivered.
+    /// Needed because the site-local PBFT (driven by peers) may deliver a
+    /// proposal's request *before* this replica receives the `Proposal`
+    /// message itself — the accept share must then be produced
+    /// immediately instead of waiting for a re-delivery that never comes.
+    locally_delivered: HashSet<Digest>,
+    locally_delivered_order: std::collections::VecDeque<Digest>,
+    /// Representative (replica 0): collected threshold shares per
+    /// (seq, accept?) slot.
+    shares: HashMap<(u64, bool), Vec<SigShare>>,
+    /// Sites that accepted each sequence number (leader site implicit).
+    accepts: BTreeMap<u64, HashSet<u16>>,
+    /// Next sequence number to execute.
+    exec_next: u64,
+    /// Reply cache.
+    executed: HashMap<ClientId, (u64, Bytes)>,
+    /// Requests already handed to local agreement (dedup).
+    forwarded: HashMap<ClientId, u64>,
+    delivered_local: u64,
+    timers: HashMap<u64, TimerId>,
+    /// Number of executed requests (diagnostics).
+    pub execute_count: u64,
+}
+
+impl<A: Application> StewardReplica<A> {
+    /// Creates replica `me` of `site`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: SpiderConfig,
+        site: u16,
+        me: usize,
+        leader_site: u16,
+        num_sites: usize,
+        directory: Directory,
+        app: A,
+    ) -> Self {
+        let pbft_cfg = PbftConfig::new(cfg.fa)
+            .with_cost(cfg.cost)
+            .with_view_change_timeout(cfg.view_change_timeout)
+            .with_max_batch(cfg.max_batch);
+        StewardReplica {
+            site,
+            me,
+            leader_site,
+            num_sites,
+            directory,
+            tkr: ThresholdKeyring::new(cfg.key_seed, cfg.fa + 1),
+            pbft: Pbft::new(pbft_cfg, me),
+            app,
+            next_seq: 0,
+            assigned: HashMap::new(),
+            proposals: BTreeMap::new(),
+            pending_local: HashMap::new(),
+            locally_delivered: HashSet::new(),
+            locally_delivered_order: std::collections::VecDeque::new(),
+            shares: HashMap::new(),
+            accepts: BTreeMap::new(),
+            exec_next: 1,
+            executed: HashMap::new(),
+            forwarded: HashMap::new(),
+            delivered_local: 0,
+            timers: HashMap::new(),
+            execute_count: 0,
+            cfg,
+        }
+    }
+
+    /// Digest of the application state (tests).
+    pub fn app_digest(&self) -> spider_crypto::Digest {
+        self.app.state_digest()
+    }
+
+    /// Diagnostics: (site PBFT view, locally delivered instances, next
+    /// global seq assigned, next seq to execute, pending proposals).
+    pub fn diagnostics(&self) -> (u64, u64, u64, u64, usize) {
+        (
+            self.pbft.view().0,
+            self.delivered_local,
+            self.next_seq,
+            self.exec_next,
+            self.proposals.len(),
+        )
+    }
+
+    fn site_nodes(&self, site: u16) -> Vec<NodeId> {
+        self.directory.group_replicas(GroupId(site))
+    }
+
+    fn my_site_nodes(&self) -> Vec<NodeId> {
+        self.site_nodes(self.site)
+    }
+
+    fn is_leader_site(&self) -> bool {
+        self.site == self.leader_site
+    }
+
+    fn majority(&self) -> usize {
+        self.num_sites / 2 + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Local agreement plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_outputs(&mut self, ctx: &mut Context<'_, BaseMsg>, outputs: Vec<Output<ClientRequest>>) {
+        let site_nodes = self.my_site_nodes();
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => {
+                    if let Some(node) = site_nodes.get(to) {
+                        ctx.send(*node, BaseMsg::Pbft(msg));
+                    }
+                }
+                Output::Deliver { batch, .. } => {
+                    for req in batch {
+                        self.on_local_delivery(ctx, req);
+                    }
+                    self.delivered_local += 1;
+                    if self.delivered_local % GC_INTERVAL == 0 && self.delivered_local > GC_INTERVAL
+                    {
+                        self.pbft.gc(SeqNr(self.delivered_local - GC_INTERVAL));
+                    }
+                }
+                Output::SetTimer { token, delay } => self.arm(ctx, TAG_PBFT_BASE + token.0, delay),
+                Output::CancelTimer { token } => {
+                    if let Some(id) = self.timers.remove(&(TAG_PBFT_BASE + token.0)) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+                Output::Charge(c) => ctx.charge(c),
+                _ => {}
+            }
+        }
+    }
+
+    /// The site-local agreement delivered a request.
+    fn on_local_delivery(&mut self, ctx: &mut Context<'_, BaseMsg>, req: ClientRequest) {
+        if self.is_leader_site() {
+            // Assign the next global sequence number and produce a
+            // threshold share for the proposal (deterministic across the
+            // site: same local order => same numbering). Duplicate local
+            // deliveries (possible across view changes) are ignored.
+            let rd = req.digest();
+            if self.assigned.contains_key(&rd) {
+                return;
+            }
+            self.next_seq += 1;
+            self.assigned.insert(rd, self.next_seq);
+            if self.assigned.len() > 50_000 {
+                // Bound memory: forget the distant past.
+                let horizon = self.next_seq.saturating_sub(25_000);
+                self.assigned.retain(|_, s| *s > horizon);
+            }
+            let seq = SeqNr(self.next_seq);
+            let pd = proposal_digest(seq, &req);
+            self.proposals.insert(seq.0, (req.clone(), pd));
+            // The leader site accepts its own proposal implicitly.
+            self.accepts.entry(seq.0).or_default().insert(self.site);
+            ctx.charge(self.cfg.cost.threshold_share());
+            let share = self.tkr.share(ThresholdGroupId(self.site as u32), self.me as u32, &pd);
+            self.route_share(ctx, seq, pd, share, false);
+        } else {
+            // A follower site finished local agreement on a proposal's
+            // request: threshold-share the Accept for every sequence
+            // number it was proposed under (normally exactly one).
+            let rd = req.digest();
+            if self.locally_delivered.insert(rd) {
+                self.locally_delivered_order.push_back(rd);
+                const CAP: usize = 16_384;
+                if self.locally_delivered_order.len() > CAP {
+                    if let Some(old) = self.locally_delivered_order.pop_front() {
+                        self.locally_delivered.remove(&old);
+                    }
+                }
+            }
+            if let Some(seqs) = self.pending_local.remove(&rd) {
+                for seq in seqs {
+                    self.emit_accept_share(ctx, seq);
+                }
+            }
+        }
+        self.try_execute(ctx);
+    }
+
+    /// Produces and routes this replica's accept share for `seq` (the
+    /// site-local agreement on the proposal is complete).
+    fn emit_accept_share(&mut self, ctx: &mut Context<'_, BaseMsg>, seq: SeqNr) {
+        let Some((_, pd)) = self.proposals.get(&seq.0) else {
+            return;
+        };
+        let ad = accept_digest(seq, pd);
+        ctx.charge(self.cfg.cost.threshold_share());
+        let share = self.tkr.share(ThresholdGroupId(self.site as u32), self.me as u32, &ad);
+        self.route_share(ctx, seq, ad, share, true);
+    }
+
+    /// Sends a threshold share to the site representative (replica 0), or
+    /// processes it directly if we are the representative.
+    fn route_share(
+        &mut self,
+        ctx: &mut Context<'_, BaseMsg>,
+        seq: SeqNr,
+        digest: Digest,
+        share: SigShare,
+        accept: bool,
+    ) {
+        if self.me == 0 {
+            self.collect_share(ctx, seq, digest, share, accept);
+        } else {
+            let rep = self.my_site_nodes()[0];
+            ctx.send(rep, BaseMsg::Steward(StewardMsg::Share { seq, digest, share, accept }));
+        }
+    }
+
+    /// Representative-side share collection and combination.
+    fn collect_share(
+        &mut self,
+        ctx: &mut Context<'_, BaseMsg>,
+        seq: SeqNr,
+        digest: Digest,
+        share: SigShare,
+        accept: bool,
+    ) {
+        if !self.tkr.verify_share(&digest, &share) {
+            return;
+        }
+        let entry = self.shares.entry((seq.0, accept)).or_default();
+        if entry.iter().any(|s| s.member == share.member) {
+            return;
+        }
+        entry.push(share);
+        if entry.len() < self.cfg.fa + 1 {
+            return;
+        }
+        let shares = entry.clone();
+        ctx.charge(self.cfg.cost.threshold_combine());
+        let Some(tsig) = self.tkr.combine(&digest, &shares) else {
+            return;
+        };
+        if accept {
+            let msg = BaseMsg::Steward(StewardMsg::Accept {
+                seq,
+                digest,
+                site: self.site,
+                tsig,
+            });
+            // Announce the site's acceptance to every replica everywhere.
+            for site in 0..self.num_sites as u16 {
+                for node in self.site_nodes(site) {
+                    if node != ctx.node_id() {
+                        ctx.send(node, msg.clone());
+                    }
+                }
+            }
+            self.on_accept(ctx, seq, self.site);
+        } else {
+            let Some((request, _)) = self.proposals.get(&seq.0).cloned() else {
+                return;
+            };
+            let msg = BaseMsg::Steward(StewardMsg::Proposal { seq, request, tsig });
+            for site in 0..self.num_sites as u16 {
+                if site == self.site {
+                    continue;
+                }
+                for node in self.site_nodes(site) {
+                    ctx.send(node, msg.clone());
+                }
+            }
+        }
+    }
+
+    fn on_accept(&mut self, ctx: &mut Context<'_, BaseMsg>, seq: SeqNr, site: u16) {
+        self.accepts.entry(seq.0).or_default().insert(site);
+        self.try_execute(ctx);
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, BaseMsg>) {
+        loop {
+            let seq = self.exec_next;
+            let enough_accepts = self
+                .accepts
+                .get(&seq)
+                .is_some_and(|s| s.len() >= self.majority());
+            if !enough_accepts {
+                return;
+            }
+            let Some((req, _)) = self.proposals.get(&seq) else {
+                return;
+            };
+            let req = req.clone();
+            self.exec_next += 1;
+            let fresh = self
+                .executed
+                .get(&req.client)
+                .map_or(true, |(tc, _)| *tc < req.tc);
+            if fresh {
+                ctx.charge(self.cfg.cost.app_execute());
+                let result = self.app.execute(&req.operation.op);
+                self.execute_count += 1;
+                self.executed.insert(req.client, (req.tc, result.clone()));
+                // Only the client's local site replies (Fig 1b).
+                if self.directory.client_group(req.client) == Some(GroupId(self.site)) {
+                    if let Some(node) = self.directory.client_node(req.client) {
+                        ctx.charge(self.cfg.cost.hmac(result.len()));
+                        ctx.send(
+                            node,
+                            BaseMsg::Reply(Reply {
+                                tc: req.tc,
+                                result,
+                                weak: false,
+                                resubmit: false,
+                            }),
+                        );
+                    }
+                }
+            }
+            // Bound memory: drop far-past bookkeeping.
+            let horizon = seq.saturating_sub(256);
+            self.proposals.retain(|s, _| *s > horizon);
+            self.accepts.retain(|s, _| *s > horizon);
+            self.shares.retain(|(s, _), _| *s > horizon);
+        }
+    }
+
+    fn order_locally(&mut self, ctx: &mut Context<'_, BaseMsg>, req: ClientRequest) {
+        let last = self.forwarded.get(&req.client).copied().unwrap_or(0);
+        if req.tc <= last {
+            return;
+        }
+        self.forwarded.insert(req.client, req.tc);
+        let mut out = Vec::new();
+        self.pbft.handle(ctx.now(), Input::Order(req), &mut out);
+        self.apply_outputs(ctx, out);
+    }
+
+    fn arm(&mut self, ctx: &mut Context<'_, BaseMsg>, tag: u64, delay: SimTime) {
+        if let Some(old) = self.timers.remove(&tag) {
+            ctx.cancel_timer(old);
+        }
+        let id = ctx.set_timer(delay, tag);
+        self.timers.insert(tag, id);
+    }
+}
+
+impl<A: Application> Actor<BaseMsg> for StewardReplica<A> {
+    fn on_message(&mut self, ctx: &mut Context<'_, BaseMsg>, from: NodeId, msg: BaseMsg) {
+        ctx.charge(self.cfg.cost.msg_overhead());
+        match msg {
+            BaseMsg::Request(req) => {
+                ctx.charge(self.cfg.cost.hmac(req.wire_size()));
+                if req.operation.kind == OpKind::WeakRead {
+                    ctx.charge(self.cfg.cost.app_execute());
+                    let result = self.app.execute_read(&req.operation.op);
+                    if let Some(node) = self.directory.client_node(req.client) {
+                        ctx.send(
+                            node,
+                            BaseMsg::Reply(Reply { tc: req.tc, result, weak: true, resubmit: false }),
+                        );
+                    }
+                    return;
+                }
+                if let Some((tc, result)) = self.executed.get(&req.client) {
+                    if *tc >= req.tc {
+                        if *tc == req.tc {
+                            if let Some(node) = self.directory.client_node(req.client) {
+                                ctx.send(
+                                    node,
+                                    BaseMsg::Reply(Reply {
+                                        tc: req.tc,
+                                        result: result.clone(),
+                                        weak: false,
+                                        resubmit: false,
+                                    }),
+                                );
+                            }
+                        }
+                        return;
+                    }
+                }
+                ctx.charge(self.cfg.cost.rsa_verify());
+                if self.is_leader_site() {
+                    self.order_locally(ctx, req);
+                } else {
+                    // Forward to the counterpart replica at the leader
+                    // site (Fig 1b: requests flow through the hierarchy).
+                    let leader_nodes = self.site_nodes(self.leader_site);
+                    if let Some(node) = leader_nodes.get(self.me) {
+                        ctx.send(*node, BaseMsg::Steward(StewardMsg::Forward(req)));
+                    }
+                }
+            }
+            BaseMsg::Steward(StewardMsg::Forward(req)) => {
+                if self.is_leader_site() {
+                    ctx.charge(self.cfg.cost.hmac(req.wire_size()));
+                    self.order_locally(ctx, req);
+                }
+            }
+            BaseMsg::Steward(StewardMsg::Proposal { seq, request, tsig }) => {
+                ctx.charge(self.cfg.cost.threshold_verify());
+                let pd = proposal_digest(seq, &request);
+                if !self.tkr.verify(&pd, &tsig) {
+                    return;
+                }
+                if self.proposals.contains_key(&seq.0) {
+                    return;
+                }
+                self.proposals.insert(seq.0, (request.clone(), pd));
+                // Leader's voice counts as an accept.
+                self.accepts.entry(seq.0).or_default().insert(self.leader_site);
+                if !self.is_leader_site() {
+                    let rd = request.digest();
+                    if self.locally_delivered.contains(&rd) {
+                        // The site already agreed on this request (the
+                        // local PBFT outran this Proposal's delivery):
+                        // produce the accept share right away.
+                        self.emit_accept_share(ctx, seq);
+                    } else {
+                        self.pending_local.entry(rd).or_default().push(seq);
+                        self.order_locally(ctx, request);
+                    }
+                }
+                self.try_execute(ctx);
+            }
+            BaseMsg::Steward(StewardMsg::Share { seq, digest, share, accept }) => {
+                if self.me != 0 {
+                    return; // Only the representative collects.
+                }
+                ctx.charge(self.cfg.cost.rsa_verify());
+                self.collect_share(ctx, seq, digest, share, accept);
+            }
+            BaseMsg::Steward(StewardMsg::Accept { seq, digest, site, tsig }) => {
+                ctx.charge(self.cfg.cost.threshold_verify());
+                // Validate against the proposal we know for that seq.
+                let Some((_, pd)) = self.proposals.get(&seq.0) else {
+                    // Accept before proposal: remember optimistically once
+                    // the proposal arrives (simplification: verify against
+                    // the digest carried in the message).
+                    if self.tkr.verify(&digest, &tsig) {
+                        self.accepts.entry(seq.0).or_default().insert(site);
+                    }
+                    return;
+                };
+                let expected = accept_digest(seq, pd);
+                if digest != expected || !self.tkr.verify(&digest, &tsig) {
+                    return;
+                }
+                self.on_accept(ctx, seq, site);
+            }
+            BaseMsg::Pbft(m) => {
+                let Some(idx) = self.my_site_nodes().iter().position(|n| *n == from) else {
+                    return;
+                };
+                let mut out = Vec::new();
+                self.pbft
+                    .handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
+                self.apply_outputs(ctx, out);
+            }
+            BaseMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BaseMsg>, timer: Timer) {
+        self.timers.remove(&timer.tag);
+        if timer.tag >= TAG_PBFT_BASE {
+            let mut out = Vec::new();
+            self.pbft.handle(
+                ctx.now(),
+                Input::Timer(TimerToken(timer.tag - TAG_PBFT_BASE)),
+                &mut out,
+            );
+            self.apply_outputs(ctx, out);
+        }
+    }
+}
+
+/// A built Steward (HFT) deployment.
+pub struct StewardDeployment {
+    /// Shared directory (sites are registered as groups).
+    pub directory: Directory,
+    /// Replica nodes per site.
+    pub sites: Vec<Vec<NodeId>>,
+    /// Configuration.
+    pub cfg: SpiderConfig,
+    next_client: u32,
+    /// Spawned clients: (id, site index, node).
+    pub clients: Vec<(ClientId, u16, NodeId)>,
+}
+
+impl StewardDeployment {
+    /// Builds an HFT deployment with one site per region;
+    /// `regions[leader_site]` hosts the wide-area leader.
+    pub fn build<A: Application>(
+        sim: &mut Simulation<BaseMsg>,
+        cfg: SpiderConfig,
+        regions: &[&str],
+        leader_site: u16,
+        app_factory: impl Fn() -> A,
+    ) -> Self {
+        let spans: Vec<Vec<&str>> = regions.iter().map(|r| vec![*r]).collect();
+        Self::build_span(sim, cfg, &spans, leader_site, app_factory)
+    }
+
+    /// Builds an HFT deployment whose sites cycle their replicas over a
+    /// region span (the `f = 2` setup places extra replicas in a nearby
+    /// region, Fig 11). Clients of site `i` attach at `spans[i][0]`.
+    pub fn build_span<A: Application>(
+        sim: &mut Simulation<BaseMsg>,
+        cfg: SpiderConfig,
+        spans: &[Vec<&str>],
+        leader_site: u16,
+        app_factory: impl Fn() -> A,
+    ) -> Self {
+        let directory = Directory::new();
+        let num_sites = spans.len();
+        let mut sites = Vec::new();
+        for (si, span) in spans.iter().enumerate() {
+            let home_region = sim.topology().region(span[0]);
+            let mut nodes = Vec::new();
+            let mut cursor: std::collections::HashMap<&str, usize> =
+                std::collections::HashMap::new();
+            for j in 0..(3 * cfg.fa + 1) {
+                let region = span[j % span.len()];
+                let zones = sim.topology().num_zones(sim.topology().region(region));
+                let c = cursor.entry(region).or_insert(0);
+                let zone = sim.topology().zone(region, (*c % zones as usize) as u8);
+                *c += 1;
+                let replica = StewardReplica::new(
+                    cfg.clone(),
+                    si as u16,
+                    j,
+                    leader_site,
+                    num_sites,
+                    directory.clone(),
+                    app_factory(),
+                );
+                nodes.push(sim.add_node(zone, replica));
+            }
+            directory.register_group(
+                GroupId(si as u16),
+                spider::directory::GroupInfo {
+                    replicas: nodes.clone(),
+                    region: home_region,
+                    active: true,
+                },
+            );
+            sites.push(nodes);
+        }
+        StewardDeployment {
+            directory,
+            sites,
+            cfg,
+            next_client: 0,
+            clients: Vec::new(),
+        }
+    }
+
+    /// Spawns clients attached to site `site` (their local cluster).
+    pub fn spawn_clients(
+        &mut self,
+        sim: &mut Simulation<BaseMsg>,
+        site: u16,
+        region: &str,
+        count: usize,
+        workload: spider::WorkloadSpec,
+    ) -> Vec<NodeId> {
+        let zones = sim.topology().num_zones(sim.topology().region(region));
+        let mut nodes = Vec::new();
+        for k in 0..count {
+            let id = ClientId(self.next_client);
+            self.next_client += 1;
+            let zone = sim.topology().zone(region, (k % zones as usize) as u8);
+            let client = crate::client::BaselineClient::new(
+                self.cfg.clone(),
+                id,
+                self.sites[site as usize].clone(),
+                self.cfg.fa + 1,
+                self.directory.clone(),
+                Some(workload.clone()),
+            );
+            let node = sim.add_node(zone, client);
+            self.directory.register_client(id, node);
+            self.directory.register_client_group(id, GroupId(site));
+            self.clients.push((id, site, node));
+            nodes.push(node);
+        }
+        nodes
+    }
+
+    /// Collects samples from every client.
+    pub fn collect_samples(
+        &self,
+        sim: &Simulation<BaseMsg>,
+    ) -> Vec<(ClientId, u16, Vec<spider::Sample>)> {
+        self.clients
+            .iter()
+            .map(|(id, site, node)| {
+                (
+                    *id,
+                    *site,
+                    sim.actor::<crate::client::BaselineClient>(*node).samples.clone(),
+                )
+            })
+            .collect()
+    }
+}

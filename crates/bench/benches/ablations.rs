@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! consensus batch size, global flow control `z` with a slow execution
+//! group, checkpoint interval, and IRMC subchannel capacity.
+//!
+//! Each ablation prints a small sweep table (the interesting output) and
+//! registers one Criterion measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
+use spider_app::{kv_op_factory, KvStore};
+use spider_harness::ec2_topology;
+use spider_harness::experiments::fig9bcd;
+use spider_harness::stats::LatencySummary;
+use spider_irmc::Variant;
+use spider_sim::Simulation;
+use spider_types::SimTime;
+
+/// Runs a two-group Spider deployment with the given config knobs and a
+/// deliberately slowed Tokyo execution group; returns Virginia's p50 and
+/// the total completed requests.
+fn run_with(cfg: SpiderConfig, slow_tokyo_ms: u64, seed: u64) -> (f64, usize) {
+    let mut sim = Simulation::new(ec2_topology(), seed);
+    let mut dep = DeploymentBuilder::new(cfg)
+        .with_app(KvStore::new)
+        .agreement_region("virginia")
+        .execution_group("virginia")
+        .execution_group("tokyo")
+        .build(&mut sim);
+    let workload = WorkloadSpec {
+        rate_per_sec: 8.0,
+        payload_bytes: 200,
+        write_fraction: 1.0,
+        strong_read_fraction: 0.0,
+        max_ops: 0,
+        start_delay: SimTime::from_millis(200),
+        op_factory: kv_op_factory(100),
+    };
+    dep.spawn_clients(&mut sim, 0, 4, workload.clone());
+    dep.spawn_clients(&mut sim, 1, 4, workload);
+    if slow_tokyo_ms > 0 {
+        // Delay everything the agreement group sends to Tokyo's replicas:
+        // the commit channel drags, exercising the `z` skip rule (§3.5).
+        let tokyo = dep.group_nodes(1).to_vec();
+        for a in dep.agreement.clone() {
+            for t in &tokyo {
+                sim.net_control_mut()
+                    .set_extra_delay(a, *t, SimTime::from_millis(slow_tokyo_ms));
+            }
+        }
+    }
+    sim.run_until(SimTime::from_secs(12));
+    let samples = dep.collect_samples(&sim);
+    let virginia: Vec<_> = samples
+        .iter()
+        .filter(|(_, g, _)| g.0 == 0)
+        .flat_map(|(_, _, s)| s.iter().map(|x| x.latency()))
+        .collect();
+    let total: usize = samples.iter().map(|(_, _, s)| s.len()).sum();
+    let p50 = LatencySummary::of(&virginia).map(|s| s.p50_ms).unwrap_or(f64::NAN);
+    (p50, total)
+}
+
+fn ablation_z() {
+    // The slow group must actually exhaust the commit-channel window for
+    // `z` to matter: small capacity + a 2s-per-hop straggler + enough
+    // load. With z = 0 the agreement group couples everyone to the
+    // straggler (Virginia latency explodes); with z = 1 it skips the
+    // trailing group, which later catches up via checkpoints (§3.5).
+    println!("\nAblation — global flow control z with a slow (+2s) Tokyo group:");
+    println!("{:<6} {:>16} {:>12}", "z", "virginia p50[ms]", "completed");
+    for z in [0usize, 1] {
+        let mut cfg = SpiderConfig::default();
+        cfg.z = z;
+        cfg.commit_capacity = 16;
+        cfg.ke = 8;
+        cfg.ka = 8;
+        cfg.ag_win = 16;
+        let (p50, total) = run_with(cfg, 2_000, 7);
+        println!("{z:<6} {p50:>16.1} {total:>12}");
+    }
+}
+
+fn ablation_batch() {
+    println!("\nAblation — consensus batch size (agreement group):");
+    println!("{:<6} {:>16} {:>12}", "batch", "virginia p50[ms]", "completed");
+    for batch in [1usize, 8, 32] {
+        let mut cfg = SpiderConfig::default();
+        cfg.max_batch = batch;
+        let (p50, total) = run_with(cfg, 0, 8);
+        println!("{batch:<6} {p50:>16.1} {total:>12}");
+    }
+}
+
+fn ablation_checkpoint_interval() {
+    println!("\nAblation — checkpoint intervals ka = ke (liveness needs k <= capacity):");
+    println!("{:<6} {:>16} {:>12}", "k", "virginia p50[ms]", "completed");
+    for k in [8u64, 32, 128] {
+        let mut cfg = SpiderConfig::default();
+        cfg.ka = k;
+        cfg.ke = k;
+        cfg.commit_capacity = cfg.commit_capacity.max(k);
+        cfg.ag_win = cfg.ag_win.max(k);
+        let (p50, total) = run_with(cfg, 0, 9);
+        println!("{k:<6} {p50:>16.1} {total:>12}");
+    }
+}
+
+fn ablation_irmc_capacity() {
+    println!("\nAblation — IRMC subchannel capacity (flooded RC channel, 1 KiB):");
+    println!("{:<10} {:>14}", "capacity", "thruput[r/s]");
+    for cap in [16u64, 64, 256] {
+        let cfg = fig9bcd::Config {
+            sizes: vec![1024],
+            duration: SimTime::from_secs(3),
+            capacity: cap,
+            seed: 42,
+        };
+        let row = fig9bcd::run_point(Variant::ReceiverCollect, 1024, &cfg);
+        println!("{cap:<10} {:>14.0}", row.throughput_rps);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_z();
+    ablation_batch();
+    ablation_checkpoint_interval();
+    ablation_irmc_capacity();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("spider_two_groups_12s", |b| {
+        b.iter(|| run_with(SpiderConfig::default(), 0, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

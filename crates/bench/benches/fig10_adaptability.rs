@@ -1,0 +1,28 @@
+//! Figure 10 — response time over time when a new client site joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_harness::experiments::fig10;
+use spider_types::SimTime;
+
+fn regenerate() {
+    let result = fig10::run(&fig10::Config::default());
+    println!("\n{}", fig10::render(&result));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let quick = fig10::Config {
+        clients_per_region: 2,
+        duration: SimTime::from_secs(20),
+        join_at: SimTime::from_secs(12),
+        bucket: SimTime::from_secs(4),
+        ..fig10::Config::default()
+    };
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("adaptability_all_systems", |b| b.iter(|| fig10::run(&quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 11 — write latencies when tolerating f = 2 faults per group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::{bench_scale, figure_scale};
+use spider_harness::experiments::fig11;
+
+fn regenerate() {
+    let rows = fig11::run(&fig11::Config { scenario: figure_scale() });
+    println!("\n{}", fig11::render(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut scenario = bench_scale();
+    scenario.clients_per_region = 2;
+    let cfg = fig11::Config { scenario };
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("f2_sweep", |b| b.iter(|| fig11::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

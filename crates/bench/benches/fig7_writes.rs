@@ -1,0 +1,35 @@
+//! Figure 7 — write latencies by client region and leader location.
+//!
+//! Prints the regenerated figure data, then benchmarks one scenario per
+//! system family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::{bench_scale, figure_scale};
+use spider_harness::experiments::fig7;
+use spider_harness::scenarios::{run_scenario, SystemKind};
+
+fn regenerate() {
+    let cfg = fig7::Config { scenario: figure_scale(), only: None };
+    let rows = fig7::run(&cfg);
+    println!("\n{}", fig7::render(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = bench_scale();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("spider_leader_v1", |b| {
+        b.iter(|| run_scenario(SystemKind::Spider { leader_zone: 0 }, &scale))
+    });
+    g.bench_function("bft_leader_virginia", |b| {
+        b.iter(|| run_scenario(SystemKind::Bft { leader: 0 }, &scale))
+    });
+    g.bench_function("hft_leader_virginia", |b| {
+        b.iter(|| run_scenario(SystemKind::Hft { leader_site: 0 }, &scale))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

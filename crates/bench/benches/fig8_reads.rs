@@ -1,0 +1,42 @@
+//! Figure 8 — strongly and weakly consistent read latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::{bench_scale, figure_scale};
+use spider_harness::experiments::fig8;
+
+fn regenerate() {
+    let result = fig8::run(&fig8::Config { scenario: figure_scale() });
+    println!("\n{}", fig8::render(&result));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut scale = bench_scale();
+    scale.write_fraction = 0.0;
+    scale.strong_read_fraction = 0.0; // weak reads
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("spider_weak_reads", |b| {
+        b.iter(|| {
+            spider_harness::scenarios::run_scenario(
+                spider_harness::scenarios::SystemKind::Spider { leader_zone: 0 },
+                &scale,
+            )
+        })
+    });
+    let mut strong = bench_scale();
+    strong.write_fraction = 0.0;
+    strong.strong_read_fraction = 1.0;
+    g.bench_function("spider_strong_reads", |b| {
+        b.iter(|| {
+            spider_harness::scenarios::run_scenario(
+                spider_harness::scenarios::SystemKind::Spider { leader_zone: 0 },
+                &strong,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

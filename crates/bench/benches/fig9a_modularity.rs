@@ -1,0 +1,29 @@
+//! Figure 9a — modularity impact (SPIDER-0E / SPIDER-1E / SPIDER).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::{bench_scale, figure_scale};
+use spider_harness::experiments::fig9a;
+use spider_harness::scenarios::{run_scenario, SystemKind};
+
+fn regenerate() {
+    let rows = fig9a::run(&fig9a::Config { scenario: figure_scale() });
+    println!("\n{}", fig9a::render(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = bench_scale();
+    let mut g = c.benchmark_group("fig9a");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("spider_0e", SystemKind::Spider0E),
+        ("spider_1e", SystemKind::Spider1E),
+        ("spider_full", SystemKind::Spider { leader_zone: 0 }),
+    ] {
+        g.bench_function(name, |b| b.iter(|| run_scenario(kind, &scale)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

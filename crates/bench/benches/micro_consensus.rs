@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the PBFT black-box: pure state-machine throughput
+//! (no simulator), measured on the real host CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spider_consensus::{Input, Msg, Output, Pbft, PbftConfig, TestPayload};
+use spider_crypto::CostModel;
+use spider_types::SimTime;
+use std::collections::VecDeque;
+
+/// Orders `n` payloads through a 4-replica in-memory cluster.
+fn order_n(n: u64) -> usize {
+    let cfg = PbftConfig::new(1).with_cost(CostModel::zero());
+    let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg.clone(), i)).collect();
+    let mut inbox: VecDeque<(usize, usize, Msg<TestPayload>)> = VecDeque::new();
+    let mut delivered = 0usize;
+    for k in 0..n {
+        for i in 0..4 {
+            let mut out = Vec::new();
+            replicas[i].handle(SimTime::ZERO, Input::Order(TestPayload(k)), &mut out);
+            for o in out {
+                if let Output::Send { to, msg } = o {
+                    inbox.push_back((i, to, msg));
+                }
+            }
+        }
+        while let Some((from, to, msg)) = inbox.pop_front() {
+            let mut out = Vec::new();
+            replicas[to].handle(SimTime::ZERO, Input::Message { from, msg }, &mut out);
+            for o in out {
+                match o {
+                    Output::Send { to: t, msg } => inbox.push_back((to, t, msg)),
+                    Output::Deliver { batch, .. } => delivered += batch.len(),
+                    _ => {}
+                }
+            }
+        }
+    }
+    delivered
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbft");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("order_64_requests_4_replicas", |b| {
+        b.iter(|| order_n(std::hint::black_box(64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the cryptographic substrate: real host-CPU
+//! throughput of the from-scratch SHA-256/HMAC and the simulated
+//! signature/threshold operations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spider_crypto::sha256::Sha256;
+use spider_crypto::threshold::ThresholdGroupId;
+use spider_crypto::{hmac::hmac_sha256, Digest, Keyring, ThresholdKeyring};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+        });
+        g.bench_function(format!("hmac/{size}"), |b| {
+            b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+
+    let ring = Keyring::new(1);
+    let d = Digest::of_bytes(b"content");
+    let sig = ring.sign(spider_crypto::KeyId(1), &d);
+    let mut g = c.benchmark_group("signatures");
+    g.bench_function("sign", |b| b.iter(|| ring.sign(spider_crypto::KeyId(1), &d)));
+    g.bench_function("verify", |b| {
+        b.iter(|| ring.verify(spider_crypto::KeyId(1), &d, &sig))
+    });
+    g.finish();
+
+    let tkr = ThresholdKeyring::new(1, 2);
+    let s0 = tkr.share(ThresholdGroupId(0), 0, &d);
+    let s1 = tkr.share(ThresholdGroupId(0), 1, &d);
+    let mut g = c.benchmark_group("threshold");
+    g.bench_function("share", |b| b.iter(|| tkr.share(ThresholdGroupId(0), 0, &d)));
+    g.bench_function("combine", |b| b.iter(|| tkr.combine(&d, &[s0, s1])));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Each bench binary (one per paper figure) does two things:
+//!
+//! 1. **Regenerates the figure's data** at a laptop-friendly scale and
+//!    prints the rows/series the paper reports (this is the primary
+//!    purpose — absolute wall-clock numbers of a simulator run are not
+//!    the paper's metric).
+//! 2. Registers a Criterion measurement of the underlying scenario so
+//!    regressions in simulator/protocol performance are visible.
+
+#![forbid(unsafe_code)]
+
+use spider_harness::scenarios::ScenarioCfg;
+use spider_types::SimTime;
+
+/// Very small scenario scale used inside Criterion iteration loops.
+pub fn bench_scale() -> ScenarioCfg {
+    ScenarioCfg {
+        clients_per_region: 2,
+        rate_per_client: 2.0,
+        duration: SimTime::from_secs(5),
+        warmup: SimTime::from_secs(1),
+        ..ScenarioCfg::default()
+    }
+}
+
+/// Moderate scale used for the printed figure data.
+pub fn figure_scale() -> ScenarioCfg {
+    ScenarioCfg {
+        clients_per_region: 8,
+        rate_per_client: 2.0,
+        duration: SimTime::from_secs(25),
+        warmup: SimTime::from_secs(3),
+        ..ScenarioCfg::default()
+    }
+}

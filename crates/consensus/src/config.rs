@@ -1,0 +1,170 @@
+//! PBFT configuration, including weighted-voting quorums.
+
+use spider_crypto::CostModel;
+use spider_types::SimTime;
+
+/// Configuration of a PBFT group.
+///
+/// The default quorum rule is classic PBFT: `n = 3f + 1` replicas, every
+/// vote weighs 1, quorums need weight `2f + 1`. The BFT-WV baseline uses
+/// [`PbftConfig::weighted`] to construct a WHEAT-style configuration with
+/// `n = 3f + 1 + Δ` replicas where `2f` replicas carry weight
+/// `Vmax = 1 + Δ/f` and quorums need weight `2f · Vmax + 1`.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Fault threshold.
+    pub f: usize,
+    /// Vote weight per replica (length = group size `n`).
+    pub weights: Vec<u32>,
+    /// Weight a prepare/commit/view-change quorum must reach.
+    pub quorum_weight: u32,
+    /// Maximum number of payloads per proposed batch.
+    pub max_batch: usize,
+    /// Maximum number of concurrently active (proposed, undelivered)
+    /// instances the leader keeps in flight.
+    pub pipeline_depth: usize,
+    /// Watermark window: instances may be proposed in
+    /// `(last_gc, last_gc + window]`.
+    pub window: u64,
+    /// Base timeout before a replica suspects the leader and starts a view
+    /// change; doubles per consecutive failed view change.
+    pub view_change_timeout: SimTime,
+    /// CPU cost model for authentication work.
+    pub cost: CostModel,
+}
+
+impl PbftConfig {
+    /// Classic PBFT configuration for fault threshold `f` (`n = 3f + 1`).
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 1, "f must be at least 1");
+        let n = 3 * f + 1;
+        PbftConfig {
+            f,
+            weights: vec![1; n],
+            quorum_weight: (2 * f + 1) as u32,
+            max_batch: 8,
+            pipeline_depth: 32,
+            window: 256,
+            view_change_timeout: SimTime::from_millis(500),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// WHEAT-style weighted configuration: `n = 3f + 1 + delta` replicas;
+    /// the replicas listed in `vmax_holders` carry weight `Vmax = 1 + Δ/f`
+    /// (Δ must be a multiple of f), everyone else weight 1. Quorums need
+    /// `2f · Vmax + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not a positive multiple of `f`, or if
+    /// `vmax_holders` does not name exactly `2f` distinct replicas.
+    pub fn weighted(f: usize, delta: usize, vmax_holders: &[usize]) -> Self {
+        assert!(f >= 1, "f must be at least 1");
+        assert!(delta >= 1 && delta % f == 0, "delta must be a positive multiple of f");
+        let n = 3 * f + 1 + delta;
+        let vmax = (1 + delta / f) as u32;
+        assert_eq!(vmax_holders.len(), 2 * f, "exactly 2f replicas hold Vmax");
+        let mut weights = vec![1u32; n];
+        for &i in vmax_holders {
+            assert!(i < n, "vmax holder out of range");
+            assert_eq!(weights[i], 1, "duplicate vmax holder");
+            weights[i] = vmax;
+        }
+        PbftConfig {
+            quorum_weight: 2 * f as u32 * vmax + 1,
+            ..PbftConfig::new_with_n(f, n, weights)
+        }
+    }
+
+    fn new_with_n(f: usize, n: usize, weights: Vec<u32>) -> Self {
+        let mut cfg = PbftConfig::new(f);
+        assert_eq!(weights.len(), n);
+        cfg.weights = weights;
+        cfg
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Vote weight of replica `i`.
+    pub fn weight(&self, i: usize) -> u32 {
+        self.weights[i]
+    }
+
+    /// Leader of a view (round-robin).
+    pub fn leader_of(&self, view: u64) -> usize {
+        (view % self.n() as u64) as usize
+    }
+
+    /// Sets the batch size (builder-style).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1);
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the view-change timeout (builder-style).
+    #[must_use]
+    pub fn with_view_change_timeout(mut self, t: SimTime) -> Self {
+        self.view_change_timeout = t;
+        self
+    }
+
+    /// Sets the cost model (builder-style).
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the watermark window (builder-style).
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        assert!(window >= 1);
+        self.window = window;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_config_has_pbft_quorums() {
+        let c = PbftConfig::new(1);
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.quorum_weight, 3);
+        assert_eq!(c.leader_of(0), 0);
+        assert_eq!(c.leader_of(5), 1);
+    }
+
+    #[test]
+    fn weighted_config_matches_wheat() {
+        // n = 5, f = 1, delta = 1: Vmax = 2 on two replicas, quorum 5.
+        let c = PbftConfig::weighted(1, 1, &[0, 1]);
+        assert_eq!(c.n(), 5);
+        assert_eq!(c.weights, vec![2, 2, 1, 1, 1]);
+        assert_eq!(c.quorum_weight, 5);
+        // Safety sanity: two quorums of weight 5 out of total 7 intersect
+        // in weight >= 3 > Vmax, i.e. in at least one correct replica.
+        let total: u32 = c.weights.iter().sum();
+        assert!(2 * c.quorum_weight > total + c.weights.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 2f replicas")]
+    fn weighted_config_validates_holder_count() {
+        let _ = PbftConfig::weighted(1, 1, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vmax holder")]
+    fn weighted_config_rejects_duplicates() {
+        let _ = PbftConfig::weighted(1, 1, &[0, 0]);
+    }
+}

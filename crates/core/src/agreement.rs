@@ -1,0 +1,1015 @@
+//! Agreement replicas (Fig 17).
+//!
+//! An agreement replica pulls new requests out of the request channels
+//! (one per execution group, one subchannel per client), feeds them into
+//! the consensus black-box, assigns agreement sequence numbers to the
+//! delivered total order, pushes `Execute`s into every commit channel
+//! (skipping up to `z` trailing groups, §3.5), checkpoints `(t, hist)`
+//! periodically, and applies ordered reconfiguration commands (§3.6).
+
+use crate::checkpoint::{CheckpointComponent, CpAction};
+use crate::config::SpiderConfig;
+use crate::directory::Directory;
+use crate::keys;
+use crate::messages::{
+    AdminCommand, ChannelLeg, CheckpointMsg, Execute, ExecutePayload, OrderItem, OrderedRequest,
+    SpiderMsg, StateBlob,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spider_consensus::{Input, Output, Pbft, PbftConfig, TimerToken};
+use spider_crypto::Keyring;
+use spider_irmc::{Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SenderEndpoint, Variant};
+use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_types::{ClientId, GroupId, NodeId, OpKind, Position, SeqNr, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Timer tags (consensus tokens are offset to avoid collisions).
+const TAG_PBFT_BASE: u64 = 100;
+const TAG_SC_TICK: u64 = 1;
+const TAG_FETCH_RETRY: u64 = 3;
+const TAG_CP_GOSSIP: u64 = 4;
+
+/// Interval of the checkpoint-gossip heartbeat (§A.4.3).
+const CP_GOSSIP_INTERVAL: SimTime = SimTime::from_millis(1_000);
+
+/// Fault behaviours injectable into an agreement replica (§3.7 tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AgreementFault {
+    /// Behaves correctly.
+    #[default]
+    None,
+    /// Sends corrupted `Execute` messages into every commit channel. The
+    /// IRMC's `fa + 1` matching-content rule must prevent delivery of the
+    /// manipulated ordering (§3.7).
+    CorruptExecutes,
+}
+
+/// The pair of IRMC endpoints an agreement replica maintains per
+/// execution group (§3.2: one request channel + one commit channel).
+struct GroupChannels {
+    req_recv: ReceiverEndpoint<OrderedRequest>,
+    commit_send: SenderEndpoint<Execute>,
+}
+
+/// An agreement replica actor.
+pub struct AgreementReplica {
+    cfg: SpiderConfig,
+    me: usize,
+    directory: Directory,
+    keyring: Keyring,
+
+    pbft: Pbft<OrderItem>,
+    /// Last assigned agreement sequence number (Fig 17 `sn`).
+    sn: u64,
+    /// Upper bound of the agreement window (Fig 17 `win`).
+    win_upper: u64,
+    /// Counter value of the latest agreed request per client (`t`).
+    t: HashMap<ClientId, u64>,
+    /// Next expected request counter per client (`t+`).
+    t_next: HashMap<ClientId, u64>,
+    /// The last `commit_capacity` ordered items (Fig 17 `hist`).
+    hist: VecDeque<(u64, OrderItem)>,
+    channels: BTreeMap<GroupId, GroupChannels>,
+    cp: CheckpointComponent,
+    /// Items delivered by consensus awaiting sequence assignment (the
+    /// sans-IO equivalent of blocking the deliver callback on `win` and
+    /// the `ne - z` commit-channel rule).
+    backlog: VecDeque<(u64, OrderItem, bool)>, // (pbft instance, item, last of instance)
+    /// Delivered consensus instances and the highest agreement sequence
+    /// number each produced (for black-box gc).
+    instance_map: VecDeque<(u64, u64)>,
+    timers: HashMap<u64, TimerId>,
+    fetching: bool,
+    fault: AgreementFault,
+    /// Ordered request count (metrics).
+    pub ordered: u64,
+}
+
+impl AgreementReplica {
+    /// Creates agreement replica `me`. `initial_groups` are the execution
+    /// groups active from the start.
+    pub fn new(
+        cfg: SpiderConfig,
+        me: usize,
+        directory: Directory,
+        initial_groups: &[GroupId],
+    ) -> Self {
+        cfg.validate();
+        let keyring = Keyring::new(cfg.key_seed);
+        let pbft_cfg = PbftConfig::new(cfg.fa)
+            .with_cost(cfg.cost)
+            .with_view_change_timeout(cfg.view_change_timeout)
+            .with_max_batch(cfg.max_batch);
+        let mut me_new = AgreementReplica {
+            me,
+            directory,
+            keyring: keyring.clone(),
+            pbft: Pbft::new(pbft_cfg, me),
+            sn: 0,
+            win_upper: cfg.ag_win,
+            t: HashMap::new(),
+            t_next: HashMap::new(),
+            hist: VecDeque::new(),
+            channels: BTreeMap::new(),
+            cp: CheckpointComponent::new(
+                keys::AGREEMENT_GROUP,
+                me,
+                cfg.fa,
+                keyring,
+                cfg.cost,
+            ),
+            backlog: VecDeque::new(),
+            instance_map: VecDeque::new(),
+            timers: HashMap::new(),
+            fetching: false,
+            fault: AgreementFault::None,
+            ordered: 0,
+            cfg,
+        };
+        for g in initial_groups {
+            me_new.create_channels(*g);
+        }
+        me_new
+    }
+
+    fn create_channels(&mut self, group: GroupId) {
+        let n_exec = self.cfg.execution_size();
+        let n_agree = self.cfg.agreement_size();
+        let req_cfg = IrmcConfig::new(
+            self.cfg.request_variant,
+            n_exec,
+            self.cfg.fe,
+            n_agree,
+            self.cfg.fa,
+            self.cfg.request_capacity,
+        )
+        .with_cost(self.cfg.cost)
+        .with_keys(keys::exec_keys(group, n_exec), keys::agreement_keys(n_agree));
+        let commit_cfg = IrmcConfig::new(
+            self.cfg.commit_variant,
+            n_agree,
+            self.cfg.fa,
+            n_exec,
+            self.cfg.fe,
+            self.cfg.commit_capacity,
+        )
+        .with_cost(self.cfg.cost)
+        .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
+        self.channels.insert(
+            group,
+            GroupChannels {
+                req_recv: ReceiverEndpoint::new(req_cfg, self.me, self.keyring.clone()),
+                commit_send: SenderEndpoint::new(commit_cfg, self.me, self.keyring.clone()),
+            },
+        );
+    }
+
+    /// Injects a fault behaviour (tests only; defaults to correct).
+    pub fn set_fault(&mut self, fault: AgreementFault) {
+        self.fault = fault;
+    }
+
+    /// Applies the configured Byzantine mutation to an outgoing Execute.
+    fn maybe_corrupt(&self, exec: Execute) -> Execute {
+        match self.fault {
+            AgreementFault::None => exec,
+            AgreementFault::CorruptExecutes => {
+                let mut exec = exec;
+                if let ExecutePayload::Full(req) = &mut exec.payload {
+                    req.request.operation.op = bytes::Bytes::from_static(b"add:666");
+                }
+                exec
+            }
+        }
+    }
+
+    /// Last assigned agreement sequence number.
+    pub fn sequence(&self) -> SeqNr {
+        SeqNr(self.sn)
+    }
+
+    /// Current consensus view (for leader-location instrumentation).
+    pub fn view(&self) -> spider_types::ViewNr {
+        self.pbft.view()
+    }
+
+    // ------------------------------------------------------------------
+    // Request intake (Fig 17 L13-22)
+    // ------------------------------------------------------------------
+
+    fn poll_client(&mut self, ctx: &mut Context<'_, SpiderMsg>, group: GroupId, client: ClientId) {
+        loop {
+            let next = *self.t_next.entry(client).or_insert(1);
+            let Some(ch) = self.channels.get_mut(&group) else {
+                return;
+            };
+            match ch.req_recv.try_receive(client.0 as u64, Position(next)) {
+                ReceiveResult::Ready(ordered) => {
+                    // The channel guarantees fe+1 execution replicas vouch
+                    // for the request; verify the client's own signature
+                    // before ordering (A-Validity).
+                    ctx.charge(self.cfg.cost.rsa_verify());
+                    self.t_next.insert(client, next + 1);
+                    let mut out = Vec::new();
+                    self.pbft
+                        .handle(ctx.now(), Input::Order(OrderItem::Request(ordered)), &mut out);
+                    self.apply_pbft_outputs(ctx, out);
+                }
+                ReceiveResult::TooOld(p) => {
+                    // The client has moved on (Fig 17 L16-18).
+                    self.t_next.insert(client, p.0);
+                }
+                ReceiveResult::Pending => return,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Consensus plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_pbft_outputs(&mut self, ctx: &mut Context<'_, SpiderMsg>, outputs: Vec<Output<OrderItem>>) {
+        let agreement = self.directory.agreement();
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => {
+                    if let Some(node) = agreement.get(to) {
+                        ctx.send(*node, SpiderMsg::Agreement(msg));
+                    }
+                }
+                Output::Deliver { seq, batch } => {
+                    let n = batch.len();
+                    for (i, item) in batch.into_iter().enumerate() {
+                        self.backlog.push_back((seq.0, item, i + 1 == n));
+                    }
+                    if n == 0 {
+                        // No-op instance: completes immediately at the
+                        // current sequence number.
+                        self.instance_map.push_back((seq.0, self.sn));
+                    }
+                }
+                Output::SetTimer { token, delay } => {
+                    self.arm_timer(ctx, TAG_PBFT_BASE + token.0, delay);
+                }
+                Output::CancelTimer { token } => {
+                    if let Some(id) = self.timers.remove(&(TAG_PBFT_BASE + token.0)) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+                Output::Charge(c) => ctx.charge(c),
+                Output::ViewChanged { .. } => {}
+                Output::Skipped { .. } => {
+                    // We missed decided instances: catch up via the
+                    // agreement checkpoint (§3.4).
+                    self.start_fetch(ctx);
+                }
+            }
+        }
+        self.process_backlog(ctx);
+    }
+
+    /// Assigns agreement sequence numbers to delivered items, respecting
+    /// the agreement window and the `ne - z` commit-channel rule (§3.5).
+    fn process_backlog(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        while let Some((instance, item, last)) = self.backlog.front().cloned() {
+            match &item {
+                OrderItem::Admin(cmd) => {
+                    self.apply_admin(ctx, cmd.clone());
+                    if last {
+                        self.instance_map.push_back((instance, self.sn));
+                    }
+                    self.backlog.pop_front();
+                }
+                OrderItem::Request(req) => {
+                    let s = self.sn + 1;
+                    if s > self.win_upper {
+                        return; // Fig 17 L27: wait for a checkpoint.
+                    }
+                    // §3.5: at least ne - z commit channels must accept
+                    // the Execute at position s without blocking.
+                    let groups = self.directory.active_groups();
+                    let ne = groups.len();
+                    if ne > 0 {
+                        let sendable = groups
+                            .iter()
+                            .filter(|g| {
+                                self.channels
+                                    .get(g)
+                                    .is_some_and(|ch| !ch.commit_send.window(0).is_above(Position(s)))
+                            })
+                            .count();
+                        if sendable + self.cfg.z < ne {
+                            return; // Resume on commit-window movement.
+                        }
+                    }
+                    let req = req.clone();
+                    self.backlog.pop_front();
+                    self.assign_and_forward(ctx, s, req, item);
+                    if last {
+                        self.instance_map.push_back((instance, self.sn));
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign_and_forward(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        s: u64,
+        req: OrderedRequest,
+        item: OrderItem,
+    ) {
+        self.sn = s;
+        self.ordered += 1;
+        let c = req.request.client;
+        let tc = req.request.tc;
+        self.t.insert(c, tc);
+        let entry = self.t_next.entry(c).or_insert(1);
+        *entry = (*entry).max(tc + 1);
+        self.hist.push_back((s, item));
+        while self.hist.len() as u64 > self.cfg.commit_capacity {
+            self.hist.pop_front();
+        }
+        for group in self.directory.active_groups() {
+            let exec = self.maybe_corrupt(execute_for_group(s, &req, group));
+            let mut actions = Vec::new();
+            if let Some(ch) = self.channels.get_mut(&group) {
+                ch.commit_send.send(0, Position(s), exec, &mut actions);
+            }
+            self.apply_commit_actions(ctx, group, actions);
+        }
+        if self.sn % self.cfg.ka == 0 {
+            let snapshot = self.encode_snapshot();
+            let mut actions = Vec::new();
+            self.cp.generate(SeqNr(self.sn), snapshot, &mut actions);
+            self.apply_cp_actions(ctx, actions);
+        }
+    }
+
+    fn apply_admin(&mut self, ctx: &mut Context<'_, SpiderMsg>, cmd: AdminCommand) {
+        match cmd {
+            AdminCommand::AddGroup { group } => {
+                if self.channels.contains_key(&group) {
+                    return;
+                }
+                self.create_channels(group);
+                self.directory.activate_group(group);
+                // The new group starts at sequence 0. Move its commit
+                // window to the start of `hist` and replay the recent
+                // Executes; everything older arrives via an execution
+                // checkpoint fetched from another group (§3.6).
+                let start = self.hist.front().map(|(s, _)| *s).unwrap_or(self.sn + 1);
+                let mut actions = Vec::new();
+                if let Some(ch) = self.channels.get_mut(&group) {
+                    ch.commit_send.move_window(0, Position(start), &mut actions);
+                }
+                self.apply_commit_actions(ctx, group, actions);
+                let items: Vec<(u64, OrderItem)> = self.hist.iter().cloned().collect();
+                for (s, item) in items {
+                    if let OrderItem::Request(req) = item {
+                        let exec = self.maybe_corrupt(execute_for_group(s, &req, group));
+                        let mut actions = Vec::new();
+                        if let Some(ch) = self.channels.get_mut(&group) {
+                            ch.commit_send.send(0, Position(s), exec, &mut actions);
+                        }
+                        self.apply_commit_actions(ctx, group, actions);
+                    }
+                }
+            }
+            AdminCommand::RemoveGroup { group } => {
+                self.channels.remove(&group);
+                self.directory.deactivate_group(group);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints (Fig 17 L39-57)
+    // ------------------------------------------------------------------
+
+    fn encode_snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.sn);
+        buf.put_u32(self.t.len() as u32);
+        let mut t: Vec<(&ClientId, &u64)> = self.t.iter().collect();
+        t.sort_by_key(|(c, _)| c.0);
+        for (c, tc) in t {
+            buf.put_u32(c.0);
+            buf.put_u64(*tc);
+        }
+        buf.put_u32(self.hist.len() as u32);
+        for (s, item) in &self.hist {
+            buf.put_u64(*s);
+            encode_order_item(&mut buf, item);
+        }
+        buf.freeze()
+    }
+
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Option<(u64, HashMap<ClientId, u64>, VecDeque<(u64, OrderItem)>)> {
+        let mut buf = bytes;
+        if buf.remaining() < 12 {
+            return None;
+        }
+        let sn = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        let mut t = HashMap::new();
+        for _ in 0..n {
+            if buf.remaining() < 12 {
+                return None;
+            }
+            let c = ClientId(buf.get_u32());
+            t.insert(c, buf.get_u64());
+        }
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let h = buf.get_u32() as usize;
+        let mut hist = VecDeque::new();
+        for _ in 0..h {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let s = buf.get_u64();
+            let item = decode_order_item(&mut buf)?;
+            hist.push_back((s, item));
+        }
+        Some((sn, t, hist))
+    }
+
+    fn start_fetch(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        if self.fetching {
+            return;
+        }
+        self.fetching = true;
+        let mut actions = Vec::new();
+        self.cp.fetch(SeqNr(self.sn + 1), &mut actions);
+        self.apply_cp_actions(ctx, actions);
+        self.arm_timer(ctx, TAG_FETCH_RETRY, SimTime::from_millis(500));
+    }
+
+    fn on_stable_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        seq: SeqNr,
+        state: Option<Bytes>,
+    ) {
+        // Fig 17 L44-45: move commit windows + collect consensus garbage.
+        let hist_len = self.hist.len() as u64;
+        let window_start = seq.0.saturating_sub(hist_len).saturating_add(1);
+        let groups: Vec<GroupId> = self.channels.keys().copied().collect();
+        for g in groups {
+            let mut actions = Vec::new();
+            if let Some(ch) = self.channels.get_mut(&g) {
+                ch.commit_send.move_window(0, Position(window_start), &mut actions);
+            }
+            self.apply_commit_actions(ctx, g, actions);
+        }
+        // Consensus gc: forget instances whose requests are all covered.
+        let mut gc_before = None;
+        while let Some((instance, last_seq)) = self.instance_map.front().copied() {
+            if last_seq <= seq.0 {
+                gc_before = Some(instance + 1);
+                self.instance_map.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(before) = gc_before {
+            self.pbft.gc(SeqNr(before));
+        }
+
+        if seq.0 > self.sn {
+            if state.is_none() {
+                // A stable checkpoint exists ahead of us but we lack the
+                // snapshot: fetch it (Fig 17 L47 path).
+                self.start_fetch(ctx);
+            }
+            if let Some(bytes) = state {
+                ctx.charge(self.cfg.cost.hmac(bytes.len()));
+                if let Some((sn, t, hist)) = self.restore_snapshot(&bytes) {
+                    debug_assert_eq!(sn, seq.0);
+                    // Fig 17 L47-55: apply and replay the skipped tail.
+                    let old_sn = self.sn;
+                    self.sn = sn;
+                    for (c, tc) in &t {
+                        let e = self.t_next.entry(*c).or_insert(1);
+                        *e = (*e).max(tc + 1);
+                    }
+                    self.t = t;
+                    self.hist = hist;
+                    let items: Vec<(u64, OrderItem)> = self
+                        .hist
+                        .iter()
+                        .filter(|(s, _)| *s > old_sn)
+                        .cloned()
+                        .collect();
+                    for group in self.directory.active_groups() {
+                        for (s, item) in &items {
+                            if let OrderItem::Request(req) = item {
+                                let exec =
+                                    self.maybe_corrupt(execute_for_group(*s, req, group));
+                                let mut actions = Vec::new();
+                                if let Some(ch) = self.channels.get_mut(&group) {
+                                    ch.commit_send.send(0, Position(*s), exec, &mut actions);
+                                }
+                                self.apply_commit_actions(ctx, group, actions);
+                            }
+                        }
+                    }
+                    self.fetching = false;
+                }
+            }
+        }
+        // Fig 17 L57: slide the agreement window.
+        self.win_upper = self.win_upper.max(seq.0 + self.cfg.ag_win);
+        self.process_backlog(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Action plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_request_channel_actions(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        group: GroupId,
+        actions: Vec<Action<OrderedRequest>>,
+    ) {
+        let exec_nodes = self.directory.group_replicas(group);
+        let mut to_poll: Vec<ClientId> = Vec::new();
+        for a in actions {
+            match a {
+                Action::ToSender { to, msg } => {
+                    if let Some(node) = exec_nodes.get(to) {
+                        ctx.send(*node, SpiderMsg::RequestChannel {
+                            group,
+                            leg: ChannelLeg::ToSender(msg),
+                        });
+                    }
+                }
+                Action::Ready { sc, .. } | Action::WindowMoved { sc, .. } => {
+                    let c = ClientId(sc as u32);
+                    if !to_poll.contains(&c) {
+                        to_poll.push(c);
+                    }
+                }
+                Action::Charge(c) => ctx.charge(c),
+                Action::SetTimer { .. } => {
+                    // Request channels use one collector timer per client
+                    // subchannel; with RC as default this is unused. SC
+                    // request channels rely on retries instead.
+                }
+                _ => {}
+            }
+        }
+        for c in to_poll {
+            self.poll_client(ctx, group, c);
+        }
+    }
+
+    fn apply_commit_actions(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        group: GroupId,
+        actions: Vec<Action<Execute>>,
+    ) {
+        let exec_nodes = self.directory.group_replicas(group);
+        let agreement = self.directory.agreement();
+        let mut window_moved = false;
+        for a in actions {
+            match a {
+                Action::ToReceiver { to, msg } => {
+                    if let Some(node) = exec_nodes.get(to) {
+                        ctx.send(*node, SpiderMsg::CommitChannel {
+                            group,
+                            leg: ChannelLeg::ToReceiver(msg),
+                        });
+                    }
+                }
+                Action::ToPeerSender { to, msg } => {
+                    if let Some(node) = agreement.get(to) {
+                        ctx.send(*node, SpiderMsg::CommitChannel {
+                            group,
+                            leg: ChannelLeg::Peer(msg),
+                        });
+                    }
+                }
+                Action::WindowMoved { .. } | Action::Unblocked { .. } => window_moved = true,
+                Action::Charge(c) => ctx.charge(c),
+                _ => {}
+            }
+        }
+        if window_moved {
+            self.process_backlog(ctx);
+        }
+    }
+
+    fn apply_cp_actions(&mut self, ctx: &mut Context<'_, SpiderMsg>, actions: Vec<CpAction>) {
+        let agreement = self.directory.agreement();
+        let mut stable = Vec::new();
+        for a in actions {
+            match a {
+                CpAction::ToGroup(msg) => {
+                    for (i, node) in agreement.iter().enumerate() {
+                        if i != self.me {
+                            ctx.send(*node, SpiderMsg::Checkpoint {
+                                group: keys::AGREEMENT_GROUP,
+                                msg: msg.clone(),
+                                state: None,
+                            });
+                        }
+                    }
+                }
+                CpAction::ToPeer { idx, msg, state, .. } => {
+                    if let Some(node) = agreement.get(idx) {
+                        let blob = state.map(|bytes| StateBlob {
+                            seq: match msg {
+                                CheckpointMsg::FetchResponse { seq, .. } => seq,
+                                _ => SeqNr(0),
+                            },
+                            bytes,
+                        });
+                        ctx.send(*node, SpiderMsg::Checkpoint {
+                            group: keys::AGREEMENT_GROUP,
+                            msg,
+                            state: blob,
+                        });
+                    }
+                }
+                CpAction::Stable { seq, state } => stable.push((seq, state)),
+                CpAction::Charge(c) => ctx.charge(c),
+            }
+        }
+        for (seq, state) in stable {
+            self.on_stable_checkpoint(ctx, seq, state);
+        }
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
+        if let Some(old) = self.timers.remove(&tag) {
+            ctx.cancel_timer(old);
+        }
+        let id = ctx.set_timer(delay, tag);
+        self.timers.insert(tag, id);
+    }
+
+    fn agreement_index(&self, node: NodeId) -> Option<usize> {
+        self.directory.agreement().iter().position(|n| *n == node)
+    }
+
+    fn exec_index(&self, group: GroupId, node: NodeId) -> Option<usize> {
+        self.directory
+            .group_replicas(group)
+            .iter()
+            .position(|n| *n == node)
+    }
+}
+
+/// Builds the per-group `Execute`: full request for writes and for the
+/// read's target group, placeholder elsewhere (§3.3).
+fn execute_for_group(s: u64, req: &OrderedRequest, group: GroupId) -> Execute {
+    let payload = match req.request.operation.kind {
+        OpKind::Write => ExecutePayload::Full(req.clone()),
+        OpKind::StrongRead if req.origin == group => ExecutePayload::Full(req.clone()),
+        OpKind::StrongRead | OpKind::WeakRead => ExecutePayload::Placeholder {
+            client: req.request.client,
+            tc: req.request.tc,
+            target: req.origin,
+        },
+    };
+    Execute { seq: SeqNr(s), payload }
+}
+
+fn encode_order_item(buf: &mut BytesMut, item: &OrderItem) {
+    match item {
+        OrderItem::Request(req) => {
+            buf.put_u8(0);
+            buf.put_u16(req.origin.0);
+            buf.put_u32(req.request.client.0);
+            buf.put_u64(req.request.tc);
+            buf.put_u8(match req.request.operation.kind {
+                OpKind::Write => 0,
+                OpKind::StrongRead => 1,
+                OpKind::WeakRead => 2,
+            });
+            buf.put_u32(req.request.operation.op.len() as u32);
+            buf.put_slice(&req.request.operation.op);
+        }
+        OrderItem::Admin(AdminCommand::AddGroup { group }) => {
+            buf.put_u8(1);
+            buf.put_u16(group.0);
+        }
+        OrderItem::Admin(AdminCommand::RemoveGroup { group }) => {
+            buf.put_u8(2);
+            buf.put_u16(group.0);
+        }
+    }
+}
+
+fn decode_order_item(buf: &mut &[u8]) -> Option<OrderItem> {
+    use crate::messages::{ClientRequest, Operation};
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 19 {
+                return None;
+            }
+            let origin = GroupId(buf.get_u16());
+            let client = ClientId(buf.get_u32());
+            let tc = buf.get_u64();
+            let kind = match buf.get_u8() {
+                0 => OpKind::Write,
+                1 => OpKind::StrongRead,
+                _ => OpKind::WeakRead,
+            };
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return None;
+            }
+            let op = Bytes::copy_from_slice(&buf[..len]);
+            buf.advance(len);
+            Some(OrderItem::Request(OrderedRequest {
+                request: ClientRequest {
+                    client,
+                    tc,
+                    operation: Operation { op, kind },
+                },
+                origin,
+            }))
+        }
+        1 => {
+            if buf.remaining() < 2 {
+                return None;
+            }
+            Some(OrderItem::Admin(AdminCommand::AddGroup {
+                group: GroupId(buf.get_u16()),
+            }))
+        }
+        2 => {
+            if buf.remaining() < 2 {
+                return None;
+            }
+            Some(OrderItem::Admin(AdminCommand::RemoveGroup {
+                group: GroupId(buf.get_u16()),
+            }))
+        }
+        _ => None,
+    }
+}
+
+impl Actor<SpiderMsg> for AgreementReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        if self.cfg.commit_variant == Variant::SenderCollect {
+            self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+        }
+        self.arm_timer(ctx, TAG_CP_GOSSIP, CP_GOSSIP_INTERVAL);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SpiderMsg>, from: NodeId, msg: SpiderMsg) {
+        ctx.charge(self.cfg.cost.msg_overhead());
+        match msg {
+            SpiderMsg::Agreement(m) => {
+                let Some(idx) = self.agreement_index(from) else {
+                    return;
+                };
+                let mut out = Vec::new();
+                self.pbft
+                    .handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
+                self.apply_pbft_outputs(ctx, out);
+            }
+            SpiderMsg::RequestChannel { group, leg } => {
+                match leg {
+                    ChannelLeg::ToReceiver(m) => {
+                        let Some(idx) = self.exec_index(group, from) else {
+                            return;
+                        };
+                        let mut actions = Vec::new();
+                        if let Some(ch) = self.channels.get_mut(&group) {
+                            ch.req_recv.on_sender_message(ctx.now(), idx, m, &mut actions);
+                        }
+                        self.apply_request_channel_actions(ctx, group, actions);
+                    }
+                    ChannelLeg::ToSender(_) | ChannelLeg::Peer(_) => {}
+                }
+            }
+            SpiderMsg::CommitChannel { group, leg } => match leg {
+                ChannelLeg::ToSender(m) => {
+                    let Some(idx) = self.exec_index(group, from) else {
+                        return;
+                    };
+                    let mut actions = Vec::new();
+                    if let Some(ch) = self.channels.get_mut(&group) {
+                        ch.commit_send.on_receiver_message(idx, m, &mut actions);
+                    }
+                    self.apply_commit_actions(ctx, group, actions);
+                }
+                ChannelLeg::Peer(m) => {
+                    let Some(idx) = self.agreement_index(from) else {
+                        return;
+                    };
+                    let mut actions = Vec::new();
+                    if let Some(ch) = self.channels.get_mut(&group) {
+                        ch.commit_send.on_peer_message(idx, m, &mut actions);
+                    }
+                    self.apply_commit_actions(ctx, group, actions);
+                }
+                ChannelLeg::ToReceiver(_) => {}
+            },
+            SpiderMsg::Admin(cmd) => {
+                // Reconfiguration commands are signed by the privileged
+                // admin client and ordered like requests (§3.6).
+                ctx.charge(self.cfg.cost.rsa_verify());
+                let mut out = Vec::new();
+                self.pbft
+                    .handle(ctx.now(), Input::Order(OrderItem::Admin(cmd)), &mut out);
+                self.apply_pbft_outputs(ctx, out);
+            }
+            SpiderMsg::Checkpoint { group, msg, state } => {
+                if group != keys::AGREEMENT_GROUP {
+                    return;
+                }
+                let Some(idx) = self.agreement_index(from) else {
+                    return;
+                };
+                let mut actions = Vec::new();
+                match msg {
+                    CheckpointMsg::Announce { seq, state_hash, sig } => {
+                        self.cp.on_announce(idx, seq, state_hash, sig, &mut actions);
+                    }
+                    CheckpointMsg::FetchRequest { seq } => {
+                        self.cp
+                            .on_fetch_request(keys::AGREEMENT_GROUP, idx, seq, &mut actions);
+                    }
+                    CheckpointMsg::FetchResponse { seq, state_hash, cert, .. } => {
+                        let Some(blob) = state else { return };
+                        let provider_keys =
+                            keys::agreement_keys(self.cfg.agreement_size());
+                        self.cp.on_fetch_response(
+                            keys::AGREEMENT_GROUP,
+                            &provider_keys,
+                            seq,
+                            state_hash,
+                            cert,
+                            blob.bytes,
+                            &mut actions,
+                        );
+                    }
+                }
+                self.apply_cp_actions(ctx, actions);
+            }
+            SpiderMsg::Request(_) | SpiderMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, timer: Timer) {
+        self.timers.remove(&timer.tag);
+        match timer.tag {
+            TAG_SC_TICK => {
+                let groups: Vec<GroupId> = self.channels.keys().copied().collect();
+                for g in groups {
+                    let mut actions = Vec::new();
+                    if let Some(ch) = self.channels.get_mut(&g) {
+                        ch.commit_send.tick(ctx.now(), &mut actions);
+                    }
+                    self.apply_commit_actions(ctx, g, actions);
+                }
+                self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+            }
+            TAG_FETCH_RETRY => {
+                if self.fetching {
+                    self.fetching = false;
+                    self.start_fetch(ctx);
+                }
+            }
+            TAG_CP_GOSSIP => {
+                let mut actions = Vec::new();
+                self.cp.gossip(&mut actions);
+                self.apply_cp_actions(ctx, actions);
+                self.arm_timer(ctx, TAG_CP_GOSSIP, CP_GOSSIP_INTERVAL);
+            }
+            tag if tag >= TAG_PBFT_BASE => {
+                let mut out = Vec::new();
+                self.pbft.handle(
+                    ctx.now(),
+                    Input::Timer(TimerToken(tag - TAG_PBFT_BASE)),
+                    &mut out,
+                );
+                self.apply_pbft_outputs(ctx, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{ClientRequest, Operation};
+    use bytes::Bytes;
+
+    fn request(client: u32, tc: u64, kind: OpKind) -> OrderedRequest {
+        OrderedRequest {
+            request: ClientRequest {
+                client: ClientId(client),
+                tc,
+                operation: Operation { op: Bytes::from_static(b"put k v"), kind },
+            },
+            origin: GroupId(2),
+        }
+    }
+
+    #[test]
+    fn execute_for_group_full_for_writes_everywhere() {
+        let req = request(1, 5, OpKind::Write);
+        for g in [GroupId(0), GroupId(2), GroupId(7)] {
+            let exec = execute_for_group(9, &req, g);
+            assert_eq!(exec.seq, SeqNr(9));
+            assert!(matches!(exec.payload, ExecutePayload::Full(_)));
+        }
+    }
+
+    #[test]
+    fn execute_for_group_placeholders_for_remote_strong_reads() {
+        let req = request(1, 5, OpKind::StrongRead);
+        // Target group gets the full request…
+        let own = execute_for_group(9, &req, GroupId(2));
+        assert!(matches!(own.payload, ExecutePayload::Full(_)));
+        // …every other group gets the small placeholder (§3.3).
+        let other = execute_for_group(9, &req, GroupId(0));
+        match other.payload {
+            ExecutePayload::Placeholder { client, tc, target } => {
+                assert_eq!(client, ClientId(1));
+                assert_eq!(tc, 5);
+                assert_eq!(target, GroupId(2));
+            }
+            _ => panic!("expected placeholder"),
+        }
+        assert!(spider_types::WireSize::wire_size(&other) < spider_types::WireSize::wire_size(&own));
+    }
+
+    #[test]
+    fn order_item_codec_roundtrip() {
+        let items = vec![
+            OrderItem::Request(request(3, 17, OpKind::Write)),
+            OrderItem::Request(request(4, 1, OpKind::StrongRead)),
+            OrderItem::Admin(AdminCommand::AddGroup { group: GroupId(9) }),
+            OrderItem::Admin(AdminCommand::RemoveGroup { group: GroupId(2) }),
+        ];
+        for item in items {
+            let mut buf = BytesMut::new();
+            encode_order_item(&mut buf, &item);
+            let bytes = buf.freeze();
+            let mut slice: &[u8] = &bytes;
+            let decoded = decode_order_item(&mut slice).expect("decodes");
+            assert_eq!(decoded, item);
+            assert!(slice.is_empty(), "consumed exactly");
+        }
+    }
+
+    #[test]
+    fn order_item_decode_rejects_truncation() {
+        let item = OrderItem::Request(request(3, 17, OpKind::Write));
+        let mut buf = BytesMut::new();
+        encode_order_item(&mut buf, &item);
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut slice: &[u8] = &bytes[..cut];
+            assert!(
+                decode_order_item(&mut slice).is_none() || cut == bytes.len(),
+                "truncated decode must fail (cut {cut})"
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_snapshot_roundtrip() {
+        let dir = crate::directory::Directory::new();
+        let mut a = AgreementReplica::new(SpiderConfig::default(), 0, dir.clone(), &[]);
+        a.sn = 42;
+        a.t.insert(ClientId(1), 7);
+        a.t.insert(ClientId(9), 3);
+        a.hist.push_back((41, OrderItem::Request(request(1, 6, OpKind::Write))));
+        a.hist.push_back((42, OrderItem::Request(request(9, 3, OpKind::Write))));
+        let snap = a.encode_snapshot();
+
+        let mut b = AgreementReplica::new(SpiderConfig::default(), 1, dir, &[]);
+        let (sn, t, hist) = b.restore_snapshot(&snap).expect("valid snapshot");
+        assert_eq!(sn, 42);
+        assert_eq!(t.get(&ClientId(1)), Some(&7));
+        assert_eq!(t.get(&ClientId(9)), Some(&3));
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].0, 41);
+        assert_eq!(hist, a.hist);
+    }
+
+    #[test]
+    fn agreement_snapshot_rejects_garbage() {
+        let dir = crate::directory::Directory::new();
+        let mut a = AgreementReplica::new(SpiderConfig::default(), 0, dir, &[]);
+        assert!(a.restore_snapshot(&[1, 2, 3]).is_none());
+        assert!(a.restore_snapshot(&[]).is_none());
+    }
+}

@@ -1,0 +1,546 @@
+//! The checkpoint component (§3.4, appendix Fig 13).
+//!
+//! Each replica group runs one checkpoint component per replica. A replica
+//! periodically hands its component a serialized snapshot
+//! ([`CheckpointComponent::generate`]); the component broadcasts a signed
+//! hash, collects `f + 1` matching announcements (a *stable certificate*,
+//! CP-Safety A.11), and reports stability back to the replica. A trailing
+//! replica calls [`CheckpointComponent::fetch`]; peers answer with the full
+//! state plus the certificate, which the component validates before
+//! delivering it (state transfer).
+//!
+//! Components verify certificates against *logical group keys*
+//! ([`crate::keys`]), so execution replicas can also validate checkpoints
+//! fetched from *other* execution groups (§3.5 — needed by freshly added
+//! groups and by groups skipped under global flow control).
+
+use crate::messages::CheckpointMsg;
+use bytes::Bytes;
+use spider_crypto::{CostModel, Digest, Keyring, Signature};
+use spider_types::{GroupId, SeqNr, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Effects of checkpoint-component calls.
+#[derive(Debug, Clone)]
+pub enum CpAction {
+    /// Broadcast to every other member of the own group.
+    ToGroup(CheckpointMsg),
+    /// Send to a specific replica (possibly in another group).
+    ToPeer {
+        /// Target group.
+        group: GroupId,
+        /// Replica index within that group.
+        idx: usize,
+        /// The message.
+        msg: CheckpointMsg,
+        /// Snapshot payload for fetch responses.
+        state: Option<Bytes>,
+    },
+    /// A checkpoint became stable (Fig 13 `stable_cp`): the host must
+    /// apply it if it is ahead of the local state. `state` is present when
+    /// the component holds the snapshot (own or fetched).
+    Stable {
+        /// Snapshot sequence number.
+        seq: SeqNr,
+        /// Snapshot bytes, if locally available.
+        state: Option<Bytes>,
+    },
+    /// Charge CPU to the host node.
+    Charge(SimTime),
+}
+
+fn cp_digest(group: GroupId, seq: SeqNr, state_hash: &Digest) -> Digest {
+    Digest::builder()
+        .str("checkpoint")
+        .u64(group.0 as u64)
+        .u64(seq.0)
+        .digest(state_hash)
+        .finish()
+}
+
+/// Per-replica checkpoint component.
+pub struct CheckpointComponent {
+    group: GroupId,
+    me: usize,
+    f: usize,
+    my_key: spider_crypto::KeyId,
+    member_keys: Vec<spider_crypto::KeyId>,
+    keyring: Keyring,
+    cost: CostModel,
+    /// Snapshots this replica holds (own or fetched), by sequence number.
+    snapshots: BTreeMap<u64, (Digest, Bytes)>,
+    /// Announce votes per sequence number: member index -> (hash, sig).
+    votes: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
+    /// Latest stable checkpoint: (seq, hash, certificate).
+    stable: Option<(SeqNr, Digest, Vec<Signature>)>,
+    /// Highest sequence number delivered via `Stable` *with* state.
+    delivered: u64,
+    /// Highest sequence number announced via a state-less `Stable`
+    /// notification (the host reacts by fetching).
+    notified: u64,
+}
+
+impl CheckpointComponent {
+    /// Creates the component for replica `me` of `group` tolerating `f`
+    /// member faults.
+    pub fn new(
+        group: GroupId,
+        me: usize,
+        f: usize,
+        keyring: Keyring,
+        cost: CostModel,
+    ) -> Self {
+        let n = if group == crate::keys::AGREEMENT_GROUP {
+            3 * f + 1
+        } else {
+            2 * f + 1
+        };
+        CheckpointComponent {
+            group,
+            me,
+            f,
+            my_key: crate::keys::group_keys(group, n)[me],
+            member_keys: crate::keys::group_keys(group, n),
+            keyring,
+            cost,
+            snapshots: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            stable: None,
+            delivered: 0,
+            notified: 0,
+        }
+    }
+
+    /// Latest stable checkpoint sequence number, if any.
+    pub fn stable_seq(&self) -> Option<SeqNr> {
+        self.stable.as_ref().map(|s| s.0)
+    }
+
+    /// Fig 13 `gen_cp`: snapshot taken at `seq`; announce its hash.
+    pub fn generate(&mut self, seq: SeqNr, state: Bytes, out: &mut Vec<CpAction>) {
+        let hash = Digest::of_bytes(&state);
+        out.push(CpAction::Charge(
+            self.cost.hmac(state.len()) + self.cost.rsa_sign(),
+        ));
+        self.snapshots.insert(seq.0, (hash, state));
+        let sig = self.keyring.sign(self.my_key, &cp_digest(self.group, seq, &hash));
+        let msg = CheckpointMsg::Announce {
+            seq,
+            state_hash: hash,
+            sig,
+        };
+        self.votes
+            .entry(seq.0)
+            .or_default()
+            .insert(self.me, (hash, sig));
+        out.push(CpAction::ToGroup(msg));
+        self.check_stable(seq, out);
+    }
+
+    /// Fig 13 `fetch_cp`: ask peers for a stable checkpoint at or after
+    /// `seq`. The host decides which peers receive the emitted request.
+    pub fn fetch(&mut self, seq: SeqNr, out: &mut Vec<CpAction>) {
+        out.push(CpAction::Charge(self.cost.hmac(32)));
+        out.push(CpAction::ToGroup(CheckpointMsg::FetchRequest { seq }));
+    }
+
+    /// Periodic gossip (§A.4.3: correct replicas continuously inform each
+    /// other about their latest stable checkpoint): re-broadcasts this
+    /// replica's announce vote for the latest stable sequence number so
+    /// that a partition-healed laggard learns it fell behind.
+    pub fn gossip(&mut self, out: &mut Vec<CpAction>) {
+        let Some((seq, _, _)) = &self.stable else {
+            return;
+        };
+        let Some((hash, sig)) = self.votes.get(&seq.0).and_then(|v| v.get(&self.me)).copied()
+        else {
+            return;
+        };
+        out.push(CpAction::ToGroup(CheckpointMsg::Announce {
+            seq: *seq,
+            state_hash: hash,
+            sig,
+        }));
+    }
+
+    /// Handles an `Announce` from member `from` of the own group.
+    pub fn on_announce(
+        &mut self,
+        from: usize,
+        seq: SeqNr,
+        state_hash: Digest,
+        sig: Signature,
+        out: &mut Vec<CpAction>,
+    ) {
+        if from >= self.member_keys.len() || from == self.me {
+            return;
+        }
+        out.push(CpAction::Charge(self.cost.rsa_verify()));
+        let digest = cp_digest(self.group, seq, &state_hash);
+        if !self.keyring.verify(self.member_keys[from], &digest, &sig) {
+            return;
+        }
+        // Old announcement: help the laggard with our own latest vote
+        // (keeps CP-Liveness without a periodic gossip timer).
+        if let Some((stable_seq, hash, _)) = &self.stable {
+            if seq < *stable_seq {
+                if let Some((_, (h, s))) = self
+                    .votes
+                    .get(&stable_seq.0)
+                    .and_then(|v| v.get_key_value(&self.me))
+                    .map(|(k, v)| (*k, *v))
+                {
+                    debug_assert_eq!(h, *hash);
+                    out.push(CpAction::ToPeer {
+                        group: self.group,
+                        idx: from,
+                        msg: CheckpointMsg::Announce {
+                            seq: *stable_seq,
+                            state_hash: h,
+                            sig: s,
+                        },
+                        state: None,
+                    });
+                }
+            }
+        }
+        self.votes
+            .entry(seq.0)
+            .or_default()
+            .insert(from, (state_hash, sig));
+        self.check_stable(seq, out);
+    }
+
+    fn check_stable(&mut self, seq: SeqNr, out: &mut Vec<CpAction>) {
+        let Some(votes) = self.votes.get(&seq.0) else {
+            return;
+        };
+        // Count votes per hash; stability needs f+1 on one hash.
+        let mut by_hash: HashMap<Digest, Vec<Signature>> = HashMap::new();
+        for (hash, sig) in votes.values() {
+            by_hash.entry(*hash).or_default().push(*sig);
+        }
+        let Some((hash, cert)) = by_hash.into_iter().find(|(_, v)| v.len() >= self.f + 1) else {
+            return;
+        };
+        if self.stable.as_ref().is_some_and(|(s, _, _)| *s >= seq) {
+            return;
+        }
+        self.stable = Some((seq, hash, cert));
+        self.deliver_stable(out);
+    }
+
+    fn deliver_stable(&mut self, out: &mut Vec<CpAction>) {
+        let Some((seq, hash, _)) = self.stable.clone() else {
+            return;
+        };
+        if seq.0 <= self.delivered {
+            return;
+        }
+        // Deliver with state when we hold a matching snapshot; otherwise
+        // notify without state so the host can fetch (a later
+        // FetchResponse will re-deliver with state).
+        let state = self
+            .snapshots
+            .get(&seq.0)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, b)| b.clone());
+        match state {
+            Some(state) => {
+                self.delivered = seq.0;
+                // Keep only the snapshot backing the stable checkpoint.
+                self.snapshots.retain(|&s, _| s >= seq.0);
+                self.votes.retain(|&s, _| s >= seq.0);
+                out.push(CpAction::Stable { seq, state: Some(state) });
+            }
+            None => {
+                if seq.0 > self.notified {
+                    self.notified = seq.0;
+                    out.push(CpAction::Stable { seq, state: None });
+                }
+            }
+        }
+    }
+
+    /// Handles a `FetchRequest` from replica `from_idx` of `from_group`
+    /// (possibly another execution group, §3.5).
+    pub fn on_fetch_request(
+        &mut self,
+        from_group: GroupId,
+        from_idx: usize,
+        seq: SeqNr,
+        out: &mut Vec<CpAction>,
+    ) {
+        let Some((stable_seq, hash, cert)) = self.stable.clone() else {
+            return;
+        };
+        if stable_seq < seq {
+            return; // We have nothing new enough.
+        }
+        let Some((_, state)) = self
+            .snapshots
+            .get(&stable_seq.0)
+            .filter(|(h, _)| *h == hash)
+        else {
+            return; // Stable but we never held the bytes ourselves.
+        };
+        out.push(CpAction::Charge(self.cost.hmac(state.len())));
+        out.push(CpAction::ToPeer {
+            group: from_group,
+            idx: from_idx,
+            msg: CheckpointMsg::FetchResponse {
+                seq: stable_seq,
+                state_hash: hash,
+                cert: cert.clone(),
+                state_bytes: state.len(),
+            },
+            state: Some(state.clone()),
+        });
+    }
+
+    /// Handles a `FetchResponse`. `provider_keys` are the member keys of
+    /// the group the response came from (own or foreign).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_fetch_response(
+        &mut self,
+        provider_group: GroupId,
+        provider_keys: &[spider_crypto::KeyId],
+        seq: SeqNr,
+        state_hash: Digest,
+        cert: Vec<Signature>,
+        state: Bytes,
+        out: &mut Vec<CpAction>,
+    ) {
+        out.push(CpAction::Charge(
+            self.cost.hmac(state.len()) + self.cost.rsa_verify().mul(cert.len() as u64),
+        ));
+        if seq.0 <= self.delivered {
+            return;
+        }
+        // The state must hash to the certified value…
+        if Digest::of_bytes(&state) != state_hash {
+            return;
+        }
+        // …and the certificate must carry f+1 valid signatures from
+        // distinct members of the providing group.
+        let digest = cp_digest(provider_group, seq, &state_hash);
+        let mut seen = std::collections::HashSet::new();
+        let valid = cert
+            .iter()
+            .filter(|sig| {
+                provider_keys
+                    .iter()
+                    .position(|k| *k == sig.signer)
+                    .is_some_and(|i| seen.insert(i) && self.keyring.verify(sig.signer, &digest, sig))
+            })
+            .count();
+        if valid < self.f + 1 {
+            return;
+        }
+        self.snapshots.insert(seq.0, (state_hash, state.clone()));
+        // Adopt the certificate when it comes from our own group, so we
+        // can serve later fetches ourselves. A foreign-group checkpoint is
+        // applied but not re-served (its certificate names foreign keys).
+        if provider_group == self.group
+            && self.stable.as_ref().map_or(true, |(s, _, _)| *s < seq)
+        {
+            self.stable = Some((seq, state_hash, cert));
+        }
+        self.delivered = seq.0;
+        self.snapshots.retain(|&s, _| s >= seq.0);
+        self.votes.retain(|&s, _| s >= seq.0);
+        out.push(CpAction::Stable {
+            seq,
+            state: Some(state),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_types::GroupId;
+
+    fn comp(me: usize) -> CheckpointComponent {
+        CheckpointComponent::new(
+            GroupId(0),
+            me,
+            1,
+            Keyring::new(3),
+            CostModel::zero(),
+        )
+    }
+
+    fn announce_of(out: &[CpAction]) -> (SeqNr, Digest, Signature) {
+        out.iter()
+            .find_map(|a| match a {
+                CpAction::ToGroup(CheckpointMsg::Announce { seq, state_hash, sig }) => {
+                    Some((*seq, *state_hash, *sig))
+                }
+                _ => None,
+            })
+            .expect("announce emitted")
+    }
+
+    #[test]
+    fn two_matching_announcements_make_stable() {
+        let mut a = comp(0);
+        let mut b = comp(1);
+        let state = Bytes::from_static(b"snapshot-bytes");
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        a.generate(SeqNr(10), state.clone(), &mut out_a);
+        b.generate(SeqNr(10), state, &mut out_b);
+        assert!(a.stable_seq().is_none(), "own vote alone is not stable");
+
+        let (seq, hash, sig) = announce_of(&out_b);
+        let mut out = Vec::new();
+        a.on_announce(1, seq, hash, sig, &mut out);
+        assert_eq!(a.stable_seq(), Some(SeqNr(10)));
+        assert!(out.iter().any(|x| matches!(
+            x,
+            CpAction::Stable { seq, state: Some(_) } if *seq == SeqNr(10)
+        )));
+    }
+
+    #[test]
+    fn mismatching_hashes_never_stabilize() {
+        let mut a = comp(0);
+        let mut b = comp(1);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        a.generate(SeqNr(10), Bytes::from_static(b"one"), &mut out_a);
+        b.generate(SeqNr(10), Bytes::from_static(b"two"), &mut out_b);
+        let (seq, hash, sig) = announce_of(&out_b);
+        let mut out = Vec::new();
+        a.on_announce(1, seq, hash, sig, &mut out);
+        assert_eq!(a.stable_seq(), None);
+    }
+
+    #[test]
+    fn forged_announcement_is_rejected() {
+        let mut a = comp(0);
+        let state = Bytes::from_static(b"s");
+        let hash = Digest::of_bytes(&state);
+        // Signed with the wrong identity (member 2 claims to be 1).
+        let ring = Keyring::new(3);
+        let bad_sig = ring.sign(
+            crate::keys::exec_key(GroupId(0), 2),
+            &cp_digest(GroupId(0), SeqNr(10), &hash),
+        );
+        let mut out = Vec::new();
+        a.generate(SeqNr(10), state, &mut out);
+        a.on_announce(1, SeqNr(10), hash, bad_sig, &mut out);
+        assert_eq!(a.stable_seq(), None);
+    }
+
+    #[test]
+    fn fetch_response_transfers_verified_state() {
+        // a and b stabilize a checkpoint; c (fresh) fetches it from a.
+        let mut a = comp(0);
+        let mut b = comp(1);
+        let mut c = comp(2);
+        let state = Bytes::from_static(b"the-state");
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        a.generate(SeqNr(20), state.clone(), &mut out_a);
+        b.generate(SeqNr(20), state, &mut out_b);
+        let (seq, hash, sig) = announce_of(&out_b);
+        let mut sink = Vec::new();
+        a.on_announce(1, seq, hash, sig, &mut sink);
+
+        let mut fetch_out = Vec::new();
+        c.fetch(SeqNr(1), &mut fetch_out);
+        let mut resp_out = Vec::new();
+        a.on_fetch_request(GroupId(0), 2, SeqNr(1), &mut resp_out);
+        let (seq, hash, cert, state) = resp_out
+            .iter()
+            .find_map(|x| match x {
+                CpAction::ToPeer {
+                    msg: CheckpointMsg::FetchResponse { seq, state_hash, cert, .. },
+                    state: Some(state),
+                    ..
+                } => Some((*seq, *state_hash, cert.clone(), state.clone())),
+                _ => None,
+            })
+            .expect("fetch response with state");
+
+        let mut out = Vec::new();
+        let keys = crate::keys::exec_keys(GroupId(0), 3);
+        c.on_fetch_response(GroupId(0), &keys, seq, hash, cert, state, &mut out);
+        assert!(out.iter().any(|x| matches!(
+            x,
+            CpAction::Stable { seq, state: Some(s) } if *seq == SeqNr(20) && s == &Bytes::from_static(b"the-state")
+        )));
+    }
+
+    #[test]
+    fn fetch_response_with_tampered_state_rejected() {
+        let mut a = comp(0);
+        let mut b = comp(1);
+        let state = Bytes::from_static(b"real");
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        a.generate(SeqNr(5), state.clone(), &mut out_a);
+        b.generate(SeqNr(5), state, &mut out_b);
+        let (seq, hash, sig) = announce_of(&out_b);
+        let mut sink = Vec::new();
+        a.on_announce(1, seq, hash, sig, &mut sink);
+        let mut resp_out = Vec::new();
+        a.on_fetch_request(GroupId(0), 2, SeqNr(1), &mut resp_out);
+        let (seq, hash, cert, _) = resp_out
+            .iter()
+            .find_map(|x| match x {
+                CpAction::ToPeer {
+                    msg: CheckpointMsg::FetchResponse { seq, state_hash, cert, .. },
+                    state: Some(state),
+                    ..
+                } => Some((*seq, *state_hash, cert.clone(), state.clone())),
+                _ => None,
+            })
+            .unwrap();
+        let mut c = comp(2);
+        let mut out = Vec::new();
+        let keys = crate::keys::exec_keys(GroupId(0), 3);
+        c.on_fetch_response(
+            GroupId(0),
+            &keys,
+            seq,
+            hash,
+            cert,
+            Bytes::from_static(b"fake"),
+            &mut out,
+        );
+        assert!(!out.iter().any(|x| matches!(x, CpAction::Stable { .. })));
+    }
+
+    #[test]
+    fn stable_is_monotonic() {
+        let mut a = comp(0);
+        let mut b = comp(1);
+        for seq in [10u64, 20] {
+            let state = Bytes::from(format!("state-{seq}"));
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            a.generate(SeqNr(seq), state.clone(), &mut out_a);
+            b.generate(SeqNr(seq), state, &mut out_b);
+            let (s, h, sig) = announce_of(&out_b);
+            let mut sink = Vec::new();
+            a.on_announce(1, s, h, sig, &mut sink);
+        }
+        assert_eq!(a.stable_seq(), Some(SeqNr(20)));
+        // A late announce for 10 must not regress anything.
+        let mut out_b = Vec::new();
+        let mut b2 = comp(1);
+        b2.generate(SeqNr(10), Bytes::from_static(b"state-10"), &mut out_b);
+        let (s, h, sig) = announce_of(&out_b);
+        let mut out = Vec::new();
+        a.on_announce(1, s, h, sig, &mut out);
+        assert_eq!(a.stable_seq(), Some(SeqNr(20)));
+        // It does, however, trigger help for the laggard.
+        assert!(out.iter().any(|x| matches!(
+            x,
+            CpAction::ToPeer { msg: CheckpointMsg::Announce { seq, .. }, .. } if *seq == SeqNr(20)
+        )));
+    }
+}

@@ -1,0 +1,456 @@
+//! Spider clients (Fig 15) and workload generation.
+//!
+//! A client broadcasts each request to all `2·fe + 1` replicas of its
+//! execution group and accepts a result once `fe + 1` replicas returned
+//! matching replies for the current counter value. Weakly consistent
+//! reads may fail to reach a matching quorum under concurrent writes; the
+//! client retries and eventually escalates to a strongly consistent read
+//! (§3.3).
+
+use crate::config::SpiderConfig;
+use crate::directory::Directory;
+use crate::messages::{ClientRequest, Operation, Reply, SpiderMsg};
+use bytes::Bytes;
+use rand::Rng;
+use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_types::{ClientId, GroupId, NodeId, OpKind, SimTime, WireSize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const TAG_ISSUE: u64 = 1;
+const TAG_RETRY: u64 = 2;
+
+/// Produces operation payloads for generated requests.
+pub type OpFactory = Arc<dyn Fn(u64, OpKind, usize) -> Bytes + Send + Sync>;
+
+/// Statistical description of a client's request stream.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Mean issue rate (requests/second, exponential interarrivals).
+    pub rate_per_sec: f64,
+    /// Payload size in bytes (the paper uses 200-byte requests).
+    pub payload_bytes: usize,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Fraction of requests that are strongly consistent reads (the rest
+    /// after writes are weak reads).
+    pub strong_read_fraction: f64,
+    /// Stop after this many completed requests (0 = unlimited).
+    pub max_ops: u64,
+    /// Delay before the first request.
+    pub start_delay: SimTime,
+    /// Builds the operation bytes: `(sequence, kind, payload_bytes)`.
+    pub op_factory: OpFactory,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("rate_per_sec", &self.rate_per_sec)
+            .field("payload_bytes", &self.payload_bytes)
+            .field("write_fraction", &self.write_fraction)
+            .field("strong_read_fraction", &self.strong_read_fraction)
+            .field("max_ops", &self.max_ops)
+            .finish_non_exhaustive()
+    }
+}
+
+fn counter_factory() -> OpFactory {
+    Arc::new(|_seq, kind, payload| {
+        // Pad to the requested payload size so wire costs are realistic.
+        let base: &[u8] = match kind {
+            OpKind::Write => b"add:1",
+            _ => b"get",
+        };
+        let mut v = base.to_vec();
+        v.resize(v.len().max(payload), b' ');
+        Bytes::from(v)
+    })
+}
+
+impl WorkloadSpec {
+    /// Pure writes at `rate` per second with `payload` bytes each.
+    pub fn writes_per_sec(rate: f64, payload: usize) -> Self {
+        WorkloadSpec {
+            rate_per_sec: rate,
+            payload_bytes: payload,
+            write_fraction: 1.0,
+            strong_read_fraction: 0.0,
+            max_ops: 0,
+            start_delay: SimTime::from_millis(10),
+            op_factory: counter_factory(),
+        }
+    }
+
+    /// Pure weakly consistent reads.
+    pub fn weak_reads_per_sec(rate: f64, payload: usize) -> Self {
+        WorkloadSpec {
+            write_fraction: 0.0,
+            strong_read_fraction: 0.0,
+            ..WorkloadSpec::writes_per_sec(rate, payload)
+        }
+    }
+
+    /// Pure strongly consistent reads.
+    pub fn strong_reads_per_sec(rate: f64, payload: usize) -> Self {
+        WorkloadSpec {
+            write_fraction: 0.0,
+            strong_read_fraction: 1.0,
+            ..WorkloadSpec::writes_per_sec(rate, payload)
+        }
+    }
+
+    /// Replaces the operation factory (builder-style).
+    #[must_use]
+    pub fn with_op_factory(mut self, f: OpFactory) -> Self {
+        self.op_factory = f;
+        self
+    }
+
+    /// Caps the number of requests (builder-style).
+    #[must_use]
+    pub fn with_max_ops(mut self, n: u64) -> Self {
+        self.max_ops = n;
+        self
+    }
+
+    /// Sets the start delay (builder-style).
+    #[must_use]
+    pub fn with_start_delay(mut self, d: SimTime) -> Self {
+        self.start_delay = d;
+        self
+    }
+}
+
+/// One completed request, as recorded by a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Request classification.
+    pub kind: OpKind,
+    /// Simulated time the request was first issued.
+    pub issued: SimTime,
+    /// Simulated time the reply quorum completed.
+    pub completed: SimTime,
+}
+
+impl Sample {
+    /// End-to-end response time.
+    pub fn latency(&self) -> SimTime {
+        self.completed - self.issued
+    }
+}
+
+/// Fault behaviours injectable into a client (§3.7 tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientFault {
+    /// Behaves correctly.
+    #[default]
+    None,
+    /// Sends a *different* operation to every replica under the same
+    /// counter value: the request channel must block delivery and the
+    /// damage must stay within this client's subchannel.
+    ConflictingRequests,
+}
+
+struct InFlight {
+    kind: OpKind,
+    op: Bytes,
+    tc: u64,
+    issued: SimTime,
+    /// Replies per replica node: (result, resubmit flag).
+    replies: HashMap<NodeId, (Bytes, bool)>,
+    weak_retries_left: u32,
+    /// Retransmissions without completion; drives group failover (§3.1).
+    retries: u32,
+}
+
+/// A Spider client actor.
+pub struct SpiderClient {
+    cfg: SpiderConfig,
+    id: ClientId,
+    group: GroupId,
+    directory: Directory,
+    workload: Option<WorkloadSpec>,
+    fault: ClientFault,
+
+    /// Counter for ordered operations (writes + strong reads): this is
+    /// the request-subchannel position, so it must advance by exactly one
+    /// per ordered request (Fig 15).
+    tc: u64,
+    /// Separate counter for weakly consistent reads, which never enter
+    /// the request channel (§3.3) and therefore must not consume
+    /// subchannel positions.
+    weak_tc: u64,
+    issued_count: u64,
+    in_flight: Option<InFlight>,
+    /// Completed request samples (read by the harness after the run).
+    pub samples: Vec<Sample>,
+    timers: HashMap<u64, TimerId>,
+}
+
+impl SpiderClient {
+    /// Creates a client attached to execution group `group`.
+    pub fn new(
+        cfg: SpiderConfig,
+        id: ClientId,
+        group: GroupId,
+        directory: Directory,
+        workload: Option<WorkloadSpec>,
+    ) -> Self {
+        SpiderClient {
+            cfg,
+            id,
+            group,
+            directory,
+            workload,
+            fault: ClientFault::None,
+            tc: 0,
+            weak_tc: 0,
+            issued_count: 0,
+            in_flight: None,
+            samples: Vec::new(),
+            timers: HashMap::new(),
+        }
+    }
+
+    /// Injects a fault behaviour (tests only).
+    pub fn set_fault(&mut self, fault: ClientFault) {
+        self.fault = fault;
+    }
+
+    /// Switches the client to a different execution group (used when its
+    /// local group becomes unavailable, §3.1).
+    pub fn set_group(&mut self, group: GroupId) {
+        self.group = group;
+    }
+
+    /// The client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn schedule_next_issue(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        let Some(w) = &self.workload else { return };
+        if w.max_ops != 0 && self.issued_count >= w.max_ops {
+            return;
+        }
+        // Exponential interarrival around the configured rate.
+        let mean = 1.0 / w.rate_per_sec.max(1e-9);
+        let u: f64 = ctx.rng().gen_range(1e-9..1.0f64);
+        let gap = SimTime::from_secs_f64(-u.ln() * mean);
+        self.arm_timer(ctx, TAG_ISSUE, gap);
+    }
+
+    fn pick_kind(&mut self, ctx: &mut Context<'_, SpiderMsg>) -> OpKind {
+        let w = self.workload.as_ref().expect("workload present");
+        let x: f64 = ctx.rng().gen_range(0.0..1.0);
+        if x < w.write_fraction {
+            OpKind::Write
+        } else if x < w.write_fraction + w.strong_read_fraction {
+            OpKind::StrongRead
+        } else {
+            OpKind::WeakRead
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, SpiderMsg>, kind: OpKind, op: Bytes) {
+        let tc = if kind == OpKind::WeakRead {
+            self.weak_tc += 1;
+            self.weak_tc
+        } else {
+            self.tc += 1;
+            self.tc
+        };
+        self.issued_count += 1;
+        let retries = self.cfg.weak_read_retries;
+        self.in_flight = Some(InFlight {
+            kind,
+            op: op.clone(),
+            tc,
+            issued: ctx.now(),
+            replies: HashMap::new(),
+            weak_retries_left: retries,
+            retries: 0,
+        });
+        self.transmit(ctx);
+        self.arm_timer(ctx, TAG_RETRY, self.cfg.client_retry);
+    }
+
+    /// Broadcasts the in-flight request to the execution group (Fig 15
+    /// L12); reissues verbatim on retry.
+    fn transmit(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        let Some(inf) = &self.in_flight else { return };
+        let replicas = self.directory.group_replicas(self.group);
+        let request = ClientRequest {
+            client: self.id,
+            tc: inf.tc,
+            operation: Operation { op: inf.op.clone(), kind: inf.kind },
+        };
+        // Sign once, MAC per replica (Fig 15 L7).
+        ctx.charge(
+            self.cfg.cost.rsa_sign()
+                + self.cfg.cost.mac_vector(replicas.len(), request.wire_size()),
+        );
+        match self.fault {
+            ClientFault::None => {
+                for node in replicas {
+                    ctx.send(node, SpiderMsg::Request(request.clone()));
+                }
+            }
+            ClientFault::ConflictingRequests => {
+                // A different operation per replica under one counter.
+                for (i, node) in replicas.into_iter().enumerate() {
+                    let mut bad = request.clone();
+                    let mut op = inf.op.to_vec();
+                    op.push(b'0' + (i as u8 % 10));
+                    bad.operation.op = Bytes::from(op);
+                    ctx.send(node, SpiderMsg::Request(bad));
+                }
+            }
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<'_, SpiderMsg>, from: NodeId, reply: Reply) {
+        ctx.charge(self.cfg.cost.hmac(reply.result.len()));
+        let group_size = self.directory.group_replicas(self.group).len();
+        let quorum = self.cfg.fe + 1;
+        let Some(inf) = &mut self.in_flight else { return };
+        if reply.tc != inf.tc {
+            return;
+        }
+        // Weak replies answer weak reads; ordered replies answer the rest.
+        if reply.weak != (inf.kind == OpKind::WeakRead) {
+            return;
+        }
+        inf.replies.insert(from, (reply.result.clone(), reply.resubmit));
+
+        // fe + 1 matching results complete the request (Fig 15 L23).
+        let mut counts: HashMap<&Bytes, usize> = HashMap::new();
+        for (r, resub) in inf.replies.values() {
+            if !*resub {
+                *counts.entry(r).or_default() += 1;
+            }
+        }
+        if counts.values().any(|n| *n >= quorum) {
+            let sample = Sample {
+                kind: inf.kind,
+                issued: inf.issued,
+                completed: ctx.now(),
+            };
+            self.samples.push(sample);
+            self.in_flight = None;
+            self.disarm_timer(ctx, TAG_RETRY);
+            return;
+        }
+
+        // fe + 1 resubmit indications: the value was skipped here (§A.7.9
+        // remark); reissue under a fresh counter.
+        let resubmits = inf.replies.values().filter(|(_, r)| *r).count();
+        if resubmits >= quorum {
+            let (kind, op, issued) = (inf.kind, inf.op.clone(), inf.issued);
+            self.issue(ctx, kind, op);
+            if let Some(new) = &mut self.in_flight {
+                new.issued = issued; // Latency counts from first issue.
+            }
+            return;
+        }
+
+        // All replicas answered a weak read without a quorum: stale /
+        // concurrent writes. Retry, then escalate to a strong read (§3.3).
+        if inf.kind == OpKind::WeakRead && inf.replies.len() >= group_size {
+            if inf.weak_retries_left > 0 {
+                inf.weak_retries_left -= 1;
+                inf.replies.clear();
+                self.transmit(ctx);
+            } else {
+                let (op, issued) = (inf.op.clone(), inf.issued);
+                self.issue(ctx, OpKind::StrongRead, op);
+                if let Some(new) = &mut self.in_flight {
+                    new.issued = issued;
+                }
+            }
+        }
+    }
+
+    /// §3.1: if more than `fe` replicas of the local execution group are
+    /// unavailable, a client can temporarily switch to a different group.
+    /// After `group_failover_retries` fruitless retransmissions the client
+    /// re-targets the next active group from the registry.
+    fn maybe_fail_over(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        let Some(inf) = &mut self.in_flight else { return };
+        inf.retries += 1;
+        if inf.retries < self.cfg.group_failover_retries {
+            return;
+        }
+        let active = self.directory.active_groups();
+        let Some(pos) = active.iter().position(|g| *g == self.group) else {
+            // Our group vanished entirely (RemoveGroup): take any active.
+            if let Some(g) = active.first() {
+                self.group = *g;
+            }
+            return;
+        };
+        if active.len() <= 1 {
+            return; // Nowhere to go.
+        }
+        let next = active[(pos + 1) % active.len()];
+        self.group = next;
+        if let Some(inf) = &mut self.in_flight {
+            inf.retries = 0;
+            inf.replies.clear();
+        }
+        let _ = ctx;
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
+        if let Some(old) = self.timers.remove(&tag) {
+            ctx.cancel_timer(old);
+        }
+        let id = ctx.set_timer(delay, tag);
+        self.timers.insert(tag, id);
+    }
+
+    fn disarm_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64) {
+        if let Some(old) = self.timers.remove(&tag) {
+            ctx.cancel_timer(old);
+        }
+    }
+}
+
+impl Actor<SpiderMsg> for SpiderClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        if let Some(w) = &self.workload {
+            let delay = w.start_delay;
+            self.arm_timer(ctx, TAG_ISSUE, delay);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SpiderMsg>, from: NodeId, msg: SpiderMsg) {
+        if let SpiderMsg::Reply(reply) = msg {
+            self.on_reply(ctx, from, reply);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, timer: Timer) {
+        self.timers.remove(&timer.tag);
+        match timer.tag {
+            TAG_ISSUE => {
+                if self.in_flight.is_none() {
+                    let kind = self.pick_kind(ctx);
+                    let w = self.workload.as_ref().expect("workload present");
+                    let op = (w.op_factory)(self.issued_count, kind, w.payload_bytes);
+                    self.issue(ctx, kind, op);
+                }
+                self.schedule_next_issue(ctx);
+            }
+            TAG_RETRY => {
+                if self.in_flight.is_some() {
+                    self.maybe_fail_over(ctx);
+                    self.transmit(ctx);
+                    self.arm_timer(ctx, TAG_RETRY, self.cfg.client_retry);
+                }
+            }
+            _ => {}
+        }
+    }
+}

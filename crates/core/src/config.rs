@@ -1,0 +1,164 @@
+//! Deployment-wide configuration.
+
+use spider_crypto::CostModel;
+use spider_irmc::Variant;
+use spider_types::SimTime;
+
+/// Configuration of a Spider deployment.
+///
+/// Field constraints follow the paper: the checkpoint interval of a group
+/// must stay below the capacity of its input IRMC (§3.4 — liveness), and
+/// the agreement window must cover at least one checkpoint interval
+/// (Fig 17, `AG-WIN >= ka`).
+#[derive(Debug, Clone)]
+pub struct SpiderConfig {
+    /// Faults tolerated by the agreement group (group size `3·fa + 1`).
+    pub fa: usize,
+    /// Faults tolerated by each execution group (group size `2·fe + 1`).
+    pub fe: usize,
+    /// Agreement checkpoint interval `ka`.
+    pub ka: u64,
+    /// Execution checkpoint interval `ke`.
+    pub ke: u64,
+    /// Agreement window size (`AG-WIN`): how far ordering may run ahead of
+    /// the last stable agreement checkpoint.
+    pub ag_win: u64,
+    /// Number of trailing execution groups the agreement group may skip
+    /// when inserting `Execute`s (§3.5, `0 <= z < ne`).
+    pub z: usize,
+    /// Capacity of each client's request subchannel (Fig 16 uses 2).
+    pub request_capacity: u64,
+    /// Capacity of the commit subchannel (must be `>= ke`).
+    pub commit_capacity: u64,
+    /// IRMC implementation for request channels.
+    pub request_variant: Variant,
+    /// IRMC implementation for commit channels.
+    pub commit_variant: Variant,
+    /// Client retry interval (Fig 15 `t_retry`).
+    pub client_retry: SimTime,
+    /// Retransmissions before a client assumes its execution group is
+    /// unavailable (more than `fe` faulty members) and temporarily
+    /// switches to another group (§3.1).
+    pub group_failover_retries: u32,
+    /// How many times a weakly consistent read is retried before being
+    /// escalated to a strongly consistent read (§3.3).
+    pub weak_read_retries: u32,
+    /// View-change timeout of the agreement group's consensus protocol.
+    pub view_change_timeout: SimTime,
+    /// Maximum consensus batch size.
+    pub max_batch: usize,
+    /// CPU cost model applied by all nodes.
+    pub cost: CostModel,
+    /// Seed for the shared simulated PKI.
+    pub key_seed: u64,
+}
+
+impl Default for SpiderConfig {
+    fn default() -> Self {
+        SpiderConfig {
+            fa: 1,
+            fe: 1,
+            ka: 32,
+            ke: 32,
+            ag_win: 64,
+            z: 0,
+            request_capacity: 2,
+            commit_capacity: 128,
+            request_variant: Variant::ReceiverCollect,
+            commit_variant: Variant::ReceiverCollect,
+            client_retry: SimTime::from_millis(2_000),
+            group_failover_retries: 3,
+            weak_read_retries: 2,
+            view_change_timeout: SimTime::from_millis(500),
+            max_batch: 8,
+            cost: CostModel::default(),
+            key_seed: 7,
+        }
+    }
+}
+
+impl SpiderConfig {
+    /// Validates the liveness-critical relations between parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ke > commit_capacity` (execution liveness, §3.4), if
+    /// `ag_win < ka` (Fig 17), or if bounds are degenerate.
+    pub fn validate(&self) {
+        assert!(self.fa >= 1 && self.fe >= 1, "need at least f = 1");
+        assert!(
+            self.commit_capacity >= self.ke,
+            "commit capacity must be >= ke for liveness (§3.4)"
+        );
+        assert!(self.ag_win >= self.ka, "AG-WIN must be >= ka (Fig 17)");
+        assert!(self.request_capacity >= 1);
+    }
+
+    /// Size of the agreement group.
+    pub fn agreement_size(&self) -> usize {
+        3 * self.fa + 1
+    }
+
+    /// Size of each execution group.
+    pub fn execution_size(&self) -> usize {
+        2 * self.fe + 1
+    }
+
+    /// Sets both IRMC variants (builder-style).
+    #[must_use]
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.request_variant = v;
+        self.commit_variant = v;
+        self
+    }
+
+    /// Sets the cost model (builder-style).
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets fault thresholds (builder-style).
+    #[must_use]
+    pub fn with_faults(mut self, fa: usize, fe: usize) -> Self {
+        self.fa = fa;
+        self.fe = fe;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SpiderConfig::default().validate();
+        assert_eq!(SpiderConfig::default().agreement_size(), 4);
+        assert_eq!(SpiderConfig::default().execution_size(), 3);
+    }
+
+    #[test]
+    fn f2_sizes() {
+        let c = SpiderConfig::default().with_faults(2, 2);
+        assert_eq!(c.agreement_size(), 7);
+        assert_eq!(c.execution_size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit capacity")]
+    fn checkpoint_interval_above_capacity_rejected() {
+        let mut c = SpiderConfig::default();
+        c.ke = c.commit_capacity + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "AG-WIN")]
+    fn agreement_window_below_ka_rejected() {
+        let mut c = SpiderConfig::default();
+        c.ag_win = c.ka - 1;
+        c.validate();
+    }
+}

@@ -1,0 +1,366 @@
+//! Deployment builder: wires replicas, channels, and clients into a
+//! simulation.
+
+use crate::agreement::AgreementReplica;
+use crate::app::{Application, CounterApp};
+use crate::client::{ClientFault, Sample, SpiderClient, WorkloadSpec};
+use crate::config::SpiderConfig;
+use crate::directory::{Directory, GroupInfo};
+use crate::execution::ExecutionReplica;
+use crate::messages::{AdminCommand, SpiderMsg};
+use spider_sim::{Actor, Context, Simulation, Timer};
+use spider_types::{ClientId, GroupId, NodeId, RegionId, SimTime};
+use std::sync::Arc;
+
+/// Builds a full Spider deployment inside a [`Simulation`].
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct DeploymentBuilder<A: Application = CounterApp> {
+    cfg: SpiderConfig,
+    agreement_region: String,
+    leader_zone: u8,
+    /// Optional explicit per-replica region list for the agreement group
+    /// (cycled), used when one region lacks enough fault domains (Fig 11).
+    agreement_span: Option<Vec<String>>,
+    /// Per-group, per-replica region list (cycled over the group size).
+    exec_groups: Vec<Vec<String>>,
+    app_factory: Arc<dyn Fn() -> A>,
+}
+
+impl DeploymentBuilder<CounterApp> {
+    /// Starts a deployment running the built-in [`CounterApp`].
+    pub fn new(cfg: SpiderConfig) -> Self {
+        DeploymentBuilder {
+            cfg,
+            agreement_region: String::new(),
+            leader_zone: 0,
+            agreement_span: None,
+            exec_groups: Vec::new(),
+            app_factory: Arc::new(CounterApp::default),
+        }
+    }
+}
+
+impl<A: Application> DeploymentBuilder<A> {
+    /// Uses a custom application; `factory` creates one fresh instance per
+    /// execution replica.
+    pub fn with_app<B: Application>(
+        self,
+        factory: impl Fn() -> B + 'static,
+    ) -> DeploymentBuilder<B> {
+        DeploymentBuilder {
+            cfg: self.cfg,
+            agreement_region: self.agreement_region,
+            leader_zone: self.leader_zone,
+            agreement_span: self.agreement_span,
+            exec_groups: self.exec_groups,
+            app_factory: Arc::new(factory),
+        }
+    }
+
+    /// Region hosting the agreement group (needs `3·fa + 1` zones to put
+    /// every replica in its own fault domain; fewer zones wrap around).
+    #[must_use]
+    pub fn agreement_region(mut self, region: &str) -> Self {
+        self.agreement_region = region.to_owned();
+        self
+    }
+
+    /// Availability zone of the initial consensus leader (replica 0) —
+    /// the paper's "Leader in V-1/V-2/…" configurations (Fig 7).
+    #[must_use]
+    pub fn agreement_leader_zone(mut self, zone: u8) -> Self {
+        self.leader_zone = zone;
+        self
+    }
+
+    /// Adds an execution group in `region`. Groups get ids in call order.
+    #[must_use]
+    pub fn execution_group(mut self, region: &str) -> Self {
+        self.exec_groups.push(vec![region.to_owned()]);
+        self
+    }
+
+    /// Adds an execution group whose replicas cycle over `regions` — the
+    /// paper's `f = 2` setup places extra replicas in a nearby region to
+    /// gain fault domains (Fig 11). Clients attach to `regions[0]`.
+    #[must_use]
+    pub fn execution_group_span(mut self, regions: &[&str]) -> Self {
+        assert!(!regions.is_empty());
+        self.exec_groups
+            .push(regions.iter().map(|r| (*r).to_owned()).collect());
+        self
+    }
+
+    /// Overrides agreement-replica placement with a per-replica region
+    /// cycle (e.g. six Virginia zones plus one Ohio zone for `fa = 2`).
+    #[must_use]
+    pub fn agreement_span(mut self, regions: &[&str]) -> Self {
+        assert!(!regions.is_empty());
+        self.agreement_span = Some(regions.iter().map(|r| (*r).to_owned()).collect());
+        self
+    }
+
+    /// Spawns every replica and returns the deployment handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no agreement region was set or the config is invalid.
+    pub fn build(self, sim: &mut Simulation<SpiderMsg>) -> Deployment {
+        self.cfg.validate();
+        assert!(
+            !self.agreement_region.is_empty() || self.agreement_span.is_some(),
+            "agreement region required"
+        );
+        let directory = Directory::new();
+        let initial_groups: Vec<GroupId> =
+            (0..self.exec_groups.len()).map(|i| GroupId(i as u16)).collect();
+
+        // Agreement replicas, one per availability zone, leader first.
+        let mut agreement = Vec::new();
+        let mut zone_cursor: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for i in 0..self.cfg.agreement_size() {
+            let zone = match &self.agreement_span {
+                Some(span) => {
+                    let region = span[i % span.len()].clone();
+                    let zones = sim.topology().num_zones(sim.topology().region(&region));
+                    let cursor = zone_cursor.entry(region.clone()).or_insert(0);
+                    let z = (*cursor % zones as usize) as u8;
+                    *cursor += 1;
+                    sim.topology().zone(&region, z)
+                }
+                None => {
+                    let region = self.agreement_region.clone();
+                    let zones = sim.topology().num_zones(sim.topology().region(&region));
+                    let z = ((self.leader_zone as usize + i) % zones as usize) as u8;
+                    sim.topology().zone(&region, z)
+                }
+            };
+            let replica =
+                AgreementReplica::new(self.cfg.clone(), i, directory.clone(), &initial_groups);
+            agreement.push(sim.add_node(zone, replica));
+        }
+        directory.set_agreement(agreement.clone());
+
+        // Execution groups, replicas spread over their span's zones.
+        let mut groups = Vec::new();
+        for (gi, span) in self.exec_groups.iter().enumerate() {
+            let group = GroupId(gi as u16);
+            let home = &span[0];
+            let region_id = sim.topology().region(home);
+            let mut nodes = Vec::new();
+            let mut cursor: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for j in 0..self.cfg.execution_size() {
+                let region = span[j % span.len()].clone();
+                let zones = sim.topology().num_zones(sim.topology().region(&region));
+                let c = cursor.entry(region.clone()).or_insert(0);
+                let zone = sim.topology().zone(&region, (*c % zones as usize) as u8);
+                *c += 1;
+                let replica = ExecutionReplica::new(
+                    self.cfg.clone(),
+                    group,
+                    j,
+                    directory.clone(),
+                    (self.app_factory)(),
+                );
+                nodes.push(sim.add_node(zone, replica));
+            }
+            directory.register_group(
+                group,
+                GroupInfo { replicas: nodes.clone(), region: region_id, active: true },
+            );
+            groups.push((group, home.clone(), nodes));
+        }
+
+        let factory = self.app_factory.clone();
+        Deployment {
+            cfg: self.cfg,
+            directory,
+            agreement,
+            groups,
+            clients: Vec::new(),
+            next_client: 0,
+            app_factory_boxed: AppFactoryBox(Arc::new(move || {
+                Box::new(factory()) as Box<dyn Application>
+            })),
+        }
+    }
+}
+
+/// Type-erased application factory retained for runtime group addition.
+#[derive(Clone)]
+struct AppFactoryBox(Arc<dyn Fn() -> Box<dyn Application>>);
+
+/// Minimal admin-client actor: submits a reconfiguration command to the
+/// agreement group at a configured time (§3.6).
+struct AdminClient {
+    directory: Directory,
+    command: AdminCommand,
+    at: SimTime,
+}
+
+impl Actor<SpiderMsg> for AdminClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        let delay = self.at.saturating_sub(ctx.now());
+        ctx.set_timer(delay, 1);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, SpiderMsg>, _from: NodeId, _msg: SpiderMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, _timer: Timer) {
+        for node in self.directory.agreement() {
+            ctx.send(node, SpiderMsg::Admin(self.command.clone()));
+        }
+    }
+}
+
+/// A built Spider deployment: handles to every node plus client
+/// management.
+pub struct Deployment {
+    /// The configuration the deployment runs.
+    pub cfg: SpiderConfig,
+    /// Shared directory (execution-replica registry stand-in).
+    pub directory: Directory,
+    /// Agreement replica nodes, replica-index order.
+    pub agreement: Vec<NodeId>,
+    /// `(group, region name, replica nodes)` per execution group.
+    pub groups: Vec<(GroupId, String, Vec<NodeId>)>,
+    /// All spawned clients: `(client, group, node)`.
+    pub clients: Vec<(ClientId, GroupId, NodeId)>,
+    next_client: u32,
+    app_factory_boxed: AppFactoryBox,
+}
+
+impl Deployment {
+    /// Spawns `count` clients attached to `groups[group_idx]`, running
+    /// `workload`. Returns their node ids.
+    pub fn spawn_clients(
+        &mut self,
+        sim: &mut Simulation<SpiderMsg>,
+        group_idx: usize,
+        count: usize,
+        workload: WorkloadSpec,
+    ) -> Vec<NodeId> {
+        self.spawn_clients_with_fault(sim, group_idx, count, workload, ClientFault::None)
+    }
+
+    /// Like [`Deployment::spawn_clients`] with an injected fault.
+    pub fn spawn_clients_with_fault(
+        &mut self,
+        sim: &mut Simulation<SpiderMsg>,
+        group_idx: usize,
+        count: usize,
+        workload: WorkloadSpec,
+        fault: ClientFault,
+    ) -> Vec<NodeId> {
+        let (group, region, _) = self.groups[group_idx].clone();
+        let zones = sim.topology().num_zones(sim.topology().region(&region));
+        let mut nodes = Vec::new();
+        for k in 0..count {
+            let id = ClientId(self.next_client);
+            self.next_client += 1;
+            let zone = sim.topology().zone(&region, (k % zones as usize) as u8);
+            let mut client = SpiderClient::new(
+                self.cfg.clone(),
+                id,
+                group,
+                self.directory.clone(),
+                Some(workload.clone()),
+            );
+            client.set_fault(fault);
+            let node = sim.add_node(zone, client);
+            self.directory.register_client(id, node);
+            self.clients.push((id, group, node));
+            nodes.push(node);
+        }
+        nodes
+    }
+
+    /// Spawns a new execution group in `region` at runtime: replicas start
+    /// immediately (inactive), and an admin client submits `AddGroup` at
+    /// `activate_at` (§3.6). Returns the new group id.
+    pub fn add_execution_group(
+        &mut self,
+        sim: &mut Simulation<SpiderMsg>,
+        region: &str,
+        activate_at: SimTime,
+    ) -> GroupId {
+        let group = GroupId(self.groups.len() as u16);
+        let region_id = sim.topology().region(region);
+        let zones = sim.topology().num_zones(region_id);
+        let mut nodes = Vec::new();
+        for j in 0..self.cfg.execution_size() {
+            let zone = sim.topology().zone(region, (j % zones as usize) as u8);
+            let replica = ExecutionReplicaDyn::new(
+                self.cfg.clone(),
+                group,
+                j,
+                self.directory.clone(),
+                (self.app_factory_boxed.0)(),
+            );
+            nodes.push(sim.add_node(zone, replica));
+        }
+        self.directory.register_group(
+            group,
+            GroupInfo { replicas: nodes.clone(), region: region_id, active: false },
+        );
+        self.groups.push((group, region.to_owned(), nodes));
+
+        // Admin client lives next to the agreement group; placement is
+        // irrelevant for the experiment.
+        let zone = sim.zone_of(self.agreement[0]);
+        sim.add_node(
+            zone,
+            AdminClient {
+                directory: self.directory.clone(),
+                command: AdminCommand::AddGroup { group },
+                at: activate_at,
+            },
+        );
+        group
+    }
+
+    /// Collects `(client, group, samples)` from every spawned client.
+    pub fn collect_samples(&self, sim: &Simulation<SpiderMsg>) -> Vec<(ClientId, GroupId, Vec<Sample>)> {
+        self.clients
+            .iter()
+            .map(|(id, group, node)| {
+                let samples = sim.actor::<SpiderClient>(*node).samples.clone();
+                (*id, *group, samples)
+            })
+            .collect()
+    }
+
+    /// Node ids of one execution group.
+    pub fn group_nodes(&self, group_idx: usize) -> &[NodeId] {
+        &self.groups[group_idx].2
+    }
+}
+
+/// Execution replica over a boxed application (used for groups added at
+/// runtime, where the concrete app type has been erased).
+type ExecutionReplicaDyn = ExecutionReplica<Box<dyn Application>>;
+
+impl Application for Box<dyn Application> {
+    fn execute(&mut self, op: &[u8]) -> bytes::Bytes {
+        (**self).execute(op)
+    }
+    fn execute_read(&self, op: &[u8]) -> bytes::Bytes {
+        (**self).execute_read(op)
+    }
+    fn snapshot(&self) -> bytes::Bytes {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, snapshot: &[u8]) {
+        (**self).restore(snapshot)
+    }
+}
+
+/// Convenience: the region of a group by index.
+pub fn region_of(deployment: &Deployment, group_idx: usize) -> RegionId {
+    deployment
+        .directory
+        .group_region(deployment.groups[group_idx].0)
+}

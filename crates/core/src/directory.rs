@@ -1,0 +1,191 @@
+//! The execution-replica registry / system directory (§3.1, §3.6).
+//!
+//! The paper maintains an *execution-replica registry* as a BFT service
+//! hosted by the agreement group: clients query it for the locations and
+//! addresses of active execution replicas, and agreement replicas update
+//! it when the composition changes. In the simulation, name resolution is
+//! represented by this shared [`Directory`]: agreement replicas write to
+//! it exactly when the paper would update the registry (on ordered
+//! `AddGroup`/`RemoveGroup` commands), and clients read it to find their
+//! group's replicas. The *control path* (ordering of reconfigurations) is
+//! fully faithful; only the lookup RPC is collapsed into shared memory —
+//! a substitution documented in DESIGN.md.
+
+use parking_lot::RwLock;
+use spider_types::{GroupId, NodeId, RegionId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Membership record of one execution group.
+#[derive(Debug, Clone)]
+pub struct GroupInfo {
+    /// The group's replicas (node ids), in replica-index order.
+    pub replicas: Vec<NodeId>,
+    /// Region the group is deployed in.
+    pub region: RegionId,
+    /// Whether the group is currently active (registered via `AddGroup`).
+    pub active: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    agreement: Vec<NodeId>,
+    groups: BTreeMap<GroupId, GroupInfo>,
+    clients: BTreeMap<spider_types::ClientId, NodeId>,
+    client_groups: BTreeMap<spider_types::ClientId, GroupId>,
+}
+
+/// Shared, cheaply cloneable handle to the system directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Registers the agreement group's replicas.
+    pub fn set_agreement(&self, replicas: Vec<NodeId>) {
+        self.inner.write().agreement = replicas;
+    }
+
+    /// The agreement group's replicas.
+    pub fn agreement(&self) -> Vec<NodeId> {
+        self.inner.read().agreement.clone()
+    }
+
+    /// Registers an execution group (initially inactive until the
+    /// `AddGroup` command is ordered, unless `active` is set).
+    pub fn register_group(&self, group: GroupId, info: GroupInfo) {
+        self.inner.write().groups.insert(group, info);
+    }
+
+    /// Marks a group active (called by agreement replicas when `AddGroup`
+    /// commits).
+    pub fn activate_group(&self, group: GroupId) {
+        if let Some(g) = self.inner.write().groups.get_mut(&group) {
+            g.active = true;
+        }
+    }
+
+    /// Marks a group inactive (`RemoveGroup` committed).
+    pub fn deactivate_group(&self, group: GroupId) {
+        if let Some(g) = self.inner.write().groups.get_mut(&group) {
+            g.active = false;
+        }
+    }
+
+    /// Replicas of a group (whether active or not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group was never registered.
+    pub fn group_replicas(&self, group: GroupId) -> Vec<NodeId> {
+        self.inner.read().groups[&group].replicas.clone()
+    }
+
+    /// Whether a group is currently active.
+    pub fn is_active(&self, group: GroupId) -> bool {
+        self.inner
+            .read()
+            .groups
+            .get(&group)
+            .is_some_and(|g| g.active)
+    }
+
+    /// All currently active groups, in id order.
+    pub fn active_groups(&self) -> Vec<GroupId> {
+        self.inner
+            .read()
+            .groups
+            .iter()
+            .filter(|(_, g)| g.active)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All registered groups (active or not), in id order.
+    pub fn all_groups(&self) -> Vec<GroupId> {
+        self.inner.read().groups.keys().copied().collect()
+    }
+
+    /// Region of a group.
+    pub fn group_region(&self, group: GroupId) -> RegionId {
+        self.inner.read().groups[&group].region
+    }
+
+    /// Registers a client's transport address.
+    pub fn register_client(&self, client: spider_types::ClientId, node: NodeId) {
+        self.inner.write().clients.insert(client, node);
+    }
+
+    /// Transport address of a client, if registered.
+    pub fn client_node(&self, client: spider_types::ClientId) -> Option<NodeId> {
+        self.inner.read().clients.get(&client).copied()
+    }
+
+    /// Records which group (site) a client is attached to.
+    pub fn register_client_group(&self, client: spider_types::ClientId, group: GroupId) {
+        self.inner.write().client_groups.insert(client, group);
+    }
+
+    /// The group a client is attached to, if recorded.
+    pub fn client_group(&self, client: spider_types::ClientId) -> Option<GroupId> {
+        self.inner.read().client_groups.get(&client).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_lifecycle() {
+        let d = Directory::new();
+        d.register_group(
+            GroupId(3),
+            GroupInfo {
+                replicas: vec![NodeId(1), NodeId(2), NodeId(3)],
+                region: RegionId(1),
+                active: false,
+            },
+        );
+        assert!(!d.is_active(GroupId(3)));
+        assert!(d.active_groups().is_empty());
+        d.activate_group(GroupId(3));
+        assert!(d.is_active(GroupId(3)));
+        assert_eq!(d.active_groups(), vec![GroupId(3)]);
+        d.deactivate_group(GroupId(3));
+        assert!(!d.is_active(GroupId(3)));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = Directory::new();
+        let d2 = d.clone();
+        d.set_agreement(vec![NodeId(9)]);
+        assert_eq!(d2.agreement(), vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn groups_listed_in_id_order() {
+        let d = Directory::new();
+        for id in [5u16, 1, 3] {
+            d.register_group(
+                GroupId(id),
+                GroupInfo {
+                    replicas: vec![],
+                    region: RegionId(0),
+                    active: true,
+                },
+            );
+        }
+        assert_eq!(
+            d.all_groups(),
+            vec![GroupId(1), GroupId(3), GroupId(5)]
+        );
+    }
+}

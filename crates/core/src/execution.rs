@@ -1,0 +1,781 @@
+//! Execution replicas (Fig 16).
+//!
+//! An execution replica validates and forwards client requests into the
+//! request channel, applies the `Execute` stream arriving on the commit
+//! channel to its local [`Application`], replies to clients of its own
+//! group, answers weakly consistent reads directly, and participates in
+//! execution checkpointing (with cross-group state transfer for catch-up).
+
+use crate::app::Application;
+use crate::checkpoint::{CheckpointComponent, CpAction};
+use crate::config::SpiderConfig;
+use crate::directory::Directory;
+use crate::keys;
+use crate::messages::{
+    ChannelLeg, CheckpointMsg, ClientRequest, Execute, ExecutePayload, OrderedRequest, Reply,
+    SpiderMsg, StateBlob,
+};
+use bytes::{BufMut, Bytes, BytesMut};
+use spider_crypto::Keyring;
+use spider_irmc::{
+    Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SendStatus, SenderEndpoint, Variant,
+};
+use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_types::{ClientId, GroupId, NodeId, OpKind, Position, SeqNr, SimTime, WireSize};
+use std::collections::HashMap;
+
+/// Timer tags used by execution replicas.
+const TAG_SC_TICK: u64 = 1;
+const TAG_COMMIT_COLLECTOR: u64 = 2;
+const TAG_FETCH_RETRY: u64 = 3;
+const TAG_CP_GOSSIP: u64 = 4;
+
+/// Interval of the checkpoint-gossip heartbeat (§A.4.3).
+const CP_GOSSIP_INTERVAL: SimTime = SimTime::from_millis(1_000);
+
+/// Fault behaviours injectable into an execution replica for testing §3.7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecFault {
+    /// Behaves correctly.
+    #[default]
+    None,
+    /// Never forwards client requests to the agreement group (tests that
+    /// `fe + 1` correct forwarders suffice).
+    SilentForward,
+    /// Sends corrupted results to clients (tests `fe + 1` reply matching).
+    WrongReply,
+}
+
+/// Cached reply state per client (Fig 16 `u[c]`).
+#[derive(Debug, Clone)]
+enum CachedReply {
+    /// A real result for counter `tc`.
+    Result { tc: u64, result: Bytes },
+    /// A placeholder for a strong read executed at another group (§3.3 /
+    /// Lemma A.35): the client must resubmit if it still needs the value.
+    Placeholder { tc: u64 },
+}
+
+impl CachedReply {
+    fn tc(&self) -> u64 {
+        match self {
+            CachedReply::Result { tc, .. } | CachedReply::Placeholder { tc } => *tc,
+        }
+    }
+}
+
+/// An execution replica actor.
+pub struct ExecutionReplica<A: Application> {
+    cfg: SpiderConfig,
+    group: GroupId,
+    me: usize,
+    directory: Directory,
+    fault: ExecFault,
+
+    // --- Fig 16 protocol state ---
+    sn: u64,
+    forwarded: HashMap<ClientId, u64>,
+    replies: HashMap<ClientId, CachedReply>,
+    app: A,
+    req_sender: SenderEndpoint<OrderedRequest>,
+    commit_recv: ReceiverEndpoint<Execute>,
+    cp: CheckpointComponent,
+
+    /// Outstanding checkpoint fetch (sequence we must reach).
+    fetching: Option<SeqNr>,
+    timers: HashMap<u64, TimerId>,
+    /// Executed request count (metrics).
+    pub executed: u64,
+}
+
+impl<A: Application> ExecutionReplica<A> {
+    /// Creates replica `me` of execution group `group`.
+    pub fn new(
+        cfg: SpiderConfig,
+        group: GroupId,
+        me: usize,
+        directory: Directory,
+        app: A,
+    ) -> Self {
+        cfg.validate();
+        let keyring = Keyring::new(cfg.key_seed);
+        let n_exec = cfg.execution_size();
+        let n_agree = cfg.agreement_size();
+        let req_cfg = IrmcConfig::new(
+            cfg.request_variant,
+            n_exec,
+            cfg.fe,
+            n_agree,
+            cfg.fa,
+            cfg.request_capacity,
+        )
+        .with_cost(cfg.cost)
+        .with_keys(keys::exec_keys(group, n_exec), keys::agreement_keys(n_agree));
+        let commit_cfg = IrmcConfig::new(
+            cfg.commit_variant,
+            n_agree,
+            cfg.fa,
+            n_exec,
+            cfg.fe,
+            cfg.commit_capacity,
+        )
+        .with_cost(cfg.cost)
+        .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
+        ExecutionReplica {
+            group,
+            me,
+            directory,
+            fault: ExecFault::None,
+            sn: 0,
+            forwarded: HashMap::new(),
+            replies: HashMap::new(),
+            app,
+            req_sender: SenderEndpoint::new(req_cfg, me, keyring.clone()),
+            commit_recv: ReceiverEndpoint::new(commit_cfg, me, keyring.clone()),
+            cp: CheckpointComponent::new(group, me, cfg.fe, keyring, cfg.cost),
+            fetching: None,
+            timers: HashMap::new(),
+            executed: 0,
+            cfg,
+        }
+    }
+
+    /// Injects a fault behaviour (tests only; defaults to correct).
+    pub fn set_fault(&mut self, fault: ExecFault) {
+        self.fault = fault;
+    }
+
+    /// Current execution sequence number (last applied).
+    pub fn sequence(&self) -> SeqNr {
+        SeqNr(self.sn)
+    }
+
+    /// Digest of the application state (for cross-replica comparison in
+    /// tests).
+    pub fn app_digest(&self) -> spider_crypto::Digest {
+        self.app.state_digest()
+    }
+
+    /// Read-only view of the application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Current commit-channel flow-control window (diagnostics).
+    pub fn commit_window(&self) -> spider_irmc::Window {
+        self.commit_recv.window(0)
+    }
+
+    /// Outstanding checkpoint-fetch target, if any (diagnostics).
+    pub fn fetch_target(&self) -> Option<SeqNr> {
+        self.fetching
+    }
+
+    /// Latest stable checkpoint sequence known locally (diagnostics).
+    pub fn stable_checkpoint(&self) -> Option<SeqNr> {
+        self.cp.stable_seq()
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests (Fig 16 L8-22)
+    // ------------------------------------------------------------------
+
+    fn on_client_request(&mut self, ctx: &mut Context<'_, SpiderMsg>, req: ClientRequest) {
+        // MAC check on every request.
+        ctx.charge(self.cfg.cost.hmac(req.wire_size()));
+        let c = req.client;
+
+        if req.operation.kind == OpKind::WeakRead {
+            // §3.3: answered locally, no ordering.
+            ctx.charge(self.cfg.cost.app_execute());
+            let result = if self.fault == ExecFault::WrongReply {
+                Bytes::from_static(b"corrupted")
+            } else {
+                self.app.execute_read(&req.operation.op)
+            };
+            ctx.charge(self.cfg.cost.hmac(result.len()));
+            self.reply_to(ctx, c, Reply { tc: req.tc, result, weak: true, resubmit: false });
+            return;
+        }
+
+        let last = self.forwarded.get(&c).copied().unwrap_or(0);
+        if req.tc <= last {
+            // Old or retried request: serve from the reply cache.
+            match self.replies.get(&c) {
+                Some(CachedReply::Result { tc, result }) if *tc == req.tc => {
+                    let result = result.clone();
+                    ctx.charge(self.cfg.cost.hmac(result.len()));
+                    self.reply_to(ctx, c, Reply { tc: req.tc, result, weak: false, resubmit: false });
+                }
+                Some(CachedReply::Placeholder { tc }) if *tc == req.tc => {
+                    // The read was skipped here (§A.7.9 remark): tell the
+                    // client to resubmit under a fresh counter.
+                    self.reply_to(
+                        ctx,
+                        c,
+                        Reply { tc: req.tc, result: Bytes::new(), weak: false, resubmit: true },
+                    );
+                }
+                _ => {} // Silent: still being processed.
+            }
+            return;
+        }
+
+        // First sight of this counter: verify the client signature.
+        ctx.charge(self.cfg.cost.rsa_verify());
+        if self.fault == ExecFault::SilentForward {
+            return;
+        }
+        self.forwarded.insert(c, req.tc);
+        let sc = c.0 as u64;
+        let pos = Position(req.tc);
+        let mut actions = Vec::new();
+        self.req_sender.move_window(sc, pos, &mut actions);
+        let status = self.req_sender.send(
+            sc,
+            pos,
+            OrderedRequest { request: req, origin: self.group },
+            &mut actions,
+        );
+        debug_assert!(status != SendStatus::TooOld(Position(0)));
+        self.apply_request_channel_actions(ctx, actions);
+    }
+
+    fn reply_to(&self, ctx: &mut Context<'_, SpiderMsg>, c: ClientId, reply: Reply) {
+        if let Some(node) = self.directory.client_node(c) {
+            ctx.send(node, SpiderMsg::Reply(reply));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit channel -> application (Fig 16 L24-40)
+    // ------------------------------------------------------------------
+
+    fn drain_commits(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        loop {
+            match self.commit_recv.try_receive(0, Position(self.sn + 1)) {
+                ReceiveResult::Ready(exec) => {
+                    self.apply_execute(ctx, exec);
+                }
+                ReceiveResult::TooOld(start) => {
+                    // Fell behind: recover via checkpoint (Fig 16 L27-29).
+                    self.start_fetch(ctx, SeqNr(start.0.saturating_sub(1)));
+                    return;
+                }
+                ReceiveResult::Pending => return,
+            }
+        }
+    }
+
+    fn apply_execute(&mut self, ctx: &mut Context<'_, SpiderMsg>, exec: Execute) {
+        debug_assert_eq!(exec.seq.0, self.sn + 1);
+        self.sn += 1;
+        ctx.charge(self.cfg.cost.msg_overhead());
+        match exec.payload {
+            ExecutePayload::Full(ordered) => {
+                let c = ordered.request.client;
+                let tc = ordered.request.tc;
+                // At-most-once (Fig 16 L34 / E-Validity II).
+                let fresh = self.replies.get(&c).map_or(true, |r| r.tc() < tc);
+                if fresh {
+                    ctx.charge(self.cfg.cost.app_execute());
+                    let result = self.app.execute(&ordered.request.operation.op);
+                    self.executed += 1;
+                    let result = if self.fault == ExecFault::WrongReply {
+                        Bytes::from_static(b"corrupted")
+                    } else {
+                        result
+                    };
+                    self.replies
+                        .insert(c, CachedReply::Result { tc, result: result.clone() });
+                    if ordered.origin == self.group {
+                        ctx.charge(self.cfg.cost.hmac(result.len()));
+                        self.reply_to(ctx, c, Reply { tc, result, weak: false, resubmit: false });
+                    }
+                }
+            }
+            ExecutePayload::Placeholder { client, tc, .. } => {
+                // A strong read executed at another group: remember the
+                // counter so duplicates are skipped (Lemma A.35).
+                let fresh = self.replies.get(&client).map_or(true, |r| r.tc() < tc);
+                if fresh {
+                    self.replies.insert(client, CachedReply::Placeholder { tc });
+                }
+            }
+        }
+        if self.sn % self.cfg.ke == 0 {
+            let snapshot = self.encode_snapshot();
+            let mut actions = Vec::new();
+            self.cp.generate(SeqNr(self.sn), snapshot, &mut actions);
+            self.apply_cp_actions(ctx, actions);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints (Fig 16 L42-48, §3.4/§3.5)
+    // ------------------------------------------------------------------
+
+    /// Serializes `(sn, replies, app)` into the snapshot format.
+    fn encode_snapshot(&self) -> Bytes {
+        let app = self.app.snapshot();
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.sn);
+        buf.put_u32(self.replies.len() as u32);
+        let mut entries: Vec<(&ClientId, &CachedReply)> = self.replies.iter().collect();
+        entries.sort_by_key(|(c, _)| c.0);
+        for (c, r) in entries {
+            buf.put_u32(c.0);
+            match r {
+                CachedReply::Result { tc, result } => {
+                    buf.put_u8(0);
+                    buf.put_u64(*tc);
+                    buf.put_u32(result.len() as u32);
+                    buf.put_slice(result);
+                }
+                CachedReply::Placeholder { tc } => {
+                    buf.put_u8(1);
+                    buf.put_u64(*tc);
+                }
+            }
+        }
+        buf.put_u32(app.len() as u32);
+        buf.put_slice(&app);
+        buf.freeze()
+    }
+
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Option<u64> {
+        use bytes::Buf;
+        let mut buf = bytes;
+        if buf.remaining() < 12 {
+            return None;
+        }
+        let sn = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        let mut replies = HashMap::new();
+        for _ in 0..n {
+            if buf.remaining() < 13 {
+                return None;
+            }
+            let c = ClientId(buf.get_u32());
+            match buf.get_u8() {
+                0 => {
+                    let tc = buf.get_u64();
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return None;
+                    }
+                    let result = Bytes::copy_from_slice(&buf[..len]);
+                    buf.advance(len);
+                    replies.insert(c, CachedReply::Result { tc, result });
+                }
+                1 => {
+                    let tc = buf.get_u64();
+                    replies.insert(c, CachedReply::Placeholder { tc });
+                }
+                _ => return None,
+            }
+        }
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let app_len = buf.get_u32() as usize;
+        if buf.remaining() < app_len {
+            return None;
+        }
+        self.app.restore(&buf[..app_len]);
+        self.replies = replies;
+        Some(sn)
+    }
+
+    fn start_fetch(&mut self, ctx: &mut Context<'_, SpiderMsg>, need: SeqNr) {
+        if self.fetching.is_some_and(|s| s >= need) {
+            return;
+        }
+        self.fetching = Some(need);
+        let mut actions = Vec::new();
+        self.cp.fetch(need, &mut actions);
+        self.apply_cp_actions(ctx, actions);
+        // Retry while we stay behind.
+        self.arm_timer(ctx, TAG_FETCH_RETRY, SimTime::from_millis(500));
+    }
+
+    fn on_stable_checkpoint(&mut self, ctx: &mut Context<'_, SpiderMsg>, seq: SeqNr, state: Option<Bytes>) {
+        // Allow garbage collection of the commit channel (Fig 16 L44)
+        // regardless of whether we are ahead or behind.
+        let mut actions = Vec::new();
+        self.commit_recv.move_window(0, Position(seq.0 + 1), &mut actions);
+        self.apply_commit_channel_actions(ctx, actions);
+        if seq.0 > self.sn {
+            match state {
+                Some(bytes) => {
+                    ctx.charge(self.cfg.cost.hmac(bytes.len()));
+                    if let Some(sn) = self.restore_snapshot(&bytes) {
+                        debug_assert_eq!(sn, seq.0);
+                        self.sn = seq.0;
+                        if self.fetching.is_some_and(|f| f <= seq) {
+                            self.fetching = None;
+                        }
+                    }
+                }
+                None => {
+                    // A stable checkpoint exists somewhere ahead of us but
+                    // we lack the snapshot: fetch it (§3.4).
+                    self.start_fetch(ctx, seq);
+                }
+            }
+        } else if self.fetching.is_some_and(|f| f <= SeqNr(self.sn)) {
+            self.fetching = None;
+        }
+        self.drain_commits(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Action plumbing
+    // ------------------------------------------------------------------
+
+    fn apply_request_channel_actions(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        actions: Vec<Action<OrderedRequest>>,
+    ) {
+        let agreement = self.directory.agreement();
+        let peers = self.directory.group_replicas(self.group);
+        for a in actions {
+            match a {
+                Action::ToReceiver { to, msg } => {
+                    if let Some(node) = agreement.get(to) {
+                        ctx.send(*node, SpiderMsg::RequestChannel {
+                            group: self.group,
+                            leg: ChannelLeg::ToReceiver(msg),
+                        });
+                    }
+                }
+                Action::ToPeerSender { to, msg } => {
+                    if let Some(node) = peers.get(to) {
+                        ctx.send(*node, SpiderMsg::RequestChannel {
+                            group: self.group,
+                            leg: ChannelLeg::Peer(msg),
+                        });
+                    }
+                }
+                Action::Charge(c) => ctx.charge(c),
+                _ => {}
+            }
+        }
+    }
+
+    fn apply_commit_channel_actions(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        actions: Vec<Action<Execute>>,
+    ) {
+        let agreement = self.directory.agreement();
+        let mut poll = false;
+        for a in actions {
+            match a {
+                Action::ToSender { to, msg } => {
+                    if let Some(node) = agreement.get(to) {
+                        ctx.send(*node, SpiderMsg::CommitChannel {
+                            group: self.group,
+                            leg: ChannelLeg::ToSender(msg),
+                        });
+                    }
+                }
+                Action::Ready { .. } | Action::WindowMoved { .. } => poll = true,
+                Action::SetTimer { token, delay } => {
+                    debug_assert_eq!(token, 0, "single commit subchannel");
+                    self.arm_timer(ctx, TAG_COMMIT_COLLECTOR, delay);
+                }
+                Action::Charge(c) => ctx.charge(c),
+                _ => {}
+            }
+        }
+        if poll {
+            self.drain_commits(ctx);
+        }
+    }
+
+    fn apply_cp_actions(&mut self, ctx: &mut Context<'_, SpiderMsg>, actions: Vec<CpAction>) {
+        let mut stable = Vec::new();
+        for a in actions {
+            match a {
+                CpAction::ToGroup(msg) => {
+                    let peers = self.directory.group_replicas(self.group);
+                    let is_fetch = matches!(msg, CheckpointMsg::FetchRequest { .. });
+                    for (i, node) in peers.iter().enumerate() {
+                        if i != self.me {
+                            ctx.send(*node, SpiderMsg::Checkpoint {
+                                group: self.group,
+                                msg: msg.clone(),
+                                state: None,
+                            });
+                        }
+                    }
+                    // Fetches also go to other execution groups (§3.5):
+                    // a freshly added or skipped group needs foreign state.
+                    if is_fetch {
+                        for g in self.directory.active_groups() {
+                            if g == self.group {
+                                continue;
+                            }
+                            for node in self.directory.group_replicas(g) {
+                                ctx.send(node, SpiderMsg::Checkpoint {
+                                    group: self.group,
+                                    msg: msg.clone(),
+                                    state: None,
+                                });
+                            }
+                        }
+                    }
+                }
+                CpAction::ToPeer { group, idx, msg, state } => {
+                    let nodes = if group == self.group {
+                        self.directory.group_replicas(self.group)
+                    } else {
+                        self.directory.group_replicas(group)
+                    };
+                    if let Some(node) = nodes.get(idx) {
+                        let blob = state.map(|bytes| StateBlob {
+                            seq: match msg {
+                                CheckpointMsg::FetchResponse { seq, .. } => seq,
+                                _ => SeqNr(0),
+                            },
+                            bytes,
+                        });
+                        ctx.send(*node, SpiderMsg::Checkpoint {
+                            group: self.group,
+                            msg,
+                            state: blob,
+                        });
+                    }
+                }
+                CpAction::Stable { seq, state } => stable.push((seq, state)),
+                CpAction::Charge(c) => ctx.charge(c),
+            }
+        }
+        for (seq, state) in stable {
+            self.on_stable_checkpoint(ctx, seq, state);
+        }
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
+        if let Some(old) = self.timers.remove(&tag) {
+            ctx.cancel_timer(old);
+        }
+        let id = ctx.set_timer(delay, tag);
+        self.timers.insert(tag, id);
+    }
+
+    fn replica_index_in(&self, group: GroupId, node: NodeId) -> Option<usize> {
+        if group == keys::AGREEMENT_GROUP {
+            self.directory.agreement().iter().position(|n| *n == node)
+        } else {
+            self.directory
+                .group_replicas(group)
+                .iter()
+                .position(|n| *n == node)
+        }
+    }
+}
+
+impl<A: Application> Actor<SpiderMsg> for ExecutionReplica<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        if self.cfg.request_variant == Variant::SenderCollect {
+            self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+        }
+        self.arm_timer(ctx, TAG_CP_GOSSIP, CP_GOSSIP_INTERVAL);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SpiderMsg>, from: NodeId, msg: SpiderMsg) {
+        ctx.charge(self.cfg.cost.msg_overhead());
+        match msg {
+            SpiderMsg::Request(req) => self.on_client_request(ctx, req),
+            SpiderMsg::RequestChannel { group, leg } if group == self.group => {
+                match leg {
+                    // IRMC-SC shares from our own sender group.
+                    ChannelLeg::Peer(m) => {
+                        let Some(idx) = self.replica_index_in(self.group, from) else {
+                            return;
+                        };
+                        let mut actions = Vec::new();
+                        self.req_sender.on_peer_message(idx, m, &mut actions);
+                        self.apply_request_channel_actions(ctx, actions);
+                    }
+                    // Window moves / collector selections from the
+                    // agreement replicas (the channel's receiver side).
+                    ChannelLeg::ToSender(m) => {
+                        let Some(idx) = self.replica_index_in(keys::AGREEMENT_GROUP, from)
+                        else {
+                            return;
+                        };
+                        let mut actions = Vec::new();
+                        self.req_sender.on_receiver_message(idx, m, &mut actions);
+                        self.apply_request_channel_actions(ctx, actions);
+                    }
+                    // We are the sender side; receiver frames are not ours.
+                    ChannelLeg::ToReceiver(_) => {}
+                }
+            }
+            SpiderMsg::RequestChannel { .. } => {}
+            SpiderMsg::CommitChannel { group, leg } if group == self.group => {
+                let Some(idx) = self.replica_index_in(keys::AGREEMENT_GROUP, from) else {
+                    return;
+                };
+                if let ChannelLeg::ToReceiver(m) = leg {
+                    let mut actions = Vec::new();
+                    self.commit_recv.on_sender_message(ctx.now(), idx, m, &mut actions);
+                    self.apply_commit_channel_actions(ctx, actions);
+                }
+            }
+            SpiderMsg::CommitChannel { .. } => {}
+            SpiderMsg::Checkpoint { group, msg, state } => {
+                self.on_checkpoint_msg(ctx, from, group, msg, state)
+            }
+            SpiderMsg::Reply(_) | SpiderMsg::Agreement(_) | SpiderMsg::Admin(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, timer: Timer) {
+        self.timers.remove(&timer.tag);
+        match timer.tag {
+            TAG_SC_TICK => {
+                let mut actions = Vec::new();
+                self.req_sender.tick(ctx.now(), &mut actions);
+                self.apply_request_channel_actions(ctx, actions);
+                self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+            }
+            TAG_COMMIT_COLLECTOR => {
+                let mut actions = Vec::new();
+                self.commit_recv.on_timer(0, ctx.now(), &mut actions);
+                self.apply_commit_channel_actions(ctx, actions);
+            }
+            TAG_FETCH_RETRY => {
+                if let Some(need) = self.fetching {
+                    self.fetching = None;
+                    self.start_fetch(ctx, need);
+                }
+            }
+            TAG_CP_GOSSIP => {
+                let mut actions = Vec::new();
+                self.cp.gossip(&mut actions);
+                self.apply_cp_actions(ctx, actions);
+                self.arm_timer(ctx, TAG_CP_GOSSIP, CP_GOSSIP_INTERVAL);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<A: Application> ExecutionReplica<A> {
+    fn on_checkpoint_msg(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        from: NodeId,
+        sender_group: GroupId,
+        msg: CheckpointMsg,
+        state: Option<StateBlob>,
+    ) {
+        let mut actions = Vec::new();
+        match msg {
+            CheckpointMsg::Announce { seq, state_hash, sig } => {
+                if sender_group != self.group {
+                    return; // Announcements are group-internal.
+                }
+                let Some(idx) = self.replica_index_in(self.group, from) else {
+                    return;
+                };
+                self.cp.on_announce(idx, seq, state_hash, sig, &mut actions);
+            }
+            CheckpointMsg::FetchRequest { seq } => {
+                // May come from our own group or a foreign execution
+                // group (§3.5). Answer with our stable state either way.
+                let Some(idx) = self.replica_index_in(sender_group, from) else {
+                    return;
+                };
+                self.cp.on_fetch_request(sender_group, idx, seq, &mut actions);
+            }
+            CheckpointMsg::FetchResponse { seq, state_hash, cert, .. } => {
+                let Some(blob) = state else { return };
+                let provider_keys =
+                    keys::group_keys(sender_group, self.cfg.execution_size());
+                self.cp.on_fetch_response(
+                    sender_group,
+                    &provider_keys,
+                    seq,
+                    state_hash,
+                    cert,
+                    blob.bytes,
+                    &mut actions,
+                );
+            }
+        }
+        self.apply_cp_actions(ctx, actions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CounterApp;
+    use crate::directory::{Directory, GroupInfo};
+
+    fn replica() -> ExecutionReplica<CounterApp> {
+        let dir = Directory::new();
+        dir.register_group(
+            GroupId(0),
+            GroupInfo {
+                replicas: vec![NodeId(0), NodeId(1), NodeId(2)],
+                region: spider_types::RegionId(0),
+                active: true,
+            },
+        );
+        ExecutionReplica::new(SpiderConfig::default(), GroupId(0), 0, dir, CounterApp::default())
+    }
+
+    #[test]
+    fn execution_snapshot_roundtrip_preserves_replies_and_app() {
+        let mut a = replica();
+        a.sn = 16;
+        a.app.execute(b"add:5");
+        a.replies.insert(
+            ClientId(1),
+            CachedReply::Result { tc: 4, result: Bytes::from_static(b"5") },
+        );
+        a.replies.insert(ClientId(2), CachedReply::Placeholder { tc: 9 });
+        let snap = a.encode_snapshot();
+
+        let mut b = replica();
+        let sn = b.restore_snapshot(&snap).expect("valid snapshot");
+        assert_eq!(sn, 16);
+        assert_eq!(b.app.value(), 5);
+        match b.replies.get(&ClientId(1)) {
+            Some(CachedReply::Result { tc, result }) => {
+                assert_eq!(*tc, 4);
+                assert_eq!(&result[..], b"5");
+            }
+            other => panic!("unexpected cache entry {other:?}"),
+        }
+        assert!(matches!(
+            b.replies.get(&ClientId(2)),
+            Some(CachedReply::Placeholder { tc: 9 })
+        ));
+        // Digest equality: the roundtripped snapshot re-encodes
+        // identically (CP-E-Equivalence A.23 at the encoding level). The
+        // caller is responsible for adopting the sequence number.
+        b.sn = sn;
+        assert_eq!(a.encode_snapshot(), b.encode_snapshot());
+    }
+
+    #[test]
+    fn execution_snapshot_rejects_garbage() {
+        let mut a = replica();
+        assert!(a.restore_snapshot(&[0, 1, 2]).is_none());
+        assert!(a.restore_snapshot(&[]).is_none());
+    }
+
+    #[test]
+    fn cached_reply_counter_accessor() {
+        assert_eq!(CachedReply::Result { tc: 3, result: Bytes::new() }.tc(), 3);
+        assert_eq!(CachedReply::Placeholder { tc: 8 }.tc(), 8);
+    }
+}

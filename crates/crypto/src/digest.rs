@@ -1,0 +1,168 @@
+//! Message digests over semantic content.
+//!
+//! Protocol messages in this workspace are not serialized (the simulator
+//! models their wire size analytically), so signatures and MACs are
+//! computed over a [`Digest`] derived from the message's semantic fields
+//! via a [`DigestBuilder`]. Two messages with the same fields produce the
+//! same digest; any field difference changes it.
+
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// Types whose content can be summarized as a [`Digest`].
+///
+/// Protocol payloads implement this so channels and consensus can vote on
+/// and authenticate content without serializing it.
+pub trait Digestible {
+    /// Content digest. Equal values must produce equal digests; any
+    /// semantic difference must change the digest.
+    fn digest(&self) -> Digest;
+}
+
+/// A 32-byte SHA-256 digest identifying message content.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest; used as a placeholder for "no content".
+    pub const ZERO: Digest = Digest([0; 32]);
+
+    /// Hashes a byte string.
+    pub fn of_bytes(data: &[u8]) -> Digest {
+        Digest(Sha256::digest(data))
+    }
+
+    /// Starts building a digest over structured fields.
+    pub fn builder() -> DigestBuilder {
+        DigestBuilder::new()
+    }
+
+    /// First eight bytes as a u64, handy for compact logging.
+    pub fn short(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({:016x}…)", self.short())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.short())
+    }
+}
+
+/// Incrementally hashes length-delimited fields into a [`Digest`].
+///
+/// Fields are length-prefixed so that `("ab", "c")` and `("a", "bc")`
+/// produce different digests.
+///
+/// # Examples
+///
+/// ```
+/// use spider_crypto::Digest;
+///
+/// let d1 = Digest::builder().u64(1).bytes(b"op").finish();
+/// let d2 = Digest::builder().u64(1).bytes(b"op").finish();
+/// let d3 = Digest::builder().u64(2).bytes(b"op").finish();
+/// assert_eq!(d1, d2);
+/// assert_ne!(d1, d3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DigestBuilder {
+    hasher: Sha256,
+}
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DigestBuilder {
+            hasher: Sha256::new(),
+        }
+    }
+
+    /// Appends a length-prefixed byte field.
+    #[must_use]
+    pub fn bytes(mut self, data: &[u8]) -> Self {
+        self.hasher.update(&(data.len() as u64).to_be_bytes());
+        self.hasher.update(data);
+        self
+    }
+
+    /// Appends a u64 field.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.hasher.update(&[8]);
+        self.hasher.update(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a u32 field.
+    #[must_use]
+    pub fn u32(mut self, v: u32) -> Self {
+        self.hasher.update(&[4]);
+        self.hasher.update(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends another digest as a field.
+    #[must_use]
+    pub fn digest(self, d: &Digest) -> Self {
+        self.bytes(&d.0)
+    }
+
+    /// Appends a UTF-8 string field.
+    #[must_use]
+    pub fn str(self, s: &str) -> Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finish(self) -> Digest {
+        Digest(self.hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_boundaries_matter() {
+        let a = Digest::builder().bytes(b"ab").bytes(b"c").finish();
+        let b = Digest::builder().bytes(b"a").bytes(b"bc").finish();
+        assert_ne!(a, b, "length prefixes must separate fields");
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let mk = || Digest::builder().u64(7).u32(3).str("x").finish();
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn nested_digest_changes_output() {
+        let inner1 = Digest::of_bytes(b"1");
+        let inner2 = Digest::of_bytes(b"2");
+        let a = Digest::builder().digest(&inner1).finish();
+        let b = Digest::builder().digest(&inner2).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let d = Digest::of_bytes(b"abc");
+        let expected = u64::from_be_bytes(d.0[..8].try_into().unwrap());
+        assert_eq!(d.short(), expected);
+        assert_eq!(format!("{d}"), format!("{expected:016x}"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Threshold signatures (Shoup-style interface, simulation-grade).
+//!
+//! The Steward baseline (the paper's HFT system) requires each site to
+//! speak with one voice: `t = f+1` replicas of a site contribute signature
+//! shares which any replica can combine into a single site signature. This
+//! module reproduces that interface — [`ThresholdKeyring::share`],
+//! [`ThresholdKeyring::combine`], [`ThresholdKeyring::verify`] — with
+//! secrets derived from a master seed, plus the RSA-1024 cost model hooks
+//! in [`crate::cost::CostModel`] (threshold operations are what made
+//! Steward's local protocol expensive).
+
+use crate::digest::Digest;
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a share-holding group (e.g. one Steward site).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ThresholdGroupId(pub u32);
+
+/// A signature share produced by one group member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SigShare {
+    /// The group whose key is being used.
+    pub group: ThresholdGroupId,
+    /// Index of the member that produced this share.
+    pub member: u32,
+    tag: [u8; 32],
+}
+
+/// A combined threshold signature: one tag speaking for the whole group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThresholdSig {
+    /// The group this signature speaks for.
+    pub group: ThresholdGroupId,
+    tag: [u8; 32],
+}
+
+/// Derives group/member secrets, produces shares, combines and verifies.
+#[derive(Debug, Clone)]
+pub struct ThresholdKeyring {
+    master: [u8; 32],
+    /// Number of shares required to combine (`f + 1` in Steward).
+    threshold: usize,
+}
+
+impl ThresholdKeyring {
+    /// Creates a threshold keyring with combine threshold `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(seed: u64, threshold: usize) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        let mut h = Sha256::new();
+        h.update(b"spider-threshold-master");
+        h.update(&seed.to_be_bytes());
+        ThresholdKeyring {
+            master: h.finalize(),
+            threshold,
+        }
+    }
+
+    /// The combine threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    fn group_secret(&self, group: ThresholdGroupId) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.master);
+        h.update(b"group");
+        h.update(&group.0.to_be_bytes());
+        h.finalize()
+    }
+
+    fn member_secret(&self, group: ThresholdGroupId, member: u32) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.group_secret(group));
+        h.update(b"member");
+        h.update(&member.to_be_bytes());
+        h.finalize()
+    }
+
+    /// Member `member` of `group` produces its share over `digest`.
+    pub fn share(&self, group: ThresholdGroupId, member: u32, digest: &Digest) -> SigShare {
+        SigShare {
+            group,
+            member,
+            tag: hmac_sha256(&self.member_secret(group, member), &digest.0),
+        }
+    }
+
+    /// Checks an individual share (collectors do this before combining).
+    pub fn verify_share(&self, digest: &Digest, share: &SigShare) -> bool {
+        hmac_sha256(&self.member_secret(share.group, share.member), &digest.0) == share.tag
+    }
+
+    /// Combines shares into a group signature.
+    ///
+    /// Returns `None` unless at least `threshold` *valid* shares from
+    /// *distinct* members of the same group are present — mirroring the
+    /// `f+1`-of-`n` semantics of Shoup's scheme as used by Steward.
+    pub fn combine(&self, digest: &Digest, shares: &[SigShare]) -> Option<ThresholdSig> {
+        let group = shares.first()?.group;
+        let mut seen = std::collections::HashSet::new();
+        let valid = shares
+            .iter()
+            .filter(|s| s.group == group && self.verify_share(digest, s) && seen.insert(s.member))
+            .count();
+        if valid >= self.threshold {
+            Some(ThresholdSig {
+                group,
+                tag: hmac_sha256(&self.group_secret(group), &digest.0),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Verifies a combined signature.
+    pub fn verify(&self, digest: &Digest, sig: &ThresholdSig) -> bool {
+        hmac_sha256(&self.group_secret(sig.group), &digest.0) == sig.tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: ThresholdGroupId = ThresholdGroupId(1);
+
+    fn ring() -> ThresholdKeyring {
+        ThresholdKeyring::new(9, 2) // f = 1, threshold = f + 1 = 2
+    }
+
+    fn digest() -> Digest {
+        Digest::of_bytes(b"proposal")
+    }
+
+    #[test]
+    fn combine_needs_threshold_distinct_valid_shares() {
+        let r = ring();
+        let d = digest();
+        let s0 = r.share(G, 0, &d);
+        let s1 = r.share(G, 1, &d);
+        assert!(r.combine(&d, &[s0]).is_none(), "one share is not enough");
+        assert!(
+            r.combine(&d, &[s0, s0]).is_none(),
+            "duplicate member does not count twice"
+        );
+        let sig = r.combine(&d, &[s0, s1]).expect("two valid shares combine");
+        assert!(r.verify(&d, &sig));
+    }
+
+    #[test]
+    fn invalid_shares_are_ignored() {
+        let r = ring();
+        let d = digest();
+        let other = Digest::of_bytes(b"other");
+        let good = r.share(G, 0, &d);
+        let stale = r.share(G, 1, &other); // share over different content
+        assert!(r.combine(&d, &[good, stale]).is_none());
+    }
+
+    #[test]
+    fn combined_sig_fails_on_other_digest() {
+        let r = ring();
+        let d = digest();
+        let sig = r
+            .combine(&d, &[r.share(G, 0, &d), r.share(G, 2, &d)])
+            .unwrap();
+        assert!(!r.verify(&Digest::of_bytes(b"other"), &sig));
+    }
+
+    #[test]
+    fn shares_from_mixed_groups_do_not_combine() {
+        let r = ring();
+        let d = digest();
+        let a = r.share(ThresholdGroupId(1), 0, &d);
+        let b = r.share(ThresholdGroupId(2), 1, &d);
+        assert!(r.combine(&d, &[a, b]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 1")]
+    fn zero_threshold_panics() {
+        let _ = ThresholdKeyring::new(1, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any set of >= threshold distinct valid shares combines; any
+        /// set with fewer distinct valid shares does not.
+        #[test]
+        fn combine_threshold_is_exact(
+            seed in any::<u64>(),
+            threshold in 1usize..5,
+            members in prop::collection::hash_set(0u32..20, 0..8),
+            data in prop::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let ring = ThresholdKeyring::new(seed, threshold);
+            let d = Digest::of_bytes(&data);
+            let g = ThresholdGroupId(3);
+            let shares: Vec<SigShare> =
+                members.iter().map(|m| ring.share(g, *m, &d)).collect();
+            let combined = ring.combine(&d, &shares);
+            if members.len() >= threshold {
+                let sig = combined.expect("enough shares");
+                prop_assert!(ring.verify(&d, &sig));
+            } else {
+                prop_assert!(combined.is_none());
+            }
+        }
+    }
+}

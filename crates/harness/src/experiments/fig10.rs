@@ -1,0 +1,232 @@
+//! Figure 10: adaptability — response time over time when a new client
+//! site (São Paulo) joins a running system.
+//!
+//! Paper result: all systems see the *average* write latency jump when
+//! the distant São Paulo clients join (their requests are slow
+//! everywhere; existing clients are unaffected). Weighted voting does not
+//! help (the São Paulo replica never improves quorums). Only Spider lets
+//! the new clients read with local latency, by spinning up an execution
+//! group in their region at runtime (§3.6).
+
+use crate::stats::timeline;
+use crate::topology::{ec2_topology, REGIONS4, REGIONS5};
+use spider::{DeploymentBuilder, Sample, SpiderConfig, WorkloadSpec};
+use spider_app::{kv_op_factory, KvStore};
+use spider_baselines::{BftDeployment, StewardDeployment};
+use spider_sim::Simulation;
+use spider_types::SimTime;
+
+/// Scale configuration for Figure 10.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Clients per region.
+    pub clients_per_region: usize,
+    /// Mean requests/second per client.
+    pub rate_per_client: f64,
+    /// Total run length.
+    pub duration: SimTime,
+    /// When the São Paulo clients start (paper: t = 80 s).
+    pub join_at: SimTime,
+    /// Timeline bucket width.
+    pub bucket: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            clients_per_region: 6,
+            rate_per_client: 2.0,
+            duration: SimTime::from_secs(110),
+            join_at: SimTime::from_secs(80),
+            bucket: SimTime::from_secs(2),
+            seed: 42,
+        }
+    }
+}
+
+/// A response-time-over-time series for one system.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Series {
+    /// System label.
+    pub system: String,
+    /// `(bucket start seconds, mean latency ms, samples)` points.
+    pub points: Vec<(f64, f64, usize)>,
+}
+
+fn workload(cfg: &Config, weak_reads: bool, start: SimTime) -> WorkloadSpec {
+    WorkloadSpec {
+        rate_per_sec: cfg.rate_per_client,
+        payload_bytes: 200,
+        write_fraction: if weak_reads { 0.0 } else { 1.0 },
+        strong_read_fraction: 0.0,
+        max_ops: 0,
+        start_delay: start,
+        op_factory: kv_op_factory(1000),
+    }
+}
+
+fn to_series(system: &str, samples: Vec<Sample>, cfg: &Config) -> Series {
+    let points = timeline(&samples, cfg.bucket, cfg.duration)
+        .into_iter()
+        .map(|(t, ms, n)| (t.as_secs_f64(), ms, n))
+        .collect();
+    Series { system: system.to_owned(), points }
+}
+
+fn run_bft(cfg: &Config, weak: bool, weighted: bool) -> Series {
+    let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    let mut dep = if weighted {
+        // Five replicas including São Paulo; Vmax weights in Virginia and
+        // Oregon (the paper's best-performing assignment).
+        BftDeployment::build_weighted(
+            &mut sim,
+            SpiderConfig::default(),
+            &REGIONS5,
+            1,
+            &[0, 1],
+            KvStore::new,
+        )
+    } else {
+        BftDeployment::build(&mut sim, SpiderConfig::default(), &REGIONS4, KvStore::new)
+    };
+    for region in REGIONS4 {
+        dep.spawn_clients(
+            &mut sim,
+            region,
+            cfg.clients_per_region,
+            workload(cfg, weak, SimTime::from_millis(200)),
+        );
+    }
+    // The São Paulo clients exist from the start but stay silent until
+    // `join_at` (their workload's start delay).
+    dep.spawn_clients(
+        &mut sim,
+        "saopaulo",
+        cfg.clients_per_region,
+        workload(cfg, weak, cfg.join_at),
+    );
+    sim.run_until(cfg.duration);
+    let samples: Vec<Sample> = dep
+        .collect_samples(&sim)
+        .into_iter()
+        .flat_map(|(_, s)| s)
+        .collect();
+    to_series(if weighted { "BFT-WV" } else { "BFT" }, samples, cfg)
+}
+
+fn run_hft(cfg: &Config, weak: bool) -> Series {
+    let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    let mut dep =
+        StewardDeployment::build(&mut sim, SpiderConfig::default(), &REGIONS4, 0, KvStore::new);
+    for (si, region) in REGIONS4.iter().enumerate() {
+        dep.spawn_clients(
+            &mut sim,
+            si as u16,
+            region,
+            cfg.clients_per_region,
+            workload(cfg, weak, SimTime::from_millis(200)),
+        );
+    }
+    // New clients contact their nearest existing site: Virginia (site 0)
+    // is closest to São Paulo in this matrix.
+    dep.spawn_clients(
+        &mut sim,
+        0,
+        "saopaulo",
+        cfg.clients_per_region,
+        workload(cfg, weak, cfg.join_at),
+    );
+    sim.run_until(cfg.duration);
+    let samples: Vec<Sample> = dep
+        .collect_samples(&sim)
+        .into_iter()
+        .flat_map(|(_, _, s)| s)
+        .collect();
+    to_series("HFT", samples, cfg)
+}
+
+fn run_spider(cfg: &Config, weak: bool) -> Series {
+    let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    let mut builder = DeploymentBuilder::new(SpiderConfig::default())
+        .with_app(KvStore::new)
+        .agreement_region("virginia");
+    for r in REGIONS4 {
+        builder = builder.execution_group(r);
+    }
+    let mut dep = builder.build(&mut sim);
+    for gi in 0..REGIONS4.len() {
+        dep.spawn_clients(
+            &mut sim,
+            gi,
+            cfg.clients_per_region,
+            workload(cfg, weak, SimTime::from_millis(200)),
+        );
+    }
+    // A São Paulo execution group is added shortly before the clients
+    // arrive (§3.6), then serves them locally.
+    let lead_time = SimTime::from_secs(3);
+    dep.add_execution_group(&mut sim, "saopaulo", cfg.join_at.saturating_sub(lead_time));
+    let gi = dep.groups.len() - 1;
+    dep.spawn_clients(&mut sim, gi, cfg.clients_per_region, workload(cfg, weak, cfg.join_at));
+    sim.run_until(cfg.duration);
+    let samples: Vec<Sample> = dep
+        .collect_samples(&sim)
+        .into_iter()
+        .flat_map(|(_, _, s)| s)
+        .collect();
+    to_series("SPIDER", samples, cfg)
+}
+
+/// Result of the adaptability experiment.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Figure 10a: write-latency series.
+    pub writes: Vec<Series>,
+    /// Figure 10b: weak-read-latency series.
+    pub weak_reads: Vec<Series>,
+}
+
+/// Runs all four systems for writes and weak reads.
+pub fn run(cfg: &Config) -> Result {
+    let writes = vec![
+        run_bft(cfg, false, false),
+        run_bft(cfg, false, true),
+        run_hft(cfg, false),
+        run_spider(cfg, false),
+    ];
+    let weak_reads = vec![
+        run_bft(cfg, true, false),
+        run_bft(cfg, true, true),
+        run_hft(cfg, true),
+        run_spider(cfg, true),
+    ];
+    Result { writes, weak_reads }
+}
+
+fn render_series(title: &str, series: &[Series]) -> String {
+    let mut out = String::from(title);
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("  {}:\n", s.system));
+        for (t, ms, n) in &s.points {
+            out.push_str(&format!("    t={t:>6.1}s  mean={ms:>7.1}ms  n={n}\n"));
+        }
+    }
+    out
+}
+
+/// Renders both sub-figures as text.
+pub fn render(result: &Result) -> String {
+    let mut out = render_series(
+        "Figure 10a — average write latency over time (São Paulo clients join)",
+        &result.writes,
+    );
+    out.push('\n');
+    out.push_str(&render_series(
+        "Figure 10b — average weakly consistent read latency over time",
+        &result.weak_reads,
+    ));
+    out
+}

@@ -1,0 +1,67 @@
+//! Figure 7: write latencies per client region for different leader
+//! locations, across BFT, HFT, and Spider.
+//!
+//! Paper result: BFT/HFT latencies vary strongly with both the client's
+//! region and the leader's region; Spider's depend only on the client's
+//! distance to the agreement group, and moving the consensus leader
+//! between Virginia availability zones changes nothing.
+
+use super::LatencyRow;
+use crate::scenarios::{run_scenario, ScenarioCfg, SystemKind};
+use crate::stats::LatencySummary;
+
+/// Scale configuration for the Figure 7 sweep.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Scenario scale (clients, rate, duration, seed).
+    pub scenario: ScenarioCfg,
+    /// Restrict to one system family for quick runs (`None` = all).
+    pub only: Option<&'static str>,
+}
+
+/// The leader placements evaluated by the paper: every region for BFT and
+/// HFT; Virginia zones 1, 2, 4, 6 for Spider.
+pub fn systems() -> Vec<SystemKind> {
+    let mut v = Vec::new();
+    for leader in 0..4 {
+        v.push(SystemKind::Bft { leader });
+    }
+    for leader_site in 0..4 {
+        v.push(SystemKind::Hft { leader_site });
+    }
+    for leader_zone in [0u8, 1, 3, 5] {
+        v.push(SystemKind::Spider { leader_zone });
+    }
+    v
+}
+
+/// Runs the sweep; one row per (system, client region).
+pub fn run(cfg: &Config) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for kind in systems() {
+        if let Some(filter) = cfg.only {
+            if !kind.to_string().starts_with(filter) {
+                continue;
+            }
+        }
+        let samples = run_scenario(kind, &cfg.scenario);
+        for (region, s) in samples {
+            if let Some(summary) = LatencySummary::of_samples(&s) {
+                rows.push(LatencyRow {
+                    system: kind.to_string(),
+                    client_region: region,
+                    summary,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the result table.
+pub fn render(rows: &[LatencyRow]) -> String {
+    super::render_rows(
+        "Figure 7 — write latency (p50/p90) by client region and leader location",
+        rows,
+    )
+}

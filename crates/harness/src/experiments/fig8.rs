@@ -1,0 +1,82 @@
+//! Figure 8: read latencies — strongly consistent (8a) and weakly
+//! consistent (8b) — for BFT, HFT, and Spider with leaders in Virginia.
+//!
+//! Paper result: strong reads follow the write path everywhere. Weak
+//! reads are ~2 ms in HFT and Spider (answered by the local cluster /
+//! execution group) but require wide-area communication in BFT (a client
+//! needs `f + 1` matching replies and only one replica is local).
+
+use super::LatencyRow;
+use crate::scenarios::{run_scenario, ScenarioCfg, SystemKind};
+use crate::stats::LatencySummary;
+
+/// Scale configuration for Figure 8.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Scenario scale.
+    pub scenario: ScenarioCfg,
+}
+
+/// Result: rows for strong reads (8a) and weak reads (8b).
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Figure 8a rows.
+    pub strong: Vec<LatencyRow>,
+    /// Figure 8b rows.
+    pub weak: Vec<LatencyRow>,
+}
+
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::Bft { leader: 0 },
+    SystemKind::Hft { leader_site: 0 },
+    SystemKind::Spider { leader_zone: 0 },
+];
+
+/// Runs both read experiments.
+pub fn run(cfg: &Config) -> Result {
+    let mut strong_rows = Vec::new();
+    let mut weak_rows = Vec::new();
+    for kind in SYSTEMS {
+        // Strong reads.
+        let mut sc = cfg.scenario.clone();
+        sc.write_fraction = 0.0;
+        sc.strong_read_fraction = 1.0;
+        for (region, s) in run_scenario(kind, &sc) {
+            if let Some(summary) = LatencySummary::of_samples(&s) {
+                strong_rows.push(LatencyRow {
+                    system: kind.to_string(),
+                    client_region: region,
+                    summary,
+                });
+            }
+        }
+        // Weak reads.
+        let mut wc = cfg.scenario.clone();
+        wc.write_fraction = 0.0;
+        wc.strong_read_fraction = 0.0;
+        for (region, s) in run_scenario(kind, &wc) {
+            if let Some(summary) = LatencySummary::of_samples(&s) {
+                weak_rows.push(LatencyRow {
+                    system: kind.to_string(),
+                    client_region: region,
+                    summary,
+                });
+            }
+        }
+    }
+    Result { strong: strong_rows, weak: weak_rows }
+}
+
+/// Renders both tables.
+pub fn render(result: &Result) -> String {
+    let mut out = super::render_rows(
+        "Figure 8a — strongly consistent read latency (p50/p90)",
+        &result.strong,
+    );
+    out.push('\n');
+    out.push_str(&super::render_rows(
+        "Figure 8b — weakly consistent read latency (p50/p90)",
+        &result.weak,
+    ));
+    out
+}

@@ -1,0 +1,48 @@
+//! Figure 9a: modularity impact — Spider-0E (agreement group executes
+//! directly), Spider-1E (one execution group co-located in Virginia), and
+//! full Spider, for 200-byte writes.
+//!
+//! Paper result: wide-area client-replica distance dominates; the
+//! IRMC/externalized-execution machinery adds less than 14 ms.
+
+use super::LatencyRow;
+use crate::scenarios::{run_scenario, ScenarioCfg, SystemKind};
+use crate::stats::LatencySummary;
+
+/// Scale configuration for Figure 9a.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Scenario scale.
+    pub scenario: ScenarioCfg,
+}
+
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::Spider0E,
+    SystemKind::Spider1E,
+    SystemKind::Spider { leader_zone: 0 },
+];
+
+/// Runs the three variants; one row per (variant, region).
+pub fn run(cfg: &Config) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for kind in SYSTEMS {
+        for (region, s) in run_scenario(kind, &cfg.scenario) {
+            if let Some(summary) = LatencySummary::of_samples(&s) {
+                rows.push(LatencyRow {
+                    system: kind.to_string(),
+                    client_region: region,
+                    summary,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the result table.
+pub fn render(rows: &[LatencyRow]) -> String {
+    super::render_rows(
+        "Figure 9a — modularity impact: SPIDER-0E vs SPIDER-1E vs SPIDER (200-byte writes)",
+        rows,
+    )
+}

@@ -1,0 +1,45 @@
+//! One module per figure of the paper's evaluation (§5).
+//!
+//! Every module exposes a `Config` (scale knobs with laptop-friendly
+//! defaults), a `run` function returning structured rows, and a `render`
+//! function producing the table/series as text. The Criterion benches in
+//! `crates/bench` and the `paper_figures` example are thin wrappers
+//! around these runners.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9bcd;
+
+use crate::stats::LatencySummary;
+
+/// A latency-table row shared by several figures.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LatencyRow {
+    /// System configuration label (e.g. "BFT(leader=virginia)").
+    pub system: String,
+    /// Client region.
+    pub client_region: String,
+    /// Latency summary for that (system, region) cell.
+    pub summary: LatencySummary,
+}
+
+/// Renders latency rows as an aligned text table.
+pub fn render_rows(title: &str, rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<28} {:<10} {:>9} {:>9} {:>7}\n",
+        "system", "clients", "p50[ms]", "p90[ms]", "n"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:<10} {:>9.1} {:>9.1} {:>7}\n",
+            r.system, r.client_region, r.summary.p50_ms, r.summary.p90_ms, r.summary.count
+        ));
+    }
+    out
+}

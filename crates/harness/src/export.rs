@@ -1,0 +1,139 @@
+//! CSV export of regenerated figure data.
+//!
+//! The renderers in [`crate::experiments`] print human-readable tables;
+//! these helpers produce machine-readable CSV so the figures can be
+//! re-plotted (gnuplot, matplotlib, …) without parsing text tables. The
+//! `paper_figures` example writes one file per figure when
+//! `SPIDER_OUT=<dir>` is set.
+
+use crate::experiments::fig10::Series;
+use crate::experiments::fig9bcd::IrmcRow;
+use crate::experiments::LatencyRow;
+
+/// Escapes one CSV field (quotes only when needed).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Latency rows (Figures 7, 8a/b, 9a, 11) as CSV.
+///
+/// Columns: `system,client_region,p50_ms,p90_ms,mean_ms,samples`.
+pub fn latency_rows_to_csv(rows: &[LatencyRow]) -> String {
+    let mut out = String::from("system,client_region,p50_ms,p90_ms,mean_ms,samples\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{}\n",
+            field(&r.system),
+            field(&r.client_region),
+            r.summary.p50_ms,
+            r.summary.p90_ms,
+            r.summary.mean_ms,
+            r.summary.count
+        ));
+    }
+    out
+}
+
+/// IRMC microbenchmark rows (Figures 9b–9d) as CSV.
+///
+/// Columns:
+/// `variant,msg_size,throughput_rps,sender_cpu,receiver_cpu,wan_mbps,lan_mbps`.
+pub fn irmc_rows_to_csv(rows: &[IrmcRow]) -> String {
+    let mut out =
+        String::from("variant,msg_size,throughput_rps,sender_cpu,receiver_cpu,wan_mbps,lan_mbps\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.1},{:.4},{:.4},{:.3},{:.3}\n",
+            field(&r.variant),
+            r.msg_size,
+            r.throughput_rps,
+            r.sender_cpu,
+            r.receiver_cpu,
+            r.wan_mbps,
+            r.lan_mbps
+        ));
+    }
+    out
+}
+
+/// Timeline series (Figure 10) as long-format CSV.
+///
+/// Columns: `system,t_seconds,mean_ms,samples`.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("system,t_seconds,mean_ms,samples\n");
+    for s in series {
+        for (t, ms, n) in &s.points {
+            out.push_str(&format!("{},{t:.1},{ms:.3},{n}\n", field(&s.system)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LatencySummary;
+
+    fn row(system: &str, region: &str) -> LatencyRow {
+        LatencyRow {
+            system: system.to_owned(),
+            client_region: region.to_owned(),
+            summary: LatencySummary {
+                count: 3,
+                p50_ms: 1.5,
+                p90_ms: 2.5,
+                mean_ms: 1.75,
+            },
+        }
+    }
+
+    #[test]
+    fn latency_csv_has_header_and_rows() {
+        let csv = latency_rows_to_csv(&[row("SPIDER(leader=V-1)", "tokyo")]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "system,client_region,p50_ms,p90_ms,mean_ms,samples"
+        );
+        assert_eq!(lines.next().unwrap(), "SPIDER(leader=V-1),tokyo,1.500,2.500,1.750,3");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let csv = latency_rows_to_csv(&[row("BFT(a,b)", "x\"y")]);
+        assert!(csv.contains("\"BFT(a,b)\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn series_csv_is_long_format() {
+        let s = Series {
+            system: "SPIDER".to_owned(),
+            points: vec![(0.0, 1.7, 10), (2.0, 1.8, 12)],
+        };
+        let csv = series_to_csv(&[s]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("SPIDER,0.0,1.700,10"));
+        assert!(csv.contains("SPIDER,2.0,1.800,12"));
+    }
+
+    #[test]
+    fn irmc_csv_roundtrips_fields() {
+        let r = IrmcRow {
+            variant: "IRMC-RC".to_owned(),
+            msg_size: 256,
+            throughput_rps: 1242.0,
+            sender_cpu: 0.77,
+            receiver_cpu: 0.19,
+            wan_mbps: 6.9,
+            lan_mbps: 0.0,
+        };
+        let csv = irmc_rows_to_csv(&[r]);
+        assert!(csv.contains("IRMC-RC,256,1242.0,0.7700,0.1900,6.900,0.000"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness: reproduces every figure of the paper's evaluation.
+//!
+//! The paper's evaluation (§5) deploys a key-value store behind four
+//! system architectures on EC2 and reports response-time figures. This
+//! crate packages the equivalents:
+//!
+//! * [`topology::ec2_topology`] — the regions, availability zones, and
+//!   inter-region latencies of the paper's deployment (EC2 ca. 2020).
+//! * [`stats`] — percentile summaries and time-bucketed series.
+//! * [`scenarios`] — "deploy system X, run clients everywhere, collect
+//!   latencies" building blocks shared by the figure runners.
+//! * [`experiments`] — one module per figure (7, 8, 9a, 9b–d, 10, 11),
+//!   each with a `run(&Config)` returning structured rows and a
+//!   `render(...)` producing the human-readable table.
+//!
+//! Experiment scale is configurable; defaults are chosen so the full
+//! suite finishes in minutes on a laptop while preserving the paper's
+//! relative results (who wins, by what factor, where crossovers fall).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod scenarios;
+pub mod stats;
+pub mod topology;
+
+pub use stats::{percentile, LatencySummary};
+pub use topology::{ec2_topology, REGIONS4, REGIONS5};

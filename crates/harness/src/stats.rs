@@ -1,0 +1,138 @@
+//! Latency statistics: percentiles and time-bucketed series.
+
+use serde::{Deserialize, Serialize};
+use spider::Sample;
+use spider_types::SimTime;
+
+/// Summary of a latency distribution, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile (the paper's second reported quantile).
+    pub p90_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latencies; `None` if empty.
+    pub fn of(latencies: &[SimTime]) -> Option<LatencySummary> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut ms: Vec<f64> = latencies.iter().map(|l| l.as_millis_f64()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(LatencySummary {
+            count: ms.len(),
+            p50_ms: percentile(&ms, 50.0),
+            p90_ms: percentile(&ms, 90.0),
+            mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
+        })
+    }
+
+    /// Summarizes samples directly.
+    pub fn of_samples(samples: &[Sample]) -> Option<LatencySummary> {
+        let lats: Vec<SimTime> = samples.iter().map(Sample::latency).collect();
+        LatencySummary::of(&lats)
+    }
+}
+
+/// Percentile of an ascending-sorted slice (nearest-rank with linear
+/// interpolation).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty distribution");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Averages sample latencies into fixed-width time buckets (Fig 10's
+/// response-time-over-time plots). Returns `(bucket start, mean ms,
+/// count)` for every non-empty bucket.
+pub fn timeline(samples: &[Sample], bucket: SimTime, until: SimTime) -> Vec<(SimTime, f64, usize)> {
+    let n_buckets = (until.as_nanos() / bucket.as_nanos()) as usize + 1;
+    let mut sums = vec![0.0f64; n_buckets];
+    let mut counts = vec![0usize; n_buckets];
+    for s in samples {
+        let b = (s.completed.as_nanos() / bucket.as_nanos()) as usize;
+        if b < n_buckets {
+            sums[b] += s.latency().as_millis_f64();
+            counts[b] += 1;
+        }
+    }
+    (0..n_buckets)
+        .filter(|b| counts[*b] > 0)
+        .map(|b| {
+            (
+                SimTime::from_nanos(b as u64 * bucket.as_nanos()),
+                sums[b] / counts[b] as f64,
+                counts[b],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_types::OpKind;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+    }
+
+    #[test]
+    fn summary_of_uniform_values() {
+        let lats: Vec<SimTime> = (1..=100).map(SimTime::from_millis).collect();
+        let s = LatencySummary::of(&lats).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.p50_ms - 50.5).abs() < 0.01);
+        assert!((s.p90_ms - 90.1).abs() < 0.51);
+        assert!((s.mean_ms - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(LatencySummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn timeline_buckets_by_completion() {
+        let mk = |at_ms: u64, lat_ms: u64| Sample {
+            kind: OpKind::Write,
+            issued: SimTime::from_millis(at_ms - lat_ms),
+            completed: SimTime::from_millis(at_ms),
+        };
+        let samples = vec![mk(500, 100), mk(900, 300), mk(1500, 200)];
+        let tl = timeline(&samples, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].0, SimTime::ZERO);
+        assert!((tl[0].1 - 200.0).abs() < 1e-9, "mean of 100 and 300");
+        assert_eq!(tl[0].2, 2);
+        assert_eq!(tl[1].0, SimTime::from_secs(1));
+        assert!((tl[1].1 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Channel configuration.
+
+use spider_crypto::{CostModel, KeyId};
+use spider_types::SimTime;
+
+/// Which IRMC implementation a channel uses (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Variant {
+    /// IRMC-RC: every sender ships its signed `Send` to every receiver;
+    /// receivers collect `fs + 1` matching copies (Fig 18).
+    ReceiverCollect,
+    /// IRMC-SC: senders exchange signature shares locally; a collector
+    /// ships one `Certificate` per receiver (Figs 19–20).
+    SenderCollect,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::ReceiverCollect => write!(f, "IRMC-RC"),
+            Variant::SenderCollect => write!(f, "IRMC-SC"),
+        }
+    }
+}
+
+/// Static parameters of one IRMC.
+#[derive(Debug, Clone)]
+pub struct IrmcConfig {
+    /// Implementation variant.
+    pub variant: Variant,
+    /// Number of sender endpoints.
+    pub n_senders: usize,
+    /// Byzantine senders to tolerate (`fs`): delivery needs `fs + 1`
+    /// matching submissions.
+    pub fs: usize,
+    /// Number of receiver endpoints.
+    pub n_receivers: usize,
+    /// Byzantine receivers to tolerate (`fr`): sender windows follow the
+    /// `fr + 1`-highest receiver request.
+    pub fr: usize,
+    /// Per-subchannel capacity (max positions concurrently in transit).
+    pub capacity: u64,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// IRMC-SC: how often senders announce certificate progress.
+    pub progress_interval: SimTime,
+    /// IRMC-SC: how long a receiver waits for a lagging collector before
+    /// switching to another sender.
+    pub collector_timeout: SimTime,
+    /// Signing identity of each sender endpoint. Defaults to
+    /// `KeyId(1000 + i)`; deployments with multiple channels override this
+    /// with the replicas' node identities via [`IrmcConfig::with_keys`].
+    pub sender_keys: Vec<KeyId>,
+    /// Signing identity of each receiver endpoint (default
+    /// `KeyId(2000 + j)`).
+    pub receiver_keys: Vec<KeyId>,
+}
+
+impl IrmcConfig {
+    /// Creates a configuration with default cost model and SC timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_senders > fs`, `n_receivers > fr`, and
+    /// `capacity >= 1`.
+    pub fn new(
+        variant: Variant,
+        n_senders: usize,
+        fs: usize,
+        n_receivers: usize,
+        fr: usize,
+        capacity: u64,
+    ) -> Self {
+        assert!(n_senders > fs, "need more senders than faults");
+        assert!(n_receivers > fr, "need more receivers than faults");
+        assert!(capacity >= 1, "capacity must be at least 1");
+        IrmcConfig {
+            variant,
+            n_senders,
+            fs,
+            n_receivers,
+            fr,
+            capacity,
+            cost: CostModel::default(),
+            progress_interval: SimTime::from_millis(20),
+            collector_timeout: SimTime::from_millis(500),
+            sender_keys: (0..n_senders).map(|i| KeyId(1000 + i as u32)).collect(),
+            receiver_keys: (0..n_receivers).map(|j| KeyId(2000 + j as u32)).collect(),
+        }
+    }
+
+    /// Replaces the endpoint identities (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not match the configured group sizes.
+    #[must_use]
+    pub fn with_keys(mut self, sender_keys: Vec<KeyId>, receiver_keys: Vec<KeyId>) -> Self {
+        assert_eq!(sender_keys.len(), self.n_senders);
+        assert_eq!(receiver_keys.len(), self.n_receivers);
+        self.sender_keys = sender_keys;
+        self.receiver_keys = receiver_keys;
+        self
+    }
+
+    /// Replaces the cost model (builder-style).
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the per-subchannel capacity (builder-style).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: u64) -> Self {
+        assert!(capacity >= 1);
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replaces the SC collector supervision timing (builder-style).
+    #[must_use]
+    pub fn with_sc_timing(mut self, progress_interval: SimTime, collector_timeout: SimTime) -> Self {
+        self.progress_interval = progress_interval;
+        self.collector_timeout = collector_timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config_builds() {
+        let c = IrmcConfig::new(Variant::ReceiverCollect, 3, 1, 4, 1, 2);
+        assert_eq!(c.n_senders, 3);
+        assert_eq!(c.capacity, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more senders than faults")]
+    fn too_few_senders_rejected() {
+        let _ = IrmcConfig::new(Variant::ReceiverCollect, 1, 1, 3, 1, 2);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Variant::ReceiverCollect.to_string(), "IRMC-RC");
+        assert_eq!(Variant::SenderCollect.to_string(), "IRMC-SC");
+    }
+}

@@ -1,0 +1,188 @@
+//! Inter-regional message channels (IRMC) — §3.2 and appendix §A.8/§A.9.
+//!
+//! An IRMC forwards messages from a *group* of sender replicas in one
+//! region to a *group* of receiver replicas in another. It is the only
+//! abstraction Spider uses over wide-area links, and it provides:
+//!
+//! * **Subchannels** with FIFO semantics and unique positions — distributed
+//!   bounded queues (one per client for request channels; a single one for
+//!   commit channels).
+//! * **BFT send semantics**: a message is delivered only after `fs + 1`
+//!   senders submitted identical content for the same subchannel position,
+//!   so at least one *correct* sender vouches for it.
+//! * **Window-based flow control**: each subchannel has a capacity; windows
+//!   move only forward, receivers shift them as they consume (or senders
+//!   request shifts), and a receiver that falls behind gets a
+//!   [`ReceiveResult::TooOld`] telling it to fetch a checkpoint instead.
+//! * **Authentication**: channel-internal messages carry (simulated) RSA
+//!   signatures; invalid ones are discarded.
+//!
+//! Two implementations share one interface:
+//!
+//! * [`Variant::ReceiverCollect`] (**IRMC-RC**, Fig 18): every sender sends
+//!   its signed `Send` directly to every receiver; receivers individually
+//!   collect `fs + 1` matching messages. Simple, CPU-light on the sender,
+//!   but `n_s × n_r` WAN messages per position.
+//! * [`Variant::SenderCollect`] (**IRMC-SC**, Figs 19–20): senders exchange
+//!   signature shares inside their region; one *collector* per receiver
+//!   assembles a `Certificate` and ships a single WAN message. `Progress`
+//!   announcements plus a timeout let receivers switch away from faulty
+//!   collectors.
+//!
+//! Endpoints are sans-IO state machines: methods append [`Action`]s
+//! (messages to peers, CPU charges, readiness events, timer requests) to a
+//! caller-provided buffer, and the host performs them.
+//!
+//! # Examples
+//!
+//! Passing one message across a 4-sender/3-receiver channel (the shape of
+//! a commit channel with `fa = 1`, `fe = 1`):
+//!
+//! ```
+//! use spider_irmc::{Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SenderEndpoint, Variant};
+//! use spider_crypto::{Digest, Digestible, Keyring};
+//! use spider_types::{Position, SimTime, WireSize};
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! struct Op(u64);
+//! impl WireSize for Op {
+//!     fn wire_size(&self) -> usize { 64 }
+//! }
+//! impl Digestible for Op {
+//!     fn digest(&self) -> Digest { Digest::builder().u64(self.0).finish() }
+//! }
+//!
+//! let cfg = IrmcConfig::new(Variant::ReceiverCollect, 4, 1, 3, 1, 16);
+//! let ring = Keyring::new(1);
+//! let mut senders: Vec<SenderEndpoint<Op>> =
+//!     (0..4).map(|i| SenderEndpoint::new(cfg.clone(), i, ring.clone())).collect();
+//! let mut receiver: ReceiverEndpoint<Op> = ReceiverEndpoint::new(cfg, 0, ring);
+//!
+//! // Every sender submits the same content for subchannel 0, position 1.
+//! let mut follow_up = Vec::new();
+//! for (i, s) in senders.iter_mut().enumerate() {
+//!     let mut actions = Vec::new();
+//!     s.send(0, Position(1), Op(42), &mut actions);
+//!     for a in actions {
+//!         if let Action::ToReceiver { to: 0, msg } = a {
+//!             receiver.on_sender_message(SimTime::ZERO, i, msg, &mut follow_up);
+//!         }
+//!     }
+//! }
+//! // fs + 1 = 2 matching submissions make the message deliverable.
+//! assert_eq!(receiver.try_receive(0, Position(1)), ReceiveResult::Ready(Op(42)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod messages;
+mod receiver;
+mod sender;
+mod window;
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Shared fixtures for in-crate tests.
+    use spider_crypto::{Digest, Digestible};
+    use spider_types::WireSize;
+
+    /// A small content blob with real digests.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Blob(pub Vec<u8>);
+
+    impl Blob {
+        pub fn new(data: &[u8]) -> Self {
+            Blob(data.to_vec())
+        }
+    }
+
+    impl WireSize for Blob {
+        fn wire_size(&self) -> usize {
+            spider_types::wire::HEADER_BYTES + self.0.len()
+        }
+    }
+
+    impl Digestible for Blob {
+        fn digest(&self) -> Digest {
+            Digest::of_bytes(&self.0)
+        }
+    }
+}
+
+pub use config::{IrmcConfig, Variant};
+pub use messages::{ChannelMsg, ReceiverMsg};
+pub use receiver::{ReceiveResult, ReceiverEndpoint};
+pub use sender::{SendStatus, SenderEndpoint};
+pub use window::Window;
+
+use spider_crypto::Digestible;
+use spider_types::{SimTime, WireSize};
+
+/// Content that can travel through an IRMC.
+pub trait Content: Digestible + Clone + PartialEq + std::fmt::Debug + WireSize + 'static {}
+impl<T: Digestible + Clone + PartialEq + std::fmt::Debug + WireSize + 'static> Content for T {}
+
+/// Subchannel identifier. Request channels use one subchannel per client
+/// (the client id); commit channels use subchannel 0.
+pub type Subchannel = u64;
+
+/// Effects produced by endpoint calls, applied by the host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M> {
+    /// Transmit a channel message to receiver-side endpoint `to`.
+    ToReceiver {
+        /// Receiver index within the receiver group.
+        to: usize,
+        /// The message.
+        msg: ChannelMsg<M>,
+    },
+    /// Transmit a channel message to sender-side endpoint `to`.
+    ToSender {
+        /// Sender index within the sender group.
+        to: usize,
+        /// The message.
+        msg: ReceiverMsg,
+    },
+    /// Intra-sender-group message (IRMC-SC signature shares).
+    ToPeerSender {
+        /// Sender index within the sender group.
+        to: usize,
+        /// The message.
+        msg: ChannelMsg<M>,
+    },
+    /// Charge CPU time to the hosting node.
+    Charge(SimTime),
+    /// A message became available: `try_receive(sc, p)` will now succeed
+    /// (receiver side only).
+    Ready {
+        /// Subchannel.
+        sc: Subchannel,
+        /// Position.
+        p: spider_types::Position,
+    },
+    /// The subchannel window moved; positions below `start` are gone.
+    WindowMoved {
+        /// Subchannel.
+        sc: Subchannel,
+        /// New window start.
+        start: spider_types::Position,
+    },
+    /// A previously blocked `send` for this position was transmitted after
+    /// a window shift (sender side only).
+    Unblocked {
+        /// Subchannel.
+        sc: Subchannel,
+        /// Position.
+        p: spider_types::Position,
+    },
+    /// Arm (or re-arm) a host timer for collector supervision (IRMC-SC
+    /// receiver side). `token` is opaque to the endpoint.
+    SetTimer {
+        /// Opaque token; feed back via `on_timer`.
+        token: u64,
+        /// Delay from now.
+        delay: SimTime,
+    },
+}

@@ -1,0 +1,505 @@
+//! Receiver-side IRMC endpoint (Fig 18 receiver half; Fig 20 for IRMC-SC).
+
+use crate::config::{IrmcConfig, Variant};
+use crate::messages::{slot_digest, ChannelMsg, ReceiverMsg};
+use crate::window::Window;
+use crate::{Action, Content, Subchannel};
+use spider_crypto::{Digest, Keyring};
+use spider_types::{Position, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Result of polling a position (the sans-IO form of Fig 14 `receive`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReceiveResult<M> {
+    /// The message for this position.
+    Ready(M),
+    /// The window has moved past the position: the receiver fell behind
+    /// and must recover via checkpoint (§3.4). Carries the new window
+    /// start, like the pseudocode's `⟨TooOld, s⟩`.
+    TooOld(Position),
+    /// Nothing deliverable yet; poll again after the next
+    /// [`Action::Ready`] or [`Action::WindowMoved`] for this subchannel.
+    Pending,
+}
+
+#[derive(Debug)]
+struct ReceiverSub<M> {
+    awin: Window,
+    /// RC: per position, per sender: (content digest, message).
+    rc_slots: BTreeMap<u64, HashMap<usize, (Digest, M)>>,
+    /// SC (and RC once quorate): deliverable content per position.
+    ready: BTreeMap<u64, M>,
+    /// Positions for which `Action::Ready` was already emitted.
+    announced: HashSet<u64>,
+    /// Window-shift requests received from each sender.
+    sender_moves: Vec<Position>,
+    /// SC: per-sender claimed progress.
+    progress: Vec<Position>,
+    /// SC: merged progress (fs+1-highest sender claim).
+    merged_progress: Position,
+    /// SC: current collector (sender index).
+    collector: usize,
+    /// SC: whether the supervision timer is armed.
+    timer_armed: bool,
+}
+
+impl<M> ReceiverSub<M> {
+    fn new(cfg: &IrmcConfig, me: usize) -> Self {
+        ReceiverSub {
+            awin: Window::new(cfg.capacity),
+            rc_slots: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            announced: HashSet::new(),
+            sender_moves: vec![Position(0); cfg.n_senders],
+            progress: vec![Position(0); cfg.n_senders],
+            merged_progress: Position(0),
+            collector: me % cfg.n_senders,
+            timer_armed: false,
+        }
+    }
+
+    fn gc_below(&mut self, start: Position) {
+        self.rc_slots.retain(|&p, _| p >= start.0);
+        self.ready.retain(|&p, _| p >= start.0);
+        self.announced.retain(|&p| p >= start.0);
+    }
+}
+
+/// The receiver half of an IRMC, owned by one replica of the receiver
+/// group.
+pub struct ReceiverEndpoint<M> {
+    cfg: IrmcConfig,
+    me: usize,
+    keyring: Keyring,
+    subs: HashMap<Subchannel, ReceiverSub<M>>,
+}
+
+impl<M: Content> ReceiverEndpoint<M> {
+    /// Creates receiver endpoint `me` of the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    pub fn new(cfg: IrmcConfig, me: usize, keyring: Keyring) -> Self {
+        assert!(me < cfg.n_receivers, "receiver index out of range");
+        ReceiverEndpoint {
+            cfg,
+            me,
+            keyring,
+            subs: HashMap::new(),
+        }
+    }
+
+    /// This endpoint's index within the receiver group.
+    pub fn index(&self) -> usize {
+        self.me
+    }
+
+    /// Current flow-control window of a subchannel.
+    pub fn window(&self, sc: Subchannel) -> Window {
+        self.subs
+            .get(&sc)
+            .map(|s| s.awin)
+            .unwrap_or_else(|| Window::new(self.cfg.capacity))
+    }
+
+    fn sub(&mut self, sc: Subchannel) -> &mut ReceiverSub<M> {
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        self.subs.entry(sc).or_insert_with(|| ReceiverSub::new(&cfg, me))
+    }
+
+    /// Polls for the message at `(sc, p)` (Fig 14 `receive`, non-blocking).
+    pub fn try_receive(&mut self, sc: Subchannel, p: Position) -> ReceiveResult<M> {
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) {
+            return ReceiveResult::TooOld(sub.awin.start());
+        }
+        match sub.ready.get(&p.0) {
+            Some(m) => ReceiveResult::Ready(m.clone()),
+            None => ReceiveResult::Pending,
+        }
+    }
+
+    /// Moves the subchannel window forward on behalf of the local replica
+    /// (Fig 14 `move_window`, receiver side). Notifies all senders.
+    pub fn move_window(&mut self, sc: Subchannel, p: Position, out: &mut Vec<Action<M>>) {
+        let sub = self.sub(sc);
+        if !sub.awin.advance_to(p) {
+            return;
+        }
+        sub.gc_below(p);
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        for s in 0..self.cfg.n_senders {
+            out.push(Action::ToSender {
+                to: s,
+                msg: ReceiverMsg::Move { sc, p },
+            });
+        }
+        out.push(Action::WindowMoved { sc, start: p });
+    }
+
+    /// Handles a message from sender endpoint `from`.
+    pub fn on_sender_message(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        msg: ChannelMsg<M>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if from >= self.cfg.n_senders {
+            return;
+        }
+        match msg {
+            ChannelMsg::Send { sc, p, msg, sig } => {
+                if self.cfg.variant != Variant::ReceiverCollect {
+                    return;
+                }
+                // Verify the sender's signature over the slot.
+                out.push(Action::Charge(
+                    self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify(),
+                ));
+                let digest = msg.digest();
+                let slot = slot_digest(sc, p, &digest);
+                if !self
+                    .keyring
+                    .verify(self.cfg.sender_keys[from], &slot, &sig)
+                {
+                    return;
+                }
+                let fs = self.cfg.fs;
+                let sub = self.sub(sc);
+                if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+                    // Below the window, or absurdly far above it (memory
+                    // guard; correct senders are window-limited anyway).
+                    return;
+                }
+                let slot_map = sub.rc_slots.entry(p.0).or_default();
+                slot_map.entry(from).or_insert((digest, msg));
+                // Quorum: fs + 1 senders with identical content.
+                let quorate = slot_map
+                    .values()
+                    .filter(|(d, _)| *d == digest)
+                    .count()
+                    >= fs + 1;
+                if quorate && !sub.ready.contains_key(&p.0) {
+                    let m = slot_map
+                        .values()
+                        .find(|(d, _)| *d == digest)
+                        .map(|(_, m)| m.clone())
+                        .expect("quorate content present");
+                    sub.ready.insert(p.0, m);
+                    if sub.announced.insert(p.0) {
+                        out.push(Action::Ready { sc, p });
+                    }
+                }
+            }
+            ChannelMsg::Certificate { sc, p, msg, shares } => {
+                if self.cfg.variant != Variant::SenderCollect {
+                    return;
+                }
+                // Verify transport MAC + every contained share.
+                out.push(Action::Charge(
+                    self.cfg.cost.hmac(msg.wire_size())
+                        + self.cfg.cost.rsa_verify().mul(shares.len() as u64),
+                ));
+                let digest = msg.digest();
+                let slot = slot_digest(sc, p, &digest);
+                let mut signers = HashSet::new();
+                let valid = shares
+                    .iter()
+                    .filter(|sig| {
+                        let idx = self
+                            .cfg
+                            .sender_keys
+                            .iter()
+                            .position(|k| *k == sig.signer);
+                        match idx {
+                            Some(i) if signers.insert(i) => {
+                                self.keyring.verify(sig.signer, &slot, sig)
+                            }
+                            _ => false,
+                        }
+                    })
+                    .count();
+                if valid < self.cfg.fs + 1 {
+                    return;
+                }
+                let sub = self.sub(sc);
+                if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+                    return;
+                }
+                if sub.ready.insert(p.0, msg).is_none() && sub.announced.insert(p.0) {
+                    out.push(Action::Ready { sc, p });
+                }
+            }
+            ChannelMsg::Progress { positions } => {
+                if self.cfg.variant != Variant::SenderCollect {
+                    return;
+                }
+                out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
+                for (sc, p) in positions {
+                    let fs = self.cfg.fs;
+                    let timeout = self.cfg.collector_timeout;
+                    let sub = self.sub(sc);
+                    if p > sub.progress[from] {
+                        sub.progress[from] = p;
+                    }
+                    let mut claims = sub.progress.clone();
+                    claims.sort_unstable_by(|a, b| b.cmp(a));
+                    sub.merged_progress = claims[fs];
+                    // Missing certificates up to the merged progress?
+                    let missing = Self::first_missing(sub);
+                    if missing.is_some() && !sub.timer_armed {
+                        sub.timer_armed = true;
+                        out.push(Action::SetTimer {
+                            token: sc,
+                            delay: timeout,
+                        });
+                    }
+                }
+                let _ = now;
+            }
+            ChannelMsg::Move { sc, p } => {
+                out.push(Action::Charge(self.cfg.cost.hmac(32)));
+                let fs = self.cfg.fs;
+                let sub = self.sub(sc);
+                if p <= sub.sender_moves[from] {
+                    return;
+                }
+                sub.sender_moves[from] = p;
+                // fs+1-highest sender request: at least one correct sender
+                // asked for this shift (IRMC-Liveness III).
+                let mut reqs = sub.sender_moves.clone();
+                reqs.sort_unstable_by(|a, b| b.cmp(a));
+                let nw = reqs[fs];
+                if nw > sub.awin.start() {
+                    self.move_window(sc, nw, out);
+                }
+            }
+            ChannelMsg::SigShare { .. } => {
+                // Sender-group-internal; a receiver should never see one.
+            }
+        }
+    }
+
+    /// First position in `[window start, merged progress]` without a
+    /// certified message, if any.
+    fn first_missing(sub: &ReceiverSub<M>) -> Option<Position> {
+        let lo = sub.awin.start().0;
+        let hi = sub.merged_progress.0;
+        (lo..=hi).find(|p| !sub.ready.contains_key(p)).map(Position)
+    }
+
+    /// Handles the collector-supervision timer for subchannel `token`
+    /// (IRMC-SC, Fig 20 L30-35).
+    pub fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<Action<M>>) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        let sc = token;
+        let n_senders = self.cfg.n_senders;
+        let timeout = self.cfg.collector_timeout;
+        let Some(sub) = self.subs.get_mut(&sc) else {
+            return;
+        };
+        sub.timer_armed = false;
+        if Self::first_missing(sub).is_none() {
+            return;
+        }
+        // The collector failed to provide certificates that fs+1 senders
+        // claim exist: switch to the next sender.
+        sub.collector = (sub.collector + 1) % n_senders;
+        let new_collector = sub.collector;
+        sub.timer_armed = true;
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        for s in 0..n_senders {
+            out.push(Action::ToSender {
+                to: s,
+                msg: ReceiverMsg::Select {
+                    sc,
+                    collector: new_collector,
+                },
+            });
+        }
+        out.push(Action::SetTimer {
+            token: sc,
+            delay: timeout,
+        });
+    }
+
+    /// The collector this endpoint currently expects to serve `sc`.
+    pub fn collector(&self, sc: Subchannel) -> usize {
+        self.subs
+            .get(&sc)
+            .map(|s| s.collector)
+            .unwrap_or(self.me % self.cfg.n_senders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::SenderEndpoint;
+    use crate::tests_support::Blob;
+    use spider_crypto::Digestible as _;
+    use spider_crypto::CostModel;
+
+    fn cfg(variant: Variant) -> IrmcConfig {
+        IrmcConfig::new(variant, 3, 1, 3, 1, 8).with_cost(CostModel::zero())
+    }
+
+    fn rc_receiver() -> ReceiverEndpoint<Blob> {
+        ReceiverEndpoint::new(cfg(Variant::ReceiverCollect), 0, Keyring::new(5))
+    }
+
+    /// Produces the signed `Send` a correct sender would emit.
+    fn send_from(idx: usize, sc: Subchannel, p: Position, m: &Blob) -> ChannelMsg<Blob> {
+        let mut s: SenderEndpoint<Blob> =
+            SenderEndpoint::new(cfg(Variant::ReceiverCollect), idx, Keyring::new(5));
+        let mut out = Vec::new();
+        s.send(sc, p, m.clone(), &mut out);
+        out.into_iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg } => Some(msg),
+                _ => None,
+            })
+            .expect("send emitted")
+    }
+
+    #[test]
+    fn rc_delivers_after_fs_plus_one_matching_sends() {
+        let mut r = rc_receiver();
+        let m = Blob::new(b"value");
+        let mut out = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, send_from(0, 3, Position(1), &m), &mut out);
+        assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Pending, "one sender is not enough");
+        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 3, Position(1), &m), &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::Ready { sc: 3, p } if *p == Position(1))));
+        assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Ready(m));
+    }
+
+    #[test]
+    fn rc_conflicting_contents_never_deliver() {
+        let mut r = rc_receiver();
+        let mut out = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, send_from(0, 0, Position(1), &Blob::new(b"a")), &mut out);
+        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(1), &Blob::new(b"b")), &mut out);
+        r.on_sender_message(SimTime::ZERO, 2, send_from(2, 0, Position(1), &Blob::new(b"c")), &mut out);
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+        assert!(!out.iter().any(|a| matches!(a, Action::Ready { .. })));
+    }
+
+    #[test]
+    fn rc_duplicate_sender_does_not_count_twice() {
+        let mut r = rc_receiver();
+        let m = Blob::new(b"v");
+        let mut out = Vec::new();
+        let msg = send_from(0, 0, Position(1), &m);
+        r.on_sender_message(SimTime::ZERO, 0, msg.clone(), &mut out);
+        r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+    }
+
+    #[test]
+    fn rc_forged_signature_is_discarded() {
+        let mut r = rc_receiver();
+        let m = Blob::new(b"v");
+        // Sender 2's message relabeled as coming from sender 0: signature
+        // check must fail (claims sender 0's key but is signed by 2).
+        let msg = send_from(2, 0, Position(1), &m);
+        let mut out = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
+        let msg1 = send_from(1, 0, Position(1), &m);
+        r.on_sender_message(SimTime::ZERO, 1, msg1, &mut out);
+        assert_eq!(
+            r.try_receive(0, Position(1)),
+            ReceiveResult::Pending,
+            "forged copy must not count toward the quorum"
+        );
+    }
+
+    #[test]
+    fn below_window_reports_too_old() {
+        let mut r = rc_receiver();
+        let mut out = Vec::new();
+        r.move_window(0, Position(5), &mut out);
+        assert_eq!(r.try_receive(0, Position(2)), ReceiveResult::TooOld(Position(5)));
+        // Moves notify every sender.
+        let moves = out
+            .iter()
+            .filter(|a| matches!(a, Action::ToSender { msg: ReceiverMsg::Move { .. }, .. }))
+            .count();
+        assert_eq!(moves, 3);
+    }
+
+    #[test]
+    fn sender_moves_shift_window_at_fs_plus_one() {
+        let mut r = rc_receiver();
+        let mut out = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, ChannelMsg::Move { sc: 0, p: Position(9) }, &mut out);
+        assert_eq!(r.window(0).start(), Position(1), "one sender cannot move the window");
+        r.on_sender_message(SimTime::ZERO, 1, ChannelMsg::Move { sc: 0, p: Position(7) }, &mut out);
+        // fs+1 = 2-highest of [9, 7, 0] = 7.
+        assert_eq!(r.window(0).start(), Position(7));
+        assert!(out.iter().any(|a| matches!(a, Action::WindowMoved { start, .. } if *start == Position(7))));
+    }
+
+    #[test]
+    fn sc_certificate_with_too_few_valid_shares_rejected() {
+        let ring = Keyring::new(5);
+        let mut r: ReceiverEndpoint<Blob> =
+            ReceiverEndpoint::new(cfg(Variant::SenderCollect), 0, ring.clone());
+        let m = Blob::new(b"v");
+        let d = m.digest();
+        let slot = slot_digest(0, Position(1), &d);
+        let good = ring.sign(spider_crypto::KeyId(1000), &slot);
+        // Second share is over different content — invalid for this slot.
+        let other = slot_digest(0, Position(2), &d);
+        let bad = ring.sign(spider_crypto::KeyId(1001), &other);
+        let mut out = Vec::new();
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            ChannelMsg::Certificate { sc: 0, p: Position(1), msg: m.clone(), shares: vec![good, bad] },
+            &mut out,
+        );
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+        // Duplicate shares from one sender are no better.
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            ChannelMsg::Certificate { sc: 0, p: Position(1), msg: m.clone(), shares: vec![good, good] },
+            &mut out,
+        );
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+    }
+
+    #[test]
+    fn sc_progress_without_certificates_arms_timer_and_switches_collector() {
+        let ring = Keyring::new(5);
+        let mut r: ReceiverEndpoint<Blob> =
+            ReceiverEndpoint::new(cfg(Variant::SenderCollect), 0, ring);
+        assert_eq!(r.collector(0), 0);
+        let mut out = Vec::new();
+        // fs + 1 = 2 senders claim position 4 is certified.
+        for s in [1, 2] {
+            r.on_sender_message(
+                SimTime::ZERO,
+                s,
+                ChannelMsg::Progress { positions: vec![(0, Position(4))] },
+                &mut out,
+            );
+        }
+        assert!(out.iter().any(|a| matches!(a, Action::SetTimer { token: 0, .. })));
+        // Timer fires; nothing arrived from collector 0 -> switch to 1.
+        out.clear();
+        r.on_timer(0, SimTime::from_millis(500), &mut out);
+        assert_eq!(r.collector(0), 1);
+        let selects = out
+            .iter()
+            .filter(|a| matches!(a, Action::ToSender { msg: ReceiverMsg::Select { collector: 1, .. }, .. }))
+            .count();
+        assert_eq!(selects, 3, "announced to every sender");
+    }
+}

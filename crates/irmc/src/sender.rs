@@ -1,0 +1,613 @@
+//! Sender-side IRMC endpoint (Fig 18 sender half; Fig 19 for IRMC-SC).
+
+use crate::config::{IrmcConfig, Variant};
+use crate::messages::{slot_digest, ChannelMsg, ReceiverMsg};
+use crate::window::Window;
+use crate::{Action, Content, Subchannel};
+use spider_crypto::{Digest, Keyring, Signature};
+use spider_types::{Position, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of a [`SenderEndpoint::send`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendStatus {
+    /// The message was transmitted (RC) or entered share collection (SC).
+    Sent,
+    /// The position is below the flow-control window; the message was
+    /// discarded (the receivers already moved on).
+    TooOld(
+        /// Current window start.
+        Position,
+    ),
+    /// The position is above the window; the message is queued and will be
+    /// transmitted automatically once receivers move the window
+    /// ([`Action::Unblocked`] will fire).
+    Blocked,
+}
+
+#[derive(Debug)]
+struct SenderSub<M> {
+    awin: Window,
+    /// Window-start positions received from each receiver via `Move`.
+    receiver_starts: Vec<Position>,
+    /// Highest window-shift this sender itself requested.
+    my_move: Position,
+    /// Sends above the window, waiting for a shift.
+    blocked: BTreeMap<u64, M>,
+    /// SC: content this endpoint submitted, by position.
+    content: BTreeMap<u64, M>,
+    /// SC: signature shares collected per position per sender.
+    shares: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
+    /// SC: assembled certificates.
+    bundles: BTreeMap<u64, (M, Vec<Signature>)>,
+}
+
+impl<M> SenderSub<M> {
+    fn new(capacity: u64) -> Self {
+        SenderSub {
+            awin: Window::new(capacity),
+            receiver_starts: Vec::new(),
+            my_move: Position(0),
+            blocked: BTreeMap::new(),
+            content: BTreeMap::new(),
+            shares: BTreeMap::new(),
+            bundles: BTreeMap::new(),
+        }
+    }
+
+    fn gc_below(&mut self, start: Position) {
+        self.blocked.retain(|&p, _| p >= start.0);
+        self.content.retain(|&p, _| p >= start.0);
+        self.shares.retain(|&p, _| p >= start.0);
+        self.bundles.retain(|&p, _| p >= start.0);
+    }
+}
+
+/// The sender half of an IRMC, owned by one replica of the sender group.
+pub struct SenderEndpoint<M> {
+    cfg: IrmcConfig,
+    me: usize,
+    keyring: Keyring,
+    subs: HashMap<Subchannel, SenderSub<M>>,
+    /// SC: which sender each receiver uses as collector, per subchannel.
+    collector_of: HashMap<(Subchannel, usize), usize>,
+    /// SC: the progress vector announced last tick (suppresses idle
+    /// re-announcements).
+    last_progress: Vec<(Subchannel, Position)>,
+}
+
+impl<M: Content> SenderEndpoint<M> {
+    /// Creates sender endpoint `me` of the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    pub fn new(cfg: IrmcConfig, me: usize, keyring: Keyring) -> Self {
+        assert!(me < cfg.n_senders, "sender index out of range");
+        SenderEndpoint {
+            cfg,
+            me,
+            keyring,
+            subs: HashMap::new(),
+            collector_of: HashMap::new(),
+            last_progress: Vec::new(),
+        }
+    }
+
+    /// This endpoint's index within the sender group.
+    pub fn index(&self) -> usize {
+        self.me
+    }
+
+    /// Current flow-control window of a subchannel.
+    pub fn window(&self, sc: Subchannel) -> Window {
+        self.subs
+            .get(&sc)
+            .map(|s| s.awin)
+            .unwrap_or_else(|| Window::new(self.cfg.capacity))
+    }
+
+    /// Default collector assignment: receiver `r` is served by sender
+    /// `r mod n_senders` until it announces otherwise via `Select`.
+    fn collector_for(&self, sc: Subchannel, receiver: usize) -> usize {
+        self.collector_of
+            .get(&(sc, receiver))
+            .copied()
+            .unwrap_or(receiver % self.cfg.n_senders)
+    }
+
+    fn sub(&mut self, sc: Subchannel) -> &mut SenderSub<M> {
+        let (capacity, n_receivers) = (self.cfg.capacity, self.cfg.n_receivers);
+        self.subs.entry(sc).or_insert_with(|| {
+            let mut s = SenderSub::new(capacity);
+            s.receiver_starts = vec![Position(1); n_receivers];
+            s
+        })
+    }
+
+    /// Submits content for `(sc, p)` (Fig 14 `send`).
+    ///
+    /// Never blocks the caller: above-window sends are queued and flushed
+    /// automatically when the window moves ([`Action::Unblocked`]).
+    pub fn send(&mut self, sc: Subchannel, p: Position, msg: M, out: &mut Vec<Action<M>>) -> SendStatus {
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) {
+            return SendStatus::TooOld(sub.awin.start());
+        }
+        if sub.awin.is_above(p) {
+            sub.blocked.insert(p.0, msg);
+            return SendStatus::Blocked;
+        }
+        self.transmit(sc, p, msg, out);
+        SendStatus::Sent
+    }
+
+    /// Requests a forward shift of the subchannel window (Fig 14
+    /// `move_window`, sender side): broadcast a `Move` to all receivers.
+    /// The local window only moves once `fr + 1` receivers confirm.
+    pub fn move_window(&mut self, sc: Subchannel, p: Position, out: &mut Vec<Action<M>>) {
+        let sub = self.sub(sc);
+        if p <= sub.my_move {
+            return;
+        }
+        sub.my_move = p;
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        for r in 0..self.cfg.n_receivers {
+            out.push(Action::ToReceiver {
+                to: r,
+                msg: ChannelMsg::Move { sc, p },
+            });
+        }
+    }
+
+    /// Handles a message from receiver endpoint `from`.
+    pub fn on_receiver_message(
+        &mut self,
+        from: usize,
+        msg: ReceiverMsg,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if from >= self.cfg.n_receivers {
+            return;
+        }
+        // MAC check on every receiver message.
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        match msg {
+            ReceiverMsg::Move { sc, p } => self.on_receiver_move(from, sc, p, out),
+            ReceiverMsg::Select { sc, collector } => {
+                if collector >= self.cfg.n_senders {
+                    return;
+                }
+                self.collector_of.insert((sc, from), collector);
+                if collector == self.me {
+                    // Re-ship everything we have certified (Fig 19 L39).
+                    let bundles: Vec<(u64, (M, Vec<Signature>))> = self
+                        .subs
+                        .get(&sc)
+                        .map(|s| s.bundles.iter().map(|(p, b)| (*p, b.clone())).collect())
+                        .unwrap_or_default();
+                    for (p, (m, shares)) in bundles {
+                        out.push(Action::Charge(self.cfg.cost.hmac(m.wire_size())));
+                        out.push(Action::ToReceiver {
+                            to: from,
+                            msg: ChannelMsg::Certificate {
+                                sc,
+                                p: Position(p),
+                                msg: m,
+                                shares,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_receiver_move(&mut self, from: usize, sc: Subchannel, p: Position, out: &mut Vec<Action<M>>) {
+        let fr = self.cfg.fr;
+        let sub = self.sub(sc);
+        if p <= sub.receiver_starts[from] {
+            return;
+        }
+        sub.receiver_starts[from] = p;
+        // New window start: the (fr + 1)-highest receiver request — at
+        // least one correct receiver has permitted this shift (§3.2).
+        let mut starts = sub.receiver_starts.clone();
+        starts.sort_unstable_by(|a, b| b.cmp(a));
+        let new_start = starts[fr];
+        if sub.awin.advance_to(new_start) {
+            sub.gc_below(new_start);
+            out.push(Action::WindowMoved {
+                sc,
+                start: new_start,
+            });
+            self.flush_blocked(sc, out);
+        }
+    }
+
+    /// Transmits queued sends that fit into the (moved) window.
+    fn flush_blocked(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
+        loop {
+            let sub = self.sub(sc);
+            let Some((&p, _)) = sub.blocked.iter().next() else {
+                return;
+            };
+            let pos = Position(p);
+            if sub.awin.is_above(pos) {
+                return;
+            }
+            let msg = sub.blocked.remove(&p).expect("just observed");
+            if sub.awin.is_below(pos) {
+                continue; // overtaken by the window; drop silently
+            }
+            out.push(Action::Unblocked { sc, p: pos });
+            self.transmit(sc, pos, msg, out);
+        }
+    }
+
+    /// Performs the variant-specific submission of in-window content.
+    fn transmit(&mut self, sc: Subchannel, p: Position, msg: M, out: &mut Vec<Action<M>>) {
+        let digest = slot_digest(sc, p, &msg.digest());
+        // Hash the payload and produce one RSA signature.
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign(),
+        ));
+        let sig = self.keyring.sign(self.key_of_sender(self.me), &digest);
+        match self.cfg.variant {
+            Variant::ReceiverCollect => {
+                for r in 0..self.cfg.n_receivers {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::Send {
+                            sc,
+                            p,
+                            msg: msg.clone(),
+                            sig,
+                        },
+                    });
+                }
+            }
+            Variant::SenderCollect => {
+                let me = self.me;
+                let content_digest = msg.digest();
+                let sub = self.sub(sc);
+                sub.content.insert(p.0, msg);
+                sub.shares
+                    .entry(p.0)
+                    .or_default()
+                    .insert(me, (content_digest, sig));
+                for s in 0..self.cfg.n_senders {
+                    if s != me {
+                        out.push(Action::ToPeerSender {
+                            to: s,
+                            msg: ChannelMsg::SigShare {
+                                sc,
+                                p,
+                                digest: content_digest,
+                                sig,
+                            },
+                        });
+                    }
+                }
+                self.maybe_bundle(sc, p, out);
+            }
+        }
+    }
+
+    /// Handles an intra-group message from peer sender `from` (IRMC-SC).
+    pub fn on_peer_message(&mut self, from: usize, msg: ChannelMsg<M>, out: &mut Vec<Action<M>>) {
+        if from >= self.cfg.n_senders || from == self.me {
+            return;
+        }
+        let ChannelMsg::SigShare { sc, p, digest, sig } = msg else {
+            return;
+        };
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        // Verify the peer's share signature.
+        out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+        let slot = slot_digest(sc, p, &digest);
+        if !self.keyring.verify(self.key_of_sender(from), &slot, &sig) {
+            return;
+        }
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) {
+            return;
+        }
+        // Only the first share per (position, sender) counts (Fig 19 L17).
+        sub.shares.entry(p.0).or_default().entry(from).or_insert((digest, sig));
+        self.maybe_bundle(sc, p, out);
+    }
+
+    /// Assembles and ships a certificate once `fs + 1` matching shares and
+    /// the content itself are present (Fig 19 L22-24).
+    fn maybe_bundle(&mut self, sc: Subchannel, p: Position, out: &mut Vec<Action<M>>) {
+        let fs = self.cfg.fs;
+        let me = self.me;
+        let n_receivers = self.cfg.n_receivers;
+        let sub = self.sub(sc);
+        if sub.bundles.contains_key(&p.0) {
+            return;
+        }
+        let Some(content) = sub.content.get(&p.0) else {
+            return;
+        };
+        let want = content.digest();
+        let Some(shares) = sub.shares.get(&p.0) else {
+            return;
+        };
+        let mut matching: Vec<(usize, Signature)> = shares
+            .iter()
+            .filter(|(_, (d, _))| *d == want)
+            .map(|(s, (_, sig))| (*s, *sig))
+            .collect();
+        if matching.len() < fs + 1 {
+            return;
+        }
+        matching.sort_by_key(|(s, _)| *s);
+        matching.truncate(fs + 1);
+        let vec: Vec<Signature> = matching.into_iter().map(|(_, sig)| sig).collect();
+        let content = content.clone();
+        sub.bundles.insert(p.0, (content.clone(), vec.clone()));
+
+        let targets: Vec<usize> = (0..n_receivers)
+            .filter(|r| self.collector_for(sc, *r) == me)
+            .collect();
+        for r in targets {
+            out.push(Action::Charge(self.cfg.cost.hmac(content.wire_size())));
+            out.push(Action::ToReceiver {
+                to: r,
+                msg: ChannelMsg::Certificate {
+                    sc,
+                    p,
+                    msg: content.clone(),
+                    shares: vec.clone(),
+                },
+            });
+        }
+    }
+
+    /// Periodic driver for IRMC-SC: emits `Progress` announcements listing
+    /// the highest gap-free certified position per subchannel (Fig 19
+    /// L26-30). Call every [`IrmcConfig::progress_interval`]. No-op for RC.
+    pub fn tick(&mut self, _now: SimTime, out: &mut Vec<Action<M>>) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        let mut positions = Vec::new();
+        for (&sc, sub) in &self.subs {
+            let mut prog = None;
+            let mut p = sub.awin.start().0;
+            while sub.bundles.contains_key(&p) {
+                prog = Some(p);
+                p += 1;
+            }
+            if let Some(prog) = prog {
+                positions.push((sc, Position(prog)));
+            }
+        }
+        positions.sort_unstable();
+        if positions.is_empty() || positions == self.last_progress {
+            return; // Nothing new to announce; stay quiet.
+        }
+        self.last_progress = positions.clone();
+        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
+        for r in 0..self.cfg.n_receivers {
+            out.push(Action::ToReceiver {
+                to: r,
+                msg: ChannelMsg::Progress {
+                    positions: positions.clone(),
+                },
+            });
+        }
+    }
+
+    fn key_of_sender(&self, idx: usize) -> spider_crypto::KeyId {
+        self.cfg.sender_keys[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::Blob;
+    use spider_crypto::Digestible as _;
+
+    fn cfg(variant: Variant) -> IrmcConfig {
+        IrmcConfig::new(variant, 3, 1, 3, 1, 4).with_cost(spider_crypto::CostModel::zero())
+    }
+
+    fn sender(variant: Variant, me: usize) -> SenderEndpoint<Blob> {
+        SenderEndpoint::new(cfg(variant), me, Keyring::new(5))
+    }
+
+    #[test]
+    fn rc_send_fans_out_to_all_receivers() {
+        let mut s = sender(Variant::ReceiverCollect, 0);
+        let mut out = Vec::new();
+        let st = s.send(7, Position(1), Blob::new(b"m"), &mut out);
+        assert_eq!(st, SendStatus::Sent);
+        let sends = out
+            .iter()
+            .filter(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Send { .. }, .. }))
+            .count();
+        assert_eq!(sends, 3);
+    }
+
+    #[test]
+    fn send_above_window_blocks_and_flushes_on_move() {
+        let mut s = sender(Variant::ReceiverCollect, 0);
+        let mut out = Vec::new();
+        // Window is [1, 4]; position 6 must block.
+        assert_eq!(s.send(0, Position(6), Blob::new(b"m"), &mut out), SendStatus::Blocked);
+        assert!(out.iter().all(|a| !matches!(a, Action::ToReceiver { .. })));
+
+        // fr + 1 = 2 receivers move their windows to 3: window = [3, 6].
+        out.clear();
+        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
+        assert!(
+            !out.iter().any(|a| matches!(a, Action::Unblocked { .. })),
+            "one receiver is not enough (fr = 1)"
+        );
+        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
+        assert!(out.iter().any(
+            |a| matches!(a, Action::Unblocked { p, .. } if *p == Position(6))
+        ));
+        assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
+        assert_eq!(s.window(0).start(), Position(3));
+    }
+
+    #[test]
+    fn send_below_window_reports_too_old() {
+        let mut s = sender(Variant::ReceiverCollect, 0);
+        let mut out = Vec::new();
+        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        assert_eq!(
+            s.send(0, Position(2), Blob::new(b"m"), &mut out),
+            SendStatus::TooOld(Position(5))
+        );
+    }
+
+    #[test]
+    fn stale_receiver_moves_are_ignored() {
+        let mut s = sender(Variant::ReceiverCollect, 0);
+        let mut out = Vec::new();
+        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(2) }, &mut out);
+        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        assert_eq!(s.window(0).start(), Position(5), "regression discarded");
+    }
+
+    #[test]
+    fn sc_send_exchanges_shares_then_certificate() {
+        let ring = Keyring::new(5);
+        let mut s0 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 0, ring.clone());
+        let mut s1 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 1, ring.clone());
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        let m = Blob::new(b"content");
+        s0.send(0, Position(1), m.clone(), &mut out0);
+        s1.send(0, Position(1), m.clone(), &mut out1);
+        // No certificates yet (each has only its own share; fs + 1 = 2).
+        assert!(!out0.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. }
+        )));
+        // Deliver s1's share to s0.
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("share for s0");
+        let mut out = Vec::new();
+        s0.on_peer_message(1, share, &mut out);
+        // s0 is the default collector for receiver 0 (0 % 3) and ships one
+        // certificate there.
+        let certs: Vec<usize> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToReceiver { to, msg: ChannelMsg::Certificate { shares, .. } } => {
+                    assert_eq!(shares.len(), 2);
+                    Some(*to)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(certs, vec![0]);
+    }
+
+    #[test]
+    fn sc_mismatching_share_does_not_bundle() {
+        let ring = Keyring::new(5);
+        let mut s0 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 0, ring.clone());
+        let mut out = Vec::new();
+        s0.send(0, Position(1), Blob::new(b"good"), &mut out);
+        out.clear();
+        // A (faulty) peer shares a signature over *different* content.
+        let bad_digest = Blob::new(b"evil").digest();
+        let slot = slot_digest(0, Position(1), &bad_digest);
+        let sig = ring.sign(spider_crypto::KeyId(1001), &slot);
+        s0.on_peer_message(
+            1,
+            ChannelMsg::SigShare { sc: 0, p: Position(1), digest: bad_digest, sig },
+            &mut out,
+        );
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn sc_select_reassigns_collector_and_reships() {
+        let ring = Keyring::new(5);
+        let mut s1 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 1, ring.clone());
+        let mut s0_share_out = Vec::new();
+        let mut s0 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 0, ring.clone());
+        let m = Blob::new(b"c");
+        s0.send(0, Position(1), m.clone(), &mut s0_share_out);
+        let mut out = Vec::new();
+        s1.send(0, Position(1), m, &mut out);
+        let share = s0_share_out
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 1, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        s1.on_peer_message(0, share, &mut out);
+        // s1 is default collector for receiver 1 only.
+        assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { to: 1, msg: ChannelMsg::Certificate { .. } })));
+        // Receiver 0 switches its collector to s1: the bundle re-ships.
+        out.clear();
+        s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { to: 0, msg: ChannelMsg::Certificate { .. } })));
+    }
+
+    #[test]
+    fn sc_tick_reports_gap_free_progress() {
+        let ring = Keyring::new(5);
+        let c = cfg(Variant::SenderCollect);
+        let mut senders: Vec<SenderEndpoint<Blob>> =
+            (0..3).map(|i| SenderEndpoint::new(c.clone(), i, ring.clone())).collect();
+        // Certify positions 1 and 3 (gap at 2) on sender 0.
+        for p in [1u64, 3] {
+            let m = Blob::new(format!("m{p}").as_bytes());
+            let mut outs: Vec<Vec<Action<Blob>>> = vec![Vec::new(); 3];
+            for (i, s) in senders.iter_mut().enumerate() {
+                s.send(0, Position(p), m.clone(), &mut outs[i]);
+            }
+            // Deliver all shares to everyone.
+            for i in 0..3 {
+                let shares: Vec<(usize, ChannelMsg<Blob>)> = outs[i]
+                    .iter()
+                    .filter_map(|a| match a {
+                        Action::ToPeerSender { to, msg } => Some((*to, msg.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                for (to, msg) in shares {
+                    let mut sink = Vec::new();
+                    senders[to].on_peer_message(i, msg, &mut sink);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        senders[0].tick(SimTime::ZERO, &mut out);
+        let progress = out
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { msg: ChannelMsg::Progress { positions }, .. } => {
+                    Some(positions.clone())
+                }
+                _ => None,
+            })
+            .expect("progress announced");
+        assert_eq!(progress, vec![(0, Position(1))], "stops at the gap");
+    }
+}

@@ -1,0 +1,132 @@
+//! Actors and the handler-side API ([`Context`]).
+
+use rand::rngs::SmallRng;
+use spider_types::{NodeId, SimTime};
+
+/// Identifier of a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A fired timer: its id plus the user-supplied tag that tells the actor
+/// what the timer was for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// Identifier returned by [`Context::set_timer`].
+    pub id: TimerId,
+    /// Free-form tag chosen by the actor when setting the timer.
+    pub tag: u64,
+}
+
+/// A protocol participant driven by the simulator.
+///
+/// Implementations are sans-IO state machines: they react to messages and
+/// timers, and interact with the world exclusively through the [`Context`].
+/// `M` is the workspace-wide message type of the experiment being run.
+pub trait Actor<M>: 'static {
+    /// Called once when the node is added to the simulation.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: Timer) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// Object-safe extension of [`Actor`] that supports downcasting, so the
+/// harness can inspect actor state after a run.
+pub(crate) trait ActorObj<M>: Actor<M> {
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<M, T: Actor<M> + 'static> ActorObj<M> for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Actions buffered during a handler invocation and executed by the
+/// simulator once the handler returns (and its charged CPU time elapsed).
+pub(crate) enum OutAction<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, delay: SimTime, tag: u64 },
+    CancelTimer(TimerId),
+}
+
+/// Handler-side view of the simulation.
+///
+/// A `Context` is passed to every [`Actor`] callback. Messages sent and
+/// timers set through it take effect when the handler's charged CPU work
+/// completes — mirroring a real server that first computes, then writes to
+/// the network.
+pub struct Context<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) out: &'a mut Vec<OutAction<M>>,
+    pub(crate) charged: &'a mut SimTime,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The node this handler runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time (start of this handler's execution).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to`. The message departs when the handler's charged
+    /// work completes; delivery adds serialization and propagation delay.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push(OutAction::Send { to, msg });
+    }
+
+    /// Sends a clone of `msg` to every node in `to`.
+    pub fn broadcast<I>(&mut self, to: I, msg: &M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = NodeId>,
+    {
+        for n in to {
+            self.send(n, msg.clone());
+        }
+    }
+
+    /// Charges `cost` of CPU time to this handler. The node stays busy (and
+    /// outgoing messages wait) until all charged work is done.
+    pub fn charge(&mut self, cost: SimTime) {
+        *self.charged += cost;
+    }
+
+    /// Sets a timer that fires `delay` after the end of this handler's
+    /// execution, tagged with `tag`.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.out.push(OutAction::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.out.push(OutAction::CancelTimer(id));
+    }
+
+    /// Deterministic random number generator (shared by the whole sim).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

@@ -1,0 +1,140 @@
+//! The time-ordered event queue at the heart of the simulator.
+
+use spider_types::{NodeId, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::Timer;
+
+/// What happens when an event fires.
+pub(crate) enum EventKind<M> {
+    /// A message arrives at a node.
+    Deliver {
+        /// Sender of the message.
+        from: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set by the node itself fires.
+    Fire {
+        /// The timer (id + user tag).
+        timer: Timer,
+    },
+    /// A node was re-scheduled because it was busy when an event arrived.
+    Resume(Box<EventKind<M>>),
+}
+
+pub(crate) struct Event<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub node: NodeId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by insertion sequence for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of simulation events.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            at,
+            seq,
+            node,
+            kind,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let n = NodeId(0);
+        q.push(SimTime::from_millis(5), n, EventKind::Deliver { from: n, msg: 1 });
+        q.push(SimTime::from_millis(1), n, EventKind::Deliver { from: n, msg: 2 });
+        q.push(SimTime::from_millis(5), n, EventKind::Deliver { from: n, msg: 3 });
+
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 1, 3], "time order, then insertion order");
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(
+            SimTime::from_millis(9),
+            NodeId(0),
+            EventKind::Deliver { from: NodeId(0), msg: () },
+        );
+        q.push(
+            SimTime::from_millis(2),
+            NodeId(0),
+            EventKind::Deliver { from: NodeId(0), msg: () },
+        );
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

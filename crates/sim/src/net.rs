@@ -1,0 +1,396 @@
+//! Topology: regions, availability zones, and the latency model.
+//!
+//! The paper's deployments place replica groups in availability zones of
+//! EC2 regions. A [`Topology`] captures exactly that structure: named
+//! regions with a number of zones each, a symmetric inter-region one-way
+//! latency matrix, and two intra-region constants (zone-to-zone and
+//! same-zone latency). Jitter is a one-sided multiplicative factor drawn
+//! per message.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use spider_types::{NodeId, RegionId, SimTime, ZoneId};
+use std::collections::HashMap;
+
+/// Static description of the simulated world: regions, zones, latencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    region_names: Vec<String>,
+    zones_per_region: Vec<u8>,
+    /// One-way latency between regions, indexed `[from][to]`.
+    inter_region: Vec<Vec<SimTime>>,
+    /// One-way latency between distinct zones of the same region.
+    inter_zone: SimTime,
+    /// One-way latency between nodes in the same zone.
+    intra_zone: SimTime,
+    /// One-sided multiplicative jitter: latency is scaled by
+    /// `U(1.0, 1.0 + jitter)`.
+    jitter: f64,
+    /// NIC bandwidth in bytes per second (serialization delay = size / bw).
+    bandwidth_bps: u64,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Looks up a region by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region has that name — a configuration error.
+    pub fn region(&self, name: &str) -> RegionId {
+        RegionId(
+            self.region_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("unknown region {name:?}"))
+                as u16,
+        )
+    }
+
+    /// The `zone`-th availability zone of the region called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not exist or has fewer zones.
+    pub fn zone(&self, name: &str, zone: u8) -> ZoneId {
+        let r = self.region(name);
+        assert!(
+            zone < self.zones_per_region[r.0 as usize],
+            "region {name} has only {} zones",
+            self.zones_per_region[r.0 as usize]
+        );
+        ZoneId::new(r, zone)
+    }
+
+    /// Name of a region.
+    pub fn region_name(&self, r: RegionId) -> &str {
+        &self.region_names[r.0 as usize]
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.region_names.len()
+    }
+
+    /// Number of availability zones in region `r`.
+    pub fn num_zones(&self, r: RegionId) -> u8 {
+        self.zones_per_region[r.0 as usize]
+    }
+
+    /// Base one-way latency between two zones (before jitter).
+    pub fn base_latency(&self, from: ZoneId, to: ZoneId) -> SimTime {
+        if from.region() != to.region() {
+            self.inter_region[from.region().0 as usize][to.region().0 as usize]
+        } else if from.zone() != to.zone() {
+            self.inter_zone
+        } else {
+            self.intra_zone
+        }
+    }
+
+    /// Draws a jittered one-way latency between two zones.
+    pub fn sample_latency<R: Rng>(&self, from: ZoneId, to: ZoneId, rng: &mut R) -> SimTime {
+        let base = self.base_latency(from, to);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        base.mul_f64(1.0 + rng.gen_range(0.0..self.jitter))
+    }
+
+    /// NIC bandwidth in bytes/second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+
+    /// Serialization delay of a message of `bytes` bytes.
+    pub fn serialization_delay(&self, bytes: usize) -> SimTime {
+        SimTime::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+/// Builder for [`Topology`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    region_names: Vec<String>,
+    zones_per_region: Vec<u8>,
+    latencies: HashMap<(String, String), SimTime>,
+    inter_zone: SimTime,
+    intra_zone: SimTime,
+    jitter: f64,
+    bandwidth_bps: u64,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            region_names: Vec::new(),
+            zones_per_region: Vec::new(),
+            latencies: HashMap::new(),
+            // EC2-like defaults: ~0.5 ms between AZs, ~0.15 ms inside one.
+            inter_zone: SimTime::from_micros(500),
+            intra_zone: SimTime::from_micros(150),
+            jitter: 0.10,
+            // 5 Gbit/s NIC.
+            bandwidth_bps: 5_000_000_000 / 8,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Adds a region with `zones` availability zones.
+    pub fn region(mut self, name: &str, zones: u8) -> Self {
+        assert!(zones >= 1, "a region needs at least one zone");
+        self.region_names.push(name.to_owned());
+        self.zones_per_region.push(zones);
+        self
+    }
+
+    /// Sets the symmetric one-way latency between two regions.
+    pub fn symmetric_latency(mut self, a: &str, b: &str, one_way: SimTime) -> Self {
+        self.latencies.insert((a.to_owned(), b.to_owned()), one_way);
+        self.latencies.insert((b.to_owned(), a.to_owned()), one_way);
+        self
+    }
+
+    /// Sets the one-way latency between distinct zones of one region.
+    pub fn inter_zone_latency(mut self, one_way: SimTime) -> Self {
+        self.inter_zone = one_way;
+        self
+    }
+
+    /// Sets the one-way latency between nodes in the same zone.
+    pub fn intra_zone_latency(mut self, one_way: SimTime) -> Self {
+        self.intra_zone = one_way;
+        self
+    }
+
+    /// Sets the one-sided multiplicative jitter (0.1 = up to +10 %).
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..=2.0).contains(&jitter), "jitter out of range");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets NIC bandwidth in bits per second.
+    pub fn bandwidth_bits_per_sec(mut self, bps: u64) -> Self {
+        assert!(bps > 0);
+        self.bandwidth_bps = bps / 8;
+        self
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latency is missing for any pair of distinct regions.
+    pub fn build(self) -> Topology {
+        let n = self.region_names.len();
+        let mut inter = vec![vec![SimTime::ZERO; n]; n];
+        for (i, a) in self.region_names.iter().enumerate() {
+            for (j, b) in self.region_names.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let lat = self
+                    .latencies
+                    .get(&(a.clone(), b.clone()))
+                    .unwrap_or_else(|| panic!("missing latency {a} -> {b}"));
+                inter[i][j] = *lat;
+            }
+        }
+        Topology {
+            region_names: self.region_names,
+            zones_per_region: self.zones_per_region,
+            inter_region: inter,
+            inter_zone: self.inter_zone,
+            intra_zone: self.intra_zone,
+            jitter: self.jitter,
+            bandwidth_bps: self.bandwidth_bps,
+        }
+    }
+}
+
+/// Runtime network fault injection: partitions, link blocks, extra delay.
+///
+/// Consulted at send time for every message; used by tests to exercise
+/// checkpoint catch-up, view changes, and IRMC `TooOld` paths.
+#[derive(Debug, Default)]
+pub struct NetworkControl {
+    /// Pairs (a, b): messages from a to b are dropped while blocked.
+    blocked: HashMap<(NodeId, NodeId), SimTime>,
+    /// Nodes whose messages are all dropped (crashed).
+    crashed: std::collections::HashSet<NodeId>,
+    /// Extra one-way delay per ordered pair.
+    extra_delay: HashMap<(NodeId, NodeId), SimTime>,
+    /// Probability of dropping a message per ordered pair.
+    drop_rate: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl NetworkControl {
+    /// Blocks the directed link `from -> to` until simulated time `until`.
+    pub fn block_until(&mut self, from: NodeId, to: NodeId, until: SimTime) {
+        self.blocked.insert((from, to), until);
+    }
+
+    /// Blocks both directions between `a` and `b` until `until`.
+    pub fn partition_pair_until(&mut self, a: NodeId, b: NodeId, until: SimTime) {
+        self.block_until(a, b, until);
+        self.block_until(b, a, until);
+    }
+
+    /// Marks a node as crashed: it neither sends nor receives from now on.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Revives a crashed node (state is whatever it was — rejoin logic is
+    /// the protocol's business).
+    pub fn revive(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Adds fixed extra one-way delay on the directed link.
+    pub fn set_extra_delay(&mut self, from: NodeId, to: NodeId, delay: SimTime) {
+        if delay == SimTime::ZERO {
+            self.extra_delay.remove(&(from, to));
+        } else {
+            self.extra_delay.insert((from, to), delay);
+        }
+    }
+
+    /// Sets a drop probability on the directed link.
+    pub fn set_drop_rate(&mut self, from: NodeId, to: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        if p == 0.0 {
+            self.drop_rate.remove(&(from, to));
+        } else {
+            self.drop_rate.insert((from, to), p);
+        }
+    }
+
+    pub(crate) fn extra_delay(&self, from: NodeId, to: NodeId) -> SimTime {
+        self.extra_delay
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn should_drop<R: Rng>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        rng: &mut R,
+    ) -> bool {
+        if self.crashed.contains(&from) || self.crashed.contains(&to) {
+            return true;
+        }
+        if let Some(until) = self.blocked.get(&(from, to)) {
+            if now < *until {
+                return true;
+            }
+        }
+        if let Some(p) = self.drop_rate.get(&(from, to)) {
+            if rng.gen_bool(*p) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .region("va", 3)
+            .region("or", 3)
+            .symmetric_latency("va", "or", SimTime::from_millis(30))
+            .jitter(0.0)
+            .build()
+    }
+
+    #[test]
+    fn latency_classes_are_distinct() {
+        let t = topo();
+        let va0 = t.zone("va", 0);
+        let va1 = t.zone("va", 1);
+        let or0 = t.zone("or", 0);
+        assert_eq!(t.base_latency(va0, or0), SimTime::from_millis(30));
+        assert_eq!(t.base_latency(va0, va1), SimTime::from_micros(500));
+        assert_eq!(t.base_latency(va0, va0), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn jitter_is_one_sided() {
+        let t = Topology::builder()
+            .region("a", 1)
+            .region("b", 1)
+            .symmetric_latency("a", "b", SimTime::from_millis(10))
+            .jitter(0.5)
+            .build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = t.zone("a", 0);
+        let b = t.zone("b", 0);
+        for _ in 0..100 {
+            let l = t.sample_latency(a, b, &mut rng);
+            assert!(l >= SimTime::from_millis(10));
+            assert!(l <= SimTime::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let t = Topology::builder()
+            .region("a", 1)
+            .bandwidth_bits_per_sec(8_000_000) // 1 MB/s
+            .build();
+        assert_eq!(t.serialization_delay(1_000_000), SimTime::from_secs(1));
+        assert_eq!(t.serialization_delay(1_000), SimTime::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_panics() {
+        topo().region("nowhere");
+    }
+
+    #[test]
+    fn network_control_blocks_and_expires() {
+        let mut nc = NetworkControl::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (a, b) = (NodeId(1), NodeId(2));
+        nc.block_until(a, b, SimTime::from_secs(5));
+        assert!(nc.should_drop(a, b, SimTime::from_secs(1), &mut rng));
+        assert!(!nc.should_drop(b, a, SimTime::from_secs(1), &mut rng));
+        assert!(!nc.should_drop(a, b, SimTime::from_secs(5), &mut rng));
+    }
+
+    #[test]
+    fn network_control_crash_drops_both_directions() {
+        let mut nc = NetworkControl::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (a, b) = (NodeId(1), NodeId(2));
+        nc.crash(a);
+        assert!(nc.is_crashed(a));
+        assert!(nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert!(nc.should_drop(b, a, SimTime::ZERO, &mut rng));
+        nc.revive(a);
+        assert!(!nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+    }
+}

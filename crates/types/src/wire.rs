@@ -1,0 +1,112 @@
+//! Wire-size model.
+//!
+//! The simulator charges transmission and bandwidth costs per message, so
+//! every protocol message must know the number of bytes it would occupy on
+//! the wire. Rather than serializing each message (needless work in a
+//! simulation), message types implement [`WireSize`] and compute their size
+//! analytically from well-known constants: an RSA-1024 signature is 128
+//! bytes, an HMAC-SHA-256 authenticator 32 bytes, and so on.
+//!
+//! The constants mirror the paper's evaluation setup (§5): 1024-bit RSA
+//! signatures for client messages and IRMC-internal messages, HMAC-SHA-256
+//! for replica-to-replica MACs.
+
+/// Size in bytes of an RSA-1024 signature.
+pub const SIG_BYTES: usize = 128;
+
+/// Size in bytes of a single HMAC-SHA-256 authenticator.
+pub const MAC_BYTES: usize = 32;
+
+/// Size in bytes of a SHA-256 digest.
+pub const DIGEST_BYTES: usize = 32;
+
+/// Fixed per-message header overhead (type tag, ids, lengths, transport
+/// framing). A deliberately round approximation of TCP+framing+field costs.
+pub const HEADER_BYTES: usize = 48;
+
+/// Types that know their size on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use spider_types::wire::{WireSize, HEADER_BYTES};
+///
+/// struct Ping;
+/// impl WireSize for Ping {
+///     fn wire_size(&self) -> usize { HEADER_BYTES }
+/// }
+/// assert_eq!(Ping.wire_size(), HEADER_BYTES);
+/// ```
+pub trait WireSize {
+    /// Number of bytes this value occupies on the wire, including framing.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl WireSize for bytes::Bytes {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for [T] {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        self.as_slice().wire_size()
+    }
+}
+
+/// The size of a PBFT-style MAC authenticator vector for a group of `n`
+/// receivers (one MAC per receiver, §A.2).
+pub fn mac_vector_bytes(n: usize) -> usize {
+    n * MAC_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_vectors_report_payload_length() {
+        let v = vec![0u8; 200];
+        assert_eq!(v.wire_size(), 200);
+        let b = bytes::Bytes::from(vec![1u8; 64]);
+        assert_eq!(b.wire_size(), 64);
+    }
+
+    #[test]
+    fn option_adds_presence_byte() {
+        let some: Option<Vec<u8>> = Some(vec![0u8; 10]);
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(some.wire_size(), 11);
+        assert_eq!(none.wire_size(), 1);
+    }
+
+    #[test]
+    fn slices_add_length_prefix() {
+        let items: Vec<Vec<u8>> = vec![vec![0u8; 3], vec![0u8; 4]];
+        assert_eq!(items.wire_size(), 4 + 3 + 4);
+    }
+
+    #[test]
+    fn mac_vector_scales_with_group_size() {
+        assert_eq!(mac_vector_bytes(4), 4 * MAC_BYTES);
+        assert_eq!(mac_vector_bytes(0), 0);
+    }
+}

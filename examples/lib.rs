@@ -1,0 +1,29 @@
+//! Shared helpers for the example binaries.
+//!
+//! The runnable examples live next to this file:
+//!
+//! * `quickstart` — smallest possible Spider deployment, a few writes,
+//!   printed latencies.
+//! * `paper_figures` — regenerates every figure of the paper's evaluation
+//!   (set `SPIDER_QUICK=1` for a fast pass).
+//! * `geo_kvstore` — a realistic geo-replicated key-value store with a
+//!    mixed read/write workload and a runtime-added region.
+//! * `fault_drill` — crashes the consensus leader, partitions a replica,
+//!   and unleashes a Byzantine client, showing that service continues.
+
+#![forbid(unsafe_code)]
+
+use spider::Sample;
+use spider_types::SimTime;
+
+/// Formats a latency list as `p50/p90 (n)` for example output.
+pub fn fmt_latencies(samples: &[Sample]) -> String {
+    if samples.is_empty() {
+        return "no samples".to_owned();
+    }
+    let mut lats: Vec<SimTime> = samples.iter().map(Sample::latency).collect();
+    lats.sort();
+    let p50 = lats[lats.len() / 2];
+    let p90 = lats[(lats.len() * 9 / 10).min(lats.len() - 1)];
+    format!("p50 {:.1}ms  p90 {:.1}ms  ({} requests)", p50.as_millis_f64(), p90.as_millis_f64(), lats.len())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the smallest useful Spider deployment.
+//!
+//! Two cloud regions; the agreement group and one execution group live in
+//! Virginia, a second execution group in Tokyo. One client per region
+//! issues writes against a replicated key-value store.
+//!
+//! Run with: `cargo run -p spider-examples --bin quickstart`
+
+use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
+use spider_app::{kv_op_factory, KvStore};
+use spider_examples::fmt_latencies;
+use spider_sim::{Simulation, Topology};
+use spider_types::SimTime;
+
+fn main() {
+    // 1. Describe the world: regions, zones, link latencies.
+    let topology = Topology::builder()
+        .region("virginia", 4)
+        .region("tokyo", 3)
+        .symmetric_latency("virginia", "tokyo", SimTime::from_millis(73))
+        .build();
+    let mut sim = Simulation::new(topology, 42);
+
+    // 2. Deploy Spider: 4 agreement replicas (PBFT) in Virginia zones,
+    //    3-replica execution groups in Virginia and Tokyo.
+    let mut deployment = DeploymentBuilder::new(SpiderConfig::default())
+        .with_app(KvStore::new)
+        .agreement_region("virginia")
+        .execution_group("virginia")
+        .execution_group("tokyo")
+        .build(&mut sim);
+
+    // 3. Clients: one per region, 5 writes/s, 200-byte requests.
+    let workload = WorkloadSpec::writes_per_sec(5.0, 200)
+        .with_max_ops(50)
+        .with_op_factory(kv_op_factory(100));
+    deployment.spawn_clients(&mut sim, 0, 1, workload.clone());
+    deployment.spawn_clients(&mut sim, 1, 1, workload);
+
+    // 4. Run 30 simulated seconds.
+    sim.run_until_quiescent(SimTime::from_secs(30));
+
+    // 5. Report.
+    println!("spider quickstart — write latencies\n");
+    for (client, group, samples) in deployment.collect_samples(&sim) {
+        let region = &deployment.groups[group.0 as usize].1;
+        println!("  client {client} ({region:>8}): {}", fmt_latencies(&samples));
+    }
+    println!(
+        "\nRequests ordered by the agreement group: {}",
+        sim.actor::<spider::agreement::AgreementReplica>(deployment.agreement[0]).ordered
+    );
+    println!(
+        "Total simulated events processed: {}",
+        sim.stats().total_events
+    );
+}

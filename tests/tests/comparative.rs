@@ -1,0 +1,105 @@
+//! Cross-system integration: the same workload against Spider and every
+//! baseline, verifying that all four architectures serve the identical
+//! application correctly — and that the paper's headline latency ordering
+//! holds on the full EC2 topology.
+
+use spider::{SpiderConfig, WorkloadSpec};
+use spider_app::{kv_op_factory, KvStore};
+use spider_baselines::{BftDeployment, StewardDeployment};
+use spider_harness::ec2_topology;
+use spider_harness::stats::LatencySummary;
+use spider_sim::Simulation;
+use spider_tests::standard_deployment;
+use spider_types::SimTime;
+
+const REGIONS: [&str; 4] = ["virginia", "oregon", "ireland", "tokyo"];
+
+fn workload(max_ops: u64) -> WorkloadSpec {
+    WorkloadSpec::writes_per_sec(3.0, 200)
+        .with_max_ops(max_ops)
+        .with_op_factory(kv_op_factory(100))
+}
+
+#[test]
+fn all_four_architectures_serve_the_same_workload() {
+    // Spider.
+    let (mut sim, mut dep) = standard_deployment(11, SpiderConfig::default());
+    for gi in 0..4 {
+        dep.spawn_clients(&mut sim, gi, 1, workload(10));
+    }
+    sim.run_until_quiescent(SimTime::from_secs(60));
+    let spider_total: usize = dep
+        .collect_samples(&sim)
+        .iter()
+        .map(|(_, _, s)| s.len())
+        .sum();
+
+    // BFT.
+    let mut sim = Simulation::new(ec2_topology(), 11);
+    let mut bft = BftDeployment::build(&mut sim, SpiderConfig::default(), &REGIONS, KvStore::new);
+    for region in REGIONS {
+        bft.spawn_clients(&mut sim, region, 1, workload(10));
+    }
+    sim.run_until_quiescent(SimTime::from_secs(60));
+    let bft_total: usize = bft.collect_samples(&sim).iter().map(|(_, s)| s.len()).sum();
+
+    // BFT-WV.
+    let mut sim = Simulation::new(ec2_topology(), 11);
+    let regions5 = ["virginia", "oregon", "ireland", "tokyo", "saopaulo"];
+    let mut wv = BftDeployment::build_weighted(
+        &mut sim,
+        SpiderConfig::default(),
+        &regions5,
+        1,
+        &[0, 1],
+        KvStore::new,
+    );
+    for region in REGIONS {
+        wv.spawn_clients(&mut sim, region, 1, workload(10));
+    }
+    sim.run_until_quiescent(SimTime::from_secs(60));
+    let wv_total: usize = wv.collect_samples(&sim).iter().map(|(_, s)| s.len()).sum();
+
+    // HFT.
+    let mut sim = Simulation::new(ec2_topology(), 11);
+    let mut hft =
+        StewardDeployment::build(&mut sim, SpiderConfig::default(), &REGIONS, 0, KvStore::new);
+    for (si, region) in REGIONS.iter().enumerate() {
+        hft.spawn_clients(&mut sim, si as u16, region, 1, workload(10));
+    }
+    sim.run_until_quiescent(SimTime::from_secs(60));
+    let hft_total: usize = hft
+        .collect_samples(&sim)
+        .iter()
+        .map(|(_, _, s)| s.len())
+        .sum();
+
+    assert_eq!(spider_total, 40);
+    assert_eq!(bft_total, 40);
+    assert_eq!(wv_total, 40);
+    assert_eq!(hft_total, 40);
+}
+
+#[test]
+fn headline_latency_ordering_holds_per_region() {
+    // Spider write latency <= HFT <= ~BFT for every client region with
+    // leaders in Virginia (the paper's summary claim).
+    let cfg = spider_harness::scenarios::ScenarioCfg {
+        clients_per_region: 3,
+        rate_per_client: 2.0,
+        duration: SimTime::from_secs(15),
+        warmup: SimTime::from_secs(2),
+        ..spider_harness::scenarios::ScenarioCfg::default()
+    };
+    use spider_harness::scenarios::{run_scenario, SystemKind};
+    let spider = run_scenario(SystemKind::Spider { leader_zone: 0 }, &cfg);
+    let hft = run_scenario(SystemKind::Hft { leader_site: 0 }, &cfg);
+    let bft = run_scenario(SystemKind::Bft { leader: 0 }, &cfg);
+    for region in REGIONS {
+        let s = LatencySummary::of_samples(&spider[region]).unwrap().p50_ms;
+        let h = LatencySummary::of_samples(&hft[region]).unwrap().p50_ms;
+        let b = LatencySummary::of_samples(&bft[region]).unwrap().p50_ms;
+        assert!(s < h, "{region}: spider {s:.0} !< hft {h:.0}");
+        assert!(s < b, "{region}: spider {s:.0} !< bft {b:.0}");
+    }
+}
