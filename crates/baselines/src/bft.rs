@@ -63,7 +63,11 @@ impl<A: Application> BftReplica<A> {
         self.pbft.view()
     }
 
-    fn apply_outputs(&mut self, ctx: &mut Context<'_, BaseMsg>, outputs: Vec<Output<ClientRequest>>) {
+    fn apply_outputs(
+        &mut self,
+        ctx: &mut Context<'_, BaseMsg>,
+        outputs: Vec<Output<ClientRequest>>,
+    ) {
         let replicas = self.directory.agreement();
         for o in outputs {
             match o {
@@ -77,7 +81,7 @@ impl<A: Application> BftReplica<A> {
                         self.execute(ctx, req);
                     }
                     self.delivered += 1;
-                    if self.delivered % GC_INTERVAL == 0 && self.delivered > GC_INTERVAL {
+                    if self.delivered.is_multiple_of(GC_INTERVAL) && self.delivered > GC_INTERVAL {
                         self.pbft.gc(SeqNr(self.delivered - GC_INTERVAL));
                     }
                 }
@@ -94,10 +98,7 @@ impl<A: Application> BftReplica<A> {
     }
 
     fn execute(&mut self, ctx: &mut Context<'_, BaseMsg>, req: ClientRequest) {
-        let fresh = self
-            .executed
-            .get(&req.client)
-            .map_or(true, |(tc, _)| *tc < req.tc);
+        let fresh = self.executed.get(&req.client).is_none_or(|(tc, _)| *tc < req.tc);
         if !fresh {
             return;
         }
@@ -175,13 +176,11 @@ impl<A: Application> Actor<BaseMsg> for BftReplica<A> {
                 self.apply_outputs(ctx, out);
             }
             BaseMsg::Pbft(m) => {
-                let Some(idx) = self.directory.agreement().iter().position(|n| *n == from)
-                else {
+                let Some(idx) = self.directory.agreement().iter().position(|n| *n == from) else {
                     return;
                 };
                 let mut out = Vec::new();
-                self.pbft
-                    .handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
+                self.pbft.handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
                 self.apply_outputs(ctx, out);
             }
             BaseMsg::Reply(_) | BaseMsg::Steward(_) => {}
@@ -274,13 +273,8 @@ impl BftDeployment {
         let mut replicas = Vec::new();
         for (i, (region, zone)) in placements.iter().enumerate() {
             let zone = sim.topology().zone(region, *zone);
-            let replica = BftReplica::new(
-                cfg.clone(),
-                pbft_cfg.clone(),
-                i,
-                directory.clone(),
-                app_factory(),
-            );
+            let replica =
+                BftReplica::new(cfg.clone(), pbft_cfg.clone(), i, directory.clone(), app_factory());
             replicas.push(sim.add_node(zone, replica));
         }
         directory.set_agreement(replicas.clone());
@@ -305,13 +299,8 @@ impl BftDeployment {
         let mut replicas = Vec::new();
         for (i, region) in regions.iter().enumerate() {
             let zone = sim.topology().zone(region, 0);
-            let replica = BftReplica::new(
-                cfg.clone(),
-                pbft_cfg.clone(),
-                i,
-                directory.clone(),
-                app_factory(),
-            );
+            let replica =
+                BftReplica::new(cfg.clone(), pbft_cfg.clone(), i, directory.clone(), app_factory());
             replicas.push(sim.add_node(zone, replica));
         }
         directory.set_agreement(replicas.clone());
@@ -365,7 +354,10 @@ impl BftDeployment {
     }
 
     /// Collects samples from every client.
-    pub fn collect_samples(&self, sim: &Simulation<BaseMsg>) -> Vec<(ClientId, Vec<spider::Sample>)> {
+    pub fn collect_samples(
+        &self,
+        sim: &Simulation<BaseMsg>,
+    ) -> Vec<(ClientId, Vec<spider::Sample>)> {
         self.clients
             .iter()
             .map(|(id, node)| {

@@ -3,13 +3,13 @@
 //! latency comparisons are apples-to-apples.
 
 use crate::messages::BaseMsg;
+use bytes::Bytes;
 use rand::Rng;
 use spider::directory::Directory;
 use spider::messages::{ClientRequest, Operation, Reply};
 use spider::{Sample, SpiderConfig, WorkloadSpec};
 use spider_sim::{Actor, Context, Timer, TimerId};
 use spider_types::{ClientId, NodeId, OpKind, SimTime, WireSize};
-use bytes::Bytes;
 use std::collections::HashMap;
 
 const TAG_ISSUE: u64 = 1;
@@ -92,13 +92,8 @@ impl BaselineClient {
     fn issue(&mut self, ctx: &mut Context<'_, BaseMsg>, kind: OpKind, op: Bytes) {
         self.tc += 1;
         self.issued_count += 1;
-        self.in_flight = Some(InFlight {
-            kind,
-            op,
-            tc: self.tc,
-            issued: ctx.now(),
-            replies: HashMap::new(),
-        });
+        self.in_flight =
+            Some(InFlight { kind, op, tc: self.tc, issued: ctx.now(), replies: HashMap::new() });
         self.transmit(ctx);
         let retry = self.cfg.client_retry;
         self.arm(ctx, TAG_RETRY, retry);
@@ -127,21 +122,14 @@ impl BaselineClient {
             return;
         }
         inf.replies.insert(from, reply.result);
-        let needed = if inf.kind == OpKind::StrongRead {
-            self.strong_read_quorum
-        } else {
-            self.quorum
-        };
+        let needed =
+            if inf.kind == OpKind::StrongRead { self.strong_read_quorum } else { self.quorum };
         let mut counts: HashMap<&Bytes, usize> = HashMap::new();
         for r in inf.replies.values() {
             *counts.entry(r).or_default() += 1;
         }
         if counts.values().any(|n| *n >= needed) {
-            self.samples.push(Sample {
-                kind: inf.kind,
-                issued: inf.issued,
-                completed: ctx.now(),
-            });
+            self.samples.push(Sample { kind: inf.kind, issued: inf.issued, completed: ctx.now() });
             self.in_flight = None;
             if let Some(id) = self.timers.remove(&TAG_RETRY) {
                 ctx.cancel_timer(id);
@@ -192,12 +180,10 @@ impl Actor<BaseMsg> for BaselineClient {
                 }
                 self.schedule_next_issue(ctx);
             }
-            TAG_RETRY => {
-                if self.in_flight.is_some() {
-                    self.transmit(ctx);
-                    let retry = self.cfg.client_retry;
-                    self.arm(ctx, TAG_RETRY, retry);
-                }
+            TAG_RETRY if self.in_flight.is_some() => {
+                self.transmit(ctx);
+                let retry = self.cfg.client_retry;
+                self.arm(ctx, TAG_RETRY, retry);
             }
             _ => {}
         }

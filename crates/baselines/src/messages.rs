@@ -83,20 +83,12 @@ impl WireSize for BaseMsg {
 
 /// Digest a Steward proposal signs: binds sequence number and request.
 pub fn proposal_digest(seq: SeqNr, request: &ClientRequest) -> Digest {
-    Digest::builder()
-        .str("steward-proposal")
-        .u64(seq.0)
-        .digest(&request.digest())
-        .finish()
+    Digest::builder().str("steward-proposal").u64(seq.0).digest(&request.digest()).finish()
 }
 
 /// Digest a Steward accept signs.
 pub fn accept_digest(seq: SeqNr, proposal: &Digest) -> Digest {
-    Digest::builder()
-        .str("steward-accept")
-        .u64(seq.0)
-        .digest(proposal)
-        .finish()
+    Digest::builder().str("steward-accept").u64(seq.0).digest(proposal).finish()
 }
 
 #[cfg(test)]

@@ -163,7 +163,11 @@ impl<A: Application> StewardReplica<A> {
     // Local agreement plumbing
     // ------------------------------------------------------------------
 
-    fn apply_outputs(&mut self, ctx: &mut Context<'_, BaseMsg>, outputs: Vec<Output<ClientRequest>>) {
+    fn apply_outputs(
+        &mut self,
+        ctx: &mut Context<'_, BaseMsg>,
+        outputs: Vec<Output<ClientRequest>>,
+    ) {
         let site_nodes = self.my_site_nodes();
         for o in outputs {
             match o {
@@ -177,7 +181,8 @@ impl<A: Application> StewardReplica<A> {
                         self.on_local_delivery(ctx, req);
                     }
                     self.delivered_local += 1;
-                    if self.delivered_local % GC_INTERVAL == 0 && self.delivered_local > GC_INTERVAL
+                    if self.delivered_local.is_multiple_of(GC_INTERVAL)
+                        && self.delivered_local > GC_INTERVAL
                     {
                         self.pbft.gc(SeqNr(self.delivered_local - GC_INTERVAL));
                     }
@@ -299,12 +304,7 @@ impl<A: Application> StewardReplica<A> {
             return;
         };
         if accept {
-            let msg = BaseMsg::Steward(StewardMsg::Accept {
-                seq,
-                digest,
-                site: self.site,
-                tsig,
-            });
+            let msg = BaseMsg::Steward(StewardMsg::Accept { seq, digest, site: self.site, tsig });
             // Announce the site's acceptance to every replica everywhere.
             for site in 0..self.num_sites as u16 {
                 for node in self.site_nodes(site) {
@@ -338,10 +338,7 @@ impl<A: Application> StewardReplica<A> {
     fn try_execute(&mut self, ctx: &mut Context<'_, BaseMsg>) {
         loop {
             let seq = self.exec_next;
-            let enough_accepts = self
-                .accepts
-                .get(&seq)
-                .is_some_and(|s| s.len() >= self.majority());
+            let enough_accepts = self.accepts.get(&seq).is_some_and(|s| s.len() >= self.majority());
             if !enough_accepts {
                 return;
             }
@@ -350,10 +347,7 @@ impl<A: Application> StewardReplica<A> {
             };
             let req = req.clone();
             self.exec_next += 1;
-            let fresh = self
-                .executed
-                .get(&req.client)
-                .map_or(true, |(tc, _)| *tc < req.tc);
+            let fresh = self.executed.get(&req.client).is_none_or(|(tc, _)| *tc < req.tc);
             if fresh {
                 ctx.charge(self.cfg.cost.app_execute());
                 let result = self.app.execute(&req.operation.op);
@@ -415,7 +409,12 @@ impl<A: Application> Actor<BaseMsg> for StewardReplica<A> {
                     if let Some(node) = self.directory.client_node(req.client) {
                         ctx.send(
                             node,
-                            BaseMsg::Reply(Reply { tc: req.tc, result, weak: true, resubmit: false }),
+                            BaseMsg::Reply(Reply {
+                                tc: req.tc,
+                                result,
+                                weak: true,
+                                resubmit: false,
+                            }),
                         );
                     }
                     return;
@@ -512,8 +511,7 @@ impl<A: Application> Actor<BaseMsg> for StewardReplica<A> {
                     return;
                 };
                 let mut out = Vec::new();
-                self.pbft
-                    .handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
+                self.pbft.handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
                 self.apply_outputs(ctx, out);
             }
             BaseMsg::Reply(_) => {}
@@ -606,13 +604,7 @@ impl StewardDeployment {
             );
             sites.push(nodes);
         }
-        StewardDeployment {
-            directory,
-            sites,
-            cfg,
-            next_client: 0,
-            clients: Vec::new(),
-        }
+        StewardDeployment { directory, sites, cfg, next_client: 0, clients: Vec::new() }
     }
 
     /// Spawns clients attached to site `site` (their local cluster).
@@ -655,11 +647,7 @@ impl StewardDeployment {
         self.clients
             .iter()
             .map(|(id, site, node)| {
-                (
-                    *id,
-                    *site,
-                    sim.actor::<crate::client::BaselineClient>(*node).samples.clone(),
-                )
+                (*id, *site, sim.actor::<crate::client::BaselineClient>(*node).samples.clone())
             })
             .collect()
     }

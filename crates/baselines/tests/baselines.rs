@@ -2,7 +2,7 @@
 //! topology, checking both correctness (total order, convergence) and the
 //! latency *shapes* the paper reports for them (§5).
 
-use spider::{Application, SpiderConfig, WorkloadSpec};
+use spider::{SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
 use spider_baselines::{BftDeployment, StewardDeployment};
 use spider_sim::{Simulation, Topology};
@@ -26,7 +26,7 @@ fn topo() -> Topology {
 
 const REGIONS: [&str; 4] = ["virginia", "oregon", "ireland", "tokyo"];
 
-fn median(lats: &mut Vec<SimTime>) -> SimTime {
+fn median(lats: &mut [SimTime]) -> SimTime {
     assert!(!lats.is_empty());
     lats.sort();
     lats[lats.len() / 2]

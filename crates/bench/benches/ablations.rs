@@ -43,8 +43,7 @@ fn run_with(cfg: SpiderConfig, slow_tokyo_ms: u64, seed: u64) -> (f64, usize) {
         let tokyo = dep.group_nodes(1).to_vec();
         for a in dep.agreement.clone() {
             for t in &tokyo {
-                sim.net_control_mut()
-                    .set_extra_delay(a, *t, SimTime::from_millis(slow_tokyo_ms));
+                sim.net_control_mut().set_extra_delay(a, *t, SimTime::from_millis(slow_tokyo_ms));
             }
         }
     }
@@ -69,12 +68,14 @@ fn ablation_z() {
     println!("\nAblation — global flow control z with a slow (+2s) Tokyo group:");
     println!("{:<6} {:>16} {:>12}", "z", "virginia p50[ms]", "completed");
     for z in [0usize, 1] {
-        let mut cfg = SpiderConfig::default();
-        cfg.z = z;
-        cfg.commit_capacity = 16;
-        cfg.ke = 8;
-        cfg.ka = 8;
-        cfg.ag_win = 16;
+        let cfg = SpiderConfig {
+            z,
+            commit_capacity: 16,
+            ke: 8,
+            ka: 8,
+            ag_win: 16,
+            ..SpiderConfig::default()
+        };
         let (p50, total) = run_with(cfg, 2_000, 7);
         println!("{z:<6} {p50:>16.1} {total:>12}");
     }
@@ -84,8 +85,7 @@ fn ablation_batch() {
     println!("\nAblation — consensus batch size (agreement group):");
     println!("{:<6} {:>16} {:>12}", "batch", "virginia p50[ms]", "completed");
     for batch in [1usize, 8, 32] {
-        let mut cfg = SpiderConfig::default();
-        cfg.max_batch = batch;
+        let cfg = SpiderConfig { max_batch: batch, ..SpiderConfig::default() };
         let (p50, total) = run_with(cfg, 0, 8);
         println!("{batch:<6} {p50:>16.1} {total:>12}");
     }

@@ -14,9 +14,9 @@ fn order_n(n: u64) -> usize {
     let mut inbox: VecDeque<(usize, usize, Msg<TestPayload>)> = VecDeque::new();
     let mut delivered = 0usize;
     for k in 0..n {
-        for i in 0..4 {
+        for (i, replica) in replicas.iter_mut().enumerate() {
             let mut out = Vec::new();
-            replicas[i].handle(SimTime::ZERO, Input::Order(TestPayload(k)), &mut out);
+            replica.handle(SimTime::ZERO, Input::Order(TestPayload(k)), &mut out);
             for o in out {
                 if let Output::Send { to, msg } = o {
                     inbox.push_back((i, to, msg));

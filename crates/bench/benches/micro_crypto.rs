@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
     let sig = ring.sign(spider_crypto::KeyId(1), &d);
     let mut g = c.benchmark_group("signatures");
     g.bench_function("sign", |b| b.iter(|| ring.sign(spider_crypto::KeyId(1), &d)));
-    g.bench_function("verify", |b| {
-        b.iter(|| ring.verify(spider_crypto::KeyId(1), &d, &sig))
-    });
+    g.bench_function("verify", |b| b.iter(|| ring.verify(spider_crypto::KeyId(1), &d, &sig)));
     g.finish();
 
     let tkr = ThresholdKeyring::new(1, 2);

@@ -61,7 +61,7 @@ impl PbftConfig {
     /// `vmax_holders` does not name exactly `2f` distinct replicas.
     pub fn weighted(f: usize, delta: usize, vmax_holders: &[usize]) -> Self {
         assert!(f >= 1, "f must be at least 1");
-        assert!(delta >= 1 && delta % f == 0, "delta must be a positive multiple of f");
+        assert!(delta >= 1 && delta.is_multiple_of(f), "delta must be a positive multiple of f");
         let n = 3 * f + 1 + delta;
         let vmax = (1 + delta / f) as u32;
         assert_eq!(vmax_holders.len(), 2 * f, "exactly 2f replicas hold Vmax");

@@ -23,9 +23,7 @@ pub struct PreparedCert<P> {
 
 impl<P: Payload> WireSize for PreparedCert<P> {
     fn wire_size(&self) -> usize {
-        HEADER_BYTES
-            + DIGEST_BYTES
-            + self.batch.iter().map(WireSize::wire_size).sum::<usize>()
+        HEADER_BYTES + DIGEST_BYTES + self.batch.iter().map(WireSize::wire_size).sum::<usize>()
     }
 }
 
@@ -130,31 +128,19 @@ mod tests {
 
     #[test]
     fn preprepare_size_includes_batch() {
-        let small: Msg<TestPayload> = Msg::PrePrepare {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            batch: vec![TestPayload(1)],
-        };
-        let big: Msg<TestPayload> = Msg::PrePrepare {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            batch: vec![TestPayload(1); 10],
-        };
+        let small: Msg<TestPayload> =
+            Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1)] };
+        let big: Msg<TestPayload> =
+            Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1); 10] };
         assert!(big.wire_size() > small.wire_size());
     }
 
     #[test]
     fn votes_are_fixed_size() {
-        let p: Msg<TestPayload> = Msg::Prepare {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            digest: Digest::ZERO,
-        };
-        let c: Msg<TestPayload> = Msg::Commit {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            digest: Digest::ZERO,
-        };
+        let p: Msg<TestPayload> =
+            Msg::Prepare { view: ViewNr(0), seq: SeqNr(1), digest: Digest::ZERO };
+        let c: Msg<TestPayload> =
+            Msg::Commit { view: ViewNr(0), seq: SeqNr(1), digest: Digest::ZERO };
         assert_eq!(p.wire_size(), c.wire_size());
     }
 

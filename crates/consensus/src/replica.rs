@@ -274,10 +274,7 @@ impl<P: Payload> Pbft<P> {
             self.next_seq += 1;
             let digest = batch_digest(&batch);
             *charge += self.cfg.cost.hmac(batch.iter().map(|p| p.wire_size()).sum());
-            *charge += self
-                .cfg
-                .cost
-                .mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
+            *charge += self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
 
             let inst = self.instances.entry(seq).or_insert_with(Instance::new);
             inst.view = self.view;
@@ -285,14 +282,7 @@ impl<P: Payload> Pbft<P> {
             inst.batch = Some(batch.clone());
             inst.prepares.insert(self.me, digest);
 
-            self.broadcast(
-                out,
-                Msg::PrePrepare {
-                    view: self.view,
-                    seq: SeqNr(seq),
-                    batch,
-                },
-            );
+            self.broadcast(out, Msg::PrePrepare { view: self.view, seq: SeqNr(seq), batch });
         }
     }
 
@@ -363,18 +353,8 @@ impl<P: Payload> Pbft<P> {
         self.watching.entry(digest).or_insert(now);
         self.arm_progress_timer(out);
 
-        *charge += self
-            .cfg
-            .cost
-            .mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
-        self.broadcast(
-            out,
-            Msg::Prepare {
-                view,
-                seq: SeqNr(seq),
-                digest,
-            },
-        );
+        *charge += self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
+        self.broadcast(out, Msg::Prepare { view, seq: SeqNr(seq), digest });
         self.check_progress(seq, out, charge);
     }
 
@@ -440,18 +420,9 @@ impl<P: Payload> Pbft<P> {
             if weight >= quorum {
                 inst.prepared = true;
                 inst.commits.insert(me, digest);
-                *charge += self
-                    .cfg
-                    .cost
-                    .mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
-                self.broadcast(
-                    out,
-                    Msg::Commit {
-                        view,
-                        seq: SeqNr(seq),
-                        digest,
-                    },
-                );
+                *charge +=
+                    self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
+                self.broadcast(out, Msg::Commit { view, seq: SeqNr(seq), digest });
             }
         }
 
@@ -495,17 +466,12 @@ impl<P: Payload> Pbft<P> {
             if let Some(d) = inst.digest {
                 self.watching.remove(&d);
             }
-            out.push(Output::Deliver {
-                seq: SeqNr(self.next_deliver),
-                batch,
-            });
+            out.push(Output::Deliver { seq: SeqNr(self.next_deliver), batch });
             self.next_deliver += 1;
         }
         if self.watching.is_empty() && self.progress_timer_armed {
             self.progress_timer_armed = false;
-            out.push(Output::CancelTimer {
-                token: TOKEN_PROGRESS,
-            });
+            out.push(Output::CancelTimer { token: TOKEN_PROGRESS });
         }
     }
 
@@ -546,18 +512,13 @@ impl<P: Payload> Pbft<P> {
                     self.start_view_change(now, target, out, charge);
                 } else if !self.watching.is_empty() {
                     self.progress_timer_armed = true;
-                    out.push(Output::SetTimer {
-                        token: TOKEN_PROGRESS,
-                        delay: timeout / 2,
-                    });
+                    out.push(Output::SetTimer { token: TOKEN_PROGRESS, delay: timeout / 2 });
                 }
             }
-            TOKEN_VIEW_CHANGE => {
-                if self.in_view_change {
-                    // The view change itself stalled: escalate.
-                    let target = self.vc_target.next();
-                    self.start_view_change(now, target, out, charge);
-                }
+            TOKEN_VIEW_CHANGE if self.in_view_change => {
+                // The view change itself stalled: escalate.
+                let target = self.vc_target.next();
+                self.start_view_change(now, target, out, charge);
             }
             _ => {}
         }
@@ -599,19 +560,10 @@ impl<P: Payload> Pbft<P> {
             prepared: self.prepared_certs(),
             sender: self.me,
         };
-        self.vc_msgs
-            .entry(target.0)
-            .or_default()
-            .insert(self.me, vc.clone());
+        self.vc_msgs.entry(target.0).or_default().insert(self.me, vc.clone());
         self.broadcast(out, Msg::ViewChange(vc.clone()));
-        let backoff = self
-            .cfg
-            .view_change_timeout
-            .mul(1u64 << self.vc_attempts.min(10));
-        out.push(Output::SetTimer {
-            token: TOKEN_VIEW_CHANGE,
-            delay: backoff,
-        });
+        let backoff = self.cfg.view_change_timeout * (1u64 << self.vc_attempts.min(10));
+        out.push(Output::SetTimer { token: TOKEN_VIEW_CHANGE, delay: backoff });
         // The new leader processes its own view-change vote.
         self.maybe_announce_new_view(now, target, out, charge);
     }
@@ -643,10 +595,7 @@ impl<P: Payload> Pbft<P> {
         // Join rule: if more voting weight than the adversary can control
         // asks for a higher view, a correct replica must be among them.
         if !self.in_view_change || target > self.vc_target {
-            let weight: u32 = self.vc_msgs[&target.0]
-                .keys()
-                .map(|i| self.cfg.weight(*i))
-                .sum();
+            let weight: u32 = self.vc_msgs[&target.0].keys().map(|i| self.cfg.weight(*i)).sum();
             if weight > self.max_faulty_weight() {
                 self.start_view_change(now, target, out, charge);
             }
@@ -677,13 +626,7 @@ impl<P: Payload> Pbft<P> {
         let vcs: Vec<ViewChangeMsg<P>> = votes.values().cloned().collect();
         self.announced_new_view = Some(target);
         *charge += self.cfg.cost.rsa_sign();
-        self.broadcast(
-            out,
-            Msg::NewView(NewViewMsg {
-                view: target,
-                vcs: vcs.clone(),
-            }),
-        );
+        self.broadcast(out, Msg::NewView(NewViewMsg { view: target, vcs: vcs.clone() }));
         self.install_new_view(now, target, &vcs, out, charge);
     }
 
@@ -699,7 +642,7 @@ impl<P: Payload> Pbft<P> {
             return;
         }
         // Verify the signatures of all carried view changes.
-        *charge += self.cfg.cost.rsa_verify().mul(nv.vcs.len() as u64 + 1);
+        *charge += self.cfg.cost.rsa_verify() * (nv.vcs.len() as u64 + 1);
         let mut seen = HashSet::new();
         let weight: u32 = nv
             .vcs
@@ -776,13 +719,8 @@ impl<P: Payload> Pbft<P> {
         self.in_view_change = false;
         self.vc_attempts = 0;
         self.vc_msgs.retain(|&v, _| v > view.0);
-        out.push(Output::CancelTimer {
-            token: TOKEN_VIEW_CHANGE,
-        });
-        out.push(Output::ViewChanged {
-            view,
-            leader: self.cfg.leader_of(view.0),
-        });
+        out.push(Output::CancelTimer { token: TOKEN_VIEW_CHANGE });
+        out.push(Output::ViewChanged { view, leader: self.cfg.leader_of(view.0) });
 
         // Re-propose carried-over instances (and no-ops for gaps) in the
         // new view, as if fresh pre-prepares had arrived.
@@ -809,14 +747,7 @@ impl<P: Payload> Pbft<P> {
             inst.committed = false;
             inst.prepares = HashMap::from([(leader, digest), (me, digest)]);
             inst.commits = HashMap::new();
-            self.broadcast(
-                out,
-                Msg::Prepare {
-                    view,
-                    seq: SeqNr(seq),
-                    digest,
-                },
-            );
+            self.broadcast(out, Msg::Prepare { view, seq: SeqNr(seq), digest });
         }
         self.next_seq = self.next_seq.max(max_seq + 1).max(self.next_deliver);
         for seq in (start + 1)..=max_seq {
@@ -874,10 +805,7 @@ impl<P: Payload> Pbft<P> {
     fn broadcast(&self, out: &mut Vec<Output<P>>, msg: Msg<P>) {
         for to in 0..self.cfg.n() {
             if to != self.me {
-                out.push(Output::Send {
-                    to,
-                    msg: msg.clone(),
-                });
+                out.push(Output::Send { to, msg: msg.clone() });
             }
         }
     }
@@ -931,8 +859,7 @@ mod tests {
 
     #[test]
     fn four_replicas_order_one_payload() {
-        let mut replicas: Vec<Pbft<TestPayload>> =
-            (0..4).map(|i| Pbft::new(cfg(), i)).collect();
+        let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg(), i)).collect();
         let delivered = order_and_pump(&mut replicas, TestPayload(7), SimTime::ZERO);
         for d in &delivered {
             assert_eq!(d.len(), 1);
@@ -943,8 +870,7 @@ mod tests {
 
     #[test]
     fn ordering_is_identical_across_replicas() {
-        let mut replicas: Vec<Pbft<TestPayload>> =
-            (0..4).map(|i| Pbft::new(cfg(), i)).collect();
+        let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg(), i)).collect();
         let mut all: Vec<Vec<(SeqNr, Vec<TestPayload>)>> = vec![Vec::new(); 4];
         for k in 0..20 {
             let d = order_and_pump(&mut replicas, TestPayload(k), SimTime::ZERO);
@@ -960,8 +886,7 @@ mod tests {
 
     #[test]
     fn duplicate_order_is_not_delivered_twice() {
-        let mut replicas: Vec<Pbft<TestPayload>> =
-            (0..4).map(|i| Pbft::new(cfg(), i)).collect();
+        let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg(), i)).collect();
         let d1 = order_and_pump(&mut replicas, TestPayload(1), SimTime::ZERO);
         let d2 = order_and_pump(&mut replicas, TestPayload(1), SimTime::ZERO);
         assert_eq!(d1[0].len(), 1);
@@ -970,8 +895,7 @@ mod tests {
 
     #[test]
     fn gc_forgets_and_blocks_redelivery() {
-        let mut replicas: Vec<Pbft<TestPayload>> =
-            (0..4).map(|i| Pbft::new(cfg(), i)).collect();
+        let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg(), i)).collect();
         let _ = order_and_pump(&mut replicas, TestPayload(1), SimTime::ZERO);
         for r in replicas.iter_mut() {
             r.gc(SeqNr(2));
@@ -984,8 +908,7 @@ mod tests {
 
     #[test]
     fn silent_leader_triggers_view_change_and_new_leader_delivers() {
-        let mut replicas: Vec<Pbft<TestPayload>> =
-            (0..4).map(|i| Pbft::new(cfg(), i)).collect();
+        let mut replicas: Vec<Pbft<TestPayload>> = (0..4).map(|i| Pbft::new(cfg(), i)).collect();
         let t0 = SimTime::ZERO;
 
         // Followers (1..4) learn of a payload; leader 0 is silent/faulty:
@@ -998,9 +921,9 @@ mod tests {
         // Progress timers fire after the timeout on the followers.
         let t1 = SimTime::from_millis(200);
         let mut inbox: VecDeque<(usize, usize, Msg<TestPayload>)> = VecDeque::new();
-        for i in 1..4 {
+        for (i, replica) in replicas.iter_mut().enumerate().skip(1) {
             let mut out = Vec::new();
-            replicas[i].handle(t1, Input::Timer(TOKEN_PROGRESS), &mut out);
+            replica.handle(t1, Input::Timer(TOKEN_PROGRESS), &mut out);
             for o in out {
                 if let Output::Send { to, msg } = o {
                     inbox.push_back((i, to, msg));
@@ -1035,9 +958,8 @@ mod tests {
 
     #[test]
     fn batching_groups_payloads() {
-        let mut replicas: Vec<Pbft<TestPayload>> = (0..4)
-            .map(|i| Pbft::new(cfg().with_max_batch(4), i))
-            .collect();
+        let mut replicas: Vec<Pbft<TestPayload>> =
+            (0..4).map(|i| Pbft::new(cfg().with_max_batch(4), i)).collect();
         // Feed 4 payloads to the leader only first (no message exchange in
         // between), then to followers, then pump.
         let mut inbox: VecDeque<(usize, usize, Msg<TestPayload>)> = VecDeque::new();
@@ -1105,16 +1027,8 @@ mod tests {
         let mut r1: Pbft<TestPayload> = Pbft::new(cfg(), 1);
         let mut r2: Pbft<TestPayload> = Pbft::new(cfg(), 2);
         let mut r3: Pbft<TestPayload> = Pbft::new(cfg(), 3);
-        let a = Msg::PrePrepare {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            batch: vec![TestPayload(1)],
-        };
-        let b = Msg::PrePrepare {
-            view: ViewNr(0),
-            seq: SeqNr(1),
-            batch: vec![TestPayload(2)],
-        };
+        let a = Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1)] };
+        let b = Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(2)] };
         let mut out: Vec<Output<TestPayload>> = Vec::new();
         r1.handle(SimTime::ZERO, Input::Message { from: 0, msg: a.clone() }, &mut out);
         r2.handle(SimTime::ZERO, Input::Message { from: 0, msg: a }, &mut out);

@@ -32,6 +32,10 @@ const TAG_CP_GOSSIP: u64 = 4;
 /// Interval of the checkpoint-gossip heartbeat (§A.4.3).
 const CP_GOSSIP_INTERVAL: SimTime = SimTime::from_millis(1_000);
 
+/// Decoded agreement snapshot: `(sn, t, hist)` as written by
+/// `encode_snapshot`.
+type DecodedSnapshot = (u64, HashMap<ClientId, u64>, VecDeque<(u64, OrderItem)>);
+
 /// Fault behaviours injectable into an agreement replica (§3.7 tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AgreementFault {
@@ -111,13 +115,7 @@ impl AgreementReplica {
             t_next: HashMap::new(),
             hist: VecDeque::new(),
             channels: BTreeMap::new(),
-            cp: CheckpointComponent::new(
-                keys::AGREEMENT_GROUP,
-                me,
-                cfg.fa,
-                keyring,
-                cfg.cost,
-            ),
+            cp: CheckpointComponent::new(keys::AGREEMENT_GROUP, me, cfg.fa, keyring, cfg.cost),
             backlog: VecDeque::new(),
             instance_map: VecDeque::new(),
             timers: HashMap::new(),
@@ -211,8 +209,11 @@ impl AgreementReplica {
                     ctx.charge(self.cfg.cost.rsa_verify());
                     self.t_next.insert(client, next + 1);
                     let mut out = Vec::new();
-                    self.pbft
-                        .handle(ctx.now(), Input::Order(OrderItem::Request(ordered)), &mut out);
+                    self.pbft.handle(
+                        ctx.now(),
+                        Input::Order(OrderItem::Request(ordered)),
+                        &mut out,
+                    );
                     self.apply_pbft_outputs(ctx, out);
                 }
                 ReceiveResult::TooOld(p) => {
@@ -228,7 +229,11 @@ impl AgreementReplica {
     // Consensus plumbing
     // ------------------------------------------------------------------
 
-    fn apply_pbft_outputs(&mut self, ctx: &mut Context<'_, SpiderMsg>, outputs: Vec<Output<OrderItem>>) {
+    fn apply_pbft_outputs(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        outputs: Vec<Output<OrderItem>>,
+    ) {
         let agreement = self.directory.agreement();
         for o in outputs {
             match o {
@@ -293,9 +298,9 @@ impl AgreementReplica {
                         let sendable = groups
                             .iter()
                             .filter(|g| {
-                                self.channels
-                                    .get(g)
-                                    .is_some_and(|ch| !ch.commit_send.window(0).is_above(Position(s)))
+                                self.channels.get(g).is_some_and(|ch| {
+                                    !ch.commit_send.window(0).is_above(Position(s))
+                                })
                             })
                             .count();
                         if sendable + self.cfg.z < ne {
@@ -339,7 +344,7 @@ impl AgreementReplica {
             }
             self.apply_commit_actions(ctx, group, actions);
         }
-        if self.sn % self.cfg.ka == 0 {
+        if self.sn.is_multiple_of(self.cfg.ka) {
             let snapshot = self.encode_snapshot();
             let mut actions = Vec::new();
             self.cp.generate(SeqNr(self.sn), snapshot, &mut actions);
@@ -406,7 +411,7 @@ impl AgreementReplica {
         buf.freeze()
     }
 
-    fn restore_snapshot(&mut self, bytes: &[u8]) -> Option<(u64, HashMap<ClientId, u64>, VecDeque<(u64, OrderItem)>)> {
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Option<DecodedSnapshot> {
         let mut buf = bytes;
         if buf.remaining() < 12 {
             return None;
@@ -498,17 +503,12 @@ impl AgreementReplica {
                     }
                     self.t = t;
                     self.hist = hist;
-                    let items: Vec<(u64, OrderItem)> = self
-                        .hist
-                        .iter()
-                        .filter(|(s, _)| *s > old_sn)
-                        .cloned()
-                        .collect();
+                    let items: Vec<(u64, OrderItem)> =
+                        self.hist.iter().filter(|(s, _)| *s > old_sn).cloned().collect();
                     for group in self.directory.active_groups() {
                         for (s, item) in &items {
                             if let OrderItem::Request(req) = item {
-                                let exec =
-                                    self.maybe_corrupt(execute_for_group(*s, req, group));
+                                let exec = self.maybe_corrupt(execute_for_group(*s, req, group));
                                 let mut actions = Vec::new();
                                 if let Some(ch) = self.channels.get_mut(&group) {
                                     ch.commit_send.send(0, Position(*s), exec, &mut actions);
@@ -542,10 +542,10 @@ impl AgreementReplica {
             match a {
                 Action::ToSender { to, msg } => {
                     if let Some(node) = exec_nodes.get(to) {
-                        ctx.send(*node, SpiderMsg::RequestChannel {
-                            group,
-                            leg: ChannelLeg::ToSender(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::RequestChannel { group, leg: ChannelLeg::ToSender(msg) },
+                        );
                     }
                 }
                 Action::Ready { sc, .. } | Action::WindowMoved { sc, .. } => {
@@ -581,18 +581,18 @@ impl AgreementReplica {
             match a {
                 Action::ToReceiver { to, msg } => {
                     if let Some(node) = exec_nodes.get(to) {
-                        ctx.send(*node, SpiderMsg::CommitChannel {
-                            group,
-                            leg: ChannelLeg::ToReceiver(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::CommitChannel { group, leg: ChannelLeg::ToReceiver(msg) },
+                        );
                     }
                 }
                 Action::ToPeerSender { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(*node, SpiderMsg::CommitChannel {
-                            group,
-                            leg: ChannelLeg::Peer(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::CommitChannel { group, leg: ChannelLeg::Peer(msg) },
+                        );
                     }
                 }
                 Action::WindowMoved { .. } | Action::Unblocked { .. } => window_moved = true,
@@ -613,11 +613,14 @@ impl AgreementReplica {
                 CpAction::ToGroup(msg) => {
                     for (i, node) in agreement.iter().enumerate() {
                         if i != self.me {
-                            ctx.send(*node, SpiderMsg::Checkpoint {
-                                group: keys::AGREEMENT_GROUP,
-                                msg: msg.clone(),
-                                state: None,
-                            });
+                            ctx.send(
+                                *node,
+                                SpiderMsg::Checkpoint {
+                                    group: keys::AGREEMENT_GROUP,
+                                    msg: msg.clone(),
+                                    state: None,
+                                },
+                            );
                         }
                     }
                 }
@@ -630,11 +633,14 @@ impl AgreementReplica {
                             },
                             bytes,
                         });
-                        ctx.send(*node, SpiderMsg::Checkpoint {
-                            group: keys::AGREEMENT_GROUP,
-                            msg,
-                            state: blob,
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::Checkpoint {
+                                group: keys::AGREEMENT_GROUP,
+                                msg,
+                                state: blob,
+                            },
+                        );
                     }
                 }
                 CpAction::Stable { seq, state } => stable.push((seq, state)),
@@ -659,10 +665,7 @@ impl AgreementReplica {
     }
 
     fn exec_index(&self, group: GroupId, node: NodeId) -> Option<usize> {
-        self.directory
-            .group_replicas(group)
-            .iter()
-            .position(|n| *n == node)
+        self.directory.group_replicas(group).iter().position(|n| *n == node)
     }
 }
 
@@ -732,11 +735,7 @@ fn decode_order_item(buf: &mut &[u8]) -> Option<OrderItem> {
             let op = Bytes::copy_from_slice(&buf[..len]);
             buf.advance(len);
             Some(OrderItem::Request(OrderedRequest {
-                request: ClientRequest {
-                    client,
-                    tc,
-                    operation: Operation { op, kind },
-                },
+                request: ClientRequest { client, tc, operation: Operation { op, kind } },
                 origin,
             }))
         }
@@ -744,17 +743,13 @@ fn decode_order_item(buf: &mut &[u8]) -> Option<OrderItem> {
             if buf.remaining() < 2 {
                 return None;
             }
-            Some(OrderItem::Admin(AdminCommand::AddGroup {
-                group: GroupId(buf.get_u16()),
-            }))
+            Some(OrderItem::Admin(AdminCommand::AddGroup { group: GroupId(buf.get_u16()) }))
         }
         2 => {
             if buf.remaining() < 2 {
                 return None;
             }
-            Some(OrderItem::Admin(AdminCommand::RemoveGroup {
-                group: GroupId(buf.get_u16()),
-            }))
+            Some(OrderItem::Admin(AdminCommand::RemoveGroup { group: GroupId(buf.get_u16()) }))
         }
         _ => None,
     }
@@ -776,25 +771,22 @@ impl Actor<SpiderMsg> for AgreementReplica {
                     return;
                 };
                 let mut out = Vec::new();
-                self.pbft
-                    .handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
+                self.pbft.handle(ctx.now(), Input::Message { from: idx, msg: m }, &mut out);
                 self.apply_pbft_outputs(ctx, out);
             }
-            SpiderMsg::RequestChannel { group, leg } => {
-                match leg {
-                    ChannelLeg::ToReceiver(m) => {
-                        let Some(idx) = self.exec_index(group, from) else {
-                            return;
-                        };
-                        let mut actions = Vec::new();
-                        if let Some(ch) = self.channels.get_mut(&group) {
-                            ch.req_recv.on_sender_message(ctx.now(), idx, m, &mut actions);
-                        }
-                        self.apply_request_channel_actions(ctx, group, actions);
+            SpiderMsg::RequestChannel { group, leg } => match leg {
+                ChannelLeg::ToReceiver(m) => {
+                    let Some(idx) = self.exec_index(group, from) else {
+                        return;
+                    };
+                    let mut actions = Vec::new();
+                    if let Some(ch) = self.channels.get_mut(&group) {
+                        ch.req_recv.on_sender_message(ctx.now(), idx, m, &mut actions);
                     }
-                    ChannelLeg::ToSender(_) | ChannelLeg::Peer(_) => {}
+                    self.apply_request_channel_actions(ctx, group, actions);
                 }
-            }
+                ChannelLeg::ToSender(_) | ChannelLeg::Peer(_) => {}
+            },
             SpiderMsg::CommitChannel { group, leg } => match leg {
                 ChannelLeg::ToSender(m) => {
                     let Some(idx) = self.exec_index(group, from) else {
@@ -823,8 +815,7 @@ impl Actor<SpiderMsg> for AgreementReplica {
                 // admin client and ordered like requests (§3.6).
                 ctx.charge(self.cfg.cost.rsa_verify());
                 let mut out = Vec::new();
-                self.pbft
-                    .handle(ctx.now(), Input::Order(OrderItem::Admin(cmd)), &mut out);
+                self.pbft.handle(ctx.now(), Input::Order(OrderItem::Admin(cmd)), &mut out);
                 self.apply_pbft_outputs(ctx, out);
             }
             SpiderMsg::Checkpoint { group, msg, state } => {
@@ -840,13 +831,11 @@ impl Actor<SpiderMsg> for AgreementReplica {
                         self.cp.on_announce(idx, seq, state_hash, sig, &mut actions);
                     }
                     CheckpointMsg::FetchRequest { seq } => {
-                        self.cp
-                            .on_fetch_request(keys::AGREEMENT_GROUP, idx, seq, &mut actions);
+                        self.cp.on_fetch_request(keys::AGREEMENT_GROUP, idx, seq, &mut actions);
                     }
                     CheckpointMsg::FetchResponse { seq, state_hash, cert, .. } => {
                         let Some(blob) = state else { return };
-                        let provider_keys =
-                            keys::agreement_keys(self.cfg.agreement_size());
+                        let provider_keys = keys::agreement_keys(self.cfg.agreement_size());
                         self.cp.on_fetch_response(
                             keys::AGREEMENT_GROUP,
                             &provider_keys,
@@ -878,11 +867,9 @@ impl Actor<SpiderMsg> for AgreementReplica {
                 }
                 self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
             }
-            TAG_FETCH_RETRY => {
-                if self.fetching {
-                    self.fetching = false;
-                    self.start_fetch(ctx);
-                }
+            TAG_FETCH_RETRY if self.fetching => {
+                self.fetching = false;
+                self.start_fetch(ctx);
             }
             TAG_CP_GOSSIP => {
                 let mut actions = Vec::new();
@@ -947,7 +934,9 @@ mod tests {
             }
             _ => panic!("expected placeholder"),
         }
-        assert!(spider_types::WireSize::wire_size(&other) < spider_types::WireSize::wire_size(&own));
+        assert!(
+            spider_types::WireSize::wire_size(&other) < spider_types::WireSize::wire_size(&own)
+        );
     }
 
     #[test]

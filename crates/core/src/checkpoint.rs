@@ -50,12 +50,7 @@ pub enum CpAction {
 }
 
 fn cp_digest(group: GroupId, seq: SeqNr, state_hash: &Digest) -> Digest {
-    Digest::builder()
-        .str("checkpoint")
-        .u64(group.0 as u64)
-        .u64(seq.0)
-        .digest(state_hash)
-        .finish()
+    Digest::builder().str("checkpoint").u64(group.0 as u64).u64(seq.0).digest(state_hash).finish()
 }
 
 /// Per-replica checkpoint component.
@@ -83,18 +78,8 @@ pub struct CheckpointComponent {
 impl CheckpointComponent {
     /// Creates the component for replica `me` of `group` tolerating `f`
     /// member faults.
-    pub fn new(
-        group: GroupId,
-        me: usize,
-        f: usize,
-        keyring: Keyring,
-        cost: CostModel,
-    ) -> Self {
-        let n = if group == crate::keys::AGREEMENT_GROUP {
-            3 * f + 1
-        } else {
-            2 * f + 1
-        };
+    pub fn new(group: GroupId, me: usize, f: usize, keyring: Keyring, cost: CostModel) -> Self {
+        let n = if group == crate::keys::AGREEMENT_GROUP { 3 * f + 1 } else { 2 * f + 1 };
         CheckpointComponent {
             group,
             me,
@@ -119,20 +104,11 @@ impl CheckpointComponent {
     /// Fig 13 `gen_cp`: snapshot taken at `seq`; announce its hash.
     pub fn generate(&mut self, seq: SeqNr, state: Bytes, out: &mut Vec<CpAction>) {
         let hash = Digest::of_bytes(&state);
-        out.push(CpAction::Charge(
-            self.cost.hmac(state.len()) + self.cost.rsa_sign(),
-        ));
+        out.push(CpAction::Charge(self.cost.hmac(state.len()) + self.cost.rsa_sign()));
         self.snapshots.insert(seq.0, (hash, state));
         let sig = self.keyring.sign(self.my_key, &cp_digest(self.group, seq, &hash));
-        let msg = CheckpointMsg::Announce {
-            seq,
-            state_hash: hash,
-            sig,
-        };
-        self.votes
-            .entry(seq.0)
-            .or_default()
-            .insert(self.me, (hash, sig));
+        let msg = CheckpointMsg::Announce { seq, state_hash: hash, sig };
+        self.votes.entry(seq.0).or_default().insert(self.me, (hash, sig));
         out.push(CpAction::ToGroup(msg));
         self.check_stable(seq, out);
     }
@@ -156,11 +132,7 @@ impl CheckpointComponent {
         else {
             return;
         };
-        out.push(CpAction::ToGroup(CheckpointMsg::Announce {
-            seq: *seq,
-            state_hash: hash,
-            sig,
-        }));
+        out.push(CpAction::ToGroup(CheckpointMsg::Announce { seq: *seq, state_hash: hash, sig }));
     }
 
     /// Handles an `Announce` from member `from` of the own group.
@@ -194,20 +166,13 @@ impl CheckpointComponent {
                     out.push(CpAction::ToPeer {
                         group: self.group,
                         idx: from,
-                        msg: CheckpointMsg::Announce {
-                            seq: *stable_seq,
-                            state_hash: h,
-                            sig: s,
-                        },
+                        msg: CheckpointMsg::Announce { seq: *stable_seq, state_hash: h, sig: s },
                         state: None,
                     });
                 }
             }
         }
-        self.votes
-            .entry(seq.0)
-            .or_default()
-            .insert(from, (state_hash, sig));
+        self.votes.entry(seq.0).or_default().insert(from, (state_hash, sig));
         self.check_stable(seq, out);
     }
 
@@ -220,7 +185,7 @@ impl CheckpointComponent {
         for (hash, sig) in votes.values() {
             by_hash.entry(*hash).or_default().push(*sig);
         }
-        let Some((hash, cert)) = by_hash.into_iter().find(|(_, v)| v.len() >= self.f + 1) else {
+        let Some((hash, cert)) = by_hash.into_iter().find(|(_, v)| v.len() > self.f) else {
             return;
         };
         if self.stable.as_ref().is_some_and(|(s, _, _)| *s >= seq) {
@@ -240,11 +205,7 @@ impl CheckpointComponent {
         // Deliver with state when we hold a matching snapshot; otherwise
         // notify without state so the host can fetch (a later
         // FetchResponse will re-deliver with state).
-        let state = self
-            .snapshots
-            .get(&seq.0)
-            .filter(|(h, _)| *h == hash)
-            .map(|(_, b)| b.clone());
+        let state = self.snapshots.get(&seq.0).filter(|(h, _)| *h == hash).map(|(_, b)| b.clone());
         match state {
             Some(state) => {
                 self.delivered = seq.0;
@@ -277,11 +238,7 @@ impl CheckpointComponent {
         if stable_seq < seq {
             return; // We have nothing new enough.
         }
-        let Some((_, state)) = self
-            .snapshots
-            .get(&stable_seq.0)
-            .filter(|(h, _)| *h == hash)
-        else {
+        let Some((_, state)) = self.snapshots.get(&stable_seq.0).filter(|(h, _)| *h == hash) else {
             return; // Stable but we never held the bytes ourselves.
         };
         out.push(CpAction::Charge(self.cost.hmac(state.len())));
@@ -312,7 +269,7 @@ impl CheckpointComponent {
         out: &mut Vec<CpAction>,
     ) {
         out.push(CpAction::Charge(
-            self.cost.hmac(state.len()) + self.cost.rsa_verify().mul(cert.len() as u64),
+            self.cost.hmac(state.len()) + self.cost.rsa_verify() * cert.len() as u64,
         ));
         if seq.0 <= self.delivered {
             return;
@@ -328,10 +285,9 @@ impl CheckpointComponent {
         let valid = cert
             .iter()
             .filter(|sig| {
-                provider_keys
-                    .iter()
-                    .position(|k| *k == sig.signer)
-                    .is_some_and(|i| seen.insert(i) && self.keyring.verify(sig.signer, &digest, sig))
+                provider_keys.iter().position(|k| *k == sig.signer).is_some_and(|i| {
+                    seen.insert(i) && self.keyring.verify(sig.signer, &digest, sig)
+                })
             })
             .count();
         if valid < self.f + 1 {
@@ -341,18 +297,13 @@ impl CheckpointComponent {
         // Adopt the certificate when it comes from our own group, so we
         // can serve later fetches ourselves. A foreign-group checkpoint is
         // applied but not re-served (its certificate names foreign keys).
-        if provider_group == self.group
-            && self.stable.as_ref().map_or(true, |(s, _, _)| *s < seq)
-        {
+        if provider_group == self.group && self.stable.as_ref().is_none_or(|(s, _, _)| *s < seq) {
             self.stable = Some((seq, state_hash, cert));
         }
         self.delivered = seq.0;
         self.snapshots.retain(|&s, _| s >= seq.0);
         self.votes.retain(|&s, _| s >= seq.0);
-        out.push(CpAction::Stable {
-            seq,
-            state: Some(state),
-        });
+        out.push(CpAction::Stable { seq, state: Some(state) });
     }
 }
 
@@ -362,13 +313,7 @@ mod tests {
     use spider_types::GroupId;
 
     fn comp(me: usize) -> CheckpointComponent {
-        CheckpointComponent::new(
-            GroupId(0),
-            me,
-            1,
-            Keyring::new(3),
-            CostModel::zero(),
-        )
+        CheckpointComponent::new(GroupId(0), me, 1, Keyring::new(3), CostModel::zero())
     }
 
     fn announce_of(out: &[CpAction]) -> (SeqNr, Digest, Signature) {
@@ -424,10 +369,8 @@ mod tests {
         let hash = Digest::of_bytes(&state);
         // Signed with the wrong identity (member 2 claims to be 1).
         let ring = Keyring::new(3);
-        let bad_sig = ring.sign(
-            crate::keys::exec_key(GroupId(0), 2),
-            &cp_digest(GroupId(0), SeqNr(10), &hash),
-        );
+        let bad_sig = ring
+            .sign(crate::keys::exec_key(GroupId(0), 2), &cp_digest(GroupId(0), SeqNr(10), &hash));
         let mut out = Vec::new();
         a.generate(SeqNr(10), state, &mut out);
         a.on_announce(1, SeqNr(10), hash, bad_sig, &mut out);

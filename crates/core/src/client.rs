@@ -332,11 +332,7 @@ impl SpiderClient {
             }
         }
         if counts.values().any(|n| *n >= quorum) {
-            let sample = Sample {
-                kind: inf.kind,
-                issued: inf.issued,
-                completed: ctx.now(),
-            };
+            let sample = Sample { kind: inf.kind, issued: inf.issued, completed: ctx.now() };
             self.samples.push(sample);
             self.in_flight = None;
             self.disarm_timer(ctx, TAG_RETRY);
@@ -443,12 +439,10 @@ impl Actor<SpiderMsg> for SpiderClient {
                 }
                 self.schedule_next_issue(ctx);
             }
-            TAG_RETRY => {
-                if self.in_flight.is_some() {
-                    self.maybe_fail_over(ctx);
-                    self.transmit(ctx);
-                    self.arm_timer(ctx, TAG_RETRY, self.cfg.client_retry);
-                }
+            TAG_RETRY if self.in_flight.is_some() => {
+                self.maybe_fail_over(ctx);
+                self.transmit(ctx);
+                self.arm_timer(ctx, TAG_RETRY, self.cfg.client_retry);
             }
             _ => {}
         }

@@ -87,8 +87,7 @@ impl<A: Application> DeploymentBuilder<A> {
     #[must_use]
     pub fn execution_group_span(mut self, regions: &[&str]) -> Self {
         assert!(!regions.is_empty());
-        self.exec_groups
-            .push(regions.iter().map(|r| (*r).to_owned()).collect());
+        self.exec_groups.push(regions.iter().map(|r| (*r).to_owned()).collect());
         self
     }
 
@@ -323,7 +322,10 @@ impl Deployment {
     }
 
     /// Collects `(client, group, samples)` from every spawned client.
-    pub fn collect_samples(&self, sim: &Simulation<SpiderMsg>) -> Vec<(ClientId, GroupId, Vec<Sample>)> {
+    pub fn collect_samples(
+        &self,
+        sim: &Simulation<SpiderMsg>,
+    ) -> Vec<(ClientId, GroupId, Vec<Sample>)> {
         self.clients
             .iter()
             .map(|(id, group, node)| {
@@ -360,7 +362,5 @@ impl Application for Box<dyn Application> {
 
 /// Convenience: the region of a group by index.
 pub fn region_of(deployment: &Deployment, group_idx: usize) -> RegionId {
-    deployment
-        .directory
-        .group_region(deployment.groups[group_idx].0)
+    deployment.directory.group_region(deployment.groups[group_idx].0)
 }

@@ -89,22 +89,12 @@ impl Directory {
 
     /// Whether a group is currently active.
     pub fn is_active(&self, group: GroupId) -> bool {
-        self.inner
-            .read()
-            .groups
-            .get(&group)
-            .is_some_and(|g| g.active)
+        self.inner.read().groups.get(&group).is_some_and(|g| g.active)
     }
 
     /// All currently active groups, in id order.
     pub fn active_groups(&self) -> Vec<GroupId> {
-        self.inner
-            .read()
-            .groups
-            .iter()
-            .filter(|(_, g)| g.active)
-            .map(|(id, _)| *id)
-            .collect()
+        self.inner.read().groups.iter().filter(|(_, g)| g.active).map(|(id, _)| *id).collect()
     }
 
     /// All registered groups (active or not), in id order.
@@ -176,16 +166,9 @@ mod tests {
         for id in [5u16, 1, 3] {
             d.register_group(
                 GroupId(id),
-                GroupInfo {
-                    replicas: vec![],
-                    region: RegionId(0),
-                    active: true,
-                },
+                GroupInfo { replicas: vec![], region: RegionId(0), active: true },
             );
         }
-        assert_eq!(
-            d.all_groups(),
-            vec![GroupId(1), GroupId(3), GroupId(5)]
-        );
+        assert_eq!(d.all_groups(), vec![GroupId(1), GroupId(3), GroupId(5)]);
     }
 }

@@ -90,13 +90,7 @@ pub struct ExecutionReplica<A: Application> {
 
 impl<A: Application> ExecutionReplica<A> {
     /// Creates replica `me` of execution group `group`.
-    pub fn new(
-        cfg: SpiderConfig,
-        group: GroupId,
-        me: usize,
-        directory: Directory,
-        app: A,
-    ) -> Self {
+    pub fn new(cfg: SpiderConfig, group: GroupId, me: usize, directory: Directory, app: A) -> Self {
         cfg.validate();
         let keyring = Keyring::new(cfg.key_seed);
         let n_exec = cfg.execution_size();
@@ -205,7 +199,11 @@ impl<A: Application> ExecutionReplica<A> {
                 Some(CachedReply::Result { tc, result }) if *tc == req.tc => {
                     let result = result.clone();
                     ctx.charge(self.cfg.cost.hmac(result.len()));
-                    self.reply_to(ctx, c, Reply { tc: req.tc, result, weak: false, resubmit: false });
+                    self.reply_to(
+                        ctx,
+                        c,
+                        Reply { tc: req.tc, result, weak: false, resubmit: false },
+                    );
                 }
                 Some(CachedReply::Placeholder { tc }) if *tc == req.tc => {
                     // The read was skipped here (§A.7.9 remark): tell the
@@ -276,7 +274,7 @@ impl<A: Application> ExecutionReplica<A> {
                 let c = ordered.request.client;
                 let tc = ordered.request.tc;
                 // At-most-once (Fig 16 L34 / E-Validity II).
-                let fresh = self.replies.get(&c).map_or(true, |r| r.tc() < tc);
+                let fresh = self.replies.get(&c).is_none_or(|r| r.tc() < tc);
                 if fresh {
                     ctx.charge(self.cfg.cost.app_execute());
                     let result = self.app.execute(&ordered.request.operation.op);
@@ -286,8 +284,7 @@ impl<A: Application> ExecutionReplica<A> {
                     } else {
                         result
                     };
-                    self.replies
-                        .insert(c, CachedReply::Result { tc, result: result.clone() });
+                    self.replies.insert(c, CachedReply::Result { tc, result: result.clone() });
                     if ordered.origin == self.group {
                         ctx.charge(self.cfg.cost.hmac(result.len()));
                         self.reply_to(ctx, c, Reply { tc, result, weak: false, resubmit: false });
@@ -297,13 +294,13 @@ impl<A: Application> ExecutionReplica<A> {
             ExecutePayload::Placeholder { client, tc, .. } => {
                 // A strong read executed at another group: remember the
                 // counter so duplicates are skipped (Lemma A.35).
-                let fresh = self.replies.get(&client).map_or(true, |r| r.tc() < tc);
+                let fresh = self.replies.get(&client).is_none_or(|r| r.tc() < tc);
                 if fresh {
                     self.replies.insert(client, CachedReply::Placeholder { tc });
                 }
             }
         }
-        if self.sn % self.cfg.ke == 0 {
+        if self.sn.is_multiple_of(self.cfg.ke) {
             let snapshot = self.encode_snapshot();
             let mut actions = Vec::new();
             self.cp.generate(SeqNr(self.sn), snapshot, &mut actions);
@@ -399,7 +396,12 @@ impl<A: Application> ExecutionReplica<A> {
         self.arm_timer(ctx, TAG_FETCH_RETRY, SimTime::from_millis(500));
     }
 
-    fn on_stable_checkpoint(&mut self, ctx: &mut Context<'_, SpiderMsg>, seq: SeqNr, state: Option<Bytes>) {
+    fn on_stable_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        seq: SeqNr,
+        state: Option<Bytes>,
+    ) {
         // Allow garbage collection of the commit channel (Fig 16 L44)
         // regardless of whether we are ahead or behind.
         let mut actions = Vec::new();
@@ -444,18 +446,24 @@ impl<A: Application> ExecutionReplica<A> {
             match a {
                 Action::ToReceiver { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(*node, SpiderMsg::RequestChannel {
-                            group: self.group,
-                            leg: ChannelLeg::ToReceiver(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::RequestChannel {
+                                group: self.group,
+                                leg: ChannelLeg::ToReceiver(msg),
+                            },
+                        );
                     }
                 }
                 Action::ToPeerSender { to, msg } => {
                     if let Some(node) = peers.get(to) {
-                        ctx.send(*node, SpiderMsg::RequestChannel {
-                            group: self.group,
-                            leg: ChannelLeg::Peer(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::RequestChannel {
+                                group: self.group,
+                                leg: ChannelLeg::Peer(msg),
+                            },
+                        );
                     }
                 }
                 Action::Charge(c) => ctx.charge(c),
@@ -475,10 +483,13 @@ impl<A: Application> ExecutionReplica<A> {
             match a {
                 Action::ToSender { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(*node, SpiderMsg::CommitChannel {
-                            group: self.group,
-                            leg: ChannelLeg::ToSender(msg),
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::CommitChannel {
+                                group: self.group,
+                                leg: ChannelLeg::ToSender(msg),
+                            },
+                        );
                     }
                 }
                 Action::Ready { .. } | Action::WindowMoved { .. } => poll = true,
@@ -504,11 +515,14 @@ impl<A: Application> ExecutionReplica<A> {
                     let is_fetch = matches!(msg, CheckpointMsg::FetchRequest { .. });
                     for (i, node) in peers.iter().enumerate() {
                         if i != self.me {
-                            ctx.send(*node, SpiderMsg::Checkpoint {
-                                group: self.group,
-                                msg: msg.clone(),
-                                state: None,
-                            });
+                            ctx.send(
+                                *node,
+                                SpiderMsg::Checkpoint {
+                                    group: self.group,
+                                    msg: msg.clone(),
+                                    state: None,
+                                },
+                            );
                         }
                     }
                     // Fetches also go to other execution groups (§3.5):
@@ -519,11 +533,14 @@ impl<A: Application> ExecutionReplica<A> {
                                 continue;
                             }
                             for node in self.directory.group_replicas(g) {
-                                ctx.send(node, SpiderMsg::Checkpoint {
-                                    group: self.group,
-                                    msg: msg.clone(),
-                                    state: None,
-                                });
+                                ctx.send(
+                                    node,
+                                    SpiderMsg::Checkpoint {
+                                        group: self.group,
+                                        msg: msg.clone(),
+                                        state: None,
+                                    },
+                                );
                             }
                         }
                     }
@@ -542,11 +559,10 @@ impl<A: Application> ExecutionReplica<A> {
                             },
                             bytes,
                         });
-                        ctx.send(*node, SpiderMsg::Checkpoint {
-                            group: self.group,
-                            msg,
-                            state: blob,
-                        });
+                        ctx.send(
+                            *node,
+                            SpiderMsg::Checkpoint { group: self.group, msg, state: blob },
+                        );
                     }
                 }
                 CpAction::Stable { seq, state } => stable.push((seq, state)),
@@ -570,10 +586,7 @@ impl<A: Application> ExecutionReplica<A> {
         if group == keys::AGREEMENT_GROUP {
             self.directory.agreement().iter().position(|n| *n == node)
         } else {
-            self.directory
-                .group_replicas(group)
-                .iter()
-                .position(|n| *n == node)
+            self.directory.group_replicas(group).iter().position(|n| *n == node)
         }
     }
 }
@@ -604,8 +617,7 @@ impl<A: Application> Actor<SpiderMsg> for ExecutionReplica<A> {
                     // Window moves / collector selections from the
                     // agreement replicas (the channel's receiver side).
                     ChannelLeg::ToSender(m) => {
-                        let Some(idx) = self.replica_index_in(keys::AGREEMENT_GROUP, from)
-                        else {
+                        let Some(idx) = self.replica_index_in(keys::AGREEMENT_GROUP, from) else {
                             return;
                         };
                         let mut actions = Vec::new();
@@ -696,8 +708,7 @@ impl<A: Application> ExecutionReplica<A> {
             }
             CheckpointMsg::FetchResponse { seq, state_hash, cert, .. } => {
                 let Some(blob) = state else { return };
-                let provider_keys =
-                    keys::group_keys(sender_group, self.cfg.execution_size());
+                let provider_keys = keys::group_keys(sender_group, self.cfg.execution_size());
                 self.cp.on_fetch_response(
                     sender_group,
                     &provider_keys,
@@ -737,10 +748,8 @@ mod tests {
         let mut a = replica();
         a.sn = 16;
         a.app.execute(b"add:5");
-        a.replies.insert(
-            ClientId(1),
-            CachedReply::Result { tc: 4, result: Bytes::from_static(b"5") },
-        );
+        a.replies
+            .insert(ClientId(1), CachedReply::Result { tc: 4, result: Bytes::from_static(b"5") });
         a.replies.insert(ClientId(2), CachedReply::Placeholder { tc: 9 });
         let snap = a.encode_snapshot();
 
@@ -755,10 +764,7 @@ mod tests {
             }
             other => panic!("unexpected cache entry {other:?}"),
         }
-        assert!(matches!(
-            b.replies.get(&ClientId(2)),
-            Some(CachedReply::Placeholder { tc: 9 })
-        ));
+        assert!(matches!(b.replies.get(&ClientId(2)), Some(CachedReply::Placeholder { tc: 9 })));
         // Digest equality: the roundtripped snapshot re-encodes
         // identically (CP-E-Equivalence A.23 at the encoding level). The
         // caller is responsible for adopting the sequence number.

@@ -21,11 +21,7 @@ pub struct Operation {
 
 impl Digestible for Operation {
     fn digest(&self) -> Digest {
-        Digest::builder()
-            .str("op")
-            .u64(self.kind as u64)
-            .bytes(&self.op)
-            .finish()
+        Digest::builder().str("op").u64(self.kind as u64).bytes(&self.op).finish()
     }
 }
 
@@ -124,12 +120,9 @@ impl Digestible for Execute {
         let b = Digest::builder().str("execute").u64(self.seq.0);
         match &self.payload {
             ExecutePayload::Full(r) => b.u64(0).digest(&r.digest()).finish(),
-            ExecutePayload::Placeholder { client, tc, target } => b
-                .u64(1)
-                .u32(client.0)
-                .u64(*tc)
-                .u64(target.0 as u64)
-                .finish(),
+            ExecutePayload::Placeholder { client, tc, target } => {
+                b.u64(1).u32(client.0).u64(*tc).u64(target.0 as u64).finish()
+            }
         }
     }
 }
@@ -239,14 +232,12 @@ impl Digestible for OrderItem {
     fn digest(&self) -> Digest {
         match self {
             OrderItem::Request(r) => r.digest(),
-            OrderItem::Admin(AdminCommand::AddGroup { group }) => Digest::builder()
-                .str("admin-add")
-                .u64(group.0 as u64)
-                .finish(),
-            OrderItem::Admin(AdminCommand::RemoveGroup { group }) => Digest::builder()
-                .str("admin-remove")
-                .u64(group.0 as u64)
-                .finish(),
+            OrderItem::Admin(AdminCommand::AddGroup { group }) => {
+                Digest::builder().str("admin-add").u64(group.0 as u64).finish()
+            }
+            OrderItem::Admin(AdminCommand::RemoveGroup { group }) => {
+                Digest::builder().str("admin-remove").u64(group.0 as u64).finish()
+            }
         }
     }
 }
@@ -362,10 +353,7 @@ mod tests {
         ClientRequest {
             client: ClientId(1),
             tc,
-            operation: Operation {
-                op: Bytes::from_static(b"put k v"),
-                kind: OpKind::Write,
-            },
+            operation: Operation { op: Bytes::from_static(b"put k v"), kind: OpKind::Write },
         }
     }
 
@@ -390,11 +378,7 @@ mod tests {
         };
         let ph = Execute {
             seq: SeqNr(5),
-            payload: ExecutePayload::Placeholder {
-                client: ClientId(1),
-                tc: 1,
-                target: GroupId(0),
-            },
+            payload: ExecutePayload::Placeholder { client: ClientId(1), tc: 1, target: GroupId(0) },
         };
         assert_ne!(full.digest(), ph.digest());
     }
@@ -410,16 +394,9 @@ mod tests {
         };
         let ph = Execute {
             seq: SeqNr(5),
-            payload: ExecutePayload::Placeholder {
-                client: ClientId(1),
-                tc: 1,
-                target: GroupId(0),
-            },
+            payload: ExecutePayload::Placeholder { client: ClientId(1), tc: 1, target: GroupId(0) },
         };
-        assert!(
-            ph.wire_size() < full.wire_size(),
-            "placeholders minimize network overhead (§3.3)"
-        );
+        assert!(ph.wire_size() < full.wire_size(), "placeholders minimize network overhead (§3.3)");
     }
 
     #[test]

@@ -21,21 +21,18 @@ fn topology() -> Topology {
 
 #[test]
 fn client_fails_over_when_its_group_dies() {
-    let mut cfg = SpiderConfig::default();
-    cfg.client_retry = SimTime::from_millis(500);
-    cfg.group_failover_retries = 2;
+    let cfg = SpiderConfig {
+        client_retry: SimTime::from_millis(500),
+        group_failover_retries: 2,
+        ..SpiderConfig::default()
+    };
     let mut sim = Simulation::new(topology(), 31);
     let mut dep = DeploymentBuilder::new(cfg)
         .agreement_region("virginia")
         .execution_group("oregon")
         .execution_group("tokyo")
         .build(&mut sim);
-    dep.spawn_clients(
-        &mut sim,
-        0,
-        1,
-        WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(30),
-    );
+    dep.spawn_clients(&mut sim, 0, 1, WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(30));
 
     // Let some writes complete, then kill the whole Oregon group (more
     // than fe = 1 failures: the group is gone, §3.1).
@@ -58,21 +55,18 @@ fn removed_group_redirects_clients() {
     // RemoveGroup (§3.6) + failover: clients of a removed group continue
     // at another group.
     use spider::messages::{AdminCommand, SpiderMsg};
-    let mut cfg = SpiderConfig::default();
-    cfg.client_retry = SimTime::from_millis(500);
-    cfg.group_failover_retries = 2;
+    let cfg = SpiderConfig {
+        client_retry: SimTime::from_millis(500),
+        group_failover_retries: 2,
+        ..SpiderConfig::default()
+    };
     let mut sim = Simulation::new(topology(), 32);
     let mut dep = DeploymentBuilder::new(cfg)
         .agreement_region("virginia")
         .execution_group("oregon")
         .execution_group("tokyo")
         .build(&mut sim);
-    dep.spawn_clients(
-        &mut sim,
-        0,
-        1,
-        WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(20),
-    );
+    dep.spawn_clients(&mut sim, 0, 1, WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(20));
     sim.run_until(SimTime::from_secs(2));
 
     // Admin removes the Oregon group; its replicas stop being served by
@@ -116,18 +110,8 @@ fn sender_collect_variant_works_end_to_end() {
         .execution_group("oregon")
         .execution_group("tokyo")
         .build(&mut sim);
-    dep.spawn_clients(
-        &mut sim,
-        0,
-        2,
-        WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(25),
-    );
-    dep.spawn_clients(
-        &mut sim,
-        1,
-        2,
-        WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(25),
-    );
+    dep.spawn_clients(&mut sim, 0, 2, WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(25));
+    dep.spawn_clients(&mut sim, 1, 2, WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(25));
     sim.run_until_quiescent(SimTime::from_secs(60));
     let samples = dep.collect_samples(&sim);
     let total: usize = samples.iter().map(|(_, _, s)| s.len()).sum();
@@ -148,12 +132,7 @@ fn sender_collect_saves_wan_bytes_vs_receiver_collect() {
             .agreement_region("virginia")
             .execution_group("tokyo")
             .build(&mut sim);
-        dep.spawn_clients(
-            &mut sim,
-            0,
-            1,
-            WorkloadSpec::writes_per_sec(10.0, 200).with_max_ops(50),
-        );
+        dep.spawn_clients(&mut sim, 0, 1, WorkloadSpec::writes_per_sec(10.0, 200).with_max_ops(50));
         sim.run_until_quiescent(SimTime::from_secs(60));
         let samples = dep.collect_samples(&sim);
         assert_eq!(samples[0].2.len(), 50);
@@ -161,8 +140,5 @@ fn sender_collect_saves_wan_bytes_vs_receiver_collect() {
     };
     let rc = run(Variant::ReceiverCollect);
     let sc = run(Variant::SenderCollect);
-    assert!(
-        sc < rc,
-        "IRMC-SC must move fewer WAN bytes ({sc} vs {rc}) — Fig 9d"
-    );
+    assert!(sc < rc, "IRMC-SC must move fewer WAN bytes ({sc} vs {rc}) — Fig 9d");
 }

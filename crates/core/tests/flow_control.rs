@@ -18,13 +18,7 @@ fn topology() -> Topology {
 }
 
 fn straggler_cfg(z: usize) -> SpiderConfig {
-    let mut cfg = SpiderConfig::default();
-    cfg.z = z;
-    cfg.commit_capacity = 16;
-    cfg.ke = 8;
-    cfg.ka = 8;
-    cfg.ag_win = 16;
-    cfg
+    SpiderConfig { z, commit_capacity: 16, ke: 8, ka: 8, ag_win: 16, ..SpiderConfig::default() }
 }
 
 /// Runs 12 s with the Tokyo group's incoming links delayed by 2 s;
@@ -36,12 +30,7 @@ fn run(z: usize) -> (usize, Simulation<spider::SpiderMsg>, spider::Deployment) {
         .execution_group("virginia")
         .execution_group("tokyo")
         .build(&mut sim);
-    dep.spawn_clients(
-        &mut sim,
-        0,
-        4,
-        WorkloadSpec::writes_per_sec(8.0, 200).with_max_ops(150),
-    );
+    dep.spawn_clients(&mut sim, 0, 4, WorkloadSpec::writes_per_sec(8.0, 200).with_max_ops(150));
     for a in dep.agreement.clone() {
         for t in dep.group_nodes(1).to_vec() {
             sim.net_control_mut().set_extra_delay(a, t, SimTime::from_secs(2));

@@ -25,18 +25,23 @@ fn topology() -> Topology {
 }
 
 fn small_cfg() -> SpiderConfig {
-    let mut cfg = SpiderConfig::default();
-    cfg.ka = 8;
-    cfg.ke = 8;
-    cfg.ag_win = 16;
-    cfg.commit_capacity = 32;
-    cfg.view_change_timeout = SimTime::from_millis(400);
-    cfg
+    SpiderConfig {
+        ka: 8,
+        ke: 8,
+        ag_win: 16,
+        commit_capacity: 32,
+        view_change_timeout: SimTime::from_millis(400),
+        ..SpiderConfig::default()
+    }
 }
 
 /// Runs a two-group deployment; returns (completed, counter values of all
 /// replicas).
-fn run_once(seed: u64, writes_per_client: u64, fault: Option<(usize, ExecFault)>) -> (usize, Vec<i64>) {
+fn run_once(
+    seed: u64,
+    writes_per_client: u64,
+    fault: Option<(usize, ExecFault)>,
+) -> (usize, Vec<i64>) {
     let mut sim = Simulation::new(topology(), seed);
     let mut dep = DeploymentBuilder::new(small_cfg())
         .agreement_region("virginia")
@@ -115,12 +120,7 @@ fn message_loss_bursts_recover_via_checkpoints() {
         .execution_group("virginia")
         .execution_group("oregon")
         .build(&mut sim);
-    dep.spawn_clients(
-        &mut sim,
-        0,
-        1,
-        WorkloadSpec::writes_per_sec(20.0, 200).with_max_ops(50),
-    );
+    dep.spawn_clients(&mut sim, 0, 1, WorkloadSpec::writes_per_sec(20.0, 200).with_max_ops(50));
     let victim = dep.group_nodes(1)[0];
     for a in dep.agreement.clone() {
         sim.net_control_mut().set_drop_rate(a, victim, 0.2);

@@ -76,8 +76,7 @@ fn weak_read_without_quorum_escalates_to_strong_read() {
         },
     );
 
-    let mut cfg = SpiderConfig::default();
-    cfg.weak_read_retries = 2;
+    let cfg = SpiderConfig { weak_read_retries: 2, ..SpiderConfig::default() };
     let workload = WorkloadSpec {
         rate_per_sec: 5.0,
         payload_bytes: 64,
@@ -99,10 +98,7 @@ fn weak_read_without_quorum_escalates_to_strong_read() {
     let samples = &sim.actor::<SpiderClient>(node).samples;
     assert_eq!(samples.len(), 1);
     // …which was escalated: the stubs saw a strongly consistent read.
-    let escalations: u64 = nodes
-        .iter()
-        .map(|n| sim.actor::<StubReplica>(*n).strong_requests)
-        .sum();
+    let escalations: u64 = nodes.iter().map(|n| sim.actor::<StubReplica>(*n).strong_requests).sum();
     assert!(escalations >= 3, "all three replicas saw the strong read");
     // Latency covers the retries (the sample is measured from the first
     // weak attempt, §3.3).
@@ -140,8 +136,13 @@ fn weak_read_with_quorum_completes_without_escalation() {
     };
     let id = ClientId(1);
     let zone = sim.topology().zone("virginia", 0);
-    let client =
-        SpiderClient::new(SpiderConfig::default(), id, GroupId(0), directory.clone(), Some(workload));
+    let client = SpiderClient::new(
+        SpiderConfig::default(),
+        id,
+        GroupId(0),
+        directory.clone(),
+        Some(workload),
+    );
     let node = sim.add_node(zone, client);
     directory.register_client(id, node);
     sim.run_until_quiescent(SimTime::from_secs(10));
@@ -149,9 +150,6 @@ fn weak_read_with_quorum_completes_without_escalation() {
     let samples = &sim.actor::<SpiderClient>(node).samples;
     assert_eq!(samples.len(), 1);
     assert_eq!(samples[0].kind, OpKind::WeakRead, "no escalation needed");
-    let escalations: u64 = nodes
-        .iter()
-        .map(|n| sim.actor::<StubReplica>(*n).strong_requests)
-        .sum();
+    let escalations: u64 = nodes.iter().map(|n| sim.actor::<StubReplica>(*n).strong_requests).sum();
     assert_eq!(escalations, 0);
 }

@@ -29,13 +29,8 @@ fn topology() -> Topology {
 }
 
 fn small_cfg() -> SpiderConfig {
-    let mut cfg = SpiderConfig::default();
     // Small intervals so short tests cross checkpoint boundaries.
-    cfg.ka = 8;
-    cfg.ke = 8;
-    cfg.ag_win = 16;
-    cfg.commit_capacity = 32;
-    cfg
+    SpiderConfig { ka: 8, ke: 8, ag_win: 16, commit_capacity: 32, ..SpiderConfig::default() }
 }
 
 fn build(sim: &mut Simulation<spider::SpiderMsg>, cfg: SpiderConfig) -> spider::Deployment {
@@ -68,10 +63,7 @@ fn writes_complete_and_states_converge() {
     }
     assert!(digests.windows(2).all(|w| w[0] == w[1]), "replica states diverged");
     // 120 writes of add:1.
-    let v = sim
-        .actor::<ExecReplica>(dep.group_nodes(0)[0])
-        .app()
-        .value();
+    let v = sim.actor::<ExecReplica>(dep.group_nodes(0)[0]).app().value();
     assert_eq!(v, 120);
 }
 
@@ -108,7 +100,12 @@ fn weak_reads_are_local_and_strong_reads_are_ordered() {
     let mut sim = Simulation::new(topology(), 13);
     let mut dep = build(&mut sim, small_cfg());
     dep.spawn_clients(&mut sim, 1, 1, WorkloadSpec::weak_reads_per_sec(10.0, 200).with_max_ops(20));
-    dep.spawn_clients(&mut sim, 1, 1, WorkloadSpec::strong_reads_per_sec(10.0, 200).with_max_ops(20));
+    dep.spawn_clients(
+        &mut sim,
+        1,
+        1,
+        WorkloadSpec::strong_reads_per_sec(10.0, 200).with_max_ops(20),
+    );
     sim.run_until_quiescent(SimTime::from_secs(30));
 
     let samples = dep.collect_samples(&sim);
@@ -169,10 +166,7 @@ fn conflicting_client_is_isolated_to_its_subchannel() {
         assert_eq!(s.len(), 10, "correct client unaffected (§3.7)");
     }
     let bad_samples = &sim.actor::<SpiderClient>(bad[0]).samples;
-    assert!(
-        bad_samples.is_empty(),
-        "conflicting requests never pass the request channel"
-    );
+    assert!(bad_samples.is_empty(), "conflicting requests never pass the request channel");
 }
 
 #[test]
@@ -199,11 +193,7 @@ fn partitioned_execution_replica_catches_up_via_checkpoint() {
     let healthy = sim.actor::<ExecReplica>(dep.group_nodes(1)[0]);
     let recovered = sim.actor::<ExecReplica>(victim);
     assert_eq!(healthy.app().value(), 60);
-    assert_eq!(
-        recovered.app().value(),
-        60,
-        "victim caught up via execution checkpoint (§3.4)"
-    );
+    assert_eq!(recovered.app().value(), 60, "victim caught up via execution checkpoint (§3.4)");
     assert!(
         recovered.executed < 60,
         "victim skipped requests instead of re-executing all of them \
@@ -266,9 +256,7 @@ fn add_group_at_runtime_serves_new_clients() {
     // The new group converged to the same state as the old ones.
     let old = sim.actor::<ExecReplica>(dep.group_nodes(0)[0]).app_digest();
     for node in dep.group_nodes(gi) {
-        let d = sim
-            .actor::<ExecutionReplica<Box<dyn Application>>>(*node)
-            .app_digest();
+        let d = sim.actor::<ExecutionReplica<Box<dyn Application>>>(*node).app_digest();
         assert_eq!(d, old, "new group caught up via cross-group checkpoint");
     }
 }
@@ -280,10 +268,7 @@ fn deterministic_replay_same_seed_same_samples() {
         let mut dep = build(&mut sim, small_cfg());
         dep.spawn_clients(&mut sim, 0, 2, WorkloadSpec::writes_per_sec(20.0, 200).with_max_ops(10));
         sim.run_until_quiescent(SimTime::from_secs(20));
-        dep.collect_samples(&sim)
-            .into_iter()
-            .flat_map(|(_, _, s)| s)
-            .collect::<Vec<_>>()
+        dep.collect_samples(&sim).into_iter().flat_map(|(_, _, s)| s).collect::<Vec<_>>()
     };
     assert_eq!(run(99), run(99));
 }

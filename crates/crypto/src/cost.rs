@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn defaults_reflect_rsa_asymmetry() {
         let c = CostModel::default();
-        assert!(c.rsa_sign() > c.rsa_verify().mul(10), "sign ≫ verify for RSA");
+        assert!(c.rsa_sign() > c.rsa_verify() * 10, "sign ≫ verify for RSA");
         assert!(c.threshold_share() > c.rsa_sign(), "Shoup shares cost more");
     }
 

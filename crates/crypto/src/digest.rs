@@ -85,9 +85,7 @@ impl Default for DigestBuilder {
 impl DigestBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        DigestBuilder {
-            hasher: Sha256::new(),
-        }
+        DigestBuilder { hasher: Sha256::new() }
     }
 
     /// Appends a length-prefixed byte field.

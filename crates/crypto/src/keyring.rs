@@ -78,10 +78,7 @@ impl Keyring {
 
     /// Signs `digest` as identity `signer`.
     pub fn sign(&self, signer: KeyId, digest: &Digest) -> Signature {
-        Signature {
-            signer,
-            tag: hmac_sha256(&self.secret(signer), &digest.0),
-        }
+        Signature { signer, tag: hmac_sha256(&self.secret(signer), &digest.0) }
     }
 
     /// Verifies that `sig` is `signer`'s signature over `digest`.
@@ -91,9 +88,7 @@ impl Keyring {
 
     /// Computes the MAC authenticating `digest` from `from` to `to`.
     pub fn mac(&self, from: KeyId, to: KeyId, digest: &Digest) -> Mac {
-        Mac {
-            tag: hmac_sha256(&self.pair_secret(from, to), &digest.0),
-        }
+        Mac { tag: hmac_sha256(&self.pair_secret(from, to), &digest.0) }
     }
 
     /// Verifies a pairwise MAC.

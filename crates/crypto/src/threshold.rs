@@ -57,10 +57,7 @@ impl ThresholdKeyring {
         let mut h = Sha256::new();
         h.update(b"spider-threshold-master");
         h.update(&seed.to_be_bytes());
-        ThresholdKeyring {
-            master: h.finalize(),
-            threshold,
-        }
+        ThresholdKeyring { master: h.finalize(), threshold }
     }
 
     /// The combine threshold.
@@ -86,11 +83,7 @@ impl ThresholdKeyring {
 
     /// Member `member` of `group` produces its share over `digest`.
     pub fn share(&self, group: ThresholdGroupId, member: u32, digest: &Digest) -> SigShare {
-        SigShare {
-            group,
-            member,
-            tag: hmac_sha256(&self.member_secret(group, member), &digest.0),
-        }
+        SigShare { group, member, tag: hmac_sha256(&self.member_secret(group, member), &digest.0) }
     }
 
     /// Checks an individual share (collectors do this before combining).
@@ -111,10 +104,7 @@ impl ThresholdKeyring {
             .filter(|s| s.group == group && self.verify_share(digest, s) && seen.insert(s.member))
             .count();
         if valid >= self.threshold {
-            Some(ThresholdSig {
-                group,
-                tag: hmac_sha256(&self.group_secret(group), &digest.0),
-            })
+            Some(ThresholdSig { group, tag: hmac_sha256(&self.group_secret(group), &digest.0) })
         } else {
             None
         }
@@ -147,10 +137,7 @@ mod tests {
         let s0 = r.share(G, 0, &d);
         let s1 = r.share(G, 1, &d);
         assert!(r.combine(&d, &[s0]).is_none(), "one share is not enough");
-        assert!(
-            r.combine(&d, &[s0, s0]).is_none(),
-            "duplicate member does not count twice"
-        );
+        assert!(r.combine(&d, &[s0, s0]).is_none(), "duplicate member does not count twice");
         let sig = r.combine(&d, &[s0, s1]).expect("two valid shares combine");
         assert!(r.verify(&d, &sig));
     }
@@ -169,9 +156,7 @@ mod tests {
     fn combined_sig_fails_on_other_digest() {
         let r = ring();
         let d = digest();
-        let sig = r
-            .combine(&d, &[r.share(G, 0, &d), r.share(G, 2, &d)])
-            .unwrap();
+        let sig = r.combine(&d, &[r.share(G, 0, &d), r.share(G, 2, &d)]).unwrap();
         assert!(!r.verify(&Digest::of_bytes(b"other"), &sig));
     }
 

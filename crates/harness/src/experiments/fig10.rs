@@ -108,11 +108,7 @@ fn run_bft(cfg: &Config, weak: bool, weighted: bool) -> Series {
         workload(cfg, weak, cfg.join_at),
     );
     sim.run_until(cfg.duration);
-    let samples: Vec<Sample> = dep
-        .collect_samples(&sim)
-        .into_iter()
-        .flat_map(|(_, s)| s)
-        .collect();
+    let samples: Vec<Sample> = dep.collect_samples(&sim).into_iter().flat_map(|(_, s)| s).collect();
     to_series(if weighted { "BFT-WV" } else { "BFT" }, samples, cfg)
 }
 
@@ -139,11 +135,8 @@ fn run_hft(cfg: &Config, weak: bool) -> Series {
         workload(cfg, weak, cfg.join_at),
     );
     sim.run_until(cfg.duration);
-    let samples: Vec<Sample> = dep
-        .collect_samples(&sim)
-        .into_iter()
-        .flat_map(|(_, _, s)| s)
-        .collect();
+    let samples: Vec<Sample> =
+        dep.collect_samples(&sim).into_iter().flat_map(|(_, _, s)| s).collect();
     to_series("HFT", samples, cfg)
 }
 
@@ -171,11 +164,8 @@ fn run_spider(cfg: &Config, weak: bool) -> Series {
     let gi = dep.groups.len() - 1;
     dep.spawn_clients(&mut sim, gi, cfg.clients_per_region, workload(cfg, weak, cfg.join_at));
     sim.run_until(cfg.duration);
-    let samples: Vec<Sample> = dep
-        .collect_samples(&sim)
-        .into_iter()
-        .flat_map(|(_, _, s)| s)
-        .collect();
+    let samples: Vec<Sample> =
+        dep.collect_samples(&sim).into_iter().flat_map(|(_, _, s)| s).collect();
     to_series("SPIDER", samples, cfg)
 }
 

@@ -48,11 +48,7 @@ fn summarize(
     for (region, s) in samples {
         let kept: Vec<Sample> = s.into_iter().filter(|x| x.completed >= warmup).collect();
         if let Some(summary) = LatencySummary::of_samples(&kept) {
-            rows.push(LatencyRow {
-                system: system.to_owned(),
-                client_region: region,
-                summary,
-            });
+            rows.push(LatencyRow { system: system.to_owned(), client_region: region, summary });
         }
     }
 }
@@ -60,9 +56,7 @@ fn summarize(
 fn run_bft_f2(cfg: &ScenarioCfg, rows: &mut Vec<LatencyRow>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     // Seven replicas: the four client regions plus three fault domains.
-    let regions = [
-        "virginia", "oregon", "ireland", "tokyo", "ohio", "california", "london",
-    ];
+    let regions = ["virginia", "oregon", "ireland", "tokyo", "ohio", "california", "london"];
     let mut dep = BftDeployment::build(&mut sim, f2_config(), &regions, KvStore::new);
     let mut client_nodes = Vec::new();
     for region in REGIONS4 {
@@ -94,13 +88,8 @@ fn run_hft_f2(cfg: &ScenarioCfg, rows: &mut Vec<LatencyRow>) {
     let mut dep = StewardDeployment::build_span(&mut sim, f2_config(), &spans, 0, KvStore::new);
     let mut client_nodes = Vec::new();
     for (si, region) in REGIONS4.iter().enumerate() {
-        let nodes = dep.spawn_clients(
-            &mut sim,
-            si as u16,
-            region,
-            cfg.clients_per_region,
-            workload(cfg),
-        );
+        let nodes =
+            dep.spawn_clients(&mut sim, si as u16, region, cfg.clients_per_region, workload(cfg));
         client_nodes.push(((*region).to_owned(), nodes));
     }
     sim.run_until(cfg.duration);
@@ -122,14 +111,11 @@ fn run_spider_f2(leader_zone: u8, cfg: &ScenarioCfg, rows: &mut Vec<LatencyRow>)
     // Agreement: 7 replicas over Virginia's six zones plus one in Ohio.
     // Execution groups: 5 replicas, three in the home region + two in the
     // neighbor.
-    let ag_span = [
-        "virginia", "virginia", "virginia", "virginia", "virginia", "virginia", "ohio",
-    ];
+    let ag_span = ["virginia", "virginia", "virginia", "virginia", "virginia", "virginia", "ohio"];
     let mut ordered = ag_span.to_vec();
     ordered.rotate_left(leader_zone as usize % 6);
-    let mut builder = DeploymentBuilder::new(f2_config())
-        .with_app(KvStore::new)
-        .agreement_span(&ordered);
+    let mut builder =
+        DeploymentBuilder::new(f2_config()).with_app(KvStore::new).agreement_span(&ordered);
     for (home, neighbor) in REGIONS4.iter().zip(NEIGHBORS4.iter()) {
         builder = builder.execution_group_span(&[home, home, home, neighbor, neighbor]);
     }
@@ -150,12 +136,7 @@ fn run_spider_f2(leader_zone: u8, cfg: &ScenarioCfg, rows: &mut Vec<LatencyRow>)
             (r, s)
         })
         .collect();
-    summarize(
-        &format!("SPIDER(f=2, leader=V-{})", leader_zone + 1),
-        samples,
-        cfg.warmup,
-        rows,
-    );
+    summarize(&format!("SPIDER(f=2, leader=V-{})", leader_zone + 1), samples, cfg.warmup, rows);
 }
 
 /// Runs the `f = 2` comparison.
@@ -171,8 +152,5 @@ pub fn run(cfg: &Config) -> Vec<LatencyRow> {
 
 /// Renders the result table.
 pub fn render(rows: &[LatencyRow]) -> String {
-    super::render_rows(
-        "Figure 11 — write latency (p50/p90) when tolerating f = 2 faults",
-        rows,
-    )
+    super::render_rows("Figure 11 — write latency (p50/p90) when tolerating f = 2 faults", rows)
 }

@@ -47,11 +47,7 @@ pub fn run(cfg: &Config) -> Vec<LatencyRow> {
         let samples = run_scenario(kind, &cfg.scenario);
         for (region, s) in samples {
             if let Some(summary) = LatencySummary::of_samples(&s) {
-                rows.push(LatencyRow {
-                    system: kind.to_string(),
-                    client_region: region,
-                    summary,
-                });
+                rows.push(LatencyRow { system: kind.to_string(), client_region: region, summary });
             }
         }
     }

@@ -16,11 +16,8 @@ pub struct Config {
     pub scenario: ScenarioCfg,
 }
 
-const SYSTEMS: [SystemKind; 3] = [
-    SystemKind::Spider0E,
-    SystemKind::Spider1E,
-    SystemKind::Spider { leader_zone: 0 },
-];
+const SYSTEMS: [SystemKind; 3] =
+    [SystemKind::Spider0E, SystemKind::Spider1E, SystemKind::Spider { leader_zone: 0 }];
 
 /// Runs the three variants; one row per (variant, region).
 pub fn run(cfg: &Config) -> Vec<LatencyRow> {
@@ -28,11 +25,7 @@ pub fn run(cfg: &Config) -> Vec<LatencyRow> {
     for kind in SYSTEMS {
         for (region, s) in run_scenario(kind, &cfg.scenario) {
             if let Some(summary) = LatencySummary::of_samples(&s) {
-                rows.push(LatencyRow {
-                    system: kind.to_string(),
-                    client_region: region,
-                    summary,
-                });
+                rows.push(LatencyRow { system: kind.to_string(), client_region: region, summary });
             }
         }
     }

@@ -162,7 +162,7 @@ impl ReceiverHost {
                 ReceiveResult::Ready(_) => {
                     self.delivered += 1;
                     self.next += 1;
-                    if self.delivered % self.move_every == 0 {
+                    if self.delivered.is_multiple_of(self.move_every) {
                         self.ep.move_window(0, Position(self.next), &mut actions);
                     }
                 }
@@ -280,7 +280,7 @@ pub fn run_point(variant: Variant, msg_size: usize, cfg: &Config) -> IrmcRow {
         let id = sim.add_node(zone, host);
         debug_assert_eq!(id, sender_nodes[i]);
     }
-    for j in 0..n_receivers {
+    for (j, &expected_id) in receiver_nodes.iter().enumerate() {
         let zone = sim.topology().zone("tokyo", j as u8);
         let host = ReceiverHost {
             ep: ReceiverEndpoint::new(icfg.clone(), j, ring.clone()),
@@ -290,36 +290,24 @@ pub fn run_point(variant: Variant, msg_size: usize, cfg: &Config) -> IrmcRow {
             move_every: (cfg.capacity / 4).max(1),
         };
         let id = sim.add_node(zone, host);
-        debug_assert_eq!(id, receiver_nodes[j]);
+        debug_assert_eq!(id, expected_id);
     }
 
     sim.run_until(cfg.duration);
     let secs = cfg.duration.as_secs_f64();
-    let delivered: u64 = receiver_nodes
-        .iter()
-        .map(|n| sim.actor::<ReceiverHost>(*n).delivered)
-        .sum();
+    let delivered: u64 =
+        receiver_nodes.iter().map(|n| sim.actor::<ReceiverHost>(*n).delivered).sum();
     let throughput = delivered as f64 / n_receivers as f64 / secs;
 
-    let sender_cpu = sender_nodes
-        .iter()
-        .map(|n| sim.stats().cpu(*n).utilization(cfg.duration))
-        .sum::<f64>()
-        / n_senders as f64;
-    let receiver_cpu = receiver_nodes
-        .iter()
-        .map(|n| sim.stats().cpu(*n).utilization(cfg.duration))
-        .sum::<f64>()
-        / n_receivers as f64;
+    let sender_cpu =
+        sender_nodes.iter().map(|n| sim.stats().cpu(*n).utilization(cfg.duration)).sum::<f64>()
+            / n_senders as f64;
+    let receiver_cpu =
+        receiver_nodes.iter().map(|n| sim.stats().cpu(*n).utilization(cfg.duration)).sum::<f64>()
+            / n_receivers as f64;
 
-    let wan_bytes: u64 = sender_nodes
-        .iter()
-        .map(|n| sim.stats().net(*n).wan_sent)
-        .sum::<u64>()
-        + receiver_nodes
-            .iter()
-            .map(|n| sim.stats().net(*n).wan_sent)
-            .sum::<u64>();
+    let wan_bytes: u64 = sender_nodes.iter().map(|n| sim.stats().net(*n).wan_sent).sum::<u64>()
+        + receiver_nodes.iter().map(|n| sim.stats().net(*n).wan_sent).sum::<u64>();
     let lan_bytes: u64 = sender_nodes.iter().map(|n| sim.stats().net(*n).lan_sent).sum();
 
     IrmcRow {
@@ -346,12 +334,17 @@ pub fn run(cfg: &Config) -> Vec<IrmcRow> {
 
 /// Renders Figures 9b (throughput), 9c (CPU), and 9d (network) as text.
 pub fn render(rows: &[IrmcRow]) -> String {
-    let mut out = String::from(
-        "Figures 9b-9d — IRMC variants over a Virginia->Tokyo channel (flooded)\n",
-    );
+    let mut out =
+        String::from("Figures 9b-9d — IRMC variants over a Virginia->Tokyo channel (flooded)\n");
     out.push_str(&format!(
         "{:<9} {:>7} {:>12} {:>11} {:>13} {:>10} {:>10}\n",
-        "variant", "size[B]", "thruput[r/s]", "sender-cpu", "receiver-cpu", "WAN[MB/s]", "LAN[MB/s]"
+        "variant",
+        "size[B]",
+        "thruput[r/s]",
+        "sender-cpu",
+        "receiver-cpu",
+        "WAN[MB/s]",
+        "LAN[MB/s]"
     ));
     for r in rows {
         out.push_str(&format!(

@@ -82,12 +82,7 @@ mod tests {
         LatencyRow {
             system: system.to_owned(),
             client_region: region.to_owned(),
-            summary: LatencySummary {
-                count: 3,
-                p50_ms: 1.5,
-                p90_ms: 2.5,
-                mean_ms: 1.75,
-            },
+            summary: LatencySummary { count: 3, p50_ms: 1.5, p90_ms: 2.5, mean_ms: 1.75 },
         }
     }
 
@@ -95,10 +90,7 @@ mod tests {
     fn latency_csv_has_header_and_rows() {
         let csv = latency_rows_to_csv(&[row("SPIDER(leader=V-1)", "tokyo")]);
         let mut lines = csv.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "system,client_region,p50_ms,p90_ms,mean_ms,samples"
-        );
+        assert_eq!(lines.next().unwrap(), "system,client_region,p50_ms,p90_ms,mean_ms,samples");
         assert_eq!(lines.next().unwrap(), "SPIDER(leader=V-1),tokyo,1.500,2.500,1.750,3");
         assert_eq!(lines.next(), None);
     }
@@ -112,10 +104,8 @@ mod tests {
 
     #[test]
     fn series_csv_is_long_format() {
-        let s = Series {
-            system: "SPIDER".to_owned(),
-            points: vec![(0.0, 1.7, 10), (2.0, 1.8, 12)],
-        };
+        let s =
+            Series { system: "SPIDER".to_owned(), points: vec![(0.0, 1.7, 10), (2.0, 1.8, 12)] };
         let csv = series_to_csv(&[s]);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("SPIDER,0.0,1.700,10"));

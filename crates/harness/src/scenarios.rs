@@ -105,10 +105,7 @@ impl ScenarioCfg {
     }
 
     fn spider_config(&self) -> SpiderConfig {
-        let mut cfg = SpiderConfig::default();
-        cfg.fa = self.f;
-        cfg.fe = self.f;
-        cfg
+        SpiderConfig { fa: self.f, fe: self.f, ..SpiderConfig::default() }
     }
 }
 
@@ -210,7 +207,8 @@ fn run_spider0e(cfg: &ScenarioCfg) -> RegionSamples {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     let n = 3 * cfg.f + 1;
     let placements: Vec<(&str, u8)> = (0..n).map(|i| ("virginia", i as u8 % 6)).collect();
-    let mut dep = BftDeployment::build_in_zones(&mut sim, cfg.spider_config(), &placements, KvStore::new);
+    let mut dep =
+        BftDeployment::build_in_zones(&mut sim, cfg.spider_config(), &placements, KvStore::new);
     let mut client_nodes = Vec::new();
     for region in REGIONS4 {
         let nodes = dep.spawn_clients(&mut sim, region, cfg.clients_per_region, cfg.workload());
@@ -237,8 +235,13 @@ fn run_bft(leader: usize, cfg: &ScenarioCfg) -> RegionSamples {
 
 fn run_hft(leader_site: u16, cfg: &ScenarioCfg) -> RegionSamples {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
-    let mut dep =
-        StewardDeployment::build(&mut sim, cfg.spider_config(), &REGIONS4, leader_site, KvStore::new);
+    let mut dep = StewardDeployment::build(
+        &mut sim,
+        cfg.spider_config(),
+        &REGIONS4,
+        leader_site,
+        KvStore::new,
+    );
     let mut client_nodes = Vec::new();
     for (si, region) in REGIONS4.iter().enumerate() {
         let nodes =
@@ -258,11 +261,7 @@ fn collect_baseline(
     for (region, nodes) in client_nodes {
         let samples: Vec<Sample> = nodes
             .iter()
-            .flat_map(|n| {
-                sim.actor::<spider_baselines::BaselineClient>(*n)
-                    .samples
-                    .clone()
-            })
+            .flat_map(|n| sim.actor::<spider_baselines::BaselineClient>(*n).samples.clone())
             .filter(|s| keep(s, cfg.warmup))
             .collect();
         out.insert(region, samples);
@@ -274,11 +273,6 @@ fn collect_baseline(
 pub fn filter_kind(samples: &RegionSamples, kind: OpKind) -> RegionSamples {
     samples
         .iter()
-        .map(|(r, s)| {
-            (
-                r.clone(),
-                s.iter().filter(|x| x.kind == kind).copied().collect(),
-            )
-        })
+        .map(|(r, s)| (r.clone(), s.iter().filter(|x| x.kind == kind).copied().collect()))
         .collect()
 }

@@ -103,8 +103,15 @@ mod tests {
     fn all_region_pairs_have_latencies() {
         let t = ec2_topology();
         let regions = [
-            "virginia", "oregon", "ireland", "tokyo", "saopaulo", "ohio", "california",
-            "london", "seoul",
+            "virginia",
+            "oregon",
+            "ireland",
+            "tokyo",
+            "saopaulo",
+            "ohio",
+            "california",
+            "london",
+            "seoul",
         ];
         for a in regions {
             for b in regions {

@@ -131,9 +131,7 @@ fn fig9bcd_variant_tradeoffs_match_paper() {
     };
     let rows = fig9bcd::run(&cfg);
     let find = |variant: &str, size: usize| {
-        rows.iter()
-            .find(|r| r.variant == variant && r.msg_size == size)
-            .expect("row present")
+        rows.iter().find(|r| r.variant == variant && r.msg_size == size).expect("row present")
     };
     for size in [256usize, 4096] {
         let rc = find("IRMC-RC", size);
@@ -166,12 +164,8 @@ fn fig10_only_spider_keeps_new_site_reads_local() {
     };
     let result = fig10::run(&cfg);
     let mean_after = |series: &fig10::Series| {
-        let pts: Vec<f64> = series
-            .points
-            .iter()
-            .filter(|(t, _, _)| *t >= 30.0)
-            .map(|(_, ms, _)| *ms)
-            .collect();
+        let pts: Vec<f64> =
+            series.points.iter().filter(|(t, _, _)| *t >= 30.0).map(|(_, ms, _)| *ms).collect();
         assert!(!pts.is_empty(), "{} has no post-join points", series.system);
         pts.iter().sum::<f64>() / pts.len() as f64
     };

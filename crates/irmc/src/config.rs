@@ -120,7 +120,11 @@ impl IrmcConfig {
 
     /// Replaces the SC collector supervision timing (builder-style).
     #[must_use]
-    pub fn with_sc_timing(mut self, progress_interval: SimTime, collector_timeout: SimTime) -> Self {
+    pub fn with_sc_timing(
+        mut self,
+        progress_interval: SimTime,
+        collector_timeout: SimTime,
+    ) -> Self {
         self.progress_interval = progress_interval;
         self.collector_timeout = collector_timeout;
         self

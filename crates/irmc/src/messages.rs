@@ -104,12 +104,7 @@ impl WireSize for ReceiverMsg {
 /// position as well as the content, so a share for one slot cannot be
 /// replayed for another.
 pub fn slot_digest(sc: Subchannel, p: Position, content: &Digest) -> Digest {
-    Digest::builder()
-        .str("irmc-slot")
-        .u64(sc)
-        .u64(p.0)
-        .digest(content)
-        .finish()
+    Digest::builder().str("irmc-slot").u64(sc).u64(p.0).digest(content).finish()
 }
 
 #[cfg(test)]
@@ -165,18 +160,10 @@ mod tests {
         let ring = spider_crypto::Keyring::new(1);
         let d = Digest::of_bytes(b"x");
         let sig = ring.sign(spider_crypto::KeyId(0), &d);
-        let small: ChannelMsg<Blob> = ChannelMsg::Send {
-            sc: 0,
-            p: Position(1),
-            msg: Blob(vec![0; 10]),
-            sig,
-        };
-        let big: ChannelMsg<Blob> = ChannelMsg::Send {
-            sc: 0,
-            p: Position(1),
-            msg: Blob(vec![0; 1000]),
-            sig,
-        };
+        let small: ChannelMsg<Blob> =
+            ChannelMsg::Send { sc: 0, p: Position(1), msg: Blob(vec![0; 10]), sig };
+        let big: ChannelMsg<Blob> =
+            ChannelMsg::Send { sc: 0, p: Position(1), msg: Blob(vec![0; 1000]), sig };
         assert_eq!(big.wire_size() - small.wire_size(), 990);
     }
 }

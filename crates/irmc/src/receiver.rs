@@ -82,12 +82,7 @@ impl<M: Content> ReceiverEndpoint<M> {
     /// Panics if `me` is out of range.
     pub fn new(cfg: IrmcConfig, me: usize, keyring: Keyring) -> Self {
         assert!(me < cfg.n_receivers, "receiver index out of range");
-        ReceiverEndpoint {
-            cfg,
-            me,
-            keyring,
-            subs: HashMap::new(),
-        }
+        ReceiverEndpoint { cfg, me, keyring, subs: HashMap::new() }
     }
 
     /// This endpoint's index within the receiver group.
@@ -97,10 +92,7 @@ impl<M: Content> ReceiverEndpoint<M> {
 
     /// Current flow-control window of a subchannel.
     pub fn window(&self, sc: Subchannel) -> Window {
-        self.subs
-            .get(&sc)
-            .map(|s| s.awin)
-            .unwrap_or_else(|| Window::new(self.cfg.capacity))
+        self.subs.get(&sc).map(|s| s.awin).unwrap_or_else(|| Window::new(self.cfg.capacity))
     }
 
     fn sub(&mut self, sc: Subchannel) -> &mut ReceiverSub<M> {
@@ -131,10 +123,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         sub.gc_below(p);
         out.push(Action::Charge(self.cfg.cost.hmac(32)));
         for s in 0..self.cfg.n_senders {
-            out.push(Action::ToSender {
-                to: s,
-                msg: ReceiverMsg::Move { sc, p },
-            });
+            out.push(Action::ToSender { to: s, msg: ReceiverMsg::Move { sc, p } });
         }
         out.push(Action::WindowMoved { sc, start: p });
     }
@@ -161,10 +150,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 ));
                 let digest = msg.digest();
                 let slot = slot_digest(sc, p, &digest);
-                if !self
-                    .keyring
-                    .verify(self.cfg.sender_keys[from], &slot, &sig)
-                {
+                if !self.keyring.verify(self.cfg.sender_keys[from], &slot, &sig) {
                     return;
                 }
                 let fs = self.cfg.fs;
@@ -177,11 +163,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 let slot_map = sub.rc_slots.entry(p.0).or_default();
                 slot_map.entry(from).or_insert((digest, msg));
                 // Quorum: fs + 1 senders with identical content.
-                let quorate = slot_map
-                    .values()
-                    .filter(|(d, _)| *d == digest)
-                    .count()
-                    >= fs + 1;
+                let quorate = slot_map.values().filter(|(d, _)| *d == digest).count() > fs;
                 if quorate && !sub.ready.contains_key(&p.0) {
                     let m = slot_map
                         .values()
@@ -201,7 +183,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 // Verify transport MAC + every contained share.
                 out.push(Action::Charge(
                     self.cfg.cost.hmac(msg.wire_size())
-                        + self.cfg.cost.rsa_verify().mul(shares.len() as u64),
+                        + self.cfg.cost.rsa_verify() * shares.len() as u64,
                 ));
                 let digest = msg.digest();
                 let slot = slot_digest(sc, p, &digest);
@@ -209,11 +191,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 let valid = shares
                     .iter()
                     .filter(|sig| {
-                        let idx = self
-                            .cfg
-                            .sender_keys
-                            .iter()
-                            .position(|k| *k == sig.signer);
+                        let idx = self.cfg.sender_keys.iter().position(|k| *k == sig.signer);
                         match idx {
                             Some(i) if signers.insert(i) => {
                                 self.keyring.verify(sig.signer, &slot, sig)
@@ -252,10 +230,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                     let missing = Self::first_missing(sub);
                     if missing.is_some() && !sub.timer_armed {
                         sub.timer_armed = true;
-                        out.push(Action::SetTimer {
-                            token: sc,
-                            delay: timeout,
-                        });
+                        out.push(Action::SetTimer { token: sc, delay: timeout });
                     }
                 }
                 let _ = now;
@@ -316,24 +291,15 @@ impl<M: Content> ReceiverEndpoint<M> {
         for s in 0..n_senders {
             out.push(Action::ToSender {
                 to: s,
-                msg: ReceiverMsg::Select {
-                    sc,
-                    collector: new_collector,
-                },
+                msg: ReceiverMsg::Select { sc, collector: new_collector },
             });
         }
-        out.push(Action::SetTimer {
-            token: sc,
-            delay: timeout,
-        });
+        out.push(Action::SetTimer { token: sc, delay: timeout });
     }
 
     /// The collector this endpoint currently expects to serve `sc`.
     pub fn collector(&self, sc: Subchannel) -> usize {
-        self.subs
-            .get(&sc)
-            .map(|s| s.collector)
-            .unwrap_or(self.me % self.cfg.n_senders)
+        self.subs.get(&sc).map(|s| s.collector).unwrap_or(self.me % self.cfg.n_senders)
     }
 }
 
@@ -342,8 +308,8 @@ mod tests {
     use super::*;
     use crate::sender::SenderEndpoint;
     use crate::tests_support::Blob;
-    use spider_crypto::Digestible as _;
     use spider_crypto::CostModel;
+    use spider_crypto::Digestible as _;
 
     fn cfg(variant: Variant) -> IrmcConfig {
         IrmcConfig::new(variant, 3, 1, 3, 1, 8).with_cost(CostModel::zero())
@@ -373,7 +339,11 @@ mod tests {
         let m = Blob::new(b"value");
         let mut out = Vec::new();
         r.on_sender_message(SimTime::ZERO, 0, send_from(0, 3, Position(1), &m), &mut out);
-        assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Pending, "one sender is not enough");
+        assert_eq!(
+            r.try_receive(3, Position(1)),
+            ReceiveResult::Pending,
+            "one sender is not enough"
+        );
         r.on_sender_message(SimTime::ZERO, 1, send_from(1, 3, Position(1), &m), &mut out);
         assert!(out.iter().any(|a| matches!(a, Action::Ready { sc: 3, p } if *p == Position(1))));
         assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Ready(m));
@@ -383,9 +353,24 @@ mod tests {
     fn rc_conflicting_contents_never_deliver() {
         let mut r = rc_receiver();
         let mut out = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, send_from(0, 0, Position(1), &Blob::new(b"a")), &mut out);
-        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(1), &Blob::new(b"b")), &mut out);
-        r.on_sender_message(SimTime::ZERO, 2, send_from(2, 0, Position(1), &Blob::new(b"c")), &mut out);
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            send_from(0, 0, Position(1), &Blob::new(b"a")),
+            &mut out,
+        );
+        r.on_sender_message(
+            SimTime::ZERO,
+            1,
+            send_from(1, 0, Position(1), &Blob::new(b"b")),
+            &mut out,
+        );
+        r.on_sender_message(
+            SimTime::ZERO,
+            2,
+            send_from(2, 0, Position(1), &Blob::new(b"c")),
+            &mut out,
+        );
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
         assert!(!out.iter().any(|a| matches!(a, Action::Ready { .. })));
     }
@@ -442,7 +427,9 @@ mod tests {
         r.on_sender_message(SimTime::ZERO, 1, ChannelMsg::Move { sc: 0, p: Position(7) }, &mut out);
         // fs+1 = 2-highest of [9, 7, 0] = 7.
         assert_eq!(r.window(0).start(), Position(7));
-        assert!(out.iter().any(|a| matches!(a, Action::WindowMoved { start, .. } if *start == Position(7))));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::WindowMoved { start, .. } if *start == Position(7))));
     }
 
     #[test]
@@ -461,7 +448,12 @@ mod tests {
         r.on_sender_message(
             SimTime::ZERO,
             0,
-            ChannelMsg::Certificate { sc: 0, p: Position(1), msg: m.clone(), shares: vec![good, bad] },
+            ChannelMsg::Certificate {
+                sc: 0,
+                p: Position(1),
+                msg: m.clone(),
+                shares: vec![good, bad],
+            },
             &mut out,
         );
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
@@ -469,7 +461,12 @@ mod tests {
         r.on_sender_message(
             SimTime::ZERO,
             0,
-            ChannelMsg::Certificate { sc: 0, p: Position(1), msg: m.clone(), shares: vec![good, good] },
+            ChannelMsg::Certificate {
+                sc: 0,
+                p: Position(1),
+                msg: m.clone(),
+                shares: vec![good, good],
+            },
             &mut out,
         );
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
@@ -498,7 +495,9 @@ mod tests {
         assert_eq!(r.collector(0), 1);
         let selects = out
             .iter()
-            .filter(|a| matches!(a, Action::ToSender { msg: ReceiverMsg::Select { collector: 1, .. }, .. }))
+            .filter(|a| {
+                matches!(a, Action::ToSender { msg: ReceiverMsg::Select { collector: 1, .. }, .. })
+            })
             .count();
         assert_eq!(selects, 3, "announced to every sender");
     }

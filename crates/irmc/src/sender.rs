@@ -101,19 +101,13 @@ impl<M: Content> SenderEndpoint<M> {
 
     /// Current flow-control window of a subchannel.
     pub fn window(&self, sc: Subchannel) -> Window {
-        self.subs
-            .get(&sc)
-            .map(|s| s.awin)
-            .unwrap_or_else(|| Window::new(self.cfg.capacity))
+        self.subs.get(&sc).map(|s| s.awin).unwrap_or_else(|| Window::new(self.cfg.capacity))
     }
 
     /// Default collector assignment: receiver `r` is served by sender
     /// `r mod n_senders` until it announces otherwise via `Select`.
     fn collector_for(&self, sc: Subchannel, receiver: usize) -> usize {
-        self.collector_of
-            .get(&(sc, receiver))
-            .copied()
-            .unwrap_or(receiver % self.cfg.n_senders)
+        self.collector_of.get(&(sc, receiver)).copied().unwrap_or(receiver % self.cfg.n_senders)
     }
 
     fn sub(&mut self, sc: Subchannel) -> &mut SenderSub<M> {
@@ -129,7 +123,13 @@ impl<M: Content> SenderEndpoint<M> {
     ///
     /// Never blocks the caller: above-window sends are queued and flushed
     /// automatically when the window moves ([`Action::Unblocked`]).
-    pub fn send(&mut self, sc: Subchannel, p: Position, msg: M, out: &mut Vec<Action<M>>) -> SendStatus {
+    pub fn send(
+        &mut self,
+        sc: Subchannel,
+        p: Position,
+        msg: M,
+        out: &mut Vec<Action<M>>,
+    ) -> SendStatus {
         let sub = self.sub(sc);
         if sub.awin.is_below(p) {
             return SendStatus::TooOld(sub.awin.start());
@@ -153,20 +153,12 @@ impl<M: Content> SenderEndpoint<M> {
         sub.my_move = p;
         out.push(Action::Charge(self.cfg.cost.hmac(32)));
         for r in 0..self.cfg.n_receivers {
-            out.push(Action::ToReceiver {
-                to: r,
-                msg: ChannelMsg::Move { sc, p },
-            });
+            out.push(Action::ToReceiver { to: r, msg: ChannelMsg::Move { sc, p } });
         }
     }
 
     /// Handles a message from receiver endpoint `from`.
-    pub fn on_receiver_message(
-        &mut self,
-        from: usize,
-        msg: ReceiverMsg,
-        out: &mut Vec<Action<M>>,
-    ) {
+    pub fn on_receiver_message(&mut self, from: usize, msg: ReceiverMsg, out: &mut Vec<Action<M>>) {
         if from >= self.cfg.n_receivers {
             return;
         }
@@ -190,12 +182,7 @@ impl<M: Content> SenderEndpoint<M> {
                         out.push(Action::Charge(self.cfg.cost.hmac(m.wire_size())));
                         out.push(Action::ToReceiver {
                             to: from,
-                            msg: ChannelMsg::Certificate {
-                                sc,
-                                p: Position(p),
-                                msg: m,
-                                shares,
-                            },
+                            msg: ChannelMsg::Certificate { sc, p: Position(p), msg: m, shares },
                         });
                     }
                 }
@@ -203,7 +190,13 @@ impl<M: Content> SenderEndpoint<M> {
         }
     }
 
-    fn on_receiver_move(&mut self, from: usize, sc: Subchannel, p: Position, out: &mut Vec<Action<M>>) {
+    fn on_receiver_move(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        p: Position,
+        out: &mut Vec<Action<M>>,
+    ) {
         let fr = self.cfg.fr;
         let sub = self.sub(sc);
         if p <= sub.receiver_starts[from] {
@@ -217,10 +210,7 @@ impl<M: Content> SenderEndpoint<M> {
         let new_start = starts[fr];
         if sub.awin.advance_to(new_start) {
             sub.gc_below(new_start);
-            out.push(Action::WindowMoved {
-                sc,
-                start: new_start,
-            });
+            out.push(Action::WindowMoved { sc, start: new_start });
             self.flush_blocked(sc, out);
         }
     }
@@ -249,21 +239,14 @@ impl<M: Content> SenderEndpoint<M> {
     fn transmit(&mut self, sc: Subchannel, p: Position, msg: M, out: &mut Vec<Action<M>>) {
         let digest = slot_digest(sc, p, &msg.digest());
         // Hash the payload and produce one RSA signature.
-        out.push(Action::Charge(
-            self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign(),
-        ));
+        out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign()));
         let sig = self.keyring.sign(self.key_of_sender(self.me), &digest);
         match self.cfg.variant {
             Variant::ReceiverCollect => {
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
                         to: r,
-                        msg: ChannelMsg::Send {
-                            sc,
-                            p,
-                            msg: msg.clone(),
-                            sig,
-                        },
+                        msg: ChannelMsg::Send { sc, p, msg: msg.clone(), sig },
                     });
                 }
             }
@@ -272,20 +255,12 @@ impl<M: Content> SenderEndpoint<M> {
                 let content_digest = msg.digest();
                 let sub = self.sub(sc);
                 sub.content.insert(p.0, msg);
-                sub.shares
-                    .entry(p.0)
-                    .or_default()
-                    .insert(me, (content_digest, sig));
+                sub.shares.entry(p.0).or_default().insert(me, (content_digest, sig));
                 for s in 0..self.cfg.n_senders {
                     if s != me {
                         out.push(Action::ToPeerSender {
                             to: s,
-                            msg: ChannelMsg::SigShare {
-                                sc,
-                                p,
-                                digest: content_digest,
-                                sig,
-                            },
+                            msg: ChannelMsg::SigShare { sc, p, digest: content_digest, sig },
                         });
                     }
                 }
@@ -351,19 +326,13 @@ impl<M: Content> SenderEndpoint<M> {
         let content = content.clone();
         sub.bundles.insert(p.0, (content.clone(), vec.clone()));
 
-        let targets: Vec<usize> = (0..n_receivers)
-            .filter(|r| self.collector_for(sc, *r) == me)
-            .collect();
+        let targets: Vec<usize> =
+            (0..n_receivers).filter(|r| self.collector_for(sc, *r) == me).collect();
         for r in targets {
             out.push(Action::Charge(self.cfg.cost.hmac(content.wire_size())));
             out.push(Action::ToReceiver {
                 to: r,
-                msg: ChannelMsg::Certificate {
-                    sc,
-                    p,
-                    msg: content.clone(),
-                    shares: vec.clone(),
-                },
+                msg: ChannelMsg::Certificate { sc, p, msg: content.clone(), shares: vec.clone() },
             });
         }
     }
@@ -396,9 +365,7 @@ impl<M: Content> SenderEndpoint<M> {
         for r in 0..self.cfg.n_receivers {
             out.push(Action::ToReceiver {
                 to: r,
-                msg: ChannelMsg::Progress {
-                    positions: positions.clone(),
-                },
+                msg: ChannelMsg::Progress { positions: positions.clone() },
             });
         }
     }
@@ -451,9 +418,7 @@ mod tests {
             "one receiver is not enough (fr = 1)"
         );
         s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
-        assert!(out.iter().any(
-            |a| matches!(a, Action::Unblocked { p, .. } if *p == Position(6))
-        ));
+        assert!(out.iter().any(|a| matches!(a, Action::Unblocked { p, .. } if *p == Position(6))));
         assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
         assert_eq!(s.window(0).start(), Position(3));
     }
@@ -491,10 +456,9 @@ mod tests {
         s0.send(0, Position(1), m.clone(), &mut out0);
         s1.send(0, Position(1), m.clone(), &mut out1);
         // No certificates yet (each has only its own share; fs + 1 = 2).
-        assert!(!out0.iter().any(|a| matches!(
-            a,
-            Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. }
-        )));
+        assert!(!out0
+            .iter()
+            .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. })));
         // Deliver s1's share to s0.
         let share = out1
             .iter()
@@ -536,10 +500,9 @@ mod tests {
             ChannelMsg::SigShare { sc: 0, p: Position(1), digest: bad_digest, sig },
             &mut out,
         );
-        assert!(!out.iter().any(|a| matches!(
-            a,
-            Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. }
-        )));
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Certificate { .. }, .. })));
     }
 
     #[test]
@@ -562,11 +525,17 @@ mod tests {
         out.clear();
         s1.on_peer_message(0, share, &mut out);
         // s1 is default collector for receiver 1 only.
-        assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { to: 1, msg: ChannelMsg::Certificate { .. } })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 1, msg: ChannelMsg::Certificate { .. } }
+        )));
         // Receiver 0 switches its collector to s1: the bundle re-ships.
         out.clear();
         s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
-        assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { to: 0, msg: ChannelMsg::Certificate { .. } })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 0, msg: ChannelMsg::Certificate { .. } }
+        )));
     }
 
     #[test]
@@ -583,8 +552,8 @@ mod tests {
                 s.send(0, Position(p), m.clone(), &mut outs[i]);
             }
             // Deliver all shares to everyone.
-            for i in 0..3 {
-                let shares: Vec<(usize, ChannelMsg<Blob>)> = outs[i]
+            for (i, out) in outs.iter().enumerate() {
+                let shares: Vec<(usize, ChannelMsg<Blob>)> = out
                     .iter()
                     .filter_map(|a| match a {
                         Action::ToPeerSender { to, msg } => Some((*to, msg.clone())),

@@ -22,10 +22,7 @@ impl Window {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u64) -> Self {
         assert!(capacity >= 1, "window capacity must be at least 1");
-        Window {
-            start: Position(1),
-            capacity,
-        }
+        Window { start: Position(1), capacity }
     }
 
     /// Lower bound (inclusive).

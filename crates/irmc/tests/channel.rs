@@ -120,11 +120,7 @@ impl Net {
     fn pump(&mut self) -> usize {
         let mut n = 0;
         while !self.wire.is_empty() {
-            let idx = if self.shuffle {
-                self.rng.gen_range(0..self.wire.len())
-            } else {
-                0
-            };
+            let idx = if self.shuffle { self.rng.gen_range(0..self.wire.len()) } else { 0 };
             let item = self.wire.remove(idx).expect("index in range");
             n += 1;
             match item {

@@ -48,10 +48,7 @@ impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         // Ties break by insertion sequence for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -63,21 +60,13 @@ pub(crate) struct EventQueue<M> {
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     pub fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
-            at,
-            seq,
-            node,
-            kind,
-        });
+        self.heap.push(Event { at, seq, node, kind });
     }
 
     pub fn pop(&mut self) -> Option<Event<M>> {
@@ -123,16 +112,8 @@ mod tests {
     fn peek_time_sees_earliest() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(
-            SimTime::from_millis(9),
-            NodeId(0),
-            EventKind::Deliver { from: NodeId(0), msg: () },
-        );
-        q.push(
-            SimTime::from_millis(2),
-            NodeId(0),
-            EventKind::Deliver { from: NodeId(0), msg: () },
-        );
+        q.push(SimTime::from_millis(9), NodeId(0), EventKind::Deliver { from: NodeId(0), msg: () });
+        q.push(SimTime::from_millis(2), NodeId(0), EventKind::Deliver { from: NodeId(0), msg: () });
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());

@@ -46,8 +46,7 @@ impl Topology {
             self.region_names
                 .iter()
                 .position(|n| n == name)
-                .unwrap_or_else(|| panic!("unknown region {name:?}"))
-                as u16,
+                .unwrap_or_else(|| panic!("unknown region {name:?}")) as u16,
         )
     }
 
@@ -280,10 +279,7 @@ impl NetworkControl {
     }
 
     pub(crate) fn extra_delay(&self, from: NodeId, to: NodeId) -> SimTime {
-        self.extra_delay
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(SimTime::ZERO)
+        self.extra_delay.get(&(from, to)).copied().unwrap_or(SimTime::ZERO)
     }
 
     pub(crate) fn should_drop<R: Rng>(

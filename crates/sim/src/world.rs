@@ -106,16 +106,12 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     pub fn post(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
         assert!(at >= self.now, "cannot post into the past");
         let (arrival, class, bytes) = self.delivery_plan(at, from, to, &msg);
-        if self
-            .net_control
-            .should_drop(from, to, at, &mut self.rng)
-        {
+        if self.net_control.should_drop(from, to, at, &mut self.rng) {
             self.stats.dropped_messages += 1;
             return;
         }
         self.stats.record_send(from, class, bytes);
-        self.queue
-            .push(arrival, to, EventKind::Deliver { from, msg });
+        self.queue.push(arrival, to, EventKind::Deliver { from, msg });
     }
 
     /// Access the concrete actor behind a node for post-run inspection.
@@ -124,11 +120,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     ///
     /// Panics if the node's actor is not a `T`.
     pub fn actor<T: 'static>(&self, node: NodeId) -> &T {
-        self.nodes[node.0 as usize]
-            .actor
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("actor type mismatch")
+        self.nodes[node.0 as usize].actor.as_any().downcast_ref::<T>().expect("actor type mismatch")
     }
 
     /// Mutable access to the concrete actor behind a node.
@@ -286,25 +278,19 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
         for action in out.drain(..) {
             match action {
                 OutAction::Send { to, msg } => {
-                    if self
-                        .net_control
-                        .should_drop(node, to, end, &mut self.rng)
-                    {
+                    if self.net_control.should_drop(node, to, end, &mut self.rng) {
                         self.stats.dropped_messages += 1;
                         continue;
                     }
                     let (arrival, class, bytes) = self.delivery_plan(end, node, to, &msg);
                     self.stats.record_send(node, class, bytes);
-                    self.queue
-                        .push(arrival, to, EventKind::Deliver { from: node, msg });
+                    self.queue.push(arrival, to, EventKind::Deliver { from: node, msg });
                 }
                 OutAction::SetTimer { id, delay, tag } => {
                     self.queue.push(
                         end + delay,
                         node,
-                        EventKind::Fire {
-                            timer: Timer { id, tag },
-                        },
+                        EventKind::Fire { timer: Timer { id, tag } },
                     );
                 }
                 OutAction::CancelTimer(id) => {
@@ -383,12 +369,8 @@ mod tests {
         let topo = two_region_topo();
         let mut sim = Simulation::new(topo, 1);
         let sink = sim.add_node(sim.topology().zone("a", 0), Recorder::default());
-        let worker = sim.add_node(
-            sim.topology().zone("a", 0),
-            Worker {
-                cost: SimTime::from_millis(10),
-            },
-        );
+        let worker =
+            sim.add_node(sim.topology().zone("a", 0), Worker { cost: SimTime::from_millis(10) });
         // Two messages arrive at essentially the same time; the second reply
         // must depart 10ms of CPU after the first.
         sim.post(SimTime::ZERO, sink, worker, Msg(1, 10));
@@ -455,13 +437,8 @@ mod tests {
         }
         let topo = two_region_topo();
         let mut sim = Simulation::new(topo, 1);
-        let n = sim.add_node(
-            sim.topology().zone("a", 0),
-            TimerUser {
-                fired: vec![],
-                cancel_me: None,
-            },
-        );
+        let n =
+            sim.add_node(sim.topology().zone("a", 0), TimerUser { fired: vec![], cancel_me: None });
         sim.run_until_quiescent(SimTime::from_secs(1));
         assert_eq!(sim.actor::<TimerUser>(n).fired, vec![1, 5]);
         let _ = sim.actor::<TimerUser>(n).cancel_me; // silence dead-code
@@ -478,12 +455,8 @@ mod tests {
                 .build();
             let mut sim = Simulation::new(topo, seed);
             let rec = sim.add_node(sim.topology().zone("a", 0), Recorder::default());
-            let w = sim.add_node(
-                sim.topology().zone("b", 0),
-                Worker {
-                    cost: SimTime::from_micros(300),
-                },
-            );
+            let w = sim
+                .add_node(sim.topology().zone("b", 0), Worker { cost: SimTime::from_micros(300) });
             for i in 0..50 {
                 sim.post(SimTime::from_millis(i), rec, w, Msg(i, 64));
             }

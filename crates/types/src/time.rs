@@ -112,12 +112,6 @@ impl SimTime {
         SimTime(self.0.min(rhs.0))
     }
 
-    /// Multiplies a duration by an integer factor.
-    #[must_use]
-    pub fn mul(self, factor: u64) -> SimTime {
-        SimTime(self.0 * factor)
-    }
-
     /// Scales a duration by a float factor (rounds to nanoseconds).
     #[must_use]
     pub fn mul_f64(self, factor: f64) -> SimTime {
@@ -148,6 +142,13 @@ impl Sub for SimTime {
 impl SubAssign for SimTime {
     fn sub_assign(&mut self, rhs: SimTime) {
         self.0 -= rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, factor: u64) -> SimTime {
+        SimTime(self.0 * factor)
     }
 }
 
@@ -190,7 +191,7 @@ mod tests {
         assert_eq!(a - b, SimTime::from_millis(2));
         assert_eq!(a / 5, SimTime::from_millis(1));
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
-        assert_eq!(a.mul(3), SimTime::from_millis(15));
+        assert_eq!((a * 3), SimTime::from_millis(15));
         assert_eq!(a.mul_f64(0.5), SimTime::from_micros(2500));
     }
 

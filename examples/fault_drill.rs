@@ -8,7 +8,7 @@
 //! 3. runs a Byzantine client that equivocates between replicas —
 //!    blocked by the request channel without hurting anyone else (§3.7).
 //!
-//! Run with: `cargo run -p spider-examples --bin fault_drill`
+//! Run with: `cargo run -p spider_examples --example fault_drill`
 
 use spider::agreement::AgreementReplica;
 use spider::execution::ExecutionReplica;
@@ -20,12 +20,14 @@ use spider_sim::Simulation;
 use spider_types::SimTime;
 
 fn main() {
-    let mut cfg = SpiderConfig::default();
-    cfg.ke = 8;
-    cfg.ka = 8;
-    cfg.ag_win = 16;
-    cfg.commit_capacity = 16;
-    cfg.view_change_timeout = SimTime::from_millis(400);
+    let cfg = SpiderConfig {
+        ke: 8,
+        ka: 8,
+        ag_win: 16,
+        commit_capacity: 16,
+        view_change_timeout: SimTime::from_millis(400),
+        ..SpiderConfig::default()
+    };
 
     let mut sim = Simulation::new(ec2_topology(), 99);
     let mut dep = DeploymentBuilder::new(cfg)
@@ -60,8 +62,7 @@ fn main() {
     let node_count = 32u32;
     for other in (0..node_count).map(spider_types::NodeId) {
         if other != victim {
-            sim.net_control_mut()
-                .partition_pair_until(victim, other, SimTime::from_secs(12));
+            sim.net_control_mut().partition_pair_until(victim, other, SimTime::from_secs(12));
         }
     }
     println!("t=4s   partitioned execution replica {victim:?} until t=12s");
@@ -84,13 +85,15 @@ fn main() {
     }
 
     // Convergence including the recovered victim.
-    let reference = sim
-        .actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0])
-        .app_digest();
+    let reference = sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0]).app_digest();
     let victim_digest = sim.actor::<ExecutionReplica<KvStore>>(victim).app_digest();
     println!(
         "  partitioned replica state: {}",
-        if victim_digest == reference { "recovered via checkpoint, consistent" } else { "STILL DIVERGED" }
+        if victim_digest == reference {
+            "recovered via checkpoint, consistent"
+        } else {
+            "STILL DIVERGED"
+        }
     );
     let victim_replica = sim.actor::<ExecutionReplica<KvStore>>(victim);
     println!(

@@ -5,7 +5,7 @@
 //! execution group is added at runtime (§3.6) and new clients get local
 //! read latency immediately.
 //!
-//! Run with: `cargo run -p spider-examples --bin geo_kvstore`
+//! Run with: `cargo run -p spider_examples --example geo_kvstore`
 
 use spider::execution::ExecutionReplica;
 use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
@@ -48,11 +48,7 @@ fn main() {
         &mut sim,
         sp,
         3,
-        WorkloadSpec {
-            start_delay: SimTime::from_secs(20),
-            max_ops: 40,
-            ..mixed
-        },
+        WorkloadSpec { start_delay: SimTime::from_secs(20), max_ops: 40, ..mixed },
     );
 
     sim.run_until_quiescent(SimTime::from_secs(120));
@@ -91,17 +87,15 @@ fn main() {
             .collect();
         group_ok &= digests.windows(2).all(|w| w[0] == w[1]);
         map_digests.push(
-            sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(gi)[0])
-                .app()
-                .map_digest(),
+            sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(gi)[0]).app().map_digest(),
         );
     }
     let consistent = group_ok && map_digests.windows(2).all(|w| w[0] == w[1]);
-    println!("\nstate convergence across 12 replicas in 4 regions: {}",
-        if consistent { "OK" } else { "DIVERGED (bug!)" });
-    let store = sim
-        .actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0])
-        .app();
+    println!(
+        "\nstate convergence across 12 replicas in 4 regions: {}",
+        if consistent { "OK" } else { "DIVERGED (bug!)" }
+    );
+    let store = sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0]).app();
     println!("keys stored: {}, operations applied: {}", store.len(), store.ops_applied);
     assert!(consistent);
 }

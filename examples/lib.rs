@@ -7,7 +7,7 @@
 //! * `paper_figures` — regenerates every figure of the paper's evaluation
 //!   (set `SPIDER_QUICK=1` for a fast pass).
 //! * `geo_kvstore` — a realistic geo-replicated key-value store with a
-//!    mixed read/write workload and a runtime-added region.
+//!   mixed read/write workload and a runtime-added region.
 //! * `fault_drill` — crashes the consensus leader, partitions a replica,
 //!   and unleashes a Byzantine client, showing that service continues.
 
@@ -25,5 +25,10 @@ pub fn fmt_latencies(samples: &[Sample]) -> String {
     lats.sort();
     let p50 = lats[lats.len() / 2];
     let p90 = lats[(lats.len() * 9 / 10).min(lats.len() - 1)];
-    format!("p50 {:.1}ms  p90 {:.1}ms  ({} requests)", p50.as_millis_f64(), p90.as_millis_f64(), lats.len())
+    format!(
+        "p50 {:.1}ms  p90 {:.1}ms  ({} requests)",
+        p50.as_millis_f64(),
+        p90.as_millis_f64(),
+        lats.len()
+    )
 }

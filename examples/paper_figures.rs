@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper's evaluation section and prints
 //! the data as text tables/series.
 //!
-//! Run with: `cargo run --release -p spider-examples --bin paper_figures`
+//! Run with: `cargo run --release -p spider_examples --example paper_figures`
 //!
 //! Environment:
 //! * `SPIDER_QUICK=1` — small scale (~1 minute total).
@@ -31,10 +31,7 @@ fn scale() -> (ScenarioCfg, fig10::Config, fig9bcd::Config) {
                 bucket: SimTime::from_secs(5),
                 ..fig10::Config::default()
             },
-            fig9bcd::Config {
-                duration: SimTime::from_secs(3),
-                ..fig9bcd::Config::default()
-            },
+            fig9bcd::Config { duration: SimTime::from_secs(3), ..fig9bcd::Config::default() },
         )
     } else {
         (

@@ -4,7 +4,7 @@
 //! Virginia, a second execution group in Tokyo. One client per region
 //! issues writes against a replicated key-value store.
 //!
-//! Run with: `cargo run -p spider-examples --bin quickstart`
+//! Run with: `cargo run -p spider_examples --example quickstart`
 
 use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
@@ -31,9 +31,8 @@ fn main() {
         .build(&mut sim);
 
     // 3. Clients: one per region, 5 writes/s, 200-byte requests.
-    let workload = WorkloadSpec::writes_per_sec(5.0, 200)
-        .with_max_ops(50)
-        .with_op_factory(kv_op_factory(100));
+    let workload =
+        WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(50).with_op_factory(kv_op_factory(100));
     deployment.spawn_clients(&mut sim, 0, 1, workload.clone());
     deployment.spawn_clients(&mut sim, 1, 1, workload);
 
@@ -50,8 +49,5 @@ fn main() {
         "\nRequests ordered by the agreement group: {}",
         sim.actor::<spider::agreement::AgreementReplica>(deployment.agreement[0]).ordered
     );
-    println!(
-        "Total simulated events processed: {}",
-        sim.stats().total_events
-    );
+    println!("Total simulated events processed: {}", sim.stats().total_events);
 }

@@ -1,0 +1,364 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace uses: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), [`any`],
+//! integer/float range strategies, tuple strategies, the
+//! `prop::collection::{vec, btree_map, hash_set}` combinators, and the
+//! `prop_assert*` macros. Inputs are generated from a deterministic
+//! per-case RNG; there is **no shrinking** — a failing case panics with
+//! the case number so it can be replayed by re-running the test.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values; mirrors `proptest::strategy::Strategy`
+/// minus shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy; mirrors
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut SmallRng) -> $ty {
+                rng.gen::<u64>() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> char {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`; mirrors `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies; mirrors `proptest::collection`.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::collections::{BTreeMap, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with a size drawn from `size`.
+    ///
+    /// Key collisions may make the map smaller than the drawn size, as in
+    /// real proptest.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with a size drawn from `size`.
+    ///
+    /// Element collisions may make the set smaller than the drawn size.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            let mut set = HashSet::new();
+            for _ in 0..n {
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// The glob-import surface; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of the `proptest::prelude::prop` re-export.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> SmallRng {
+    // Deterministic but test- and case-specific: hash the test name into
+    // the seed so distinct properties explore distinct sequences.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Defines property tests; mirrors `proptest::proptest!` without
+/// shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::__case_rng(stringify!($name), case);
+                let ($($arg,)+) = {
+                    use $crate::Strategy as _;
+                    ($(($strat).generate(&mut rng),)+)
+                };
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside [`proptest!`]; panics on failure (no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside [`proptest!`]; panics on failure (no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside [`proptest!`]; panics on failure (no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u8>(), 2..9),
+            m in prop::collection::btree_map(0u32..50, any::<bool>(), 0..6),
+            s in prop::collection::hash_set(0u32..50, 0..6),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(m.len() < 6);
+            prop_assert!(s.len() < 6);
+        }
+
+        #[test]
+        fn tuples_compose((a, b) in (0u8..10, any::<bool>()), c in any::<u64>()) {
+            prop_assert!(a < 10);
+            let _ = (b, c);
+        }
+    }
+
+    // No `#![proptest_config]` — exercises the default-config macro arm.
+    proptest! {
+        #[test]
+        fn default_macro_arm_without_config(x in 0u8..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serializes through serde (exports are
+//! hand-rolled CSV in `spider-harness`). This stub therefore provides the
+//! two traits as markers with blanket implementations, plus re-exports of
+//! the no-op derive macros, so the annotations compile unchanged and the
+//! real crate can be swapped back in by repointing the workspace
+//! dependency.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

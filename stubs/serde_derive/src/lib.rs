@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The sibling `serde` stub gives `Serialize` / `Deserialize` blanket
+//! implementations for every type, so these derives have nothing to
+//! generate — they only need to *exist* so `#[derive(Serialize)]` and
+//! `#[derive(serde::Deserialize)]` attributes on workspace types parse and
+//! expand. Each emits an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` stub's blanket impl covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` stub's blanket impl covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,9 +15,7 @@ use spider_types::SimTime;
 const REGIONS: [&str; 4] = ["virginia", "oregon", "ireland", "tokyo"];
 
 fn workload(max_ops: u64) -> WorkloadSpec {
-    WorkloadSpec::writes_per_sec(3.0, 200)
-        .with_max_ops(max_ops)
-        .with_op_factory(kv_op_factory(100))
+    WorkloadSpec::writes_per_sec(3.0, 200).with_max_ops(max_ops).with_op_factory(kv_op_factory(100))
 }
 
 #[test]
@@ -28,11 +26,7 @@ fn all_four_architectures_serve_the_same_workload() {
         dep.spawn_clients(&mut sim, gi, 1, workload(10));
     }
     sim.run_until_quiescent(SimTime::from_secs(60));
-    let spider_total: usize = dep
-        .collect_samples(&sim)
-        .iter()
-        .map(|(_, _, s)| s.len())
-        .sum();
+    let spider_total: usize = dep.collect_samples(&sim).iter().map(|(_, _, s)| s.len()).sum();
 
     // BFT.
     let mut sim = Simulation::new(ec2_topology(), 11);
@@ -68,11 +62,7 @@ fn all_four_architectures_serve_the_same_workload() {
         hft.spawn_clients(&mut sim, si as u16, region, 1, workload(10));
     }
     sim.run_until_quiescent(SimTime::from_secs(60));
-    let hft_total: usize = hft
-        .collect_samples(&sim)
-        .iter()
-        .map(|(_, _, s)| s.len())
-        .sum();
+    let hft_total: usize = hft.collect_samples(&sim).iter().map(|(_, _, s)| s.len()).sum();
 
     assert_eq!(spider_total, 40);
     assert_eq!(bft_total, 40);

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use spider::execution::ExecutionReplica;
-use spider::{Application, SpiderConfig, WorkloadSpec};
+use spider::{SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvOp, KvStore};
 use spider_tests::standard_deployment;
 use spider_types::{OpKind, SimTime};
@@ -14,9 +14,8 @@ type ExecReplica = ExecutionReplica<KvStore>;
 #[test]
 fn kv_writes_survive_replication_and_all_groups_agree() {
     let (mut sim, mut dep) = standard_deployment(1, SpiderConfig::default());
-    let workload = WorkloadSpec::writes_per_sec(4.0, 200)
-        .with_max_ops(25)
-        .with_op_factory(kv_op_factory(50));
+    let workload =
+        WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(25).with_op_factory(kv_op_factory(50));
     for gi in 0..4 {
         dep.spawn_clients(&mut sim, gi, 2, workload.clone());
     }
@@ -76,11 +75,8 @@ fn weak_reads_see_previously_acknowledged_writes() {
     sim.run_until_quiescent(SimTime::from_secs(30));
 
     let samples = dep.collect_samples(&sim);
-    let reads: usize = samples
-        .iter()
-        .flat_map(|(_, _, s)| s)
-        .filter(|s| s.kind == OpKind::WeakRead)
-        .count();
+    let reads: usize =
+        samples.iter().flat_map(|(_, _, s)| s).filter(|s| s.kind == OpKind::WeakRead).count();
     assert_eq!(reads, 5);
     // And the value is in every replica of the reading group.
     for node in dep.group_nodes(2) {
@@ -110,11 +106,7 @@ fn mixed_workload_with_strong_reads_completes() {
     assert_eq!(total, 80);
     // All three kinds actually occurred.
     for kind in [OpKind::Write, OpKind::StrongRead, OpKind::WeakRead] {
-        let n = samples
-            .iter()
-            .flat_map(|(_, _, s)| s)
-            .filter(|s| s.kind == kind)
-            .count();
+        let n = samples.iter().flat_map(|(_, _, s)| s).filter(|s| s.kind == kind).count();
         assert!(n > 0, "no {kind} completed");
     }
 }

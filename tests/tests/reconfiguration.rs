@@ -11,9 +11,8 @@ use spider_types::{GroupId, SimTime};
 #[test]
 fn add_then_remove_group_mid_workload() {
     let (mut sim, mut dep) = standard_deployment(21, SpiderConfig::default());
-    let workload = WorkloadSpec::writes_per_sec(4.0, 200)
-        .with_max_ops(60)
-        .with_op_factory(kv_op_factory(100));
+    let workload =
+        WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(60).with_op_factory(kv_op_factory(100));
     dep.spawn_clients(&mut sim, 0, 2, workload.clone());
 
     // Add a São Paulo group at t = 3s.
@@ -27,9 +26,7 @@ fn add_then_remove_group_mid_workload() {
         &mut sim,
         gi,
         1,
-        WorkloadSpec::writes_per_sec(4.0, 200)
-            .with_max_ops(10)
-            .with_op_factory(kv_op_factory(100)),
+        WorkloadSpec::writes_per_sec(4.0, 200).with_max_ops(10).with_op_factory(kv_op_factory(100)),
     );
     sim.run_until(SimTime::from_secs(15));
 
@@ -56,44 +53,30 @@ fn add_then_remove_group_mid_workload() {
             }
         }
     }
-    sim.add_node(
-        admin_zone,
-        OneShotAdmin { directory: dep.directory.clone(), group: new_group },
-    );
+    sim.add_node(admin_zone, OneShotAdmin { directory: dep.directory.clone(), group: new_group });
     sim.run_until(SimTime::from_secs(18));
     assert!(!dep.directory.is_active(new_group), "RemoveGroup ordered and applied");
 
     // The original groups keep serving to completion.
     sim.run_until_quiescent(SimTime::from_secs(90));
     let samples = dep.collect_samples(&sim);
-    let virginia_total: usize = samples
-        .iter()
-        .filter(|(_, g, _)| g.0 == 0)
-        .map(|(_, _, s)| s.len())
-        .sum();
+    let virginia_total: usize =
+        samples.iter().filter(|(_, g, _)| g.0 == 0).map(|(_, _, s)| s.len()).sum();
     assert_eq!(virginia_total, 120, "both Virginia clients finished all writes");
 
     // Remaining groups stay convergent.
-    let reference = sim
-        .actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0])
-        .app_digest();
+    let reference = sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0]).app_digest();
     for gi in 0..4 {
         for node in dep.group_nodes(gi) {
-            assert_eq!(
-                sim.actor::<ExecutionReplica<KvStore>>(*node).app_digest(),
-                reference
-            );
+            assert_eq!(sim.actor::<ExecutionReplica<KvStore>>(*node).app_digest(), reference);
         }
     }
 }
 
 #[test]
 fn late_joining_group_converges_to_full_history() {
-    let mut cfg = SpiderConfig::default();
-    cfg.ke = 8;
-    cfg.ka = 8;
-    cfg.ag_win = 16;
-    cfg.commit_capacity = 16;
+    let cfg =
+        SpiderConfig { ke: 8, ka: 8, ag_win: 16, commit_capacity: 16, ..SpiderConfig::default() };
     let (mut sim, mut dep) = standard_deployment(22, cfg);
     let workload = WorkloadSpec::writes_per_sec(10.0, 200)
         .with_max_ops(80)
@@ -104,14 +87,8 @@ fn late_joining_group_converges_to_full_history() {
     let new_group = dep.add_execution_group(&mut sim, "saopaulo", SimTime::from_secs(10));
     sim.run_until_quiescent(SimTime::from_secs(120));
 
-    let reference = sim
-        .actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0])
-        .app_digest();
-    let gi = dep
-        .groups
-        .iter()
-        .position(|(g, _, _)| *g == new_group)
-        .unwrap();
+    let reference = sim.actor::<ExecutionReplica<KvStore>>(dep.group_nodes(0)[0]).app_digest();
+    let gi = dep.groups.iter().position(|(g, _, _)| *g == new_group).unwrap();
     for node in dep.group_nodes(gi) {
         let replica = sim.actor::<ExecutionReplica<Box<dyn Application>>>(*node);
         assert_eq!(
@@ -119,9 +96,6 @@ fn late_joining_group_converges_to_full_history() {
             reference,
             "late group caught up via cross-group checkpoint + commit stream"
         );
-        assert!(
-            replica.executed < 160,
-            "the late group must not re-execute the full history"
-        );
+        assert!(replica.executed < 160, "the late group must not re-execute the full history");
     }
 }

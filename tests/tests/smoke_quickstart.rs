@@ -1,0 +1,57 @@
+//! Workspace smoke test: the `quickstart` example deployment, end to end.
+//!
+//! Mirrors `examples/quickstart.rs` — two regions, a Virginia agreement
+//! group, execution groups in Virginia and Tokyo, one writing client per
+//! region — and asserts the deployment actually completes requests. This
+//! keeps the examples' deployment shape compiling and correct even though
+//! the example binaries themselves are only built, not run, by CI.
+
+use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
+use spider_app::{kv_op_factory, KvStore};
+use spider_examples::fmt_latencies;
+use spider_sim::{Simulation, Topology};
+use spider_types::SimTime;
+
+#[test]
+fn quickstart_deployment_completes_writes() {
+    let topology = Topology::builder()
+        .region("virginia", 4)
+        .region("tokyo", 3)
+        .symmetric_latency("virginia", "tokyo", SimTime::from_millis(73))
+        .build();
+    let mut sim = Simulation::new(topology, 42);
+
+    let mut deployment = DeploymentBuilder::new(SpiderConfig::default())
+        .with_app(KvStore::new)
+        .agreement_region("virginia")
+        .execution_group("virginia")
+        .execution_group("tokyo")
+        .build(&mut sim);
+
+    let workload =
+        WorkloadSpec::writes_per_sec(5.0, 200).with_max_ops(50).with_op_factory(kv_op_factory(100));
+    deployment.spawn_clients(&mut sim, 0, 1, workload.clone());
+    deployment.spawn_clients(&mut sim, 1, 1, workload);
+
+    sim.run_until_quiescent(SimTime::from_secs(30));
+
+    let per_client = deployment.collect_samples(&sim);
+    assert_eq!(per_client.len(), 2, "one sample set per client");
+    for (client, group, samples) in &per_client {
+        assert!(!samples.is_empty(), "client {client} of group {group:?} completed no requests");
+        // Writes from the quickstart workload cross at most one WAN hop
+        // chain; sanity-bound the latencies so a scheduling regression
+        // (e.g. requests only completing at quiescence) is caught.
+        for s in samples {
+            let lat = s.latency();
+            assert!(lat > SimTime::ZERO, "zero latency sample");
+            assert!(lat < SimTime::from_secs(10), "implausible latency {lat}");
+        }
+        // The helper the examples use must render these samples.
+        let rendered = fmt_latencies(samples);
+        assert!(rendered.contains("requests"), "unexpected rendering: {rendered}");
+    }
+
+    let ordered = sim.actor::<spider::agreement::AgreementReplica>(deployment.agreement[0]).ordered;
+    assert!(ordered >= 100, "agreement group ordered only {ordered} of 100 writes");
+}
