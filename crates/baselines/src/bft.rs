@@ -230,10 +230,7 @@ impl BftDeployment {
         app_factory: impl Fn() -> A,
     ) -> Self {
         assert_eq!(regions.len(), 3 * cfg.fa + 1, "one replica per region");
-        let pbft_cfg = PbftConfig::new(cfg.fa)
-            .with_cost(cfg.cost)
-            .with_view_change_timeout(cfg.view_change_timeout)
-            .with_max_batch(cfg.max_batch);
+        let pbft_cfg = cfg.tune_pbft(PbftConfig::new(cfg.fa));
         Self::build_with_pbft(sim, cfg, pbft_cfg, regions, app_factory)
     }
 
@@ -248,10 +245,7 @@ impl BftDeployment {
         app_factory: impl Fn() -> A,
     ) -> Self {
         assert_eq!(regions.len(), 3 * cfg.fa + 1 + delta);
-        let pbft_cfg = PbftConfig::weighted(cfg.fa, delta, vmax_holders)
-            .with_cost(cfg.cost)
-            .with_view_change_timeout(cfg.view_change_timeout)
-            .with_max_batch(cfg.max_batch);
+        let pbft_cfg = cfg.tune_pbft(PbftConfig::weighted(cfg.fa, delta, vmax_holders));
         Self::build_with_pbft(sim, cfg, pbft_cfg, regions, app_factory)
     }
 
@@ -265,10 +259,7 @@ impl BftDeployment {
         app_factory: impl Fn() -> A,
     ) -> Self {
         assert_eq!(placements.len(), 3 * cfg.fa + 1);
-        let pbft_cfg = PbftConfig::new(cfg.fa)
-            .with_cost(cfg.cost)
-            .with_view_change_timeout(cfg.view_change_timeout)
-            .with_max_batch(cfg.max_batch);
+        let pbft_cfg = cfg.tune_pbft(PbftConfig::new(cfg.fa));
         let directory = Directory::new();
         let mut replicas = Vec::new();
         for (i, (region, zone)) in placements.iter().enumerate() {

@@ -95,10 +95,7 @@ impl<A: Application> StewardReplica<A> {
         directory: Directory,
         app: A,
     ) -> Self {
-        let pbft_cfg = PbftConfig::new(cfg.fa)
-            .with_cost(cfg.cost)
-            .with_view_change_timeout(cfg.view_change_timeout)
-            .with_max_batch(cfg.max_batch);
+        let pbft_cfg = cfg.tune_pbft(PbftConfig::new(cfg.fa));
         StewardReplica {
             site,
             me,

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
 use spider_harness::ec2_topology;
-use spider_harness::experiments::fig9bcd;
+use spider_harness::experiments::{batching, fig9bcd};
 use spider_harness::stats::LatencySummary;
 use spider_irmc::Variant;
 use spider_sim::Simulation;
@@ -81,14 +81,15 @@ fn ablation_z() {
     }
 }
 
-fn ablation_batch() {
-    println!("\nAblation — consensus batch size (agreement group):");
-    println!("{:<6} {:>16} {:>12}", "batch", "virginia p50[ms]", "completed");
-    for batch in [1usize, 8, 32] {
-        let cfg = SpiderConfig { max_batch: batch, ..SpiderConfig::default() };
-        let (p50, total) = run_with(cfg, 0, 8);
-        println!("{batch:<6} {p50:>16.1} {total:>12}");
-    }
+fn ablation_batching() {
+    // The real sweep: greedy (the legacy fixed cut with no delay cap) vs
+    // fixed-size batching (linger-capped) vs rate-adaptive batching,
+    // across offered load. See `spider_harness::experiments::batching`;
+    // the `bench_summary` binary records the same sweep as JSON for the
+    // CI perf gate.
+    println!();
+    let rows = batching::run(&batching::Config::default());
+    println!("{}", batching::render(&rows));
 }
 
 fn ablation_checkpoint_interval() {
@@ -122,7 +123,7 @@ fn ablation_irmc_capacity() {
 
 fn bench(c: &mut Criterion) {
     ablation_z();
-    ablation_batch();
+    ablation_batching();
     ablation_checkpoint_interval();
     ablation_irmc_capacity();
 

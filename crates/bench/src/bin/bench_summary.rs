@@ -1,0 +1,217 @@
+//! Headless bench summary: regenerates the CI-tracked performance
+//! numbers and writes them as machine-readable JSON.
+//!
+//! Runs (at a CI-friendly scale, all on the deterministic simulator):
+//!
+//! 1. the Figure 7 write-latency sweep (every system × client region),
+//! 2. the Figure 10 adaptability write workload (whole-run summary per
+//!    system),
+//! 3. the batching ablation (greedy / fixed / adaptive across offered
+//!    load).
+//!
+//! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`).
+//!
+//! `--check BASELINE` additionally compares the fresh fig7 Spider p50
+//! against the `fig7_spider_p50_ms` recorded in a baseline JSON and
+//! exits non-zero on a regression of more than 20 % — the CI perf gate.
+
+use spider_harness::experiments::{batching, fig10, fig7};
+use spider_harness::scenarios::ScenarioCfg;
+use spider_types::SimTime;
+use std::fmt::Write as _;
+
+/// Regression tolerance of the `--check` gate: fail above +20 %.
+const P50_REGRESSION_TOLERANCE: f64 = 1.20;
+
+/// The fig7 cell the perf gate tracks: Spider with the leader in
+/// Virginia zone 1, measured from Virginia clients.
+const GATED_SYSTEM: &str = "SPIDER(leader=V-1)";
+const GATED_REGION: &str = "virginia";
+
+fn fig7_scale() -> ScenarioCfg {
+    ScenarioCfg {
+        clients_per_region: 3,
+        rate_per_client: 2.0,
+        duration: SimTime::from_secs(12),
+        warmup: SimTime::from_secs(2),
+        ..ScenarioCfg::default()
+    }
+}
+
+fn fig10_scale() -> fig10::Config {
+    fig10::Config {
+        clients_per_region: 3,
+        duration: SimTime::from_secs(40),
+        join_at: SimTime::from_secs(25),
+        bucket: SimTime::from_secs(5),
+        ..fig10::Config::default()
+    }
+}
+
+/// Formats a float for JSON (`null` for non-finite values).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Extracts the number following `"key":` in a (flat) JSON document.
+/// Hand-rolled because the workspace builds offline without serde_json;
+/// the documents it reads are the ones this binary writes.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_adaptive_batching.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                baseline_path = Some(args.get(i + 1).expect("--check needs a path").clone());
+                i += 2;
+            }
+            other => panic!("unknown argument: {other} (expected --out PATH / --check PATH)"),
+        }
+    }
+
+    println!("bench_summary: fig7 write-latency sweep…");
+    let fig7_rows = fig7::run(&fig7::Config { scenario: fig7_scale(), only: None });
+    println!("{}", fig7::render(&fig7_rows));
+    let fig7_cfg = fig7_scale();
+    let fig7_measured = (fig7_cfg.duration - fig7_cfg.warmup).as_secs_f64();
+
+    println!("bench_summary: fig10 adaptability write workload…");
+    let fig10_rows = fig10::run_write_summaries(&fig10_scale());
+    for r in &fig10_rows {
+        println!(
+            "  {:<8} p50={:>7.1}ms p90={:>7.1}ms thruput={:>7.1}r/s",
+            r.system, r.summary.p50_ms, r.summary.p90_ms, r.throughput_rps
+        );
+    }
+
+    println!("\nbench_summary: batching ablation sweep…");
+    let sweep_cfg = batching::Config::default();
+    let sweep = batching::run(&sweep_cfg);
+    println!("{}", batching::render(&sweep));
+
+    // Headline number for the CI gate.
+    let spider_p50 = fig7_rows
+        .iter()
+        .find(|r| r.system == GATED_SYSTEM && r.client_region == GATED_REGION)
+        .map(|r| r.summary.p50_ms)
+        .unwrap_or(f64::NAN);
+
+    // Did adaptive beat the static policies where each is weak? At low
+    // load, fixed-size batching wastes its linger (p50); at high load,
+    // the seed's greedy cut (fixed max_batch, no delay cap) under-batches
+    // (throughput).
+    let cell = |mode: &str, rps: f64| sweep.iter().find(|r| r.mode == mode && r.offered_rps == rps);
+    let low = sweep_cfg.loads.first().map(|l| l.offered_rps()).unwrap_or(f64::NAN);
+    let high = sweep_cfg.loads.last().map(|l| l.offered_rps()).unwrap_or(f64::NAN);
+    let low_win = match (cell("adaptive", low), cell("fixed", low)) {
+        (Some(a), Some(f)) => a.summary.p50_ms < f.summary.p50_ms,
+        _ => false,
+    };
+    let high_win = match (cell("adaptive", high), cell("greedy", high)) {
+        (Some(a), Some(g)) => a.throughput_rps > g.throughput_rps,
+        _ => false,
+    };
+    println!("adaptive beats fixed-size batching at low load (p50): {low_win}");
+    println!("adaptive beats the greedy default at high load (throughput): {high_win}");
+
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    let _ = writeln!(json, "  \"fig7_spider_p50_ms\": {},", json_f64(spider_p50));
+    let _ = writeln!(json, "  \"adaptive_beats_fixed_low_load_p50\": {low_win},");
+    let _ = writeln!(json, "  \"adaptive_beats_greedy_high_load_throughput\": {high_win},");
+    json.push_str("  \"fig7\": [\n");
+    for (i, r) in fig7_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"system\": \"{}\", \"region\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            r.system,
+            r.client_region,
+            json_f64(r.summary.p50_ms),
+            json_f64(r.summary.p90_ms),
+            json_f64(r.summary.count as f64 / fig7_measured)
+        );
+        json.push_str(if i + 1 < fig7_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"fig10_writes\": [\n");
+    for (i, r) in fig10_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"system\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            r.system,
+            json_f64(r.summary.p50_ms),
+            json_f64(r.summary.p90_ms),
+            json_f64(r.throughput_rps)
+        );
+        json.push_str(if i + 1 < fig10_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"adaptive_batching\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"offered_rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            r.mode,
+            json_f64(r.offered_rps),
+            json_f64(r.summary.p50_ms),
+            json_f64(r.summary.p90_ms),
+            json_f64(r.throughput_rps)
+        );
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench summary JSON");
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base_p50 = extract_number(&baseline, "fig7_spider_p50_ms")
+            .expect("baseline lacks fig7_spider_p50_ms");
+        assert!(
+            spider_p50.is_finite() && base_p50.is_finite() && base_p50 > 0.0,
+            "fig7 Spider p50 unavailable (current {spider_p50}, baseline {base_p50})"
+        );
+        let limit = base_p50 * P50_REGRESSION_TOLERANCE;
+        println!(
+            "perf gate: fig7 {GATED_SYSTEM} {GATED_REGION} p50 = {spider_p50:.2} ms \
+             (baseline {base_p50:.2} ms, limit {limit:.2} ms)"
+        );
+        if spider_p50 > limit {
+            eprintln!(
+                "PERF REGRESSION: p50 {spider_p50:.2} ms exceeds baseline {base_p50:.2} ms \
+                 by more than {:.0} %",
+                (P50_REGRESSION_TOLERANCE - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        // The headline property of adaptive batching must keep holding,
+        // not just be recorded.
+        if !(low_win && high_win) {
+            eprintln!(
+                "ADAPTIVE-BATCHING REGRESSION: adaptive no longer beats the static \
+                 policies (low-load p50 win: {low_win}, high-load throughput win: {high_win})"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate: OK");
+    }
+}

@@ -1,5 +1,6 @@
 //! PBFT configuration, including weighted-voting quorums.
 
+use crate::batcher::BatcherConfig;
 use spider_crypto::CostModel;
 use spider_types::SimTime;
 
@@ -20,6 +21,17 @@ pub struct PbftConfig {
     pub quorum_weight: u32,
     /// Maximum number of payloads per proposed batch.
     pub max_batch: usize,
+    /// Maximum payload wire bytes per proposed batch (an oversized single
+    /// payload still ships alone).
+    pub batch_max_bytes: usize,
+    /// Maximum time a payload may linger in the leader's queue before it
+    /// is proposed. Zero = propose immediately (legacy greedy batching).
+    pub batch_delay: SimTime,
+    /// Rate-adaptive batch sizing: the leader targets the expected number
+    /// of arrivals within one `batch_delay` window instead of always
+    /// waiting for `max_batch` (see [`crate::Batcher`]). Requires a
+    /// non-zero `batch_delay` to have any effect.
+    pub adaptive_batching: bool,
     /// Maximum number of concurrently active (proposed, undelivered)
     /// instances the leader keeps in flight.
     pub pipeline_depth: usize,
@@ -43,6 +55,9 @@ impl PbftConfig {
             weights: vec![1; n],
             quorum_weight: (2 * f + 1) as u32,
             max_batch: 8,
+            batch_max_bytes: 1 << 20,
+            batch_delay: SimTime::ZERO,
+            adaptive_batching: false,
             pipeline_depth: 32,
             window: 256,
             view_change_timeout: SimTime::from_millis(500),
@@ -107,6 +122,48 @@ impl PbftConfig {
         self
     }
 
+    /// Sets the batch byte cap (builder-style).
+    #[must_use]
+    pub fn with_batch_max_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1);
+        self.batch_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the batch linger cap (builder-style). Zero = propose
+    /// immediately.
+    #[must_use]
+    pub fn with_batch_delay(mut self, delay: SimTime) -> Self {
+        self.batch_delay = delay;
+        self
+    }
+
+    /// Enables or disables rate-adaptive batch sizing (builder-style).
+    #[must_use]
+    pub fn with_adaptive_batching(mut self, adaptive: bool) -> Self {
+        self.adaptive_batching = adaptive;
+        self
+    }
+
+    /// Sets the pipelining window: how many proposed-but-undelivered
+    /// instances the leader keeps in flight (builder-style).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1);
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The batching policy induced by this configuration.
+    pub fn batcher_config(&self) -> BatcherConfig {
+        BatcherConfig {
+            max_batch: self.max_batch,
+            max_bytes: self.batch_max_bytes,
+            delay: self.batch_delay,
+            adaptive: self.adaptive_batching,
+        }
+    }
+
     /// Sets the view-change timeout (builder-style).
     #[must_use]
     pub fn with_view_change_timeout(mut self, t: SimTime) -> Self {
@@ -154,6 +211,30 @@ mod tests {
         // in weight >= 3 > Vmax, i.e. in at least one correct replica.
         let total: u32 = c.weights.iter().sum();
         assert!(2 * c.quorum_weight > total + c.weights.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn batching_knobs_flow_into_batcher_config() {
+        let c = PbftConfig::new(1)
+            .with_max_batch(16)
+            .with_batch_max_bytes(4096)
+            .with_batch_delay(SimTime::from_millis(2))
+            .with_adaptive_batching(true)
+            .with_pipeline_depth(4);
+        assert_eq!(c.pipeline_depth, 4);
+        let b = c.batcher_config();
+        assert_eq!(b.max_batch, 16);
+        assert_eq!(b.max_bytes, 4096);
+        assert_eq!(b.delay, SimTime::from_millis(2));
+        assert!(b.adaptive);
+    }
+
+    #[test]
+    fn default_batching_is_legacy_greedy() {
+        let b = PbftConfig::new(1).batcher_config();
+        assert_eq!(b.delay, SimTime::ZERO);
+        assert!(!b.adaptive);
+        assert_eq!(b.max_batch, 8);
     }
 
     #[test]

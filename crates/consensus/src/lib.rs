@@ -6,7 +6,10 @@
 //! crate implements that black-box with PBFT [Castro & Liskov, OSDI '99]:
 //!
 //! * three-phase normal operation (pre-prepare / prepare / commit) with
-//!   request batching and pipelining,
+//!   request batching and pipelining — the leader's [`Batcher`] closes
+//!   batches on size, byte, or linger-delay caps and can adapt its batch
+//!   size to the measured arrival rate (see the [`batcher`](Batcher)
+//!   docs), while up to `pipeline_depth` instances run concurrently,
 //! * view changes with prepared-certificate carryover, so a faulty leader
 //!   is replaced without losing agreed requests,
 //! * external garbage collection: the host's checkpoint component calls
@@ -53,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batcher;
 mod config;
 mod messages;
 mod replica;
 
+pub use batcher::{Batcher, BatcherConfig};
 pub use config::PbftConfig;
 pub use messages::{Msg, NewViewMsg, PreparedCert, ViewChangeMsg};
 pub use replica::{Input, Output, Pbft, TimerToken};

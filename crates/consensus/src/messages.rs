@@ -4,6 +4,7 @@ use crate::Payload;
 use spider_crypto::Digest;
 use spider_types::wire::{mac_vector_bytes, DIGEST_BYTES, HEADER_BYTES};
 use spider_types::{SeqNr, ViewNr, WireSize};
+use std::sync::Arc;
 
 /// A prepared certificate: proof that a batch was prepared at `(view, seq)`.
 ///
@@ -76,8 +77,10 @@ pub enum Msg<P> {
         view: ViewNr,
         /// Instance number.
         seq: SeqNr,
-        /// Proposed batch (possibly empty = no-op).
-        batch: Vec<P>,
+        /// Proposed batch (possibly empty = no-op). Shared via [`Arc`] so
+        /// the leader's broadcast and log entry reference one allocation
+        /// instead of cloning the payloads per recipient.
+        batch: Arc<Vec<P>>,
     },
     /// Follower echo of a proposal digest.
     Prepare {
@@ -128,11 +131,32 @@ mod tests {
 
     #[test]
     fn preprepare_size_includes_batch() {
-        let small: Msg<TestPayload> =
-            Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1)] };
-        let big: Msg<TestPayload> =
-            Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1); 10] };
+        let small: Msg<TestPayload> = Msg::PrePrepare {
+            view: ViewNr(0),
+            seq: SeqNr(1),
+            batch: Arc::new(vec![TestPayload(1)]),
+        };
+        let big: Msg<TestPayload> = Msg::PrePrepare {
+            view: ViewNr(0),
+            seq: SeqNr(1),
+            batch: Arc::new(vec![TestPayload(1); 10]),
+        };
         assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn preprepare_clone_shares_the_batch() {
+        let msg: Msg<TestPayload> = Msg::PrePrepare {
+            view: ViewNr(0),
+            seq: SeqNr(1),
+            batch: Arc::new(vec![TestPayload(1); 64]),
+        };
+        let copy = msg.clone();
+        let (Msg::PrePrepare { batch: a, .. }, Msg::PrePrepare { batch: b, .. }) = (&msg, &copy)
+        else {
+            unreachable!()
+        };
+        assert!(Arc::ptr_eq(a, b), "broadcast clones must not copy payloads");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The PBFT replica state machine (sans-IO).
 
+use crate::batcher::Batcher;
 use crate::config::PbftConfig;
 use crate::messages::{Msg, NewViewMsg, PreparedCert, ViewChangeMsg};
 use crate::{batch_digest, Payload};
 use spider_crypto::Digest;
 use spider_types::{SeqNr, SimTime, ViewNr};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Identifies one of a replica's logical timers.
 ///
@@ -18,6 +20,9 @@ pub struct TimerToken(pub u64);
 pub const TOKEN_PROGRESS: TimerToken = TimerToken(0);
 /// View-change completion timeout.
 pub const TOKEN_VIEW_CHANGE: TimerToken = TimerToken(1);
+/// Batch linger: fires when the oldest queued payload reaches the
+/// configured `batch_delay` and must be proposed.
+pub const TOKEN_BATCH: TimerToken = TimerToken(2);
 
 /// Inputs the host feeds into the state machine.
 #[derive(Debug, Clone)]
@@ -89,7 +94,9 @@ pub enum Output<P> {
 struct Instance<P> {
     view: ViewNr,
     digest: Option<Digest>,
-    batch: Option<Vec<P>>,
+    /// The proposed batch, shared with the PrePrepare broadcast so the
+    /// hot path never copies payloads.
+    batch: Option<Arc<Vec<P>>>,
     /// Prepare-phase votes: replica index -> digest voted for. The leader's
     /// pre-prepare counts as its prepare vote.
     prepares: HashMap<usize, Digest>,
@@ -127,10 +134,13 @@ pub struct Pbft<P> {
     /// Next instance to deliver.
     next_deliver: u64,
     instances: BTreeMap<u64, Instance<P>>,
-    /// Leader-side queue of payloads awaiting proposal.
-    pending: VecDeque<P>,
-    /// Digests of everything in `pending` (dedup).
+    /// Leader-side queue of payloads awaiting proposal, with the
+    /// size/byte/delay-capped (optionally rate-adaptive) cut policy.
+    batcher: Batcher<P>,
+    /// Digests of everything queued in the batcher (dedup).
     pending_digests: HashSet<Digest>,
+    /// Deadline of the armed batch linger timer, if any.
+    batch_timer_deadline: Option<SimTime>,
     /// All undelivered payloads this replica has seen, for re-proposal
     /// after a view change.
     pool: HashMap<Digest, P>,
@@ -162,6 +172,7 @@ impl<P: Payload> Pbft<P> {
     /// Panics if `me` is out of range for the configured group size.
     pub fn new(cfg: PbftConfig, me: usize) -> Self {
         assert!(me < cfg.n(), "replica index out of range");
+        let batcher = Batcher::new(cfg.batcher_config());
         Pbft {
             cfg,
             me,
@@ -170,8 +181,9 @@ impl<P: Payload> Pbft<P> {
             next_seq: 1,
             next_deliver: 1,
             instances: BTreeMap::new(),
-            pending: VecDeque::new(),
+            batcher,
             pending_digests: HashSet::new(),
+            batch_timer_deadline: None,
             pool: HashMap::new(),
             watching: HashMap::new(),
             recently_delivered: HashSet::new(),
@@ -254,35 +266,81 @@ impl<P: Payload> Pbft<P> {
         self.arm_progress_timer(out);
         if self.is_leader() {
             if self.pending_digests.insert(d) {
-                self.pending.push_back(p);
+                self.batcher.push(now, p);
             }
-            self.try_propose(out, charge);
+            self.try_propose(now, out, charge);
         }
     }
 
-    fn try_propose(&mut self, out: &mut Vec<Output<P>>, charge: &mut SimTime) {
-        while !self.pending.is_empty()
-            && self.next_seq - self.next_deliver < self.cfg.pipeline_depth as u64
+    /// Whether another instance may be proposed: the pipelining window
+    /// (`pipeline_depth` proposed-but-undelivered instances) has a free
+    /// slot and the watermark window is not exhausted.
+    fn has_pipeline_slot(&self) -> bool {
+        self.next_seq - self.next_deliver < self.cfg.pipeline_depth as u64
             && self.next_seq <= self.h + self.cfg.window
-        {
-            let take = self.pending.len().min(self.cfg.max_batch);
-            let batch: Vec<P> = self.pending.drain(..take).collect();
-            for p in &batch {
-                self.pending_digests.remove(&p.digest());
+    }
+
+    /// Proposes as many batches as the batching policy releases and the
+    /// pipelining window admits, then (re-)arms the batch linger timer.
+    fn try_propose(&mut self, now: SimTime, out: &mut Vec<Output<P>>, charge: &mut SimTime) {
+        if self.is_leader() {
+            while self.has_pipeline_slot() && self.batcher.ready(now) {
+                let mut batch = self.batcher.take();
+                // A payload queued here before a demotion may have been
+                // ordered by another leader in the meantime; proposing it
+                // again would deliver it twice.
+                batch.retain(|p| {
+                    let d = p.digest();
+                    self.pending_digests.remove(&d);
+                    !self.recently_delivered.contains(&d)
+                });
+                if batch.is_empty() {
+                    continue;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let digest = batch_digest(&batch);
+                let batch = Arc::new(batch);
+                *charge += self.cfg.cost.hmac(batch.iter().map(|p| p.wire_size()).sum());
+                *charge +=
+                    self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
+
+                let inst = self.instances.entry(seq).or_insert_with(Instance::new);
+                inst.view = self.view;
+                inst.digest = Some(digest);
+                inst.batch = Some(batch.clone());
+                inst.prepares.insert(self.me, digest);
+
+                self.broadcast(out, Msg::PrePrepare { view: self.view, seq: SeqNr(seq), batch });
             }
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            let digest = batch_digest(&batch);
-            *charge += self.cfg.cost.hmac(batch.iter().map(|p| p.wire_size()).sum());
-            *charge += self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
+        }
+        self.update_batch_timer(now, out);
+    }
 
-            let inst = self.instances.entry(seq).or_insert_with(Instance::new);
-            inst.view = self.view;
-            inst.digest = Some(digest);
-            inst.batch = Some(batch.clone());
-            inst.prepares.insert(self.me, digest);
-
-            self.broadcast(out, Msg::PrePrepare { view: self.view, seq: SeqNr(seq), batch });
+    /// Keeps the linger timer aligned with the oldest queued payload's
+    /// flush deadline. Armed only while proposing is actually possible;
+    /// when the pipeline is full, delivery of an instance re-triggers
+    /// proposing (and re-arming) instead.
+    fn update_batch_timer(&mut self, now: SimTime, out: &mut Vec<Output<P>>) {
+        let want = if self.is_leader()
+            && self.has_pipeline_slot()
+            && !self.batcher.is_empty()
+            && !self.batcher.ready(now)
+        {
+            // !ready implies the deadline is in the future.
+            self.batcher.deadline()
+        } else {
+            None
+        };
+        if want == self.batch_timer_deadline {
+            return;
+        }
+        self.batch_timer_deadline = want;
+        match want {
+            Some(d) => {
+                out.push(Output::SetTimer { token: TOKEN_BATCH, delay: d.saturating_sub(now) })
+            }
+            None => out.push(Output::CancelTimer { token: TOKEN_BATCH }),
         }
     }
 
@@ -318,7 +376,7 @@ impl<P: Payload> Pbft<P> {
         from: usize,
         view: ViewNr,
         seq: SeqNr,
-        batch: Vec<P>,
+        batch: Arc<Vec<P>>,
         out: &mut Vec<Output<P>>,
         charge: &mut SimTime,
     ) {
@@ -333,7 +391,7 @@ impl<P: Payload> Pbft<P> {
         if seq <= self.h || seq > self.h + self.cfg.window {
             return;
         }
-        let digest = batch_digest(&batch);
+        let digest = batch_digest(batch.as_slice());
         *charge += self.cfg.cost.hmac(batch.iter().map(|p| p.wire_size()).sum());
 
         let me = self.me;
@@ -355,13 +413,13 @@ impl<P: Payload> Pbft<P> {
 
         *charge += self.cfg.cost.mac_vector(self.cfg.n() - 1, spider_types::wire::DIGEST_BYTES);
         self.broadcast(out, Msg::Prepare { view, seq: SeqNr(seq), digest });
-        self.check_progress(seq, out, charge);
+        self.check_progress(now, seq, out, charge);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn on_vote(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         from: usize,
         view: ViewNr,
         seq: SeqNr,
@@ -392,11 +450,17 @@ impl<P: Payload> Pbft<P> {
         } else {
             inst.prepares.insert(from, digest);
         }
-        self.check_progress(seq, out, charge);
+        self.check_progress(now, seq, out, charge);
     }
 
     /// Advances an instance through prepared -> committed -> delivered.
-    fn check_progress(&mut self, seq: u64, out: &mut Vec<Output<P>>, charge: &mut SimTime) {
+    fn check_progress(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        out: &mut Vec<Output<P>>,
+        charge: &mut SimTime,
+    ) {
         let quorum = self.cfg.quorum_weight;
         let me = self.me;
         let view = self.view;
@@ -440,15 +504,16 @@ impl<P: Payload> Pbft<P> {
                 inst.committed = true;
             }
         }
-        self.try_deliver(out);
+        self.try_deliver(now, out, charge);
     }
 
-    fn try_deliver(&mut self, out: &mut Vec<Output<P>>) {
+    fn try_deliver(&mut self, now: SimTime, out: &mut Vec<Output<P>>, charge: &mut SimTime) {
+        let mut delivered_any = false;
         while let Some(inst) = self.instances.get(&self.next_deliver) {
             if !inst.committed {
                 break;
             }
-            let batch = inst.batch.clone().unwrap_or_default();
+            let batch: Vec<P> = inst.batch.as_ref().map(|b| (**b).clone()).unwrap_or_default();
             for p in &batch {
                 let d = p.digest();
                 self.pool.remove(&d);
@@ -468,10 +533,16 @@ impl<P: Payload> Pbft<P> {
             }
             out.push(Output::Deliver { seq: SeqNr(self.next_deliver), batch });
             self.next_deliver += 1;
+            delivered_any = true;
         }
         if self.watching.is_empty() && self.progress_timer_armed {
             self.progress_timer_armed = false;
             out.push(Output::CancelTimer { token: TOKEN_PROGRESS });
+        }
+        // Delivery frees pipeline slots: keep the pipeline saturated
+        // instead of waiting for the next Order input.
+        if delivered_any && self.is_leader() && !self.batcher.is_empty() {
+            self.try_propose(now, out, charge);
         }
     }
 
@@ -520,6 +591,13 @@ impl<P: Payload> Pbft<P> {
                 let target = self.vc_target.next();
                 self.start_view_change(now, target, out, charge);
             }
+            TOKEN_BATCH => {
+                self.batch_timer_deadline = None;
+                if !self.in_view_change {
+                    // Linger expired: flush whatever is queued.
+                    self.try_propose(now, out, charge);
+                }
+            }
             _ => {}
         }
     }
@@ -533,7 +611,7 @@ impl<P: Payload> Pbft<P> {
                     seq: SeqNr(seq),
                     view: inst.view,
                     digest: inst.digest?,
-                    batch: inst.batch.clone()?,
+                    batch: inst.batch.as_ref().map(|b| (**b).clone())?,
                 })
             })
             .collect()
@@ -708,7 +786,7 @@ impl<P: Payload> Pbft<P> {
             // preserved by the other correct replicas' copies and client
             // retransmissions.
             self.pool.clear();
-            self.pending.clear();
+            self.batcher.clear();
             self.pending_digests.clear();
             self.watching.clear();
             out.push(Output::Skipped { to: SeqNr(start) });
@@ -742,7 +820,7 @@ impl<P: Payload> Pbft<P> {
             }
             inst.view = view;
             inst.digest = Some(digest);
-            inst.batch = Some(batch);
+            inst.batch = Some(Arc::new(batch));
             inst.prepared = false;
             inst.committed = false;
             inst.prepares = HashMap::from([(leader, digest), (me, digest)]);
@@ -751,7 +829,7 @@ impl<P: Payload> Pbft<P> {
         }
         self.next_seq = self.next_seq.max(max_seq + 1).max(self.next_deliver);
         for seq in (start + 1)..=max_seq {
-            self.check_progress(seq, out, charge);
+            self.check_progress(now, seq, out, charge);
         }
 
         // Requests still in the pool go back into the proposal pipeline.
@@ -764,13 +842,18 @@ impl<P: Payload> Pbft<P> {
                 let proposed = self
                     .instances
                     .values()
-                    .any(|i| i.batch.as_deref().is_some_and(|b| b.iter().any(|q| q.digest() == d)));
+                    .any(|i| i.batch.as_ref().is_some_and(|b| b.iter().any(|q| q.digest() == d)));
                 if !proposed && self.pending_digests.insert(d) {
-                    self.pending.push_back(p);
+                    // Rate-neutral: these arrivals were already counted
+                    // when they first entered the pool.
+                    self.batcher.requeue(now, p);
                 }
             }
-            self.try_propose(out, charge);
+            self.try_propose(now, out, charge);
         }
+        // Followers (e.g. the demoted leader) must not keep a stale
+        // linger timer armed.
+        self.update_batch_timer(now, out);
 
         // Re-watch everything undelivered under the new regime.
         for d in self.pool.keys() {
@@ -1027,8 +1110,16 @@ mod tests {
         let mut r1: Pbft<TestPayload> = Pbft::new(cfg(), 1);
         let mut r2: Pbft<TestPayload> = Pbft::new(cfg(), 2);
         let mut r3: Pbft<TestPayload> = Pbft::new(cfg(), 3);
-        let a = Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(1)] };
-        let b = Msg::PrePrepare { view: ViewNr(0), seq: SeqNr(1), batch: vec![TestPayload(2)] };
+        let a = Msg::PrePrepare {
+            view: ViewNr(0),
+            seq: SeqNr(1),
+            batch: Arc::new(vec![TestPayload(1)]),
+        };
+        let b = Msg::PrePrepare {
+            view: ViewNr(0),
+            seq: SeqNr(1),
+            batch: Arc::new(vec![TestPayload(2)]),
+        };
         let mut out: Vec<Output<TestPayload>> = Vec::new();
         r1.handle(SimTime::ZERO, Input::Message { from: 0, msg: a.clone() }, &mut out);
         r2.handle(SimTime::ZERO, Input::Message { from: 0, msg: a }, &mut out);

@@ -100,10 +100,7 @@ impl AgreementReplica {
     ) -> Self {
         cfg.validate();
         let keyring = Keyring::new(cfg.key_seed);
-        let pbft_cfg = PbftConfig::new(cfg.fa)
-            .with_cost(cfg.cost)
-            .with_view_change_timeout(cfg.view_change_timeout)
-            .with_max_batch(cfg.max_batch);
+        let pbft_cfg = cfg.tune_pbft(PbftConfig::new(cfg.fa));
         let mut me_new = AgreementReplica {
             me,
             directory,

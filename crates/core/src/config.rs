@@ -1,5 +1,6 @@
 //! Deployment-wide configuration.
 
+use spider_consensus::PbftConfig;
 use spider_crypto::CostModel;
 use spider_irmc::Variant;
 use spider_types::SimTime;
@@ -47,6 +48,19 @@ pub struct SpiderConfig {
     pub view_change_timeout: SimTime,
     /// Maximum consensus batch size.
     pub max_batch: usize,
+    /// Maximum payload wire bytes per consensus batch.
+    pub batch_max_bytes: usize,
+    /// Maximum time a request may linger in the consensus leader's queue
+    /// before it is proposed. Zero = propose immediately (legacy greedy).
+    pub batch_delay: SimTime,
+    /// Rate-adaptive consensus batch sizing: the leader targets the
+    /// expected number of arrivals within one `batch_delay` window
+    /// instead of always waiting for `max_batch`. Requires a non-zero
+    /// `batch_delay`.
+    pub adaptive_batching: bool,
+    /// Consensus pipelining window: proposed-but-undelivered instances
+    /// the leader keeps in flight concurrently.
+    pub pipeline_depth: usize,
     /// CPU cost model applied by all nodes.
     pub cost: CostModel,
     /// Seed for the shared simulated PKI.
@@ -71,6 +85,10 @@ impl Default for SpiderConfig {
             weak_read_retries: 2,
             view_change_timeout: SimTime::from_millis(500),
             max_batch: 8,
+            batch_max_bytes: 1 << 20,
+            batch_delay: SimTime::ZERO,
+            adaptive_batching: false,
+            pipeline_depth: 32,
             cost: CostModel::default(),
             key_seed: 7,
         }
@@ -92,6 +110,11 @@ impl SpiderConfig {
         );
         assert!(self.ag_win >= self.ka, "AG-WIN must be >= ka (Fig 17)");
         assert!(self.request_capacity >= 1);
+        assert!(self.max_batch >= 1 && self.batch_max_bytes >= 1 && self.pipeline_depth >= 1);
+        assert!(
+            !self.adaptive_batching || self.batch_delay > SimTime::ZERO,
+            "adaptive batching needs a non-zero batch_delay (the linger cap it adapts within)"
+        );
     }
 
     /// Size of the agreement group.
@@ -126,6 +149,32 @@ impl SpiderConfig {
         self.fe = fe;
         self
     }
+
+    /// Enables rate-adaptive consensus batching with the given linger cap
+    /// and a larger batch-size ceiling for the adaptive policy to grow
+    /// into (builder-style).
+    #[must_use]
+    pub fn with_adaptive_batching(mut self, delay: SimTime, max_batch: usize) -> Self {
+        assert!(delay > SimTime::ZERO, "adaptive batching needs a non-zero linger cap");
+        self.adaptive_batching = true;
+        self.batch_delay = delay;
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Applies every consensus tuning knob of this deployment config to a
+    /// PBFT configuration. Used by the agreement group and by all PBFT
+    /// baselines so scenario sweeps exercise identical batching policies.
+    #[must_use]
+    pub fn tune_pbft(&self, pbft: PbftConfig) -> PbftConfig {
+        pbft.with_cost(self.cost)
+            .with_view_change_timeout(self.view_change_timeout)
+            .with_max_batch(self.max_batch)
+            .with_batch_max_bytes(self.batch_max_bytes)
+            .with_batch_delay(self.batch_delay)
+            .with_adaptive_batching(self.adaptive_batching)
+            .with_pipeline_depth(self.pipeline_depth)
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +193,25 @@ mod tests {
         let c = SpiderConfig::default().with_faults(2, 2);
         assert_eq!(c.agreement_size(), 7);
         assert_eq!(c.execution_size(), 5);
+    }
+
+    #[test]
+    fn tune_pbft_carries_batching_knobs() {
+        let c = SpiderConfig::default().with_adaptive_batching(SimTime::from_millis(3), 64);
+        c.validate();
+        let p = c.tune_pbft(PbftConfig::new(c.fa));
+        assert_eq!(p.max_batch, 64);
+        assert_eq!(p.batch_delay, SimTime::from_millis(3));
+        assert!(p.adaptive_batching);
+        assert_eq!(p.pipeline_depth, c.pipeline_depth);
+        assert_eq!(p.batch_max_bytes, c.batch_max_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero batch_delay")]
+    fn adaptive_batching_without_linger_rejected() {
+        let c = SpiderConfig { adaptive_batching: true, ..SpiderConfig::default() };
+        c.validate();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the new clients read with local latency, by spinning up an execution
 //! group in their region at runtime (§3.6).
 
-use crate::stats::timeline;
+use crate::stats::{timeline, LatencySummary};
 use crate::topology::{ec2_topology, REGIONS4, REGIONS5};
 use spider::{DeploymentBuilder, Sample, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
@@ -75,7 +75,7 @@ fn to_series(system: &str, samples: Vec<Sample>, cfg: &Config) -> Series {
     Series { system: system.to_owned(), points }
 }
 
-fn run_bft(cfg: &Config, weak: bool, weighted: bool) -> Series {
+fn run_bft(cfg: &Config, weak: bool, weighted: bool) -> (String, Vec<Sample>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     let mut dep = if weighted {
         // Five replicas including São Paulo; Vmax weights in Virginia and
@@ -109,10 +109,10 @@ fn run_bft(cfg: &Config, weak: bool, weighted: bool) -> Series {
     );
     sim.run_until(cfg.duration);
     let samples: Vec<Sample> = dep.collect_samples(&sim).into_iter().flat_map(|(_, s)| s).collect();
-    to_series(if weighted { "BFT-WV" } else { "BFT" }, samples, cfg)
+    ((if weighted { "BFT-WV" } else { "BFT" }).to_owned(), samples)
 }
 
-fn run_hft(cfg: &Config, weak: bool) -> Series {
+fn run_hft(cfg: &Config, weak: bool) -> (String, Vec<Sample>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     let mut dep =
         StewardDeployment::build(&mut sim, SpiderConfig::default(), &REGIONS4, 0, KvStore::new);
@@ -137,10 +137,10 @@ fn run_hft(cfg: &Config, weak: bool) -> Series {
     sim.run_until(cfg.duration);
     let samples: Vec<Sample> =
         dep.collect_samples(&sim).into_iter().flat_map(|(_, _, s)| s).collect();
-    to_series("HFT", samples, cfg)
+    ("HFT".to_owned(), samples)
 }
 
-fn run_spider(cfg: &Config, weak: bool) -> Series {
+fn run_spider(cfg: &Config, weak: bool) -> (String, Vec<Sample>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     let mut builder = DeploymentBuilder::new(SpiderConfig::default())
         .with_app(KvStore::new)
@@ -166,7 +166,43 @@ fn run_spider(cfg: &Config, weak: bool) -> Series {
     sim.run_until(cfg.duration);
     let samples: Vec<Sample> =
         dep.collect_samples(&sim).into_iter().flat_map(|(_, _, s)| s).collect();
-    to_series("SPIDER", samples, cfg)
+    ("SPIDER".to_owned(), samples)
+}
+
+/// Runs the four write-workload systems and returns raw samples per
+/// system label.
+fn run_write_systems(cfg: &Config) -> Vec<(String, Vec<Sample>)> {
+    vec![
+        run_bft(cfg, false, false),
+        run_bft(cfg, false, true),
+        run_hft(cfg, false),
+        run_spider(cfg, false),
+    ]
+}
+
+/// Whole-run latency summary + completion throughput of one system.
+#[derive(Debug, Clone)]
+pub struct SystemSummary {
+    /// System label ("BFT", "BFT-WV", "HFT", "SPIDER").
+    pub system: String,
+    /// Latency distribution over the entire run.
+    pub summary: LatencySummary,
+    /// Completed requests per second over the entire run.
+    pub throughput_rps: f64,
+}
+
+/// Runs the write workload of all four systems and summarizes each one
+/// (p50/p90/throughput) — the headless counterpart of [`run`] used by the
+/// `bench_summary` CI gate.
+pub fn run_write_summaries(cfg: &Config) -> Vec<SystemSummary> {
+    run_write_systems(cfg)
+        .into_iter()
+        .filter_map(|(system, samples)| {
+            let summary = LatencySummary::of_samples(&samples)?;
+            let throughput_rps = samples.len() as f64 / cfg.duration.as_secs_f64();
+            Some(SystemSummary { system, summary, throughput_rps })
+        })
+        .collect()
 }
 
 /// Result of the adaptability experiment.
@@ -180,18 +216,19 @@ pub struct Result {
 
 /// Runs all four systems for writes and weak reads.
 pub fn run(cfg: &Config) -> Result {
-    let writes = vec![
-        run_bft(cfg, false, false),
-        run_bft(cfg, false, true),
-        run_hft(cfg, false),
-        run_spider(cfg, false),
-    ];
+    let writes = run_write_systems(cfg)
+        .into_iter()
+        .map(|(system, samples)| to_series(&system, samples, cfg))
+        .collect();
     let weak_reads = vec![
         run_bft(cfg, true, false),
         run_bft(cfg, true, true),
         run_hft(cfg, true),
         run_spider(cfg, true),
-    ];
+    ]
+    .into_iter()
+    .map(|(system, samples)| to_series(&system, samples, cfg))
+    .collect();
     Result { writes, weak_reads }
 }
 

@@ -6,6 +6,7 @@
 //! `crates/bench` and the `paper_figures` example are thin wrappers
 //! around these runners.
 
+pub mod batching;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;

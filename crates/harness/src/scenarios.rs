@@ -73,10 +73,20 @@ pub struct ScenarioCfg {
     pub seed: u64,
     /// Fault tolerance per group (`f = 1` in the main experiments).
     pub f: usize,
+    /// Maximum consensus batch size (applies to Spider's agreement group
+    /// and all PBFT baselines alike).
+    pub max_batch: usize,
+    /// Consensus batch linger cap; zero = propose immediately.
+    pub batch_delay: SimTime,
+    /// Rate-adaptive consensus batch sizing.
+    pub adaptive_batching: bool,
+    /// Consensus pipelining window.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ScenarioCfg {
     fn default() -> Self {
+        let base = SpiderConfig::default();
         ScenarioCfg {
             clients_per_region: 10,
             rate_per_client: 2.0,
@@ -87,6 +97,10 @@ impl Default for ScenarioCfg {
             warmup: SimTime::from_secs(2),
             seed: 42,
             f: 1,
+            max_batch: base.max_batch,
+            batch_delay: base.batch_delay,
+            adaptive_batching: base.adaptive_batching,
+            pipeline_depth: base.pipeline_depth,
         }
     }
 }
@@ -104,8 +118,18 @@ impl ScenarioCfg {
         }
     }
 
-    fn spider_config(&self) -> SpiderConfig {
-        SpiderConfig { fa: self.f, fe: self.f, ..SpiderConfig::default() }
+    /// The deployment config this scenario induces (used for Spider and
+    /// for the consensus cores of the BFT/HFT baselines).
+    pub fn spider_config(&self) -> SpiderConfig {
+        SpiderConfig {
+            fa: self.f,
+            fe: self.f,
+            max_batch: self.max_batch,
+            batch_delay: self.batch_delay,
+            adaptive_batching: self.adaptive_batching,
+            pipeline_depth: self.pipeline_depth,
+            ..SpiderConfig::default()
+        }
     }
 }
 
