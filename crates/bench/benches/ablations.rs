@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use spider::{DeploymentBuilder, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
 use spider_harness::ec2_topology;
-use spider_harness::experiments::{batching, fig9bcd};
+use spider_harness::experiments::{batching, commit_channel, fig9bcd};
 use spider_harness::stats::LatencySummary;
 use spider_irmc::Variant;
 use spider_sim::Simulation;
@@ -106,6 +106,18 @@ fn ablation_checkpoint_interval() {
     }
 }
 
+fn ablation_commit_range() {
+    // The amortization curve of multi-slot commit certification: one RSA
+    // signature (and one verification per signer) per range instead of
+    // per slot. Range 1 is the legacy per-slot baseline; the curve is
+    // what `bench_summary` records in BENCH_*.json and gates at >= 3x
+    // for range 32.
+    println!("\nAblation — commit-channel range certification (slots per certificate):");
+    let cfg = commit_channel::Config::default();
+    let rows = commit_channel::run_range_sweep(&[1, 8, 32, 128], &cfg);
+    println!("{}", commit_channel::render(&rows));
+}
+
 fn ablation_irmc_capacity() {
     println!("\nAblation — IRMC subchannel capacity (flooded RC channel, 1 KiB):");
     println!("{:<10} {:>14}", "capacity", "thruput[r/s]");
@@ -124,6 +136,7 @@ fn ablation_irmc_capacity() {
 fn bench(c: &mut Criterion) {
     ablation_z();
     ablation_batching();
+    ablation_commit_range();
     ablation_checkpoint_interval();
     ablation_irmc_capacity();
 

@@ -7,21 +7,38 @@
 //! 2. the Figure 10 adaptability write workload (whole-run summary per
 //!    system),
 //! 3. the batching ablation (greedy / fixed / adaptive across offered
-//!    load).
+//!    load),
+//! 4. the commit-channel range-certification sweep (slots/s at
+//!    agreement-replica saturation for range sizes 1/8/32/128, both IRMC
+//!    variants) and the IRMC-SC §A.9 overlap latency comparison.
 //!
 //! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`).
 //!
-//! `--check BASELINE` additionally compares the fresh fig7 Spider p50
-//! against the `fig7_spider_p50_ms` recorded in a baseline JSON and
-//! exits non-zero on a regression of more than 20 % — the CI perf gate.
+//! `--check BASELINE` additionally gates (exit non-zero on failure):
+//!
+//! * fig7 Spider p50 within +20 % of the baseline's
+//!   `fig7_spider_p50_ms`,
+//! * adaptive batching still beating the static policies at both ends,
+//! * commit-channel range certification delivering >= 3x the per-slot
+//!   saturation throughput at range 32,
+//! * IRMC-SC overlapped shipping showing lower commit latency than
+//!   ship-after-bundle.
 
-use spider_harness::experiments::{batching, fig10, fig7};
+use spider_harness::experiments::{batching, commit_channel, fig10, fig7};
 use spider_harness::scenarios::ScenarioCfg;
+use spider_irmc::Variant;
 use spider_types::SimTime;
 use std::fmt::Write as _;
 
 /// Regression tolerance of the `--check` gate: fail above +20 %.
 const P50_REGRESSION_TOLERANCE: f64 = 1.20;
+
+/// Required commit-channel speedup of range-32 certification over the
+/// per-slot baseline at saturation.
+const COMMIT_RANGE_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Range sizes of the commit-channel amortization curve.
+const COMMIT_RANGES: [usize; 4] = [1, 8, 32, 128];
 
 /// The fig7 cell the perf gate tracks: Spider with the leader in
 /// Virginia zone 1, measured from Virginia clients.
@@ -109,6 +126,38 @@ fn main() {
     let sweep = batching::run(&sweep_cfg);
     println!("{}", batching::render(&sweep));
 
+    println!("bench_summary: commit-channel range certification sweep…");
+    let commit_cfg = commit_channel::Config::default();
+    let commit_rows = commit_channel::run_range_sweep(&COMMIT_RANGES, &commit_cfg);
+    println!("{}", commit_channel::render(&commit_rows));
+    let commit_cell = |variant: &str, range: usize| {
+        commit_rows
+            .iter()
+            .find(|r| r.variant == variant && r.range == range)
+            .map(|r| r.slots_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    // Headline: the commit variant Spider deploys by default (IRMC-RC).
+    let commit_slots_range1 = commit_cell("IRMC-RC", 1);
+    let commit_slots_range32 = commit_cell("IRMC-RC", 32);
+    let commit_speedup = commit_slots_range32 / commit_slots_range1;
+    println!(
+        "commit-channel saturation: {commit_slots_range1:.0} slots/s per-slot -> \
+         {commit_slots_range32:.0} slots/s at range 32 ({commit_speedup:.1}x)\n"
+    );
+
+    println!("bench_summary: IRMC-SC §A.9 overlap latency…");
+    let overlap_cfg =
+        commit_channel::Config { msg_size: 16 * 1024, ..commit_channel::Config::default() };
+    let overlapped = commit_channel::run_paced(Variant::SenderCollect, 64, true, &overlap_cfg);
+    let after_bundle = commit_channel::run_paced(Variant::SenderCollect, 64, false, &overlap_cfg);
+    let sc_overlap_p50 = overlapped.commit_p50_ms;
+    let sc_after_bundle_p50 = after_bundle.commit_p50_ms;
+    println!(
+        "SC commit p50: overlapped {sc_overlap_p50:.2} ms vs ship-after-bundle \
+         {sc_after_bundle_p50:.2} ms\n"
+    );
+
     // Headline number for the CI gate.
     let spider_p50 = fig7_rows
         .iter()
@@ -134,11 +183,31 @@ fn main() {
     println!("adaptive beats fixed-size batching at low load (p50): {low_win}");
     println!("adaptive beats the greedy default at high load (throughput): {high_win}");
 
-    let mut json = String::from("{\n  \"schema\": 1,\n");
+    let mut json = String::from("{\n  \"schema\": 2,\n");
     let _ = writeln!(json, "  \"fig7_spider_p50_ms\": {},", json_f64(spider_p50));
     let _ = writeln!(json, "  \"adaptive_beats_fixed_low_load_p50\": {low_win},");
     let _ = writeln!(json, "  \"adaptive_beats_greedy_high_load_throughput\": {high_win},");
-    json.push_str("  \"fig7\": [\n");
+    let _ = writeln!(json, "  \"commit_slots_per_sec_range1\": {},", json_f64(commit_slots_range1));
+    let _ =
+        writeln!(json, "  \"commit_slots_per_sec_range32\": {},", json_f64(commit_slots_range32));
+    let _ = writeln!(json, "  \"commit_range32_speedup\": {},", json_f64(commit_speedup));
+    let _ = writeln!(json, "  \"sc_overlap_p50_ms\": {},", json_f64(sc_overlap_p50));
+    let _ = writeln!(json, "  \"sc_ship_after_bundle_p50_ms\": {},", json_f64(sc_after_bundle_p50));
+    json.push_str("  \"commit_channel\": [\n");
+    for (i, r) in commit_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"variant\": \"{}\", \"range\": {}, \"slots_per_sec\": {}, \
+             \"sender_cpu\": {}, \"receiver_cpu\": {}}}",
+            r.variant,
+            r.range,
+            json_f64(r.slots_per_sec),
+            json_f64(r.sender_cpu),
+            json_f64(r.receiver_cpu)
+        );
+        json.push_str(if i + 1 < commit_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"fig7\": [\n");
     for (i, r) in fig7_rows.iter().enumerate() {
         let _ = write!(
             json,
@@ -209,6 +278,34 @@ fn main() {
             eprintln!(
                 "ADAPTIVE-BATCHING REGRESSION: adaptive no longer beats the static \
                  policies (low-load p50 win: {low_win}, high-load throughput win: {high_win})"
+            );
+            std::process::exit(1);
+        }
+        // Commit-channel range certification must keep amortizing: >= 3x
+        // the per-slot saturation throughput at range 32.
+        println!(
+            "perf gate: commit-channel range-32 speedup = {commit_speedup:.2}x \
+             (floor {COMMIT_RANGE_SPEEDUP_FLOOR:.1}x)"
+        );
+        if !(commit_speedup.is_finite() && commit_speedup >= COMMIT_RANGE_SPEEDUP_FLOOR) {
+            eprintln!(
+                "COMMIT-CHANNEL REGRESSION: range 32 delivers only {commit_speedup:.2}x the \
+                 per-slot saturation throughput (floor {COMMIT_RANGE_SPEEDUP_FLOOR:.1}x)"
+            );
+            std::process::exit(1);
+        }
+        // The §A.9 overlap must keep lowering IRMC-SC commit latency.
+        println!(
+            "perf gate: SC overlap p50 = {sc_overlap_p50:.2} ms vs ship-after-bundle \
+             {sc_after_bundle_p50:.2} ms"
+        );
+        if !(sc_overlap_p50.is_finite()
+            && sc_after_bundle_p50.is_finite()
+            && sc_overlap_p50 < sc_after_bundle_p50)
+        {
+            eprintln!(
+                "SC-OVERLAP REGRESSION: overlapped shipping no longer lowers commit latency \
+                 ({sc_overlap_p50:.2} ms vs {sc_after_bundle_p50:.2} ms)"
             );
             std::process::exit(1);
         }

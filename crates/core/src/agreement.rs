@@ -149,6 +149,8 @@ impl AgreementReplica {
             self.cfg.commit_capacity,
         )
         .with_cost(self.cfg.cost)
+        .with_range(self.cfg.commit_max_range, self.cfg.commit_range_linger)
+        .with_sc_overlap(self.cfg.commit_sc_overlap)
         .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
         self.channels.insert(
             group,
@@ -272,72 +274,139 @@ impl AgreementReplica {
 
     /// Assigns agreement sequence numbers to delivered items, respecting
     /// the agreement window and the `ne - z` commit-channel rule (§3.5).
+    ///
+    /// Consecutive ordered requests are collected into contiguous runs
+    /// and flushed into every commit channel through **one**
+    /// `send_many` — one range certificate (one RSA signature) per run
+    /// instead of one per slot. Runs cut at admin commands, checkpoint
+    /// boundaries (`ka`), and `commit_max_range`; those cut points derive
+    /// from the agreed order alone and are identical on every correct
+    /// replica, which keeps range boundaries aligned so IRMC-SC share
+    /// collection combines across the group. A run can additionally cut
+    /// at replica-local back-pressure (the agreement window and the §3.5
+    /// commit-window check), which may transiently misalign boundaries
+    /// between replicas — the IRMC's per-slot fallback
+    /// (`SenderEndpoint::tick`) re-certifies such slots within a couple
+    /// of ticks, trading amortization for liveness only while the
+    /// channel is stalled anyway.
     fn process_backlog(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
-        while let Some((instance, item, last)) = self.backlog.front().cloned() {
-            match &item {
-                OrderItem::Admin(cmd) => {
-                    self.apply_admin(ctx, cmd.clone());
-                    if last {
-                        self.instance_map.push_back((instance, self.sn));
-                    }
-                    self.backlog.pop_front();
-                }
-                OrderItem::Request(req) => {
-                    let s = self.sn + 1;
-                    if s > self.win_upper {
-                        return; // Fig 17 L27: wait for a checkpoint.
-                    }
-                    // §3.5: at least ne - z commit channels must accept
-                    // the Execute at position s without blocking.
-                    let groups = self.directory.active_groups();
-                    let ne = groups.len();
-                    if ne > 0 {
-                        let sendable = groups
-                            .iter()
-                            .filter(|g| {
-                                self.channels.get(g).is_some_and(|ch| {
-                                    !ch.commit_send.window(0).is_above(Position(s))
-                                })
-                            })
-                            .count();
-                        if sendable + self.cfg.z < ne {
-                            return; // Resume on commit-window movement.
+        loop {
+            let mut run: Vec<(u64, OrderedRequest, OrderItem)> = Vec::new();
+            let mut completed: Vec<(u64, u64)> = Vec::new();
+            let max_run = self.cfg.commit_max_range.max(1);
+            let mut stalled = false;
+            let mut applied_admin = false;
+            while run.len() < max_run {
+                let Some((instance, item, last)) = self.backlog.front().cloned() else {
+                    break;
+                };
+                match &item {
+                    OrderItem::Admin(cmd) => {
+                        if !run.is_empty() {
+                            break; // Flush the run before reconfiguring.
+                        }
+                        let cmd = cmd.clone();
+                        self.backlog.pop_front();
+                        self.apply_admin(ctx, cmd);
+                        applied_admin = true;
+                        if last {
+                            self.instance_map.push_back((instance, self.sn));
                         }
                     }
-                    let req = req.clone();
-                    self.backlog.pop_front();
-                    self.assign_and_forward(ctx, s, req, item);
-                    if last {
-                        self.instance_map.push_back((instance, self.sn));
+                    OrderItem::Request(req) => {
+                        let s = self.sn + run.len() as u64 + 1;
+                        if s > self.win_upper {
+                            stalled = true; // Fig 17 L27: wait for a checkpoint.
+                            break;
+                        }
+                        // §3.5: at least ne - z commit channels must accept
+                        // the Execute at position s without blocking.
+                        let groups = self.directory.active_groups();
+                        let ne = groups.len();
+                        if ne > 0 {
+                            let sendable = groups
+                                .iter()
+                                .filter(|g| {
+                                    self.channels.get(g).is_some_and(|ch| {
+                                        !ch.commit_send.window(0).is_above(Position(s))
+                                    })
+                                })
+                                .count();
+                            if sendable + self.cfg.z < ne {
+                                stalled = true; // Resume on window movement.
+                                break;
+                            }
+                        }
+                        let req = req.clone();
+                        self.backlog.pop_front();
+                        if last {
+                            completed.push((instance, s));
+                        }
+                        let at_checkpoint = s.is_multiple_of(self.cfg.ka);
+                        run.push((s, req, item));
+                        if at_checkpoint {
+                            break; // Checkpoint exactly at the boundary.
+                        }
                     }
                 }
+            }
+            if run.is_empty() {
+                if applied_admin && !stalled {
+                    continue; // Reconfigured; rescan the backlog.
+                }
+                return;
+            }
+            self.assign_and_forward_run(ctx, run);
+            self.instance_map.extend(completed);
+            if stalled {
+                return;
             }
         }
     }
 
-    fn assign_and_forward(
+    /// Assigns sequence numbers to a contiguous run of ordered requests
+    /// and flushes it into every commit channel as one range.
+    fn assign_and_forward_run(
         &mut self,
         ctx: &mut Context<'_, SpiderMsg>,
-        s: u64,
-        req: OrderedRequest,
-        item: OrderItem,
+        run: Vec<(u64, OrderedRequest, OrderItem)>,
     ) {
-        self.sn = s;
-        self.ordered += 1;
-        let c = req.request.client;
-        let tc = req.request.tc;
-        self.t.insert(c, tc);
-        let entry = self.t_next.entry(c).or_insert(1);
-        *entry = (*entry).max(tc + 1);
-        self.hist.push_back((s, item));
+        let first = run[0].0;
+        for (s, req, item) in &run {
+            self.sn = *s;
+            self.ordered += 1;
+            let c = req.request.client;
+            let tc = req.request.tc;
+            self.t.insert(c, tc);
+            let entry = self.t_next.entry(c).or_insert(1);
+            *entry = (*entry).max(tc + 1);
+            self.hist.push_back((*s, item.clone()));
+        }
         while self.hist.len() as u64 > self.cfg.commit_capacity {
             self.hist.pop_front();
         }
+        let linger = self.cfg.commit_range_linger;
         for group in self.directory.active_groups() {
-            let exec = self.maybe_corrupt(execute_for_group(s, &req, group));
+            let execs: Vec<Execute> = run
+                .iter()
+                .map(|(s, req, _)| self.maybe_corrupt(execute_for_group(*s, req, group)))
+                .collect();
             let mut actions = Vec::new();
             if let Some(ch) = self.channels.get_mut(&group) {
-                ch.commit_send.send(0, Position(s), exec, &mut actions);
+                if linger > SimTime::ZERO {
+                    // Linger knob: let the endpoint coalesce across runs.
+                    for (i, exec) in execs.into_iter().enumerate() {
+                        ch.commit_send.send_buffered(
+                            0,
+                            Position(first + i as u64),
+                            exec,
+                            ctx.now(),
+                            &mut actions,
+                        );
+                    }
+                } else {
+                    ch.commit_send.send_many(0, Position(first), execs, &mut actions);
+                }
             }
             self.apply_commit_actions(ctx, group, actions);
         }
@@ -346,6 +415,42 @@ impl AgreementReplica {
             let mut actions = Vec::new();
             self.cp.generate(SeqNr(self.sn), snapshot, &mut actions);
             self.apply_cp_actions(ctx, actions);
+        }
+    }
+
+    /// Replays already-ordered history into one group's commit channel in
+    /// contiguous `send_many` chunks (AddGroup bootstrap and post-restore
+    /// catch-up).
+    fn replay_execs(
+        &mut self,
+        ctx: &mut Context<'_, SpiderMsg>,
+        group: GroupId,
+        items: &[(u64, OrderItem)],
+    ) {
+        let max_run = self.cfg.commit_max_range.max(1);
+        let mut i = 0;
+        while i < items.len() {
+            let (first, OrderItem::Request(req0)) = &items[i] else {
+                i += 1;
+                continue;
+            };
+            let mut execs = vec![self.maybe_corrupt(execute_for_group(*first, req0, group))];
+            let mut j = i + 1;
+            while j < items.len() && execs.len() < max_run {
+                let (s, OrderItem::Request(req)) = &items[j] else { break };
+                if *s != first + execs.len() as u64 {
+                    break;
+                }
+                execs.push(self.maybe_corrupt(execute_for_group(*s, req, group)));
+                j += 1;
+            }
+            let first = *first;
+            let mut actions = Vec::new();
+            if let Some(ch) = self.channels.get_mut(&group) {
+                ch.commit_send.send_many(0, Position(first), execs, &mut actions);
+            }
+            self.apply_commit_actions(ctx, group, actions);
+            i = j;
         }
     }
 
@@ -367,17 +472,10 @@ impl AgreementReplica {
                     ch.commit_send.move_window(0, Position(start), &mut actions);
                 }
                 self.apply_commit_actions(ctx, group, actions);
+                // Every replica replays the identical `hist` at this point
+                // of the total order, so the replay ranges align too.
                 let items: Vec<(u64, OrderItem)> = self.hist.iter().cloned().collect();
-                for (s, item) in items {
-                    if let OrderItem::Request(req) = item {
-                        let exec = self.maybe_corrupt(execute_for_group(s, &req, group));
-                        let mut actions = Vec::new();
-                        if let Some(ch) = self.channels.get_mut(&group) {
-                            ch.commit_send.send(0, Position(s), exec, &mut actions);
-                        }
-                        self.apply_commit_actions(ctx, group, actions);
-                    }
-                }
+                self.replay_execs(ctx, group, &items);
             }
             AdminCommand::RemoveGroup { group } => {
                 self.channels.remove(&group);
@@ -502,17 +600,12 @@ impl AgreementReplica {
                     self.hist = hist;
                     let items: Vec<(u64, OrderItem)> =
                         self.hist.iter().filter(|(s, _)| *s > old_sn).cloned().collect();
+                    // The replayed tail may chunk differently than the
+                    // ranges the healthy replicas originally sent; the
+                    // IRMC's per-slot fallback covers that (and receivers
+                    // usually hold these certificates already).
                     for group in self.directory.active_groups() {
-                        for (s, item) in &items {
-                            if let OrderItem::Request(req) = item {
-                                let exec = self.maybe_corrupt(execute_for_group(*s, req, group));
-                                let mut actions = Vec::new();
-                                if let Some(ch) = self.channels.get_mut(&group) {
-                                    ch.commit_send.send(0, Position(*s), exec, &mut actions);
-                                }
-                                self.apply_commit_actions(ctx, group, actions);
-                            }
-                        }
+                        self.replay_execs(ctx, group, &items);
                     }
                     self.fetching = false;
                 }
@@ -649,6 +742,18 @@ impl AgreementReplica {
         }
     }
 
+    /// Interval of the commit-channel tick: the SC progress heartbeat
+    /// (20 ms), tightened to the range linger so buffered runs never
+    /// wait past their configured deadline.
+    fn commit_tick_interval(&self) -> SimTime {
+        let base = SimTime::from_millis(20);
+        if self.cfg.commit_range_linger > SimTime::ZERO {
+            base.min(self.cfg.commit_range_linger)
+        } else {
+            base
+        }
+    }
+
     fn arm_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
         if let Some(old) = self.timers.remove(&tag) {
             ctx.cancel_timer(old);
@@ -754,8 +859,13 @@ fn decode_order_item(buf: &mut &[u8]) -> Option<OrderItem> {
 
 impl Actor<SpiderMsg> for AgreementReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
-        if self.cfg.commit_variant == Variant::SenderCollect {
-            self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+        // The tick drives SC progress announcements and, when the range
+        // linger is on, deadline flushes of buffered commit ranges (so RC
+        // commit channels need it then too).
+        if self.cfg.commit_variant == Variant::SenderCollect
+            || self.cfg.commit_range_linger > SimTime::ZERO
+        {
+            self.arm_timer(ctx, TAG_SC_TICK, self.commit_tick_interval());
         }
         self.arm_timer(ctx, TAG_CP_GOSSIP, CP_GOSSIP_INTERVAL);
     }
@@ -862,7 +972,8 @@ impl Actor<SpiderMsg> for AgreementReplica {
                     }
                     self.apply_commit_actions(ctx, g, actions);
                 }
-                self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+                let interval = self.commit_tick_interval();
+                self.arm_timer(ctx, TAG_SC_TICK, interval);
             }
             TAG_FETCH_RETRY if self.fetching => {
                 self.fetching = false;

@@ -61,6 +61,23 @@ pub struct SpiderConfig {
     /// Consensus pipelining window: proposed-but-undelivered instances
     /// the leader keeps in flight concurrently.
     pub pipeline_depth: usize,
+    /// Maximum slots per commit-channel range certificate: a batch of
+    /// consecutively ordered requests is certified with **one** RSA
+    /// signature over the Merkle root of its per-slot digests instead of
+    /// one signature per slot. 1 disables range certification (legacy
+    /// per-slot wire messages).
+    pub commit_max_range: usize,
+    /// Optional commit-channel range linger (mirrors `batch_delay`):
+    /// consecutive single-slot commit sends accumulate into a pending
+    /// range for at most this long before shipping. Zero = ship
+    /// immediately at consensus batch boundaries (the default; batches
+    /// already amortize well).
+    pub commit_range_linger: SimTime,
+    /// §A.9 overlap for IRMC-SC commit channels: collectors ship range
+    /// content as soon as it is submitted and follow up with a compact
+    /// shares-only certificate, instead of shipping content together with
+    /// the certificate.
+    pub commit_sc_overlap: bool,
     /// CPU cost model applied by all nodes.
     pub cost: CostModel,
     /// Seed for the shared simulated PKI.
@@ -89,6 +106,9 @@ impl Default for SpiderConfig {
             batch_delay: SimTime::ZERO,
             adaptive_batching: false,
             pipeline_depth: 32,
+            commit_max_range: 32,
+            commit_range_linger: SimTime::ZERO,
+            commit_sc_overlap: true,
             cost: CostModel::default(),
             key_seed: 7,
         }
@@ -115,6 +135,7 @@ impl SpiderConfig {
             !self.adaptive_batching || self.batch_delay > SimTime::ZERO,
             "adaptive batching needs a non-zero batch_delay (the linger cap it adapts within)"
         );
+        assert!(self.commit_max_range >= 1, "commit_max_range must be at least 1");
     }
 
     /// Size of the agreement group.
@@ -159,6 +180,19 @@ impl SpiderConfig {
         self.adaptive_batching = true;
         self.batch_delay = delay;
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the commit-channel range certification knobs (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_range` is zero.
+    #[must_use]
+    pub fn with_commit_range(mut self, max_range: usize, linger: SimTime) -> Self {
+        assert!(max_range >= 1, "commit_max_range must be at least 1");
+        self.commit_max_range = max_range;
+        self.commit_range_linger = linger;
         self
     }
 
@@ -211,6 +245,22 @@ mod tests {
     #[should_panic(expected = "non-zero batch_delay")]
     fn adaptive_batching_without_linger_rejected() {
         let c = SpiderConfig { adaptive_batching: true, ..SpiderConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn commit_range_knobs_roundtrip() {
+        let c = SpiderConfig::default().with_commit_range(64, SimTime::from_millis(2));
+        c.validate();
+        assert_eq!(c.commit_max_range, 64);
+        assert_eq!(c.commit_range_linger, SimTime::from_millis(2));
+        assert!(c.commit_sc_overlap, "§A.9 overlap is on by default");
+    }
+
+    #[test]
+    #[should_panic(expected = "commit_max_range")]
+    fn zero_commit_range_rejected() {
+        let c = SpiderConfig { commit_max_range: 0, ..SpiderConfig::default() };
         c.validate();
     }
 

@@ -114,6 +114,8 @@ impl<A: Application> ExecutionReplica<A> {
             cfg.commit_capacity,
         )
         .with_cost(cfg.cost)
+        .with_range(cfg.commit_max_range, cfg.commit_range_linger)
+        .with_sc_overlap(cfg.commit_sc_overlap)
         .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
         ExecutionReplica {
             group,

@@ -101,6 +101,18 @@ impl CostModel {
         SimTime::from_nanos(self.hmac_base_ns + self.hash_per_byte_ns * bytes as u64)
     }
 
+    /// Cost of building (or recomputing) a Merkle tree over `leaves`
+    /// 32-byte slot digests: `leaves` domain-separated leaf wraps plus
+    /// `leaves - 1` 64-byte inner combines (see [`crate::merkle`]).
+    pub fn merkle(&self, leaves: usize) -> SimTime {
+        if leaves == 0 {
+            return SimTime::ZERO;
+        }
+        let wraps = self.hmac(32) * leaves as u64;
+        let combines = self.hmac(64) * (leaves as u64 - 1);
+        wraps + combines
+    }
+
     /// Cost of producing a MAC vector for `receivers` receivers.
     pub fn mac_vector(&self, receivers: usize, bytes: usize) -> SimTime {
         // Hash the payload once, then one cheap keyed finalization per
@@ -157,6 +169,17 @@ mod tests {
     fn mac_vector_grows_per_receiver() {
         let c = CostModel::default();
         assert!(c.mac_vector(4, 100) > c.mac_vector(1, 100));
+    }
+
+    #[test]
+    fn merkle_amortizes_below_per_slot_signing() {
+        let c = CostModel::default();
+        assert_eq!(c.merkle(0), SimTime::ZERO);
+        assert_eq!(c.merkle(1), c.hmac(32));
+        assert!(c.merkle(64) > c.merkle(8), "cost grows with the range");
+        // The whole point: hashing a 64-slot tree plus ONE signature is far
+        // cheaper than 64 signatures.
+        assert!(c.merkle(64) + c.rsa_sign() < c.rsa_sign() * 8);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   latency, throughput, and CPU-usage results (Figs 9b–9d).
 //! * [`threshold`] signatures with the `f+1`-of-`n` combine semantics the
 //!   Steward baseline needs (Shoup-style interface).
+//! * [`merkle`] trees over slot digests, used by the IRMC's multi-slot
+//!   range certification to amortize one RSA signature over a contiguous
+//!   slot range (§A.9 direction).
 //!
 //! # Examples
 //!
@@ -39,10 +42,12 @@ pub mod cost;
 pub mod digest;
 pub mod hmac;
 pub mod keyring;
+pub mod merkle;
 pub mod sha256;
 pub mod threshold;
 
 pub use cost::CostModel;
 pub use digest::{Digest, DigestBuilder, Digestible};
 pub use keyring::{KeyId, Keyring, Mac, Signature};
+pub use merkle::{merkle_proof, merkle_root, MerkleProof};
 pub use threshold::{SigShare, ThresholdKeyring, ThresholdSig};

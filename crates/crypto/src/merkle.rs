@@ -1,0 +1,223 @@
+//! Merkle trees over slot digests.
+//!
+//! The IRMC's multi-slot range certification (appendix §A.9 direction)
+//! signs **one digest for a whole contiguous slot range** instead of one
+//! RSA signature per slot: the per-slot content digests become the leaves
+//! of a Merkle tree and the single signature covers the root. A verifier
+//! holding all range content recomputes the root ([`merkle_root`]); a
+//! verifier holding a single slot checks an audit path ([`MerkleProof`]).
+//!
+//! Construction notes:
+//!
+//! * Leaves and internal nodes are domain-separated (`"mleaf"` /
+//!   `"mnode"`), so an internal node can never be reinterpreted as a leaf
+//!   (second-preimage hardening).
+//! * Odd nodes are promoted unchanged to the next level (no duplication),
+//!   so a tree over `n` leaves hashes exactly `n` leaf wraps plus `n - 1`
+//!   inner combines.
+//! * The root over a single leaf is the wrapped leaf, and the root over
+//!   zero leaves is [`Digest::ZERO`] (ranges are never empty on the wire).
+//!
+//! # Examples
+//!
+//! ```
+//! use spider_crypto::{merkle_proof, merkle_root, Digest};
+//!
+//! let leaves: Vec<Digest> = (0..5u64)
+//!     .map(|i| Digest::builder().u64(i).finish())
+//!     .collect();
+//! let root = merkle_root(&leaves);
+//! let proof = merkle_proof(&leaves, 3);
+//! assert!(proof.verify(&root, &leaves[3]));
+//! assert!(!proof.verify(&root, &leaves[2]), "wrong leaf for this path");
+//! ```
+
+use crate::digest::Digest;
+
+/// Wraps a leaf digest (domain-separated from inner nodes).
+fn leaf_hash(leaf: &Digest) -> Digest {
+    Digest::builder().str("mleaf").digest(leaf).finish()
+}
+
+/// Combines two child digests into their parent.
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    Digest::builder().str("mnode").digest(left).digest(right).finish()
+}
+
+/// Computes the Merkle root over `leaves` (per-slot content digests).
+///
+/// Returns [`Digest::ZERO`] for an empty slice.
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = leaves.iter().map(leaf_hash).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [l, r] => next.push(node_hash(l, r)),
+                [odd] => next.push(*odd), // promoted unchanged
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// An audit path proving one leaf's membership under a [`merkle_root`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Sibling digests from leaf level to root; the flag says whether the
+    /// sibling sits on the left.
+    path: Vec<(Digest, bool)>,
+}
+
+impl MerkleProof {
+    /// Number of siblings on the path (tree depth for this leaf).
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether the path is empty (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// Verifies that `leaf` (a raw content digest, unwrapped) sits under
+    /// `root` at the position this proof was generated for.
+    pub fn verify(&self, root: &Digest, leaf: &Digest) -> bool {
+        let mut acc = leaf_hash(leaf);
+        for (sibling, sibling_is_left) in &self.path {
+            acc =
+                if *sibling_is_left { node_hash(sibling, &acc) } else { node_hash(&acc, sibling) };
+        }
+        acc == *root
+    }
+}
+
+/// Builds the audit path for `leaves[index]`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of bounds.
+pub fn merkle_proof(leaves: &[Digest], index: usize) -> MerkleProof {
+    assert!(index < leaves.len(), "merkle proof index out of range");
+    let mut level: Vec<Digest> = leaves.iter().map(leaf_hash).collect();
+    let mut idx = index;
+    let mut path = Vec::new();
+    while level.len() > 1 {
+        let sibling = idx ^ 1;
+        if sibling < level.len() {
+            path.push((level[sibling], sibling < idx));
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [l, r] => next.push(node_hash(l, r)),
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        level = next;
+        idx /= 2;
+    }
+    MerkleProof { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: u64) -> Vec<Digest> {
+        (0..n).map(|i| Digest::builder().u64(i).finish()).collect()
+    }
+
+    #[test]
+    fn empty_root_is_zero() {
+        assert_eq!(merkle_root(&[]), Digest::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_wrapped_leaf() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), leaf_hash(&l[0]));
+        assert_ne!(merkle_root(&l), l[0], "leaf wrap is domain-separated");
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let base = leaves(7);
+        let root = merkle_root(&base);
+        for i in 0..base.len() {
+            let mut tampered = base.clone();
+            tampered[i] = Digest::of_bytes(b"evil");
+            assert_ne!(merkle_root(&tampered), root, "leaf {i} tampering must change the root");
+        }
+    }
+
+    #[test]
+    fn root_depends_on_order_and_length() {
+        let mut l = leaves(4);
+        let root = merkle_root(&l);
+        l.swap(0, 1);
+        assert_ne!(merkle_root(&l), root, "order matters");
+        l.swap(0, 1);
+        l.push(Digest::of_bytes(b"extra"));
+        assert_ne!(merkle_root(&l), root, "length matters");
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=9u64 {
+            let l = leaves(n);
+            let root = merkle_root(&l);
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = merkle_proof(&l, i);
+                assert!(proof.verify(&root, leaf), "n={n} i={i}");
+                let other = Digest::of_bytes(b"not-a-member");
+                assert!(!proof.verify(&root, &other), "n={n} i={i} foreign leaf");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_against_wrong_root() {
+        let l = leaves(6);
+        let proof = merkle_proof(&l, 2);
+        let wrong = merkle_root(&leaves(5));
+        assert!(!proof.verify(&wrong, &l[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn proof_index_out_of_range_panics() {
+        let _ = merkle_proof(&leaves(3), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any tampering of any leaf changes the root, and every honest
+        /// audit path verifies while a shifted one does not.
+        #[test]
+        fn roots_bind_all_leaves(n in 1usize..24, tamper in 0usize..24, seed in any::<u64>()) {
+            let tamper = tamper % n;
+            let leaves: Vec<Digest> = (0..n as u64)
+                .map(|i| Digest::builder().u64(seed).u64(i).finish())
+                .collect();
+            let root = merkle_root(&leaves);
+            let mut bad = leaves.clone();
+            bad[tamper] = Digest::builder().u64(seed).str("tampered").finish();
+            prop_assert_ne!(merkle_root(&bad), root);
+            let proof = merkle_proof(&leaves, tamper);
+            prop_assert!(proof.verify(&root, &leaves[tamper]));
+            prop_assert!(!proof.verify(&root, &bad[tamper]));
+        }
+    }
+}

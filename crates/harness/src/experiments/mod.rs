@@ -7,6 +7,7 @@
 //! around these runners.
 
 pub mod batching;
+pub mod commit_channel;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;

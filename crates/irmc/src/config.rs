@@ -47,6 +47,21 @@ pub struct IrmcConfig {
     /// IRMC-SC: how long a receiver waits for a lagging collector before
     /// switching to another sender.
     pub collector_timeout: SimTime,
+    /// Maximum slots per range certificate
+    /// ([`crate::SenderEndpoint::send_many`] chunks longer submissions).
+    /// 1 disables range certification entirely (always the legacy
+    /// per-slot wire messages).
+    pub max_range: usize,
+    /// Optional linger for [`crate::SenderEndpoint::send_buffered`]:
+    /// contiguous single-slot sends accumulate into a pending range for at
+    /// most this long (mirrors consensus `batch_delay`). Zero disables
+    /// buffering — plain `send` never lingers either way.
+    pub range_linger: SimTime,
+    /// IRMC-SC: ship range content to receivers as soon as it is
+    /// submitted, overlapping the intra-region share exchange with WAN
+    /// shipping (§A.9). When false, content ships together with the
+    /// certificate (ship-after-bundle).
+    pub sc_overlap: bool,
     /// Signing identity of each sender endpoint. Defaults to
     /// `KeyId(1000 + i)`; deployments with multiple channels override this
     /// with the replicas' node identities via [`IrmcConfig::with_keys`].
@@ -84,6 +99,9 @@ impl IrmcConfig {
             cost: CostModel::default(),
             progress_interval: SimTime::from_millis(20),
             collector_timeout: SimTime::from_millis(500),
+            max_range: 32,
+            range_linger: SimTime::ZERO,
+            sc_overlap: true,
             sender_keys: (0..n_senders).map(|i| KeyId(1000 + i as u32)).collect(),
             receiver_keys: (0..n_receivers).map(|j| KeyId(2000 + j as u32)).collect(),
         }
@@ -115,6 +133,29 @@ impl IrmcConfig {
     pub fn with_capacity(mut self, capacity: u64) -> Self {
         assert!(capacity >= 1);
         self.capacity = capacity;
+        self
+    }
+
+    /// Replaces the range-certification knobs (builder-style): maximum
+    /// slots per range certificate and the single-send linger
+    /// (see [`IrmcConfig::max_range`] / [`IrmcConfig::range_linger`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_range` is zero.
+    #[must_use]
+    pub fn with_range(mut self, max_range: usize, range_linger: SimTime) -> Self {
+        assert!(max_range >= 1, "max_range must be at least 1");
+        self.max_range = max_range;
+        self.range_linger = range_linger;
+        self
+    }
+
+    /// Enables or disables the §A.9 content/share-exchange overlap for
+    /// IRMC-SC (builder-style).
+    #[must_use]
+    pub fn with_sc_overlap(mut self, overlap: bool) -> Self {
+        self.sc_overlap = overlap;
         self
     }
 

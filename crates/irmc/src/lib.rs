@@ -29,6 +29,17 @@
 //!   announcements plus a timeout let receivers switch away from faulty
 //!   collectors.
 //!
+//! Both variants support **multi-slot range certification**
+//! ([`SenderEndpoint::send_many`]): a contiguous slot run is certified by
+//! **one** RSA signature over the Merkle root of the per-slot digests
+//! ([`spider_crypto::merkle`]), amortizing the dominant per-slot CPU cost
+//! of a loaded commit channel. IRMC-SC additionally overlaps WAN content
+//! shipping with the intra-region share exchange (§A.9): the collector
+//! ships range content as soon as it is submitted and follows up with a
+//! compact shares-only certificate. A range of length 1 degenerates to
+//! the legacy per-slot wire messages, so mixed configurations
+//! interoperate.
+//!
 //! Endpoints are sans-IO state machines: methods append [`Action`]s
 //! (messages to peers, CPU charges, readiness events, timer requests) to a
 //! caller-provided buffer, and the host performs them.
@@ -112,7 +123,7 @@ pub(crate) mod tests_support {
 }
 
 pub use config::{IrmcConfig, Variant};
-pub use messages::{ChannelMsg, ReceiverMsg};
+pub use messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 pub use receiver::{ReceiveResult, ReceiverEndpoint};
 pub use sender::{SendStatus, SenderEndpoint};
 pub use window::Window;

@@ -1,9 +1,40 @@
-//! Channel-internal wire messages (Figs 18–20).
+//! Channel-internal wire messages (Figs 18–20, plus the multi-slot range
+//! certification extension).
+//!
+//! # Range certification wire format
+//!
+//! The per-slot messages (`Send`, `SigShare`, `Certificate`) cost one RSA
+//! signature per slot on the sender and one verification per slot (per
+//! share for IRMC-SC) on the receiver — the saturating cost of a loaded
+//! commit channel. The range messages amortize that: the per-slot content
+//! digests become the leaves of a Merkle tree
+//! ([`spider_crypto::merkle_root`]) and **one** signature covers
+//! [`range_digest`] over the contiguous slot range `[first, first +
+//! count)`.
+//!
+//! * [`ChannelMsg::SendRange`] — IRMC-RC: one signed copy of the whole
+//!   range (the N-slot analogue of `Send`).
+//! * [`ChannelMsg::RangeShare`] — IRMC-SC: a signature share over the
+//!   range root exchanged inside the sender group (analogue of
+//!   `SigShare`; the content stays out of the LAN exchange).
+//! * [`ChannelMsg::RangeContent`] — IRMC-SC: the collector ships the raw
+//!   range content to its receivers **before** shares arrive (§A.9
+//!   overlap). Carries no proof; receivers buffer it and deliver nothing
+//!   until a certificate covers it.
+//! * [`ChannelMsg::RangeCertificate`] — IRMC-SC: the compact shares-only
+//!   certificate (root + `fs + 1` signatures); the content is *not*
+//!   re-shipped.
+//!
+//! A range of length 1 is never emitted: senders degrade to the legacy
+//! per-slot messages so old and new endpoints interoperate byte-for-byte.
+//! Range payloads are shared via [`Arc`] so multi-receiver fan-out and
+//! SC re-shipping clone a pointer, not the content.
 
 use crate::{Content, Subchannel};
 use spider_crypto::{Digest, Signature};
 use spider_types::wire::{DIGEST_BYTES, HEADER_BYTES, MAC_BYTES, SIG_BYTES};
 use spider_types::{Position, WireSize};
+use std::sync::Arc;
 
 /// Messages originating at sender endpoints.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,9 +68,62 @@ pub enum ChannelMsg<M> {
         sc: Subchannel,
         /// Position.
         p: Position,
-        /// The content.
-        msg: M,
+        /// The content (shared: fan-out clones the pointer only).
+        msg: Arc<M>,
         /// `fs + 1` shares from distinct senders over (sc, p, digest(msg)).
+        shares: Vec<Signature>,
+    },
+    /// IRMC-RC: a sender's signed copy of a contiguous slot range
+    /// `[first, first + msgs.len())`; the signature covers
+    /// [`range_digest`] of the Merkle root over the per-slot digests.
+    SendRange {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the range.
+        first: Position,
+        /// Content of each slot, in position order.
+        msgs: Arc<Vec<M>>,
+        /// Signature over `range_digest(sc, first, len, root)`.
+        sig: Signature,
+    },
+    /// IRMC-SC: signature share over a slot range's Merkle root,
+    /// exchanged within the sender group.
+    RangeShare {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the range.
+        first: Position,
+        /// Number of slots covered.
+        count: u32,
+        /// Merkle root over the per-slot content digests.
+        root: Digest,
+        /// Signature over `range_digest(sc, first, count, root)`.
+        sig: Signature,
+    },
+    /// IRMC-SC: raw range content shipped by the collector ahead of
+    /// certification (§A.9 overlap). Authenticated by the transport MAC
+    /// only; never deliverable without a matching [`Self::RangeCertificate`].
+    RangeContent {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the range.
+        first: Position,
+        /// Content of each slot, in position order.
+        msgs: Arc<Vec<M>>,
+    },
+    /// IRMC-SC: shares-only certificate for a slot range; pairs with the
+    /// content from an earlier [`Self::RangeContent`].
+    RangeCertificate {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the range.
+        first: Position,
+        /// Number of slots covered.
+        count: u32,
+        /// Merkle root over the per-slot content digests.
+        root: Digest,
+        /// `fs + 1` shares from distinct senders over
+        /// `range_digest(sc, first, count, root)`.
         shares: Vec<Signature>,
     },
     /// IRMC-SC: periodic progress announcement — per subchannel, the
@@ -65,10 +149,26 @@ impl<M: Content> WireSize for ChannelMsg<M> {
             ChannelMsg::Certificate { msg, shares, .. } => {
                 HEADER_BYTES + 16 + msg.wire_size() + shares.len() * SIG_BYTES + MAC_BYTES
             }
+            ChannelMsg::SendRange { msgs, .. } => {
+                HEADER_BYTES + 20 + payload_size(msgs) + SIG_BYTES
+            }
+            ChannelMsg::RangeShare { .. } => HEADER_BYTES + 20 + DIGEST_BYTES + SIG_BYTES,
+            ChannelMsg::RangeContent { msgs, .. } => {
+                HEADER_BYTES + 20 + payload_size(msgs) + MAC_BYTES
+            }
+            ChannelMsg::RangeCertificate { shares, .. } => {
+                HEADER_BYTES + 20 + DIGEST_BYTES + shares.len() * SIG_BYTES + MAC_BYTES
+            }
             ChannelMsg::Progress { positions } => HEADER_BYTES + positions.len() * 16 + MAC_BYTES,
             ChannelMsg::Move { .. } => HEADER_BYTES + 16 + MAC_BYTES,
         }
     }
+}
+
+/// Total payload bytes of a range (per-slot content plus a small length
+/// frame per slot).
+fn payload_size<M: Content>(msgs: &[M]) -> usize {
+    msgs.iter().map(|m| 4 + m.wire_size()).sum()
 }
 
 /// Messages originating at receiver endpoints.
@@ -107,6 +207,13 @@ pub fn slot_digest(sc: Subchannel, p: Position, content: &Digest) -> Digest {
     Digest::builder().str("irmc-slot").u64(sc).u64(p.0).digest(content).finish()
 }
 
+/// Digest bound to a contiguous slot range: signatures cover the
+/// subchannel, start position, and length as well as the Merkle root, so
+/// a range signature cannot be replayed for a shifted or truncated range.
+pub fn range_digest(sc: Subchannel, first: Position, count: u32, root: &Digest) -> Digest {
+    Digest::builder().str("irmc-range").u64(sc).u64(first.0).u32(count).digest(root).finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,13 +240,13 @@ mod tests {
         let one: ChannelMsg<Blob> = ChannelMsg::Certificate {
             sc: 0,
             p: Position(1),
-            msg: Blob(vec![0; 100]),
+            msg: Arc::new(Blob(vec![0; 100])),
             shares: vec![sig],
         };
         let two: ChannelMsg<Blob> = ChannelMsg::Certificate {
             sc: 0,
             p: Position(1),
-            msg: Blob(vec![0; 100]),
+            msg: Arc::new(Blob(vec![0; 100])),
             shares: vec![sig, sig],
         };
         assert_eq!(two.wire_size() - one.wire_size(), SIG_BYTES);
@@ -156,6 +263,16 @@ mod tests {
     }
 
     #[test]
+    fn range_digest_binds_position_length_and_root() {
+        let root = Digest::of_bytes(b"root");
+        let base = range_digest(1, Position(5), 4, &root);
+        assert_ne!(base, range_digest(1, Position(6), 4, &root), "shifted start");
+        assert_ne!(base, range_digest(1, Position(5), 3, &root), "truncated length");
+        assert_ne!(base, range_digest(2, Position(5), 4, &root), "other subchannel");
+        assert_ne!(base, range_digest(1, Position(5), 4, &Digest::of_bytes(b"r2")), "other root");
+    }
+
+    #[test]
     fn send_size_tracks_payload() {
         let ring = spider_crypto::Keyring::new(1);
         let d = Digest::of_bytes(b"x");
@@ -165,5 +282,34 @@ mod tests {
         let big: ChannelMsg<Blob> =
             ChannelMsg::Send { sc: 0, p: Position(1), msg: Blob(vec![0; 1000]), sig };
         assert_eq!(big.wire_size() - small.wire_size(), 990);
+    }
+
+    #[test]
+    fn range_messages_amortize_signature_bytes() {
+        let ring = spider_crypto::Keyring::new(1);
+        let d = Digest::of_bytes(b"x");
+        let sig = ring.sign(spider_crypto::KeyId(0), &d);
+        let n = 32usize;
+        let range: ChannelMsg<Blob> = ChannelMsg::SendRange {
+            sc: 0,
+            first: Position(1),
+            msgs: Arc::new((0..n).map(|_| Blob(vec![0; 100])).collect()),
+            sig,
+        };
+        let single: ChannelMsg<Blob> =
+            ChannelMsg::Send { sc: 0, p: Position(1), msg: Blob(vec![0; 100]), sig };
+        assert!(
+            range.wire_size() < n * single.wire_size(),
+            "one signature over the range beats n signed singles"
+        );
+        // The shares-only certificate is content-free and tiny.
+        let cert: ChannelMsg<Blob> = ChannelMsg::RangeCertificate {
+            sc: 0,
+            first: Position(1),
+            count: n as u32,
+            root: d,
+            shares: vec![sig, sig],
+        };
+        assert!(cert.wire_size() < single.wire_size() + 2 * SIG_BYTES);
     }
 }

@@ -1,12 +1,24 @@
-//! Receiver-side IRMC endpoint (Fig 18 receiver half; Fig 20 for IRMC-SC).
+//! Receiver-side IRMC endpoint (Fig 18 receiver half; Fig 20 for
+//! IRMC-SC), with multi-slot range verification.
+//!
+//! Range messages amortize the per-slot RSA verification: a
+//! [`ChannelMsg::SendRange`] (RC) or [`ChannelMsg::RangeCertificate`]
+//! (SC) is checked with **one** signature verification per signer for the
+//! whole contiguous slot range — the receiver recomputes the Merkle root
+//! over the per-slot content digests and accepts or rejects the range as
+//! a unit (a single tampered slot invalidates the root, so nothing from
+//! the range delivers). For IRMC-SC the raw content may arrive ahead of
+//! its certificate (§A.9 overlap, [`ChannelMsg::RangeContent`]); it is
+//! buffered and **never** delivered until a valid certificate covers it.
 
 use crate::config::{IrmcConfig, Variant};
-use crate::messages::{slot_digest, ChannelMsg, ReceiverMsg};
+use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
 use crate::{Action, Content, Subchannel};
-use spider_crypto::{Digest, Keyring};
+use spider_crypto::{merkle_root, Digest, Keyring, Signature};
 use spider_types::{Position, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Result of polling a position (the sans-IO form of Fig 14 `receive`).
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +34,16 @@ pub enum ReceiveResult<M> {
     Pending,
 }
 
+/// SC: range content received ahead of certification (§A.9 overlap).
+#[derive(Debug)]
+struct PendingContent<M> {
+    /// Sender that shipped it (at most one buffered candidate per sender,
+    /// so a faulty collector cannot evict honest content).
+    from: usize,
+    msgs: Arc<Vec<M>>,
+    root: Digest,
+}
+
 #[derive(Debug)]
 struct ReceiverSub<M> {
     awin: Window,
@@ -31,12 +53,26 @@ struct ReceiverSub<M> {
     ready: BTreeMap<u64, M>,
     /// Positions for which `Action::Ready` was already emitted.
     announced: HashSet<u64>,
+    /// SC: uncertified early-shipped range content, by first position;
+    /// at most one candidate per sender (a faulty collector must not be
+    /// able to evict the honest content).
+    pending_content: BTreeMap<u64, Vec<PendingContent<M>>>,
+    /// SC: validated certificates that arrived before their content, by
+    /// first position: (count, root) statements, at most one per sender
+    /// (diverged boundaries can certify several lengths for one start).
+    pending_certs: BTreeMap<u64, Vec<(u32, Digest)>>,
     /// Window-shift requests received from each sender.
     sender_moves: Vec<Position>,
+    /// Scratch buffer for the `fs + 1`-selections (reused across calls).
+    scratch: Vec<Position>,
     /// SC: per-sender claimed progress.
     progress: Vec<Position>,
     /// SC: merged progress (fs+1-highest sender claim).
     merged_progress: Position,
+    /// Cached first-missing cursor: every position in
+    /// `[awin.start, missing_cursor)` is ready, so the gap scan resumes
+    /// here instead of rescanning from the window start.
+    missing_cursor: u64,
     /// SC: current collector (sender index).
     collector: usize,
     /// SC: whether the supervision timer is armed.
@@ -50,18 +86,32 @@ impl<M> ReceiverSub<M> {
             rc_slots: BTreeMap::new(),
             ready: BTreeMap::new(),
             announced: HashSet::new(),
+            pending_content: BTreeMap::new(),
+            pending_certs: BTreeMap::new(),
             sender_moves: vec![Position(0); cfg.n_senders],
+            scratch: Vec::new(),
             progress: vec![Position(0); cfg.n_senders],
             merged_progress: Position(0),
+            missing_cursor: 1,
             collector: me % cfg.n_senders,
             timer_armed: false,
         }
     }
 
     fn gc_below(&mut self, start: Position) {
-        self.rc_slots.retain(|&p, _| p >= start.0);
-        self.ready.retain(|&p, _| p >= start.0);
-        self.announced.retain(|&p| p >= start.0);
+        let s = start.0;
+        self.rc_slots.retain(|&p, _| p >= s);
+        self.ready.retain(|&p, _| p >= s);
+        self.announced.retain(|&p| p >= s);
+        self.pending_content.retain(|&p, cands| {
+            cands.retain(|pc| p + pc.msgs.len() as u64 > s);
+            !cands.is_empty()
+        });
+        self.pending_certs.retain(|&p, certs| {
+            certs.retain(|(count, _)| p + *count as u64 > s);
+            !certs.is_empty()
+        });
+        self.missing_cursor = self.missing_cursor.max(s);
     }
 }
 
@@ -140,130 +190,372 @@ impl<M: Content> ReceiverEndpoint<M> {
             return;
         }
         match msg {
-            ChannelMsg::Send { sc, p, msg, sig } => {
-                if self.cfg.variant != Variant::ReceiverCollect {
-                    return;
-                }
-                // Verify the sender's signature over the slot.
-                out.push(Action::Charge(
-                    self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify(),
-                ));
-                let digest = msg.digest();
-                let slot = slot_digest(sc, p, &digest);
-                if !self.keyring.verify(self.cfg.sender_keys[from], &slot, &sig) {
-                    return;
-                }
-                let fs = self.cfg.fs;
-                let sub = self.sub(sc);
-                if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
-                    // Below the window, or absurdly far above it (memory
-                    // guard; correct senders are window-limited anyway).
-                    return;
-                }
-                let slot_map = sub.rc_slots.entry(p.0).or_default();
-                slot_map.entry(from).or_insert((digest, msg));
-                // Quorum: fs + 1 senders with identical content.
-                let quorate = slot_map.values().filter(|(d, _)| *d == digest).count() > fs;
-                if quorate && !sub.ready.contains_key(&p.0) {
-                    let m = slot_map
-                        .values()
-                        .find(|(d, _)| *d == digest)
-                        .map(|(_, m)| m.clone())
-                        .expect("quorate content present");
-                    sub.ready.insert(p.0, m);
-                    if sub.announced.insert(p.0) {
-                        out.push(Action::Ready { sc, p });
-                    }
-                }
+            ChannelMsg::Send { sc, p, msg, sig } => self.on_send(from, sc, p, msg, sig, out),
+            ChannelMsg::SendRange { sc, first, msgs, sig } => {
+                self.on_send_range(from, sc, first, msgs, sig, out)
             }
             ChannelMsg::Certificate { sc, p, msg, shares } => {
-                if self.cfg.variant != Variant::SenderCollect {
-                    return;
-                }
-                // Verify transport MAC + every contained share.
-                out.push(Action::Charge(
-                    self.cfg.cost.hmac(msg.wire_size())
-                        + self.cfg.cost.rsa_verify() * shares.len() as u64,
-                ));
-                let digest = msg.digest();
-                let slot = slot_digest(sc, p, &digest);
-                let mut signers = HashSet::new();
-                let valid = shares
-                    .iter()
-                    .filter(|sig| {
-                        let idx = self.cfg.sender_keys.iter().position(|k| *k == sig.signer);
-                        match idx {
-                            Some(i) if signers.insert(i) => {
-                                self.keyring.verify(sig.signer, &slot, sig)
-                            }
-                            _ => false,
-                        }
-                    })
-                    .count();
-                if valid < self.cfg.fs + 1 {
-                    return;
-                }
-                let sub = self.sub(sc);
-                if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
-                    return;
-                }
-                if sub.ready.insert(p.0, msg).is_none() && sub.announced.insert(p.0) {
-                    out.push(Action::Ready { sc, p });
-                }
+                self.on_certificate(sc, p, msg, shares, out)
             }
-            ChannelMsg::Progress { positions } => {
-                if self.cfg.variant != Variant::SenderCollect {
-                    return;
-                }
-                out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
-                for (sc, p) in positions {
-                    let fs = self.cfg.fs;
-                    let timeout = self.cfg.collector_timeout;
-                    let sub = self.sub(sc);
-                    if p > sub.progress[from] {
-                        sub.progress[from] = p;
-                    }
-                    let mut claims = sub.progress.clone();
-                    claims.sort_unstable_by(|a, b| b.cmp(a));
-                    sub.merged_progress = claims[fs];
-                    // Missing certificates up to the merged progress?
-                    let missing = Self::first_missing(sub);
-                    if missing.is_some() && !sub.timer_armed {
-                        sub.timer_armed = true;
-                        out.push(Action::SetTimer { token: sc, delay: timeout });
-                    }
-                }
-                let _ = now;
+            ChannelMsg::RangeContent { sc, first, msgs } => {
+                self.on_range_content(from, sc, first, msgs, out)
             }
-            ChannelMsg::Move { sc, p } => {
-                out.push(Action::Charge(self.cfg.cost.hmac(32)));
-                let fs = self.cfg.fs;
-                let sub = self.sub(sc);
-                if p <= sub.sender_moves[from] {
-                    return;
-                }
-                sub.sender_moves[from] = p;
-                // fs+1-highest sender request: at least one correct sender
-                // asked for this shift (IRMC-Liveness III).
-                let mut reqs = sub.sender_moves.clone();
-                reqs.sort_unstable_by(|a, b| b.cmp(a));
-                let nw = reqs[fs];
-                if nw > sub.awin.start() {
-                    self.move_window(sc, nw, out);
-                }
+            ChannelMsg::RangeCertificate { sc, first, count, root, shares } => {
+                self.on_range_certificate(sc, first, count, root, shares, out)
             }
-            ChannelMsg::SigShare { .. } => {
+            ChannelMsg::Progress { positions } => self.on_progress(from, positions, out),
+            ChannelMsg::Move { sc, p } => self.on_sender_move(from, sc, p, out),
+            ChannelMsg::SigShare { .. } | ChannelMsg::RangeShare { .. } => {
                 // Sender-group-internal; a receiver should never see one.
+            }
+        }
+        let _ = now;
+    }
+
+    // ------------------------------------------------------------------
+    // IRMC-RC
+    // ------------------------------------------------------------------
+
+    fn on_send(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        p: Position,
+        msg: M,
+        sig: Signature,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::ReceiverCollect {
+            return;
+        }
+        // Verify the sender's signature over the slot.
+        out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify()));
+        let digest = msg.digest();
+        let slot = slot_digest(sc, p, &digest);
+        if !self.keyring.verify(self.cfg.sender_keys[from], &slot, &sig) {
+            return;
+        }
+        self.credit_rc_slot(from, sc, p, digest, msg, out);
+    }
+
+    /// One signature verification covers the whole range; each member slot
+    /// is then credited to the sender exactly like a legacy `Send`, so
+    /// ranged and single-slot senders converge on the same per-slot
+    /// quorums (mixed configurations interoperate).
+    fn on_send_range(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        first: Position,
+        msgs: Arc<Vec<M>>,
+        sig: Signature,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::ReceiverCollect {
+            return;
+        }
+        let count = msgs.len();
+        if count < 2 || count as u64 > self.cfg.capacity {
+            return; // Senders never emit these; bogus.
+        }
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        // Hash all payloads, rebuild the tree, verify ONE signature.
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count) + self.cfg.cost.rsa_verify(),
+        ));
+        let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+        let root = merkle_root(&leaves);
+        let rd = range_digest(sc, first, count as u32, &root);
+        if !self.keyring.verify(self.cfg.sender_keys[from], &rd, &sig) {
+            return; // Any tampered member slot lands here: reject whole.
+        }
+        let sub = self.sub(sc);
+        if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return; // Absurdly far above the window (memory guard).
+        }
+        for (i, leaf) in leaves.into_iter().enumerate() {
+            let p = Position(first.0 + i as u64);
+            self.credit_rc_slot(from, sc, p, leaf, msgs[i].clone(), out);
+        }
+    }
+
+    /// Books verified content from `from` for slot `(sc, p)` and delivers
+    /// once `fs + 1` senders vouch for identical content.
+    fn credit_rc_slot(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        p: Position,
+        digest: Digest,
+        msg: M,
+        out: &mut Vec<Action<M>>,
+    ) {
+        let fs = self.cfg.fs;
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            // Below the window, or absurdly far above it (memory guard;
+            // correct senders are window-limited anyway).
+            return;
+        }
+        let slot_map = sub.rc_slots.entry(p.0).or_default();
+        slot_map.entry(from).or_insert((digest, msg));
+        // Quorum: fs + 1 senders with identical content.
+        let quorate = slot_map.values().filter(|(d, _)| *d == digest).count() > fs;
+        if quorate && !sub.ready.contains_key(&p.0) {
+            let m = slot_map
+                .values()
+                .find(|(d, _)| *d == digest)
+                .map(|(_, m)| m.clone())
+                .expect("quorate content present");
+            sub.ready.insert(p.0, m);
+            if sub.announced.insert(p.0) {
+                out.push(Action::Ready { sc, p });
             }
         }
     }
 
+    // ------------------------------------------------------------------
+    // IRMC-SC
+    // ------------------------------------------------------------------
+
+    fn on_certificate(
+        &mut self,
+        sc: Subchannel,
+        p: Position,
+        msg: Arc<M>,
+        shares: Vec<Signature>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        // Verify transport MAC + every contained share.
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify() * shares.len() as u64,
+        ));
+        let digest = msg.digest();
+        let slot = slot_digest(sc, p, &digest);
+        if !self.valid_share_quorum(&shares, &slot) {
+            return;
+        }
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return;
+        }
+        let m = (*msg).clone();
+        if sub.ready.insert(p.0, m).is_none() && sub.announced.insert(p.0) {
+            out.push(Action::Ready { sc, p });
+        }
+    }
+
+    /// Counts `fs + 1` valid shares from distinct senders over `statement`.
+    fn valid_share_quorum(&self, shares: &[Signature], statement: &Digest) -> bool {
+        let mut signers = HashSet::new();
+        let valid = shares
+            .iter()
+            .filter(|sig| {
+                let idx = self.cfg.sender_keys.iter().position(|k| *k == sig.signer);
+                match idx {
+                    Some(i) if signers.insert(i) => self.keyring.verify(sig.signer, statement, sig),
+                    _ => false,
+                }
+            })
+            .count();
+        valid > self.cfg.fs
+    }
+
+    /// Early-shipped range content (§A.9 overlap): hash it, remember it,
+    /// but deliver **nothing** until a valid certificate covers its root.
+    fn on_range_content(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        first: Position,
+        msgs: Arc<Vec<M>>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        let count = msgs.len();
+        if count < 2 || count as u64 > self.cfg.capacity {
+            return;
+        }
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        // Transport MAC + payload hashing + tree rebuild; no signature yet.
+        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count)));
+        let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+        let root = merkle_root(&leaves);
+        let sub = self.sub(sc);
+        if first.0 + count as u64 <= sub.awin.start().0
+            || first.0 >= sub.awin.end().0 + sub.awin.capacity()
+        {
+            return;
+        }
+        // A certificate that arrived first unlocks the content now.
+        if let Some(certs) = sub.pending_certs.get_mut(&first.0) {
+            if let Some(i) = certs.iter().position(|c| *c == (count as u32, root)) {
+                certs.remove(i);
+                if certs.is_empty() {
+                    sub.pending_certs.remove(&first.0);
+                }
+                self.deliver_range(sc, first.0, &msgs, out);
+                return;
+            }
+        }
+        // Buffer one candidate per *sender*: a faulty collector flooding
+        // bogus roots can only ever replace its own slot, never evict
+        // honest content.
+        let candidates = sub.pending_content.entry(first.0).or_default();
+        match candidates.iter_mut().find(|c| c.from == from) {
+            Some(mine) => {
+                mine.msgs = msgs;
+                mine.root = root;
+            }
+            None => candidates.push(PendingContent { from, msgs, root }),
+        }
+    }
+
+    /// Shares-only range certificate: one verification per share (at most
+    /// `fs + 1`) certifies the **whole** range.
+    fn on_range_certificate(
+        &mut self,
+        sc: Subchannel,
+        first: Position,
+        count: u32,
+        root: Digest,
+        shares: Vec<Signature>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        if count < 2 || count as u64 > self.cfg.capacity {
+            return;
+        }
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(32) + self.cfg.cost.rsa_verify() * shares.len() as u64,
+        ));
+        let rd = range_digest(sc, first, count, &root);
+        if !self.valid_share_quorum(&shares, &rd) {
+            return;
+        }
+        let n_senders = self.cfg.n_senders;
+        let sub = self.sub(sc);
+        if first.0 + count as u64 <= sub.awin.start().0
+            || first.0 >= sub.awin.end().0 + sub.awin.capacity()
+        {
+            return;
+        }
+        // Certified: deliver the matching buffered content, or remember
+        // the certificate until the content arrives (reordered links).
+        let matched = sub.pending_content.get(&first.0).and_then(|cands| {
+            cands
+                .iter()
+                .find(|c| c.root == root && c.msgs.len() == count as usize)
+                .map(|c| c.msgs.clone())
+        });
+        match matched {
+            Some(msgs) => {
+                sub.pending_content.remove(&first.0);
+                self.deliver_range(sc, first.0, &msgs, out);
+            }
+            None => {
+                // Keep every distinct certified statement (diverged
+                // boundaries may certify several lengths for one start),
+                // bounded by the sender-group size.
+                let certs = sub.pending_certs.entry(first.0).or_default();
+                if !certs.contains(&(count, root)) && certs.len() < n_senders {
+                    certs.push((count, root));
+                }
+            }
+        }
+    }
+
+    /// Delivers every slot of a certified range that is still in-window.
+    fn deliver_range(&mut self, sc: Subchannel, first: u64, msgs: &[M], out: &mut Vec<Action<M>>) {
+        let sub = self.sub(sc);
+        let start = sub.awin.start().0;
+        for (i, m) in msgs.iter().enumerate() {
+            let p = first + i as u64;
+            if p < start {
+                continue;
+            }
+            if sub.ready.insert(p, m.clone()).is_none() && sub.announced.insert(p) {
+                out.push(Action::Ready { sc, p: Position(p) });
+            }
+        }
+    }
+
+    fn on_progress(
+        &mut self,
+        from: usize,
+        positions: Vec<(Subchannel, Position)>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        if self.cfg.variant != Variant::SenderCollect {
+            return;
+        }
+        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
+        for (sc, p) in positions {
+            let fs = self.cfg.fs;
+            let timeout = self.cfg.collector_timeout;
+            let sub = self.sub(sc);
+            if p > sub.progress[from] {
+                sub.progress[from] = p;
+            }
+            // fs+1-highest claim, selected on the reused scratch buffer.
+            sub.scratch.clear();
+            sub.scratch.extend_from_slice(&sub.progress);
+            let (_, nth, _) = sub.scratch.select_nth_unstable_by(fs, |a, b| b.cmp(a));
+            sub.merged_progress = *nth;
+            // Missing certificates up to the merged progress?
+            let missing = Self::first_missing(sub);
+            if missing.is_some() && !sub.timer_armed {
+                sub.timer_armed = true;
+                out.push(Action::SetTimer { token: sc, delay: timeout });
+            }
+        }
+    }
+
+    fn on_sender_move(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        p: Position,
+        out: &mut Vec<Action<M>>,
+    ) {
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        let fs = self.cfg.fs;
+        let sub = self.sub(sc);
+        if p <= sub.sender_moves[from] {
+            return;
+        }
+        sub.sender_moves[from] = p;
+        // fs+1-highest sender request: at least one correct sender asked
+        // for this shift (IRMC-Liveness III). Selection on the reused
+        // scratch buffer instead of clone + full sort.
+        sub.scratch.clear();
+        sub.scratch.extend_from_slice(&sub.sender_moves);
+        let (_, nth, _) = sub.scratch.select_nth_unstable_by(fs, |a, b| b.cmp(a));
+        let nw = *nth;
+        if nw > sub.awin.start() {
+            self.move_window(sc, nw, out);
+        }
+    }
+
     /// First position in `[window start, merged progress]` without a
-    /// certified message, if any.
-    fn first_missing(sub: &ReceiverSub<M>) -> Option<Position> {
-        let lo = sub.awin.start().0;
+    /// certified message, if any. Resumes from the cached gap-free cursor
+    /// instead of rescanning from the window start.
+    fn first_missing(sub: &mut ReceiverSub<M>) -> Option<Position> {
+        let lo = sub.missing_cursor.max(sub.awin.start().0);
         let hi = sub.merged_progress.0;
-        (lo..=hi).find(|p| !sub.ready.contains_key(p)).map(Position)
+        let mut p = lo;
+        while p <= hi && sub.ready.contains_key(&p) {
+            p += 1;
+        }
+        sub.missing_cursor = p;
+        (p <= hi).then_some(Position(p))
     }
 
     /// Handles the collector-supervision timer for subchannel `token`
@@ -331,6 +623,29 @@ mod tests {
                 _ => None,
             })
             .expect("send emitted")
+    }
+
+    /// Produces the signed `SendRange` a correct sender would emit.
+    fn range_from(
+        idx: usize,
+        sc: Subchannel,
+        first: Position,
+        msgs: Vec<Blob>,
+    ) -> ChannelMsg<Blob> {
+        let mut s: SenderEndpoint<Blob> =
+            SenderEndpoint::new(cfg(Variant::ReceiverCollect), idx, Keyring::new(5));
+        let mut out = Vec::new();
+        s.send_many(sc, first, msgs, &mut out);
+        out.into_iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::SendRange { .. } } => Some(m),
+                _ => None,
+            })
+            .expect("range emitted")
+    }
+
+    fn blobs(first: u64, n: u64) -> Vec<Blob> {
+        (first..first + n).map(|i| Blob::new(format!("m{i}").as_bytes())).collect()
     }
 
     #[test]
@@ -451,7 +766,7 @@ mod tests {
             ChannelMsg::Certificate {
                 sc: 0,
                 p: Position(1),
-                msg: m.clone(),
+                msg: Arc::new(m.clone()),
                 shares: vec![good, bad],
             },
             &mut out,
@@ -464,7 +779,7 @@ mod tests {
             ChannelMsg::Certificate {
                 sc: 0,
                 p: Position(1),
-                msg: m.clone(),
+                msg: Arc::new(m.clone()),
                 shares: vec![good, good],
             },
             &mut out,
@@ -500,5 +815,304 @@ mod tests {
             })
             .count();
         assert_eq!(selects, 3, "announced to every sender");
+    }
+
+    // ------------------------------------------------------------------
+    // Range verification
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rc_range_delivers_after_fs_plus_one_matching_ranges() {
+        let mut r = rc_receiver();
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            range_from(0, 0, Position(1), msgs.clone()),
+            &mut out,
+        );
+        for p in 1..=4u64 {
+            assert_eq!(r.try_receive(0, Position(p)), ReceiveResult::Pending, "one sender only");
+        }
+        r.on_sender_message(
+            SimTime::ZERO,
+            1,
+            range_from(1, 0, Position(1), msgs.clone()),
+            &mut out,
+        );
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(
+                r.try_receive(0, Position(1 + i as u64)),
+                ReceiveResult::Ready(m.clone()),
+                "slot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_range_and_single_sends_share_slot_quorums() {
+        // One sender ships a range, another ships a matching single slot:
+        // the per-slot quorum must combine them (mixed configurations).
+        let mut r = rc_receiver();
+        let msgs = blobs(1, 3);
+        let mut out = Vec::new();
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            range_from(0, 0, Position(1), msgs.clone()),
+            &mut out,
+        );
+        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(2), &msgs[1]), &mut out);
+        assert_eq!(r.try_receive(0, Position(2)), ReceiveResult::Ready(msgs[1].clone()));
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+    }
+
+    #[test]
+    fn rc_tampered_range_member_rejects_the_whole_range() {
+        let mut r = rc_receiver();
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        // Honest range from sender 0.
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            range_from(0, 0, Position(1), msgs.clone()),
+            &mut out,
+        );
+        // Sender 1's range with slot 2 tampered after signing.
+        let ChannelMsg::SendRange { sc, first, msgs: signed, sig } =
+            range_from(1, 0, Position(1), msgs.clone())
+        else {
+            panic!("range expected")
+        };
+        let mut tampered: Vec<Blob> = (*signed).clone();
+        tampered[2] = Blob::new(b"evil");
+        r.on_sender_message(
+            SimTime::ZERO,
+            1,
+            ChannelMsg::SendRange { sc, first, msgs: Arc::new(tampered), sig },
+            &mut out,
+        );
+        for p in 1..=4u64 {
+            assert_eq!(
+                r.try_receive(0, Position(p)),
+                ReceiveResult::Pending,
+                "tampering one member must reject every slot of the range (slot {p})"
+            );
+        }
+    }
+
+    fn sc_pair() -> (SenderEndpoint<Blob>, SenderEndpoint<Blob>, ReceiverEndpoint<Blob>) {
+        let ring = Keyring::new(5);
+        let c = cfg(Variant::SenderCollect);
+        (
+            SenderEndpoint::new(c.clone(), 0, ring.clone()),
+            SenderEndpoint::new(c.clone(), 1, ring.clone()),
+            ReceiverEndpoint::new(c, 0, ring),
+        )
+    }
+
+    #[test]
+    fn sc_overlap_content_never_delivers_before_certificate() {
+        let (mut s0, mut s1, mut r) = sc_pair();
+        let msgs = blobs(1, 4);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        // Deliver ONLY the early content (overlap) to the receiver.
+        let content = out0
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeContent { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .expect("overlap ships content early");
+        let mut rout = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        for p in 1..=4u64 {
+            assert_eq!(
+                r.try_receive(0, Position(p)),
+                ReceiveResult::Pending,
+                "uncertified content must never deliver (slot {p})"
+            );
+        }
+        assert!(!rout.iter().any(|a| matches!(a, Action::Ready { .. })));
+        // Now complete the certificate on s0 and ship it: delivery unlocks.
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("share for s0");
+        let mut certs = Vec::new();
+        s0.on_peer_message(1, share, &mut certs);
+        let cert = certs
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeCertificate { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .expect("certificate shipped");
+        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+        }
+    }
+
+    #[test]
+    fn sc_certificate_before_content_waits_and_then_delivers() {
+        let (mut s0, mut s1, mut r) = sc_pair();
+        let msgs = blobs(1, 3);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut certs = Vec::new();
+        s0.on_peer_message(1, share, &mut certs);
+        let cert = certs
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeCertificate { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        // Reordered link: the certificate overtakes the content.
+        let mut rout = Vec::new();
+        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+        let content = out0
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeContent { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+        }
+    }
+
+    #[test]
+    fn sc_bogus_content_flood_cannot_evict_honest_pending_content() {
+        // A faulty sender ships many bogus RangeContent candidates for the
+        // same range before the honest collector's content arrives; the
+        // honest content must still unlock when its certificate lands.
+        let (mut s0, mut s1, mut r) = sc_pair();
+        let msgs = blobs(1, 4);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        let mut rout = Vec::new();
+        // Faulty sender 2 floods distinct bogus contents for first=1.
+        for k in 0..8u64 {
+            r.on_sender_message(
+                SimTime::ZERO,
+                2,
+                ChannelMsg::RangeContent {
+                    sc: 0,
+                    first: Position(1),
+                    msgs: Arc::new(blobs(100 + 10 * k, 4)),
+                },
+                &mut rout,
+            );
+        }
+        // Honest content arrives afterwards…
+        let content = out0
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeContent { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .expect("overlap ships content");
+        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        // …and the certificate unlocks it despite the flood.
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut certs = Vec::new();
+        s0.on_peer_message(1, share, &mut certs);
+        let cert = certs
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeCertificate { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+        }
+    }
+
+    #[test]
+    fn sc_range_certificate_with_wrong_content_rejected() {
+        let (mut s0, mut s1, mut r) = sc_pair();
+        let msgs = blobs(1, 3);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs, &mut out1);
+        // A faulty collector ships different content than was certified.
+        let mut rout = Vec::new();
+        r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            ChannelMsg::RangeContent { sc: 0, first: Position(1), msgs: Arc::new(blobs(7, 3)) },
+            &mut rout,
+        );
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut certs = Vec::new();
+        s0.on_peer_message(1, share, &mut certs);
+        let cert = certs
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: m @ ChannelMsg::RangeCertificate { .. } } => {
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        for p in 1..=3u64 {
+            assert_eq!(
+                r.try_receive(0, Position(p)),
+                ReceiveResult::Pending,
+                "mismatching content must not deliver under the certificate"
+            );
+        }
     }
 }

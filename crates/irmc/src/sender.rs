@@ -1,12 +1,29 @@
-//! Sender-side IRMC endpoint (Fig 18 sender half; Fig 19 for IRMC-SC).
+//! Sender-side IRMC endpoint (Fig 18 sender half; Fig 19 for IRMC-SC),
+//! with multi-slot range certification.
+//!
+//! [`SenderEndpoint::send_many`] amortizes the per-slot RSA signature —
+//! the saturating cost of a loaded commit channel — over a contiguous
+//! slot range: one signature covers the Merkle root of the per-slot
+//! digests (see [`crate::messages`]). For IRMC-SC the collector
+//! additionally overlaps WAN content shipping with the intra-region
+//! share exchange (§A.9): content ships as soon as it is submitted, the
+//! certificate follows shares-only.
+//!
+//! Range boundaries must match across correct senders for SC shares to
+//! combine; callers therefore cut ranges at deterministic points (the
+//! agreement replicas use consensus batch boundaries). If boundaries
+//! still diverge (e.g. one replica replays after a checkpoint restore),
+//! [`SenderEndpoint::tick`] notices certification stalling and falls
+//! back to legacy per-slot shares, which match regardless of boundaries.
 
 use crate::config::{IrmcConfig, Variant};
-use crate::messages::{slot_digest, ChannelMsg, ReceiverMsg};
+use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
 use crate::{Action, Content, Subchannel};
-use spider_crypto::{Digest, Keyring, Signature};
+use spider_crypto::{merkle_root, Digest, Keyring, Signature};
 use spider_types::{Position, SimTime};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Result of a [`SenderEndpoint::send`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,41 +42,181 @@ pub enum SendStatus {
     Blocked,
 }
 
+/// Where a submitted slot's content lives: single submissions own their
+/// message, range submissions index into the shared range payload.
+#[derive(Debug)]
+enum SlotContent<M> {
+    Single(Arc<M>),
+    InRange { msgs: Arc<Vec<M>>, idx: u32 },
+}
+
+impl<M: Clone> SlotContent<M> {
+    fn get(&self) -> &M {
+        match self {
+            SlotContent::Single(m) => m,
+            SlotContent::InRange { msgs, idx } => &msgs[*idx as usize],
+        }
+    }
+
+    /// Shared handle to the content (deep-copies only on the rare
+    /// range-to-single fallback path).
+    fn arc(&self) -> Arc<M> {
+        match self {
+            SlotContent::Single(m) => m.clone(),
+            SlotContent::InRange { msgs, idx } => Arc::new(msgs[*idx as usize].clone()),
+        }
+    }
+}
+
+/// A send queued above the window, waiting for a shift.
+#[derive(Debug)]
+enum BlockedItem<M> {
+    Single(M),
+    /// A whole range queued atomically so its boundaries survive the wait
+    /// (SC shares only combine over identical ranges).
+    Range(Vec<M>),
+}
+
+impl<M> BlockedItem<M> {
+    fn len(&self) -> u64 {
+        match self {
+            BlockedItem::Single(_) => 1,
+            BlockedItem::Range(msgs) => msgs.len() as u64,
+        }
+    }
+}
+
+/// SC: a range this endpoint submitted itself.
+#[derive(Debug)]
+struct RangeInfo<M> {
+    msgs: Arc<Vec<M>>,
+    root: Digest,
+    /// Receivers the raw content was already shipped to (§A.9 overlap).
+    shipped: Vec<bool>,
+}
+
+/// SC: signature shares collected for one `(first, root)` range statement.
+#[derive(Debug)]
+struct RangeShareSet {
+    count: u32,
+    sigs: HashMap<usize, Signature>,
+}
+
+/// SC: an assembled range certificate.
+#[derive(Debug)]
+struct RangeBundle<M> {
+    msgs: Arc<Vec<M>>,
+    root: Digest,
+    shares: Vec<Signature>,
+}
+
+/// Contiguous single-slot sends accumulating under the linger knob.
+#[derive(Debug)]
+struct PendingRun<M> {
+    first: u64,
+    msgs: Vec<M>,
+    deadline: SimTime,
+}
+
 #[derive(Debug)]
 struct SenderSub<M> {
     awin: Window,
     /// Window-start positions received from each receiver via `Move`.
     receiver_starts: Vec<Position>,
+    /// Scratch buffer for the `fr + 1`-selection (reused across `Move`s).
+    starts_scratch: Vec<Position>,
     /// Highest window-shift this sender itself requested.
     my_move: Position,
-    /// Sends above the window, waiting for a shift.
-    blocked: BTreeMap<u64, M>,
+    /// Sends above the window, waiting for a shift (keyed by first slot).
+    blocked: BTreeMap<u64, BlockedItem<M>>,
     /// SC: content this endpoint submitted, by position.
-    content: BTreeMap<u64, M>,
-    /// SC: signature shares collected per position per sender.
+    content: BTreeMap<u64, SlotContent<M>>,
+    /// SC: legacy per-slot signature shares, per position per sender.
     shares: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
-    /// SC: assembled certificates.
-    bundles: BTreeMap<u64, (M, Vec<Signature>)>,
+    /// SC: assembled single-slot certificates (content shared for cheap
+    /// multi-receiver fan-out).
+    bundles: BTreeMap<u64, (Arc<M>, Vec<Signature>)>,
+    /// SC: ranges this endpoint submitted, keyed by first position.
+    ranges: BTreeMap<u64, RangeInfo<M>>,
+    /// SC: range shares collected per `(first, root)` statement.
+    range_shares: HashMap<(u64, Digest), RangeShareSet>,
+    /// SC: assembled range certificates, keyed by first position.
+    range_bundles: BTreeMap<u64, RangeBundle<M>>,
+    /// Cached gap-free certified high-watermark: every position in
+    /// `[awin.start, certified_hwm]` is certified; a value below the
+    /// window start means "none yet". Advanced incrementally instead of
+    /// rescanning from the window start on every tick.
+    certified_hwm: u64,
+    /// Watermark observed at the previous tick plus a stall counter:
+    /// drives the per-slot fallback for diverged range boundaries.
+    last_tick_hwm: u64,
+    stalled_ticks: u8,
+    /// Linger buffer for [`SenderEndpoint::send_buffered`].
+    pending: Option<PendingRun<M>>,
 }
 
-impl<M> SenderSub<M> {
+impl<M: Content> SenderSub<M> {
     fn new(capacity: u64) -> Self {
         SenderSub {
             awin: Window::new(capacity),
             receiver_starts: Vec::new(),
+            starts_scratch: Vec::new(),
             my_move: Position(0),
             blocked: BTreeMap::new(),
             content: BTreeMap::new(),
             shares: BTreeMap::new(),
             bundles: BTreeMap::new(),
+            ranges: BTreeMap::new(),
+            range_shares: HashMap::new(),
+            range_bundles: BTreeMap::new(),
+            certified_hwm: 0,
+            last_tick_hwm: 0,
+            stalled_ticks: 0,
+            pending: None,
         }
     }
 
     fn gc_below(&mut self, start: Position) {
-        self.blocked.retain(|&p, _| p >= start.0);
-        self.content.retain(|&p, _| p >= start.0);
-        self.shares.retain(|&p, _| p >= start.0);
-        self.bundles.retain(|&p, _| p >= start.0);
+        let s = start.0;
+        self.blocked.retain(|&p, item| p + item.len() > s);
+        self.content.retain(|&p, _| p >= s);
+        self.shares.retain(|&p, _| p >= s);
+        self.bundles.retain(|&p, _| p >= s);
+        self.ranges.retain(|&p, r| p + r.msgs.len() as u64 > s);
+        self.range_shares.retain(|&(p, _), set| p + set.count as u64 > s);
+        self.range_bundles.retain(|&p, b| p + b.msgs.len() as u64 > s);
+        if let Some(run) = &self.pending {
+            if run.first + run.msgs.len() as u64 <= s {
+                self.pending = None;
+            }
+        }
+    }
+
+    /// Whether position `p` is covered by a certificate (single or range).
+    fn certified(&self, p: u64) -> bool {
+        if self.bundles.contains_key(&p) {
+            return true;
+        }
+        if let Some((first, rb)) = self.range_bundles.range(..=p).next_back() {
+            return p < first + rb.msgs.len() as u64;
+        }
+        false
+    }
+
+    /// Advances the cached gap-free certified watermark.
+    fn advance_hwm(&mut self) {
+        let start = self.awin.start().0;
+        if self.certified_hwm + 1 < start {
+            self.certified_hwm = start - 1;
+        }
+        while self.certified(self.certified_hwm + 1) {
+            self.certified_hwm += 1;
+        }
+    }
+
+    /// Highest gap-free certified position from the window start, if any.
+    fn progress(&self) -> Option<Position> {
+        (self.certified_hwm >= self.awin.start().0).then_some(Position(self.certified_hwm))
     }
 }
 
@@ -119,6 +276,12 @@ impl<M: Content> SenderEndpoint<M> {
         })
     }
 
+    /// Largest range this channel actually certifies: the configured cap,
+    /// bounded by the window capacity (a longer range could never fit).
+    fn range_cap(&self) -> usize {
+        self.cfg.max_range.min(self.cfg.capacity as usize).max(1)
+    }
+
     /// Submits content for `(sc, p)` (Fig 14 `send`).
     ///
     /// Never blocks the caller: above-window sends are queued and flushed
@@ -135,11 +298,115 @@ impl<M: Content> SenderEndpoint<M> {
             return SendStatus::TooOld(sub.awin.start());
         }
         if sub.awin.is_above(p) {
-            sub.blocked.insert(p.0, msg);
+            sub.blocked.insert(p.0, BlockedItem::Single(msg));
             return SendStatus::Blocked;
         }
         self.transmit(sc, p, msg, out);
         SendStatus::Sent
+    }
+
+    /// Submits a contiguous run of slots `[first, first + msgs.len())` in
+    /// one call, certified as Merkle ranges of at most
+    /// [`IrmcConfig::max_range`] slots each — one RSA signature (and one
+    /// verification per receiver, per share for SC) amortized over each
+    /// range instead of per slot.
+    ///
+    /// Chunk boundaries are derived from `first`, so callers submitting
+    /// identical runs produce identical ranges (required for SC share
+    /// matching). Chunks above the window queue atomically and flush on
+    /// [`Action::Unblocked`]; a run of length 1 degenerates to the legacy
+    /// single-slot wire messages.
+    ///
+    /// Returns `TooOld` if every slot is below the window, `Blocked` if
+    /// nothing could be transmitted yet, `Sent` otherwise.
+    pub fn send_many(
+        &mut self,
+        sc: Subchannel,
+        first: Position,
+        msgs: Vec<M>,
+        out: &mut Vec<Action<M>>,
+    ) -> SendStatus {
+        if msgs.is_empty() {
+            return SendStatus::Sent;
+        }
+        let cap = self.range_cap();
+        let sub = self.sub(sc);
+        let start = sub.awin.start().0;
+        let mut status = SendStatus::TooOld(sub.awin.start());
+        let mut chunk_first = first.0;
+        let mut remaining = msgs;
+        while !remaining.is_empty() {
+            let n = remaining.len().min(cap);
+            let rest = remaining.split_off(n);
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let chunk_end = chunk_first + n as u64 - 1;
+            if chunk_end < start {
+                // Entire chunk below the window: receivers moved on.
+                chunk_first += n as u64;
+                continue;
+            }
+            let sub = self.sub(sc);
+            if sub.awin.is_above(Position(chunk_end)) {
+                // Queue the whole chunk so its boundary survives the wait.
+                sub.blocked.insert(chunk_first, BlockedItem::Range(chunk));
+                if status != SendStatus::Sent {
+                    status = SendStatus::Blocked;
+                }
+            } else {
+                let (f, c) = trim_below(chunk_first, chunk, start);
+                self.transmit_range(sc, f, c, out);
+                status = SendStatus::Sent;
+            }
+            chunk_first += n as u64;
+        }
+        status
+    }
+
+    /// Submits a single slot through the linger buffer: contiguous sends
+    /// accumulate into a pending range that flushes when it reaches
+    /// [`IrmcConfig::max_range`] slots, when a non-contiguous position
+    /// arrives, or at the latest one [`IrmcConfig::range_linger`] later
+    /// (enforced by [`SenderEndpoint::tick`], which the host must then
+    /// drive for RC channels too). With a zero linger this is exactly
+    /// [`SenderEndpoint::send`].
+    pub fn send_buffered(
+        &mut self,
+        sc: Subchannel,
+        p: Position,
+        msg: M,
+        now: SimTime,
+        out: &mut Vec<Action<M>>,
+    ) -> SendStatus {
+        if self.cfg.range_linger == SimTime::ZERO || self.cfg.max_range <= 1 {
+            return self.send(sc, p, msg, out);
+        }
+        let linger = self.cfg.range_linger;
+        let cap = self.range_cap();
+        let sub = self.sub(sc);
+        if sub.awin.is_below(p) {
+            return SendStatus::TooOld(sub.awin.start());
+        }
+        match &mut sub.pending {
+            Some(run) if p.0 == run.first + run.msgs.len() as u64 => {
+                run.msgs.push(msg);
+                if run.msgs.len() >= cap {
+                    self.flush_pending(sc, out);
+                }
+                return SendStatus::Sent;
+            }
+            Some(_) => self.flush_pending(sc, out),
+            None => {}
+        }
+        let sub = self.sub(sc);
+        sub.pending = Some(PendingRun { first: p.0, msgs: vec![msg], deadline: now + linger });
+        SendStatus::Sent
+    }
+
+    /// Flushes the linger buffer of a subchannel, if any.
+    pub fn flush_pending(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
+        if let Some(run) = self.sub(sc).pending.take() {
+            self.send_many(sc, Position(run.first), run.msgs, out);
+        }
     }
 
     /// Requests a forward shift of the subchannel window (Fig 14
@@ -172,22 +439,55 @@ impl<M: Content> SenderEndpoint<M> {
                 }
                 self.collector_of.insert((sc, from), collector);
                 if collector == self.me {
-                    // Re-ship everything we have certified (Fig 19 L39).
-                    let bundles: Vec<(u64, (M, Vec<Signature>))> = self
-                        .subs
-                        .get(&sc)
-                        .map(|s| s.bundles.iter().map(|(p, b)| (*p, b.clone())).collect())
-                        .unwrap_or_default();
-                    for (p, (m, shares)) in bundles {
-                        out.push(Action::Charge(self.cfg.cost.hmac(m.wire_size())));
-                        out.push(Action::ToReceiver {
-                            to: from,
-                            msg: ChannelMsg::Certificate { sc, p: Position(p), msg: m, shares },
-                        });
-                    }
+                    self.reship_bundles(sc, from, out);
                 }
             }
         }
+    }
+
+    /// Re-ships everything certified so far to a receiver that just
+    /// selected this endpoint as collector (Fig 19 L39). Payloads are
+    /// shared (`Arc`), so this clones pointers, not content.
+    fn reship_bundles(&mut self, sc: Subchannel, to: usize, out: &mut Vec<Action<M>>) {
+        let Some(sub) = self.subs.get_mut(&sc) else {
+            return;
+        };
+        let mut shipments: Vec<Action<M>> = Vec::new();
+        for (&p, (msg, shares)) in &sub.bundles {
+            shipments.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size())));
+            shipments.push(Action::ToReceiver {
+                to,
+                msg: ChannelMsg::Certificate {
+                    sc,
+                    p: Position(p),
+                    msg: msg.clone(),
+                    shares: shares.clone(),
+                },
+            });
+        }
+        for (&first, rb) in &sub.range_bundles {
+            let bytes: usize = rb.msgs.iter().map(|m| m.wire_size()).sum();
+            shipments.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+            shipments.push(Action::ToReceiver {
+                to,
+                msg: ChannelMsg::RangeContent { sc, first: Position(first), msgs: rb.msgs.clone() },
+            });
+            shipments.push(Action::Charge(self.cfg.cost.hmac(32)));
+            shipments.push(Action::ToReceiver {
+                to,
+                msg: ChannelMsg::RangeCertificate {
+                    sc,
+                    first: Position(first),
+                    count: rb.msgs.len() as u32,
+                    root: rb.root,
+                    shares: rb.shares.clone(),
+                },
+            });
+            if let Some(info) = sub.ranges.get_mut(&first) {
+                info.shipped[to] = true;
+            }
+        }
+        out.extend(shipments);
     }
 
     fn on_receiver_move(
@@ -205,11 +505,14 @@ impl<M: Content> SenderEndpoint<M> {
         sub.receiver_starts[from] = p;
         // New window start: the (fr + 1)-highest receiver request — at
         // least one correct receiver has permitted this shift (§3.2).
-        let mut starts = sub.receiver_starts.clone();
-        starts.sort_unstable_by(|a, b| b.cmp(a));
-        let new_start = starts[fr];
+        // Selection on a reused scratch buffer instead of clone + sort.
+        sub.starts_scratch.clear();
+        sub.starts_scratch.extend_from_slice(&sub.receiver_starts);
+        let (_, nth, _) = sub.starts_scratch.select_nth_unstable_by(fr, |a, b| b.cmp(a));
+        let new_start = *nth;
         if sub.awin.advance_to(new_start) {
             sub.gc_below(new_start);
+            sub.advance_hwm();
             out.push(Action::WindowMoved { sc, start: new_start });
             self.flush_blocked(sc, out);
         }
@@ -219,19 +522,32 @@ impl<M: Content> SenderEndpoint<M> {
     fn flush_blocked(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
         loop {
             let sub = self.sub(sc);
-            let Some((&p, _)) = sub.blocked.iter().next() else {
+            let Some((&p, item)) = sub.blocked.iter().next() else {
                 return;
             };
-            let pos = Position(p);
-            if sub.awin.is_above(pos) {
-                return;
+            let end = Position(p + item.len() - 1);
+            if sub.awin.is_above(end) {
+                return; // The item (or its tail) still waits for a shift.
             }
-            let msg = sub.blocked.remove(&p).expect("just observed");
-            if sub.awin.is_below(pos) {
-                continue; // overtaken by the window; drop silently
+            let start = sub.awin.start().0;
+            let item = sub.blocked.remove(&p).expect("just observed");
+            match item {
+                BlockedItem::Single(msg) => {
+                    if end.0 < start {
+                        continue; // overtaken by the window; drop silently
+                    }
+                    out.push(Action::Unblocked { sc, p: Position(p) });
+                    self.transmit(sc, Position(p), msg, out);
+                }
+                BlockedItem::Range(msgs) => {
+                    if end.0 < start {
+                        continue;
+                    }
+                    let (f, chunk) = trim_below(p, msgs, start);
+                    out.push(Action::Unblocked { sc, p: Position(f) });
+                    self.transmit_range(sc, f, chunk, out);
+                }
             }
-            out.push(Action::Unblocked { sc, p: pos });
-            self.transmit(sc, pos, msg, out);
         }
     }
 
@@ -254,7 +570,7 @@ impl<M: Content> SenderEndpoint<M> {
                 let me = self.me;
                 let content_digest = msg.digest();
                 let sub = self.sub(sc);
-                sub.content.insert(p.0, msg);
+                sub.content.insert(p.0, SlotContent::Single(Arc::new(msg)));
                 sub.shares.entry(p.0).or_default().insert(me, (content_digest, sig));
                 for s in 0..self.cfg.n_senders {
                     if s != me {
@@ -269,30 +585,159 @@ impl<M: Content> SenderEndpoint<M> {
         }
     }
 
+    /// Submits an in-window contiguous range: hashes every payload, signs
+    /// **one** digest over the range (Merkle root of the slot digests),
+    /// and ships a single range message per destination.
+    fn transmit_range(
+        &mut self,
+        sc: Subchannel,
+        first: u64,
+        mut msgs: Vec<M>,
+        out: &mut Vec<Action<M>>,
+    ) {
+        match msgs.len() {
+            0 => return,
+            // Length 1 degenerates to the legacy single-slot messages so
+            // mixed configurations stay byte-compatible.
+            1 => return self.transmit(sc, Position(first), msgs.remove(0), out),
+            _ => {}
+        }
+        let count = msgs.len() as u32;
+        let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+        let root = merkle_root(&leaves);
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        // Hash all payloads and build the tree.
+        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize)));
+        let msgs = Arc::new(msgs);
+        let mut shipped = vec![false; self.cfg.n_receivers];
+        if self.cfg.variant == Variant::SenderCollect && self.cfg.sc_overlap {
+            // §A.9: ship the raw content to the receivers this endpoint
+            // collects for *before* spending the signature — content
+            // carries no proof, so its WAN transfer overlaps both the
+            // local RSA signing and the share exchange. The compact
+            // shares-only certificate follows from maybe_bundle_range.
+            for (r, was_shipped) in shipped.iter_mut().enumerate() {
+                if self.collector_for(sc, r) == self.me {
+                    *was_shipped = true;
+                    out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::RangeContent {
+                            sc,
+                            first: Position(first),
+                            msgs: msgs.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        // One RSA signature for the whole range.
+        out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+        let rd = range_digest(sc, Position(first), count, &root);
+        let sig = self.keyring.sign(self.key_of_sender(self.me), &rd);
+        match self.cfg.variant {
+            Variant::ReceiverCollect => {
+                for r in 0..self.cfg.n_receivers {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::SendRange {
+                            sc,
+                            first: Position(first),
+                            msgs: msgs.clone(),
+                            sig,
+                        },
+                    });
+                }
+            }
+            Variant::SenderCollect => {
+                let me = self.me;
+                let sub = self.sub(sc);
+                for (i, _) in msgs.iter().enumerate() {
+                    sub.content.insert(
+                        first + i as u64,
+                        SlotContent::InRange { msgs: msgs.clone(), idx: i as u32 },
+                    );
+                }
+                sub.range_shares
+                    .entry((first, root))
+                    .or_insert_with(|| RangeShareSet { count, sigs: HashMap::new() })
+                    .sigs
+                    .insert(me, sig);
+                for s in 0..self.cfg.n_senders {
+                    if s != me {
+                        out.push(Action::ToPeerSender {
+                            to: s,
+                            msg: ChannelMsg::RangeShare {
+                                sc,
+                                first: Position(first),
+                                count,
+                                root,
+                                sig,
+                            },
+                        });
+                    }
+                }
+                let sub = self.sub(sc);
+                sub.ranges.insert(first, RangeInfo { msgs, root, shipped });
+                self.maybe_bundle_range(sc, first, root, out);
+            }
+        }
+    }
+
     /// Handles an intra-group message from peer sender `from` (IRMC-SC).
     pub fn on_peer_message(&mut self, from: usize, msg: ChannelMsg<M>, out: &mut Vec<Action<M>>) {
         if from >= self.cfg.n_senders || from == self.me {
             return;
         }
-        let ChannelMsg::SigShare { sc, p, digest, sig } = msg else {
-            return;
-        };
         if self.cfg.variant != Variant::SenderCollect {
             return;
         }
-        // Verify the peer's share signature.
-        out.push(Action::Charge(self.cfg.cost.rsa_verify()));
-        let slot = slot_digest(sc, p, &digest);
-        if !self.keyring.verify(self.key_of_sender(from), &slot, &sig) {
-            return;
+        match msg {
+            ChannelMsg::SigShare { sc, p, digest, sig } => {
+                // Verify the peer's share signature.
+                out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+                let slot = slot_digest(sc, p, &digest);
+                if !self.keyring.verify(self.key_of_sender(from), &slot, &sig) {
+                    return;
+                }
+                let sub = self.sub(sc);
+                if sub.awin.is_below(p) {
+                    return;
+                }
+                // Only the first share per (position, sender) counts
+                // (Fig 19 L17).
+                sub.shares.entry(p.0).or_default().entry(from).or_insert((digest, sig));
+                self.maybe_bundle(sc, p, out);
+            }
+            ChannelMsg::RangeShare { sc, first, count, root, sig } => {
+                if count < 2 || count as u64 > self.cfg.capacity {
+                    return;
+                }
+                // One verification vouches for the whole range.
+                out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+                let rd = range_digest(sc, first, count, &root);
+                if !self.keyring.verify(self.key_of_sender(from), &rd, &sig) {
+                    return;
+                }
+                let sub = self.sub(sc);
+                if first.0 + count as u64 <= sub.awin.start().0 {
+                    return; // Entirely below the window.
+                }
+                if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+                    return; // Absurdly far above it (memory guard).
+                }
+                let set = sub
+                    .range_shares
+                    .entry((first.0, root))
+                    .or_insert_with(|| RangeShareSet { count, sigs: HashMap::new() });
+                if set.count != count {
+                    return; // Same root, different length: bogus.
+                }
+                set.sigs.entry(from).or_insert(sig);
+                self.maybe_bundle_range(sc, first.0, root, out);
+            }
+            _ => {}
         }
-        let sub = self.sub(sc);
-        if sub.awin.is_below(p) {
-            return;
-        }
-        // Only the first share per (position, sender) counts (Fig 19 L17).
-        sub.shares.entry(p.0).or_default().entry(from).or_insert((digest, sig));
-        self.maybe_bundle(sc, p, out);
     }
 
     /// Assembles and ships a certificate once `fs + 1` matching shares and
@@ -302,13 +747,13 @@ impl<M: Content> SenderEndpoint<M> {
         let me = self.me;
         let n_receivers = self.cfg.n_receivers;
         let sub = self.sub(sc);
-        if sub.bundles.contains_key(&p.0) {
+        if sub.certified(p.0) {
             return;
         }
         let Some(content) = sub.content.get(&p.0) else {
             return;
         };
-        let want = content.digest();
+        let want = content.get().digest();
         let Some(shares) = sub.shares.get(&p.0) else {
             return;
         };
@@ -323,37 +768,119 @@ impl<M: Content> SenderEndpoint<M> {
         matching.sort_by_key(|(s, _)| *s);
         matching.truncate(fs + 1);
         let vec: Vec<Signature> = matching.into_iter().map(|(_, sig)| sig).collect();
-        let content = content.clone();
-        sub.bundles.insert(p.0, (content.clone(), vec.clone()));
+        let arc = content.arc();
+        sub.bundles.insert(p.0, (arc.clone(), vec.clone()));
+        sub.advance_hwm();
 
         let targets: Vec<usize> =
             (0..n_receivers).filter(|r| self.collector_for(sc, *r) == me).collect();
         for r in targets {
-            out.push(Action::Charge(self.cfg.cost.hmac(content.wire_size())));
+            out.push(Action::Charge(self.cfg.cost.hmac(arc.wire_size())));
             out.push(Action::ToReceiver {
                 to: r,
-                msg: ChannelMsg::Certificate { sc, p, msg: content.clone(), shares: vec.clone() },
+                msg: ChannelMsg::Certificate { sc, p, msg: arc.clone(), shares: vec.clone() },
             });
         }
     }
 
-    /// Periodic driver for IRMC-SC: emits `Progress` announcements listing
-    /// the highest gap-free certified position per subchannel (Fig 19
-    /// L26-30). Call every [`IrmcConfig::progress_interval`]. No-op for RC.
-    pub fn tick(&mut self, _now: SimTime, out: &mut Vec<Action<M>>) {
+    /// Assembles and ships a **range** certificate once `fs + 1` shares
+    /// over this endpoint's own `(first, root)` statement are present:
+    /// content that was already shipped (§A.9 overlap) is not re-shipped —
+    /// only the compact shares-only certificate goes out.
+    fn maybe_bundle_range(
+        &mut self,
+        sc: Subchannel,
+        first: u64,
+        root: Digest,
+        out: &mut Vec<Action<M>>,
+    ) {
+        let fs = self.cfg.fs;
+        let me = self.me;
+        let n_receivers = self.cfg.n_receivers;
+        let sub = self.sub(sc);
+        if sub.range_bundles.contains_key(&first) {
+            return;
+        }
+        let Some(info) = sub.ranges.get(&first) else {
+            return; // Only bundle over content we submitted ourselves.
+        };
+        if info.root != root {
+            return;
+        }
+        let Some(set) = sub.range_shares.get(&(first, root)) else {
+            return;
+        };
+        if set.sigs.len() < fs + 1 {
+            return;
+        }
+        let mut matching: Vec<(usize, Signature)> =
+            set.sigs.iter().map(|(s, sig)| (*s, *sig)).collect();
+        matching.sort_by_key(|(s, _)| *s);
+        matching.truncate(fs + 1);
+        let shares: Vec<Signature> = matching.into_iter().map(|(_, sig)| sig).collect();
+        let msgs = info.msgs.clone();
+        let count = msgs.len() as u32;
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        sub.range_bundles
+            .insert(first, RangeBundle { msgs: msgs.clone(), root, shares: shares.clone() });
+        sub.advance_hwm();
+
+        let targets: Vec<usize> =
+            (0..n_receivers).filter(|r| self.collector_for(sc, *r) == me).collect();
+        for r in targets {
+            let sub = self.sub(sc);
+            let needs_content =
+                sub.ranges.get_mut(&first).map(|i| !std::mem::replace(&mut i.shipped[r], true));
+            if needs_content.unwrap_or(true) {
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::ToReceiver {
+                    to: r,
+                    msg: ChannelMsg::RangeContent {
+                        sc,
+                        first: Position(first),
+                        msgs: msgs.clone(),
+                    },
+                });
+            }
+            out.push(Action::Charge(self.cfg.cost.hmac(32)));
+            out.push(Action::ToReceiver {
+                to: r,
+                msg: ChannelMsg::RangeCertificate {
+                    sc,
+                    first: Position(first),
+                    count,
+                    root,
+                    shares: shares.clone(),
+                },
+            });
+        }
+    }
+
+    /// Periodic driver: flushes expired linger buffers (both variants) and,
+    /// for IRMC-SC, emits `Progress` announcements from the cached
+    /// gap-free certified watermark (Fig 19 L26-30) and falls back to
+    /// per-slot shares when range certification stalls (diverged range
+    /// boundaries, e.g. after a checkpoint-restore replay).
+    pub fn tick(&mut self, now: SimTime, out: &mut Vec<Action<M>>) {
+        if self.cfg.range_linger > SimTime::ZERO {
+            let due: Vec<Subchannel> = self
+                .subs
+                .iter()
+                .filter(|(_, s)| s.pending.as_ref().is_some_and(|r| r.deadline <= now))
+                .map(|(&sc, _)| sc)
+                .collect();
+            for sc in due {
+                self.flush_pending(sc, out);
+            }
+        }
         if self.cfg.variant != Variant::SenderCollect {
             return;
         }
+        self.fallback_stalled(out);
         let mut positions = Vec::new();
         for (&sc, sub) in &self.subs {
-            let mut prog = None;
-            let mut p = sub.awin.start().0;
-            while sub.bundles.contains_key(&p) {
-                prog = Some(p);
-                p += 1;
-            }
-            if let Some(prog) = prog {
-                positions.push((sc, Position(prog)));
+            if let Some(prog) = sub.progress() {
+                positions.push((sc, prog));
             }
         }
         positions.sort_unstable();
@@ -370,9 +897,77 @@ impl<M: Content> SenderEndpoint<M> {
         }
     }
 
+    /// Liveness net for diverged range boundaries: when the certified
+    /// watermark has not moved for two consecutive ticks while submitted
+    /// content sits uncertified, re-share the stalled slots with legacy
+    /// per-slot `SigShare`s — those match across senders regardless of
+    /// how each cut its ranges.
+    fn fallback_stalled(&mut self, out: &mut Vec<Action<M>>) {
+        let cap = self.range_cap() as u64;
+        let me = self.me;
+        let mut work: Vec<(Subchannel, u64, u64)> = Vec::new();
+        for (&sc, sub) in &mut self.subs {
+            sub.advance_hwm();
+            let highest = sub.content.keys().next_back().copied().unwrap_or(0);
+            let from = sub.certified_hwm.max(sub.awin.start().0 - 1) + 1;
+            if highest < from {
+                sub.stalled_ticks = 0;
+                sub.last_tick_hwm = sub.certified_hwm;
+                continue;
+            }
+            if sub.certified_hwm == sub.last_tick_hwm {
+                sub.stalled_ticks = sub.stalled_ticks.saturating_add(1);
+            } else {
+                sub.stalled_ticks = 0;
+            }
+            sub.last_tick_hwm = sub.certified_hwm;
+            if sub.stalled_ticks >= 2 {
+                sub.stalled_ticks = 0;
+                work.push((sc, from, highest.min(from + cap - 1)));
+            }
+        }
+        for (sc, from, to) in work {
+            for p in from..=to {
+                let sub = self.sub(sc);
+                if sub.certified(p) {
+                    continue;
+                }
+                let Some(content) = sub.content.get(&p) else {
+                    continue;
+                };
+                let digest = content.get().digest();
+                let slot = slot_digest(sc, Position(p), &digest);
+                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                let sig = self.keyring.sign(self.key_of_sender(me), &slot);
+                let sub = self.sub(sc);
+                sub.shares.entry(p).or_default().insert(me, (digest, sig));
+                for s in 0..self.cfg.n_senders {
+                    if s != me {
+                        out.push(Action::ToPeerSender {
+                            to: s,
+                            msg: ChannelMsg::SigShare { sc, p: Position(p), digest, sig },
+                        });
+                    }
+                }
+                self.maybe_bundle(sc, Position(p), out);
+            }
+        }
+    }
+
     fn key_of_sender(&self, idx: usize) -> spider_crypto::KeyId {
         self.cfg.sender_keys[idx]
     }
+}
+
+/// Drops the slots of `msgs` that fall below window start `start`;
+/// returns the trimmed first position and content.
+fn trim_below<M>(first: u64, mut msgs: Vec<M>, start: u64) -> (u64, Vec<M>) {
+    if first >= start {
+        return (first, msgs);
+    }
+    let skip = ((start - first) as usize).min(msgs.len());
+    msgs.drain(..skip);
+    (first + skip as u64, msgs)
 }
 
 #[cfg(test)]
@@ -578,5 +1173,357 @@ mod tests {
             })
             .expect("progress announced");
         assert_eq!(progress, vec![(0, Position(1))], "stops at the gap");
+    }
+
+    // ------------------------------------------------------------------
+    // Range certification
+    // ------------------------------------------------------------------
+
+    fn range_cfg(variant: Variant, capacity: u64, max_range: usize) -> IrmcConfig {
+        IrmcConfig::new(variant, 3, 1, 3, 1, capacity)
+            .with_cost(spider_crypto::CostModel::zero())
+            .with_range(max_range, SimTime::ZERO)
+    }
+
+    fn blobs(first: u64, n: u64) -> Vec<Blob> {
+        (first..first + n).map(|i| Blob::new(format!("m{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn rc_send_many_ships_one_signed_range_per_receiver() {
+        let mut s: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, Keyring::new(5));
+        let mut out = Vec::new();
+        let st = s.send_many(0, Position(1), blobs(1, 5), &mut out);
+        assert_eq!(st, SendStatus::Sent);
+        let ranges: Vec<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToReceiver { msg: ChannelMsg::SendRange { first, msgs, .. }, .. } => {
+                    assert_eq!(msgs.len(), 5);
+                    Some(first.0)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ranges, vec![1, 1, 1], "one range message per receiver");
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Send { .. }, .. })));
+    }
+
+    #[test]
+    fn send_many_chunks_at_max_range() {
+        let mut s: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 32, 4), 0, Keyring::new(5));
+        let mut out = Vec::new();
+        s.send_many(0, Position(1), blobs(1, 10), &mut out);
+        let mut firsts: Vec<(u64, usize)> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: ChannelMsg::SendRange { first, msgs, .. } } => {
+                    Some((first.0, msgs.len()))
+                }
+                _ => None,
+            })
+            .collect();
+        firsts.sort_unstable();
+        assert_eq!(firsts, vec![(1, 4), (5, 4), (9, 2)], "deterministic chunking from `first`");
+    }
+
+    #[test]
+    fn send_many_of_one_is_byte_identical_to_legacy_send() {
+        let ring = Keyring::new(5);
+        let c = range_cfg(Variant::ReceiverCollect, 16, 8);
+        let mut via_many: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
+        let mut via_send: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, ring);
+        let m = Blob::new(b"solo");
+        let mut out_many = Vec::new();
+        let mut out_send = Vec::new();
+        via_many.send_many(0, Position(1), vec![m.clone()], &mut out_many);
+        via_send.send(0, Position(1), m, &mut out_send);
+        assert_eq!(out_many, out_send, "range length 1 degenerates to the legacy wire messages");
+        use spider_types::WireSize as _;
+        for (a, b) in out_many.iter().zip(&out_send) {
+            if let (Action::ToReceiver { msg: ma, .. }, Action::ToReceiver { msg: mb, .. }) = (a, b)
+            {
+                assert_eq!(ma.wire_size(), mb.wire_size());
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_range_flushes_atomically_after_window_move() {
+        let mut s: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 4, 4), 0, Keyring::new(5));
+        let mut out = Vec::new();
+        // Window [1,4]: the chunk 5..=8 must queue as a unit.
+        let st = s.send_many(0, Position(5), blobs(5, 4), &mut out);
+        assert_eq!(st, SendStatus::Blocked);
+        assert!(!out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
+        out.clear();
+        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let range = out
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: ChannelMsg::SendRange { first, msgs, .. } } => {
+                    Some((first.0, msgs.len()))
+                }
+                _ => None,
+            })
+            .expect("blocked range transmitted");
+        assert_eq!(range, (5, 4), "the whole chunk ships with its original boundary");
+    }
+
+    #[test]
+    fn sc_send_many_overlap_ships_content_before_shares_and_cert_after() {
+        let ring = Keyring::new(5);
+        let c = range_cfg(Variant::SenderCollect, 16, 8);
+        let mut s0: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
+        let mut s1: SenderEndpoint<Blob> = SenderEndpoint::new(c, 1, ring);
+        let msgs = blobs(1, 4);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs, &mut out1);
+        // §A.9 overlap: content to this sender's receiver ships immediately…
+        assert!(out0.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 0, msg: ChannelMsg::RangeContent { .. } }
+        )));
+        // …but no certificate yet (only the own share exists).
+        assert!(!out0.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { msg: ChannelMsg::RangeCertificate { .. }, .. }
+        )));
+        // One RangeShare per peer, no per-slot SigShares.
+        let shares: Vec<&Action<Blob>> = out0
+            .iter()
+            .filter(|a| {
+                matches!(a, Action::ToPeerSender { msg: ChannelMsg::RangeShare { .. }, .. })
+            })
+            .collect();
+        assert_eq!(shares.len(), 2);
+        assert!(!out0
+            .iter()
+            .any(|a| matches!(a, Action::ToPeerSender { msg: ChannelMsg::SigShare { .. }, .. })));
+        // Deliver s1's range share to s0: certificate completes, and the
+        // content is NOT re-shipped (shares-only certificate).
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("share for s0");
+        let mut out = Vec::new();
+        s0.on_peer_message(1, share, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 0, msg: ChannelMsg::RangeCertificate { shares, .. } }
+                if shares.len() == 2
+        )));
+        assert!(
+            !out.iter().any(|a| matches!(
+                a,
+                Action::ToReceiver { msg: ChannelMsg::RangeContent { .. }, .. }
+            )),
+            "content already overlapped; only the compact certificate ships"
+        );
+    }
+
+    #[test]
+    fn sc_without_overlap_ships_content_with_certificate() {
+        let ring = Keyring::new(5);
+        let c = range_cfg(Variant::SenderCollect, 16, 8).with_sc_overlap(false);
+        let mut s0: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
+        let mut s1: SenderEndpoint<Blob> = SenderEndpoint::new(c, 1, ring);
+        let msgs = blobs(1, 4);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs, &mut out1);
+        assert!(
+            !out0.iter().any(|a| matches!(
+                a,
+                Action::ToReceiver { msg: ChannelMsg::RangeContent { .. }, .. }
+            )),
+            "ship-after-bundle holds content back"
+        );
+        let share = out1
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 0, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        s0.on_peer_message(1, share, &mut out);
+        let content_at = out.iter().position(|a| {
+            matches!(a, Action::ToReceiver { msg: ChannelMsg::RangeContent { .. }, .. })
+        });
+        let cert_at = out.iter().position(|a| {
+            matches!(a, Action::ToReceiver { msg: ChannelMsg::RangeCertificate { .. }, .. })
+        });
+        assert!(content_at.is_some() && content_at < cert_at, "content ships with the cert");
+    }
+
+    #[test]
+    fn sc_select_reships_range_bundles() {
+        let ring = Keyring::new(5);
+        let c = range_cfg(Variant::SenderCollect, 16, 8);
+        let mut s1: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 1, ring.clone());
+        let mut s0: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, ring);
+        let msgs = blobs(1, 3);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_many(0, Position(1), msgs, &mut out1);
+        let share = out0
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeerSender { to: 1, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        s1.on_peer_message(0, share, &mut out);
+        out.clear();
+        // Receiver 0 switches to s1: both content and certificate re-ship.
+        s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 0, msg: ChannelMsg::RangeContent { .. } }
+        )));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 0, msg: ChannelMsg::RangeCertificate { .. } }
+        )));
+    }
+
+    #[test]
+    fn sc_diverged_range_boundaries_heal_via_per_slot_fallback() {
+        let ring = Keyring::new(5);
+        let c = range_cfg(Variant::SenderCollect, 16, 8);
+        let mut s0: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
+        let mut s1: SenderEndpoint<Blob> = SenderEndpoint::new(c, 1, ring);
+        // Same content, different boundaries: s0 sends 1..=4 as one range,
+        // s1 as 1..=2 and 3..=4. Range shares never match.
+        let mut out0 = Vec::new();
+        let mut sink = Vec::new();
+        s0.send_many(0, Position(1), blobs(1, 4), &mut out0);
+        s1.send_many(0, Position(1), blobs(1, 2), &mut sink);
+        s1.send_many(0, Position(3), blobs(3, 2), &mut sink);
+        for a in sink.drain(..) {
+            if let Action::ToPeerSender { to: 0, msg } = a {
+                s0.on_peer_message(1, msg, &mut Vec::new());
+            }
+        }
+        assert!(
+            !out0.iter().any(|a| matches!(
+                a,
+                Action::ToReceiver { msg: ChannelMsg::RangeCertificate { .. }, .. }
+            )),
+            "mismatched boundaries cannot certify as ranges"
+        );
+        // Two stalled ticks trigger the per-slot fallback on both sides.
+        let mut fb0 = Vec::new();
+        let mut fb1 = Vec::new();
+        for _ in 0..3 {
+            fb0.clear();
+            fb1.clear();
+            s0.tick(SimTime::ZERO, &mut fb0);
+            s1.tick(SimTime::ZERO, &mut fb1);
+            for a in fb1.clone() {
+                if let Action::ToPeerSender { to: 0, msg } = a {
+                    s0.on_peer_message(1, msg, &mut fb0);
+                }
+            }
+            for a in fb0.clone() {
+                if let Action::ToPeerSender { to: 1, msg } = a {
+                    s1.on_peer_message(0, msg, &mut fb1);
+                }
+            }
+        }
+        // s0 eventually ships single-slot certificates for all four slots.
+        let mut outs = Vec::new();
+        s0.tick(SimTime::ZERO, &mut outs);
+        let progress = outs
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { msg: ChannelMsg::Progress { positions }, .. } => {
+                    Some(positions.clone())
+                }
+                _ => None,
+            })
+            .or_else(|| {
+                // Progress may have been announced during the heal ticks.
+                fb0.iter().find_map(|a| match a {
+                    Action::ToReceiver { msg: ChannelMsg::Progress { positions }, .. } => {
+                        Some(positions.clone())
+                    }
+                    _ => None,
+                })
+            });
+        assert_eq!(progress, Some(vec![(0, Position(4))]), "fallback certified the whole run");
+    }
+
+    #[test]
+    fn linger_buffers_contiguous_sends_and_flushes_on_deadline() {
+        let c = IrmcConfig::new(Variant::ReceiverCollect, 3, 1, 3, 1, 32)
+            .with_cost(spider_crypto::CostModel::zero())
+            .with_range(8, SimTime::from_millis(5));
+        let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, Keyring::new(5));
+        let mut out = Vec::new();
+        for p in 1..=3u64 {
+            s.send_buffered(
+                0,
+                Position(p),
+                Blob::new(format!("m{p}").as_bytes()),
+                SimTime::ZERO,
+                &mut out,
+            );
+        }
+        assert!(out.iter().all(|a| !matches!(a, Action::ToReceiver { .. })), "lingering");
+        // Before the deadline nothing flushes; after it the run ships as
+        // one range.
+        s.tick(SimTime::from_millis(1), &mut out);
+        assert!(out.iter().all(|a| !matches!(a, Action::ToReceiver { .. })));
+        s.tick(SimTime::from_millis(5), &mut out);
+        let range = out
+            .iter()
+            .find_map(|a| match a {
+                Action::ToReceiver { to: 0, msg: ChannelMsg::SendRange { first, msgs, .. } } => {
+                    Some((first.0, msgs.len()))
+                }
+                _ => None,
+            })
+            .expect("deadline flushed the run");
+        assert_eq!(range, (1, 3));
+    }
+
+    #[test]
+    fn linger_flushes_when_full_or_non_contiguous() {
+        let c = IrmcConfig::new(Variant::ReceiverCollect, 3, 1, 3, 1, 32)
+            .with_cost(spider_crypto::CostModel::zero())
+            .with_range(2, SimTime::from_millis(50));
+        let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, Keyring::new(5));
+        let mut out = Vec::new();
+        s.send_buffered(0, Position(1), Blob::new(b"a"), SimTime::ZERO, &mut out);
+        s.send_buffered(0, Position(2), Blob::new(b"b"), SimTime::ZERO, &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::SendRange { .. }, .. })),
+            "full buffer flushes immediately"
+        );
+        out.clear();
+        s.send_buffered(0, Position(5), Blob::new(b"c"), SimTime::ZERO, &mut out);
+        s.send_buffered(0, Position(9), Blob::new(b"d"), SimTime::ZERO, &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Send { .. }, .. })),
+            "a non-contiguous position flushes the pending (single) run"
+        );
     }
 }

@@ -82,7 +82,10 @@ impl Net {
             match a {
                 Action::ToReceiver { to, msg } => {
                     let faulty_link = self.drop_cert_link == Some((from, to))
-                        && matches!(msg, ChannelMsg::Certificate { .. });
+                        && matches!(
+                            msg,
+                            ChannelMsg::Certificate { .. } | ChannelMsg::RangeCertificate { .. }
+                        );
                     if !faulty_link {
                         self.wire.push_back(Wire::ToReceiver { from, to, msg })
                     }
@@ -112,6 +115,15 @@ impl Net {
         for i in 0..self.senders.len() {
             let mut out = Vec::new();
             self.senders[i].send(sc, p, m.clone(), &mut out);
+            self.absorb_sender(i, out);
+        }
+    }
+
+    /// All senders submit the same contiguous run via `send_many`.
+    fn send_many_all(&mut self, sc: u64, first: Position, msgs: &[Blob]) {
+        for i in 0..self.senders.len() {
+            let mut out = Vec::new();
+            self.senders[i].send_many(sc, first, msgs.to_vec(), &mut out);
             self.absorb_sender(i, out);
         }
     }
@@ -156,6 +168,10 @@ impl Net {
 
 fn cfg(variant: Variant, capacity: u64) -> IrmcConfig {
     IrmcConfig::new(variant, 4, 1, 3, 1, capacity).with_cost(spider_crypto::CostModel::zero())
+}
+
+fn range_cfg(variant: Variant, capacity: u64, max_range: usize) -> IrmcConfig {
+    cfg(variant, capacity).with_range(max_range, SimTime::ZERO)
 }
 
 #[test]
@@ -417,5 +433,143 @@ fn subchannels_are_independent_queues() {
     net.pump();
     for r in &mut net.receivers {
         assert_eq!(r.try_receive(2, Position(1)), ReceiveResult::Ready(Blob::of(100)));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Multi-slot range certification (one signature per contiguous range)
+// ----------------------------------------------------------------------
+
+#[test]
+fn sc_range_faulty_collector_is_replaced_and_content_flows() {
+    // Range analogue of the single-slot supervision test: the collector
+    // ships the early content (§A.9 overlap) but never the shares-only
+    // certificate. The content alone must not deliver; the collector
+    // switch restores delivery.
+    let mut net = Net::new(range_cfg(Variant::SenderCollect, 16, 8), 1, false);
+    net.drop_cert_link = Some((0, 0));
+    let msgs: Vec<Blob> = (1..=4u64).map(Blob::of).collect();
+    net.send_many_all(0, Position(1), &msgs);
+    net.pump();
+    for p in 1..=4u64 {
+        assert_eq!(
+            net.receivers[0].try_receive(0, Position(p)),
+            ReceiveResult::Pending,
+            "early content without a certificate must never deliver (slot {p})"
+        );
+        assert_eq!(
+            net.receivers[1].try_receive(0, Position(p)),
+            ReceiveResult::Ready(Blob::of(p)),
+            "other receivers certified normally (slot {p})"
+        );
+    }
+    // Progress announcements arm receiver 0's supervision timer; firing it
+    // switches collectors and the new collector re-ships content + cert.
+    net.tick_senders();
+    net.pump();
+    let (r0, token) = net
+        .timers
+        .iter()
+        .find(|(r, _)| *r == 0)
+        .copied()
+        .expect("receiver 0 armed its collector timer");
+    let mut out = Vec::new();
+    net.receivers[r0].on_timer(token, SimTime::from_millis(500), &mut out);
+    net.absorb_receiver(r0, out);
+    net.pump();
+    for p in 1..=4u64 {
+        assert_eq!(
+            net.receivers[0].try_receive(0, Position(p)),
+            ReceiveResult::Ready(Blob::of(p)),
+            "collector switch restores range delivery (slot {p})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Range analogue of `random_schedule_delivery`: contiguous runs
+    /// submitted via `send_many` deliver every slot to every receiver
+    /// under random schedules, for both variants and arbitrary chunking.
+    #[test]
+    fn random_schedule_range_delivery(
+        seed in 0u64..10_000,
+        variant_sc in any::<bool>(),
+        n_msgs in 2u64..40,
+        chunk in 2usize..9,
+    ) {
+        let variant = if variant_sc { Variant::SenderCollect } else { Variant::ReceiverCollect };
+        let mut net = Net::new(range_cfg(variant, 64, chunk), seed, true);
+        let msgs: Vec<Blob> = (1..=n_msgs).map(Blob::of).collect();
+        net.send_many_all(0, Position(1), &msgs);
+        net.pump();
+        for r in &mut net.receivers {
+            for p in 1..=n_msgs {
+                prop_assert_eq!(
+                    r.try_receive(0, Position(p)),
+                    ReceiveResult::Ready(Blob::of(p))
+                );
+            }
+        }
+    }
+
+    /// No slot ever delivers without signature coverage of its digest:
+    /// tampering one member of every in-flight range invalidates the
+    /// Merkle root, so the WHOLE range is rejected on every receiver —
+    /// including the untampered member slots.
+    #[test]
+    fn tampered_range_member_rejects_whole_range(
+        seed in 0u64..10_000,
+        n_msgs in 2u64..20,
+        tamper in 0u64..20,
+    ) {
+        let tamper_idx = (tamper % n_msgs) as usize;
+        let mut net = Net::new(range_cfg(Variant::ReceiverCollect, 64, 64), seed, true);
+        let msgs: Vec<Blob> = (1..=n_msgs).map(Blob::of).collect();
+        net.send_many_all(0, Position(1), &msgs);
+        // Corrupt the tampered member in every in-flight copy (the
+        // signatures still cover the original content).
+        for item in net.wire.iter_mut() {
+            if let Wire::ToReceiver { msg: ChannelMsg::SendRange { msgs, .. }, .. } = item {
+                let mut tampered = (**msgs).clone();
+                tampered[tamper_idx] = Blob::of(666);
+                *msgs = std::sync::Arc::new(tampered);
+            }
+        }
+        net.pump();
+        for r in &mut net.receivers {
+            for p in 1..=n_msgs {
+                prop_assert_eq!(
+                    r.try_receive(0, Position(p)),
+                    ReceiveResult::Pending,
+                    "slot {} must not deliver from a tampered range", p
+                );
+            }
+        }
+    }
+
+    /// SC ranges with certificates withheld (gap between claimed progress
+    /// and delivered certificates) never deliver from content alone, and
+    /// window moves still only happen with quorum backing.
+    #[test]
+    fn sc_withheld_certificates_never_deliver_early(
+        seed in 0u64..10_000,
+        n_msgs in 2u64..16,
+    ) {
+        let mut net = Net::new(range_cfg(Variant::SenderCollect, 64, 64), seed, true);
+        // Every collector withholds certificates from its receiver — only
+        // early content and shares flow.
+        net.drop_cert_link = Some((0, 0));
+        let msgs: Vec<Blob> = (1..=n_msgs).map(Blob::of).collect();
+        net.send_many_all(0, Position(1), &msgs);
+        net.pump();
+        for p in 1..=n_msgs {
+            prop_assert_eq!(
+                net.receivers[0].try_receive(0, Position(p)),
+                ReceiveResult::Pending,
+                "content-before-shares must not deliver slot {}", p
+            );
+        }
     }
 }

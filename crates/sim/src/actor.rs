@@ -56,17 +56,29 @@ impl<M, T: Actor<M> + 'static> ActorObj<M> for T {
 /// Actions buffered during a handler invocation and executed by the
 /// simulator once the handler returns (and its charged CPU time elapsed).
 pub(crate) enum OutAction<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { id: TimerId, delay: SimTime, tag: u64 },
+    Send {
+        to: NodeId,
+        msg: M,
+        /// CPU work charged before this send was issued: the message
+        /// departs once the handler's execution reaches this point.
+        at: SimTime,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimTime,
+        tag: u64,
+    },
     CancelTimer(TimerId),
 }
 
 /// Handler-side view of the simulation.
 ///
-/// A `Context` is passed to every [`Actor`] callback. Messages sent and
-/// timers set through it take effect when the handler's charged CPU work
-/// completes — mirroring a real server that first computes, then writes to
-/// the network.
+/// A `Context` is passed to every [`Actor`] callback. A message departs
+/// once the handler's execution reaches the CPU work charged *before* the
+/// send — mirroring a real server that computes, writes to the network,
+/// and computes some more (protocols exploit this to overlap WAN transfers
+/// with later CPU work, e.g. the IRMC's §A.9 content/signing overlap).
+/// Timers take effect when the whole handler completes.
 pub struct Context<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) now: SimTime,
@@ -90,7 +102,7 @@ impl<'a, M> Context<'a, M> {
     /// Sends `msg` to `to`. The message departs when the handler's charged
     /// work completes; delivery adds serialization and propagation delay.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.out.push(OutAction::Send { to, msg });
+        self.out.push(OutAction::Send { to, msg, at: *self.charged });
     }
 
     /// Sends a clone of `msg` to every node in `to`.

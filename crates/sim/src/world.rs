@@ -277,12 +277,13 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
 
         for action in out.drain(..) {
             match action {
-                OutAction::Send { to, msg } => {
-                    if self.net_control.should_drop(node, to, end, &mut self.rng) {
+                OutAction::Send { to, msg, at } => {
+                    let departure = start + at;
+                    if self.net_control.should_drop(node, to, departure, &mut self.rng) {
                         self.stats.dropped_messages += 1;
                         continue;
                     }
-                    let (arrival, class, bytes) = self.delivery_plan(end, node, to, &msg);
+                    let (arrival, class, bytes) = self.delivery_plan(departure, node, to, &msg);
                     self.stats.record_send(node, class, bytes);
                     self.queue.push(arrival, to, EventKind::Deliver { from: node, msg });
                 }
