@@ -1,0 +1,509 @@
+//! A lightweight Rust lexer: just enough to lint protocol sources.
+//!
+//! Produces identifier/punctuation/literal tokens with line numbers,
+//! skips comments and string/char literals (so lint patterns never match
+//! inside them), extracts `// analyzer: allow(<lint>, <reason>)`
+//! annotations, and masks out `#[cfg(test)]` items so test-only code is
+//! exempt from the protocol lints.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Punctuation; multi-character operators `::`, `=>`, `->` are merged.
+    Punct,
+    /// Any literal (string, char, number). Content is not preserved.
+    Literal,
+}
+
+/// One token of a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token kind.
+    pub kind: Kind,
+    /// Token text (`"<lit>"` for literals).
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// An `// analyzer: allow(lint, reason)` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the annotation suppresses (the comment's own line when it
+    /// shares it with code, otherwise the line directly below).
+    pub target_line: u32,
+    /// Line the comment itself is on.
+    pub comment_line: u32,
+    /// Lint name, e.g. `panic`.
+    pub lint: String,
+    /// Mandatory human reason.
+    pub reason: String,
+}
+
+/// A malformed `analyzer:` comment (unparsable, or missing its reason).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAllow {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens outside comments/literals, with `#[cfg(test)]` items removed.
+    pub toks: Vec<Tok>,
+    /// Well-formed allow annotations (test-code annotations are dropped).
+    pub allows: Vec<Allow>,
+    /// Malformed allow annotations.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+/// Lexes `src`, extracting tokens and analyzer annotations.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() };
+    lx.run();
+    mask_cfg_test(&mut lx.out);
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, text: impl Into<String>) {
+        self.out.toks.push(Tok { line: self.line, kind, text: text.into() });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        // Did any token land on this line before the comment?
+        let code_before = self.out.toks.last().is_some_and(|t| t.line == line);
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if text.contains("analyzer:") {
+            let target = if code_before { line } else { line + 1 };
+            match parse_allow(&text) {
+                Ok((lint, reason)) => self.out.allows.push(Allow {
+                    target_line: target,
+                    comment_line: line,
+                    lint,
+                    reason,
+                }),
+                Err(problem) => self.out.bad_allows.push(BadAllow { line, problem }),
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.toks.push(Tok { line, kind: Kind::Literal, text: "<lit>".into() });
+    }
+
+    fn raw_string(&mut self) {
+        // At this point the `r`/`b` prefix has been consumed; `pos` is at
+        // `#`* followed by `"`.
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.out.toks.push(Tok { line, kind: Kind::Literal, text: "<lit>".into() });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // Lifetime: `'ident` not followed by a closing quote.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // Scan the identifier; a `'` right after makes it a char
+                // literal like 'a'.
+                let mut i = 1;
+                while self.peek(i).is_some_and(|c| c == '_' || c.is_alphanumeric()) {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while self.peek(0).is_some_and(|c| c == '_' || c.is_alphanumeric()) {
+                self.bump();
+            }
+            return;
+        }
+        let line = self.line;
+        self.bump(); // opening quote
+        if self.bump() == Some('\\') {
+            self.bump();
+        }
+        // Consume up to the closing quote (handles '\u{...}').
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '\'' {
+                break;
+            }
+        }
+        self.out.toks.push(Tok { line, kind: Kind::Literal, text: "<lit>".into() });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        // Fractional part: `1.5` but not the range `1..5` or method `1.max(2)`.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+        }
+        self.out.toks.push(Tok { line, kind: Kind::Literal, text: "<lit>".into() });
+    }
+
+    fn ident(&mut self) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(|c| c == '_' || c.is_alphanumeric()) {
+            text.push(self.bump().unwrap_or_default());
+        }
+        // Raw / byte string prefixes.
+        if matches!(text.as_str(), "r" | "br" | "rb") {
+            match self.peek(0) {
+                Some('"') | Some('#') => return self.raw_string(),
+                _ => {}
+            }
+        }
+        if text == "b" {
+            if self.peek(0) == Some('"') {
+                return self.string_literal();
+            }
+            if self.peek(0) == Some('\'') {
+                return self.char_or_lifetime();
+            }
+        }
+        self.push(Kind::Ident, text);
+    }
+
+    fn punct(&mut self) {
+        let c = self.bump().unwrap_or_default();
+        let merged = match (c, self.peek(0)) {
+            (':', Some(':')) => Some("::"),
+            ('=', Some('>')) => Some("=>"),
+            ('-', Some('>')) => Some("->"),
+            _ => None,
+        };
+        match merged {
+            Some(op) => {
+                self.bump();
+                self.push(Kind::Punct, op);
+            }
+            None => self.push(Kind::Punct, c.to_string()),
+        }
+    }
+}
+
+/// Parses `analyzer: allow(lint, reason)` out of a comment's text.
+fn parse_allow(comment: &str) -> Result<(String, String), String> {
+    let after = match comment.split_once("analyzer:") {
+        Some((_, rest)) => rest.trim(),
+        None => return Err("missing `analyzer:` prefix".into()),
+    };
+    let body = after
+        .strip_prefix("allow(")
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        .ok_or_else(|| "expected `allow(<lint>, <reason>)`".to_string())?;
+    let (lint, reason) = body.split_once(',').ok_or_else(|| {
+        "allow annotation must carry a reason: `allow(<lint>, <reason>)`".to_string()
+    })?;
+    let lint = lint.trim().to_string();
+    let reason = reason.trim().trim_matches('"').trim().to_string();
+    if lint.is_empty() {
+        return Err("empty lint name".into());
+    }
+    if reason.is_empty() {
+        return Err("allow annotation must carry a non-empty reason".into());
+    }
+    Ok((lint, reason))
+}
+
+/// Removes tokens belonging to `#[cfg(test)]` items (and allow
+/// annotations inside them): test code is exempt from protocol lints.
+fn mask_cfg_test(out: &mut Lexed) {
+    let toks = std::mem::take(&mut out.toks);
+    let mut kept: Vec<Tok> = Vec::with_capacity(toks.len());
+    let mut masked_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(&toks, i) {
+            let start_line = toks[i].line;
+            // Skip the attribute itself: `#` `[` ... matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip any further attributes on the same item.
+            while j < toks.len()
+                && toks[j].is_punct("#")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("["))
+            {
+                let mut depth = 1;
+                let mut k = j + 2;
+                while k < toks.len() && depth > 0 {
+                    match toks[k].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k;
+            }
+            // Skip the item: up to `;` before any brace, else the matched
+            // brace block.
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    ";" if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = toks.get(j.saturating_sub(1)).map_or(start_line, |t| t.line);
+            masked_ranges.push((start_line, end_line));
+            i = j;
+        } else {
+            kept.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out.toks = kept;
+    out.allows.retain(|a| {
+        !masked_ranges.iter().any(|&(s, e)| a.comment_line >= s && a.comment_line <= e)
+    });
+    out.bad_allows.retain(|b| !masked_ranges.iter().any(|&(s, e)| b.line >= s && b.line <= e));
+}
+
+/// Whether tokens starting at `i` spell `#[cfg(test)]` (possibly with
+/// whitespace/newlines in between, which lexing already removed).
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let pat = ["#", "[", "cfg", "(", "test", ")", "]"];
+    toks.len() >= i + pat.len()
+        && pat.iter().enumerate().all(|(k, p)| {
+            let t = &toks[i + k];
+            t.text == *p
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_tokenize() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"HashSet"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        assert!(!ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("str")));
+        // The char literal is one Literal token, the lifetimes none.
+        let lits = lexed.toks.iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn multi_char_operators_merge() {
+        let lexed = lex("match x { A::B => c, _ => d } -> >= ..=");
+        assert!(lexed.toks.iter().any(|t| t.is_punct("::")));
+        assert!(lexed.toks.iter().any(|t| t.is_punct("=>")));
+        assert!(lexed.toks.iter().any(|t| t.is_punct("->")));
+        // `>=` stays two tokens; no false `=>`.
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_punct("=>")).count(), 2);
+    }
+
+    #[test]
+    fn allow_annotation_parses_with_reason() {
+        let src = "let x = 1; // analyzer: allow(panic, \"index checked above\")\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.lint, "panic");
+        assert_eq!(a.reason, "index checked above");
+        assert_eq!(a.target_line, 1, "same-line comment targets its own line");
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_line() {
+        let src = "// analyzer: allow(determinism, order never observed)\nlet m = HashMap::new();";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// analyzer: allow(panic)\nlet x = 1;";
+        let lexed = lex(src);
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "
+            fn live() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { b.unwrap(); let m = HashMap::new(); }
+            }
+            fn also_live() {}
+        ";
+        let lexed = lex(src);
+        let ids: Vec<_> =
+            lexed.toks.iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text.clone()).collect();
+        assert!(ids.contains(&"live".to_string()));
+        assert!(ids.contains(&"also_live".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"tests".to_string()));
+    }
+}

@@ -1,0 +1,681 @@
+//! The four lint families, implemented over the token stream.
+//!
+//! All passes work on [`crate::lexer::Lexed`] output, so comments,
+//! strings, and `#[cfg(test)]` items are already out of the picture.
+
+use crate::lexer::{lex, Kind, Lexed, Tok};
+
+/// Lint families (plus the two annotation-hygiene lints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Nondeterministic containers or ambient time/randomness/threads.
+    Determinism,
+    /// `unwrap`/`expect`/`panic!`/direct indexing in hot paths.
+    Panic,
+    /// Wildcard arms in matches over wire-message enums.
+    WireTotality,
+    /// Message emission without a CPU cost charge.
+    ChargeCoverage,
+    /// Malformed `analyzer:` annotation.
+    BadAllow,
+    /// Allow annotation that suppresses nothing.
+    UnusedAllow,
+}
+
+impl Lint {
+    /// Stable name used in annotations and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Determinism => "determinism",
+            Lint::Panic => "panic",
+            Lint::WireTotality => "wire-totality",
+            Lint::ChargeCoverage => "charge-coverage",
+            Lint::BadAllow => "bad-allow",
+            Lint::UnusedAllow => "unused-allow",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The lint family.
+    pub lint: Lint,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// A used allow annotation, surfaced in the report for auditability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedAllow {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Annotated line.
+    pub line: u32,
+    /// Lint suppressed.
+    pub lint: String,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// Which lint families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileLints {
+    /// Forbid `HashMap`/`HashSet`.
+    pub hash_collections: bool,
+    /// Forbid ambient time/randomness/threads (`false` for the sim crate,
+    /// which owns the clock).
+    pub time_sources: bool,
+    /// Panic-freedom (hot-path files only).
+    pub panic_freedom: bool,
+    /// Send-without-charge detection.
+    pub charge_coverage: bool,
+}
+
+/// Enums that travel on the wire: a `match` with an arm over any of these
+/// must not end in a wildcard, so new variants force explicit handling.
+pub const WIRE_ENUMS: &[&str] = &[
+    "ChannelMsg",
+    "ReceiverMsg",
+    "Msg",
+    "SpiderMsg",
+    "ChannelLeg",
+    "CheckpointMsg",
+    "ExecutePayload",
+    "AdminCommand",
+    "OrderItem",
+];
+
+/// Identifiers that pull in wall-clock time or ambient randomness.
+const TIME_SOURCES: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time breaks same-seed reproducibility; use the sim clock"),
+    ("Instant", "monotonic OS time breaks same-seed reproducibility; use the sim clock"),
+    ("thread_rng", "ambient RNG breaks same-seed reproducibility; thread a seeded rng through"),
+];
+
+/// Checks one source file; returns findings and the allows that were used.
+pub fn check_source(file: &str, src: &str, cfg: FileLints) -> (Vec<Violation>, Vec<UsedAllow>) {
+    let lexed = lex(src);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    if cfg.hash_collections || cfg.time_sources {
+        determinism_pass(file, &lexed, cfg, &mut raw);
+    }
+    if cfg.panic_freedom {
+        panic_pass(file, &lexed, &mut raw);
+    }
+    wire_totality_pass(file, &lexed, &mut raw);
+    if cfg.charge_coverage {
+        charge_pass(file, &lexed, &mut raw);
+    }
+
+    // Apply allow annotations: a violation on an annotated line (for the
+    // matching lint) is suppressed; every allow must suppress something.
+    let mut used = vec![false; lexed.allows.len()];
+    let mut out: Vec<Violation> = Vec::new();
+    for v in raw {
+        let allowed = lexed
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.target_line == v.line && a.lint == v.lint.name());
+        match allowed {
+            Some((i, _)) => used[i] = true,
+            None => out.push(v),
+        }
+    }
+    for b in &lexed.bad_allows {
+        out.push(Violation {
+            lint: Lint::BadAllow,
+            file: file.to_string(),
+            line: b.line,
+            message: format!("malformed analyzer annotation: {}", b.problem),
+        });
+    }
+    let mut used_allows = Vec::new();
+    for (i, a) in lexed.allows.iter().enumerate() {
+        if used[i] {
+            used_allows.push(UsedAllow {
+                file: file.to_string(),
+                line: a.target_line,
+                lint: a.lint.clone(),
+                reason: a.reason.clone(),
+            });
+        } else {
+            out.push(Violation {
+                lint: Lint::UnusedAllow,
+                file: file.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "allow({}) suppresses nothing on line {}; remove it",
+                    a.lint, a.target_line
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    (out, used_allows)
+}
+
+fn violation(out: &mut Vec<Violation>, lint: Lint, file: &str, line: u32, msg: impl Into<String>) {
+    out.push(Violation { lint, file: file.to_string(), line, message: msg.into() });
+}
+
+// ---------------------------------------------------------------------
+// Family 1: determinism
+// ---------------------------------------------------------------------
+
+fn determinism_pass(file: &str, lexed: &Lexed, cfg: FileLints, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        if cfg.hash_collections && (t.text == "HashMap" || t.text == "HashSet") {
+            violation(
+                out,
+                Lint::Determinism,
+                file,
+                t.line,
+                format!(
+                    "std::{} iterates in RandomState order; use BTree{} (or a sorted drain) so \
+                     same-seed runs stay byte-identical",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+        if cfg.time_sources {
+            if let Some((_, why)) = TIME_SOURCES.iter().find(|(name, _)| t.text == *name) {
+                violation(out, Lint::Determinism, file, t.line, format!("{}: {}", t.text, why));
+            }
+            // `thread::spawn` / `std::thread::spawn`.
+            if t.text == "spawn"
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("thread")
+            {
+                violation(
+                    out,
+                    Lint::Determinism,
+                    file,
+                    t.line,
+                    "thread::spawn: OS scheduling breaks same-seed reproducibility; \
+                     protocol code must stay single-threaded sans-IO",
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 2: panic-freedom (hot paths)
+// ---------------------------------------------------------------------
+
+fn panic_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            Kind::Ident
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                violation(
+                    out,
+                    Lint::Panic,
+                    file,
+                    t.line,
+                    format!(
+                        ".{}() can panic on hostile input; return a protocol error or guard \
+                         with a debug_assert-backed invariant",
+                        t.text
+                    ),
+                );
+            }
+            Kind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                violation(
+                    out,
+                    Lint::Panic,
+                    file,
+                    t.line,
+                    format!(
+                        "{}! aborts the replica; hot paths must be total over the wire format",
+                        t.text
+                    ),
+                );
+            }
+            Kind::Punct
+                if t.text == "["
+                    && i > 0
+                    && (toks[i - 1].kind == Kind::Ident
+                        || toks[i - 1].is_punct(")")
+                        || toks[i - 1].is_punct("]"))
+                    && !is_keyword(&toks[i - 1].text) =>
+            {
+                violation(
+                    out,
+                    Lint::Panic,
+                    file,
+                    t.line,
+                    "direct indexing can panic on out-of-range input; use .get()/.get_mut() \
+                     or guard with a debug_assert-backed invariant",
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (e.g. `return [..]`, `in [..]`, `else [..]`-ish positions).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "in" | "if" | "else" | "match" | "break" | "mut" | "ref" | "as" | "where"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Family 3: wire-format totality
+// ---------------------------------------------------------------------
+
+struct MatchCtx {
+    body_depth: u32,
+    collecting: bool,
+    pattern: Vec<usize>,
+    has_enum_arm: bool,
+    wildcard_lines: Vec<(u32, String)>,
+    enum_name: String,
+}
+
+fn wire_totality_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    let mut depth: u32 = 0;
+    let mut stack: Vec<MatchCtx> = Vec::new();
+    // A `match` whose body brace is pending: (paren_depth, bracket_depth)
+    // at the keyword, so we only accept a `{` once groups are balanced.
+    let mut pending: Option<(i32, i32)> = None;
+    let mut paren: i32 = 0;
+    let mut bracket: i32 = 0;
+
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" if t.kind == Kind::Punct => paren += 1,
+            ")" if t.kind == Kind::Punct => paren -= 1,
+            "[" if t.kind == Kind::Punct => bracket += 1,
+            "]" if t.kind == Kind::Punct => bracket -= 1,
+            _ => {}
+        }
+        if t.is_ident("match") {
+            pending = Some((paren, bracket));
+            continue;
+        }
+        if t.is_punct("{") {
+            depth += 1;
+            if let Some((p, b)) = pending {
+                if paren == p && bracket == b {
+                    stack.push(MatchCtx {
+                        body_depth: depth,
+                        collecting: true,
+                        pattern: Vec::new(),
+                        has_enum_arm: false,
+                        wildcard_lines: Vec::new(),
+                        enum_name: String::new(),
+                    });
+                    pending = None;
+                }
+            }
+            continue;
+        }
+        if t.is_punct("}") {
+            let closes_match = stack.last().is_some_and(|m| m.body_depth == depth);
+            depth = depth.saturating_sub(1);
+            if closes_match {
+                if let Some(m) = stack.pop() {
+                    if m.has_enum_arm {
+                        for (line, pat) in m.wildcard_lines {
+                            violation(
+                                out,
+                                Lint::WireTotality,
+                                file,
+                                line,
+                                format!(
+                                    "catch-all `{pat} =>` in a match over wire enum `{}`: a new \
+                                     variant would be silently swallowed; list variants explicitly",
+                                    m.enum_name
+                                ),
+                            );
+                        }
+                    }
+                }
+            } else if let Some(m) = stack.last_mut() {
+                // An arm body's closing brace returns us to arm level:
+                // the next tokens start a fresh pattern.
+                if m.body_depth == depth && !m.collecting {
+                    m.collecting = true;
+                    m.pattern.clear();
+                }
+            }
+            continue;
+        }
+        let Some(m) = stack.last_mut() else { continue };
+        if m.body_depth != depth {
+            continue;
+        }
+        if m.collecting {
+            if t.is_punct("=>") && paren == 0 && bracket == 0 {
+                finish_arm(toks, m);
+                m.collecting = false;
+                m.pattern.clear();
+            } else {
+                m.pattern.push(i);
+            }
+        } else if t.is_punct(",") && paren == 0 && bracket == 0 {
+            m.collecting = true;
+            m.pattern.clear();
+        }
+    }
+}
+
+fn finish_arm(toks: &[Tok], m: &mut MatchCtx) {
+    // Enum-ness: any wire enum name followed by `::` in the pattern.
+    for w in m.pattern.windows(2) {
+        let (a, b) = (&toks[w[0]], &toks[w[1]]);
+        if a.kind == Kind::Ident && WIRE_ENUMS.contains(&a.text.as_str()) && b.is_punct("::") {
+            m.has_enum_arm = true;
+            if m.enum_name.is_empty() {
+                m.enum_name = a.text.clone();
+            }
+        }
+    }
+    // Wildcard-ness: the pattern is `_`, a bare binder ident, or either
+    // followed by an `if` guard. (A guarded catch-all still swallows new
+    // variants when the guard matches.)
+    let first = m.pattern.first().map(|&i| &toks[i]);
+    let is_catch_all = match first {
+        Some(t) if t.kind == Kind::Ident && !is_keyword(&t.text) => {
+            let rest_is_guard = m.pattern.get(1).map(|&i| toks[i].is_ident("if")).unwrap_or(true);
+            // A path pattern (`Foo::Bar`) or struct pattern is not a
+            // catch-all; a single lowercase-or-underscore ident is.
+            rest_is_guard
+                && (t.text == "_"
+                    || t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_'))
+        }
+        _ => false,
+    };
+    if is_catch_all {
+        if let Some(&i) = m.pattern.first() {
+            m.wildcard_lines.push((toks[i].line, toks[i].text.clone()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 4: charge coverage
+// ---------------------------------------------------------------------
+
+/// Identifiers that mark a message emission when called as a method.
+const SEND_METHODS: &[&str] = &["send", "broadcast", "send_many", "send_buffered"];
+/// Identifiers that mark a message emission when path-qualified
+/// (`Action::ToReceiver { .. }`, `Output::Send { .. }`).
+const SEND_VARIANTS: &[&str] = &["ToReceiver", "ToSender", "ToPeerSender"];
+
+fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+        // Find the body: first `{` after the signature.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let body_start = j;
+        let mut depth = 0i32;
+        let mut first_send: Option<u32> = None;
+        let mut has_charge = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == Kind::Ident {
+                let is_method_send = SEND_METHODS.contains(&t.text.as_str())
+                    && j > body_start
+                    && toks[j - 1].is_punct(".")
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct("("));
+                let is_variant_send = SEND_VARIANTS.contains(&t.text.as_str())
+                    && j > body_start
+                    && toks[j - 1].is_punct("::");
+                let is_output_send = t.text == "Send"
+                    && j >= 2
+                    && toks[j - 1].is_punct("::")
+                    && toks[j - 2].is_ident("Output");
+                if is_method_send || is_variant_send || is_output_send {
+                    first_send.get_or_insert(t.line);
+                }
+                if t.text == "charge" || t.text == "Charge" {
+                    has_charge = true;
+                }
+            }
+            j += 1;
+        }
+        if let (Some(line), false) = (first_send, has_charge) {
+            violation(
+                out,
+                Lint::ChargeCoverage,
+                file,
+                line,
+                format!(
+                    "fn `{name}` emits messages but never charges CPU cost; pair every send \
+                     site with a CostModel charge (or charge at a caller and allow here)"
+                ),
+            );
+        }
+        i = if j > i { j } else { i + 1 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: FileLints = FileLints {
+        hash_collections: true,
+        time_sources: true,
+        panic_freedom: true,
+        charge_coverage: true,
+    };
+
+    fn lints_of(src: &str) -> Vec<(Lint, u32)> {
+        check_source("test.rs", src, ALL).0.into_iter().map(|v| (v.lint, v.line)).collect()
+    }
+
+    // -- determinism ---------------------------------------------------
+
+    #[test]
+    fn determinism_flags_hash_collections_and_time() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let t = Instant::now(); let r = thread_rng(); }\n\
+                   fn g() { std::thread::spawn(|| {}); }\n";
+        let found = lints_of(src);
+        assert_eq!(found.iter().filter(|(l, _)| *l == Lint::Determinism).count(), 4);
+    }
+
+    #[test]
+    fn determinism_accepts_btree_and_sim_time() {
+        let src = "use std::collections::{BTreeMap, BTreeSet};\n\
+                   fn f(now: SimTime) -> BTreeMap<u64, u64> { BTreeMap::new() }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    // -- panic-freedom -------------------------------------------------
+
+    #[test]
+    fn panic_flags_unwrap_expect_macros_and_indexing() {
+        let src = "fn f(v: Vec<u8>, i: usize) -> u8 {\n\
+                       let a = v.get(i).unwrap();\n\
+                       let b = v.first().expect(\"nonempty\");\n\
+                       if i > 9 { panic!(\"bad\"); }\n\
+                       v[i]\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found.iter().filter(|(l, _)| *l == Lint::Panic).count(), 4);
+    }
+
+    #[test]
+    fn panic_accepts_get_and_combinators() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 {\n\
+                       v.get(i).copied().unwrap_or(0)\n\
+                   }\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn panic_skips_array_types_attrs_and_macros() {
+        let src = "#[derive(Debug)]\n\
+                   struct S { a: [u8; 32] }\n\
+                   fn f() -> Vec<u8> { vec![1, 2] }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    // -- wire-totality -------------------------------------------------
+
+    #[test]
+    fn wire_totality_flags_wildcard_over_wire_enum() {
+        let src = "fn f(m: Msg<P>) {\n\
+                       match m {\n\
+                           Msg::PrePrepare { .. } => handle(),\n\
+                           _ => {}\n\
+                       }\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::WireTotality, 4)]);
+    }
+
+    #[test]
+    fn wire_totality_flags_bare_binder_catch_all() {
+        let src = "fn f(m: ChannelMsg<M>) -> u32 {\n\
+                       match m {\n\
+                           ChannelMsg::Send { .. } => 1,\n\
+                           other => 0,\n\
+                       }\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::WireTotality, 4)]);
+    }
+
+    #[test]
+    fn wire_totality_ignores_non_wire_matches_and_total_matches() {
+        let src = "fn f(x: Option<u32>, m: Msg<P>) -> u32 {\n\
+                       let a = match x { Some(v) => v, _ => 0 };\n\
+                       match m {\n\
+                           Msg::PrePrepare { .. } => 1,\n\
+                           Msg::Prepare { .. } => 2,\n\
+                       }\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn wire_totality_handles_nested_matches() {
+        let src = "fn f(m: SpiderMsg, x: Option<u8>) {\n\
+                       match m {\n\
+                           SpiderMsg::Request(r) => match x {\n\
+                               Some(_) => a(),\n\
+                               None => b(),\n\
+                           },\n\
+                           SpiderMsg::Reply(r) => c(),\n\
+                           _ => {}\n\
+                       }\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::WireTotality, 8)]);
+    }
+
+    // -- charge-coverage -----------------------------------------------
+
+    #[test]
+    fn charge_flags_send_without_charge() {
+        let src = "fn gossip(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.send(peer, msg);\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::ChargeCoverage, 2)]);
+    }
+
+    #[test]
+    fn charge_accepts_send_with_charge_or_forwarded_charge() {
+        let src = "fn a(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.charge(self.cost.hmac(32));\n\
+                       ctx.send(peer, msg);\n\
+                   }\n\
+                   fn b(&mut self, out: &mut Vec<Action<M>>) {\n\
+                       out.push(Action::Charge(self.cfg.cost.rsa_sign()));\n\
+                       out.push(Action::ToReceiver { to: 0, msg });\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    // -- allow handling ------------------------------------------------
+
+    #[test]
+    fn allow_suppresses_matching_lint_on_line() {
+        let src = "fn f(v: &[u8]) -> u8 {\n\
+                       v[0] // analyzer: allow(panic, \"caller checks nonempty\")\n\
+                   }\n";
+        let (found, used) = check_source("t.rs", src, ALL);
+        assert!(found.is_empty(), "{found:?}");
+        assert_eq!(used.len(), 1);
+        assert_eq!(used[0].reason, "caller checks nonempty");
+    }
+
+    #[test]
+    fn allow_for_wrong_lint_does_not_suppress() {
+        let src = "fn f(v: &[u8]) -> u8 {\n\
+                       v[0] // analyzer: allow(determinism, \"wrong family\")\n\
+                   }\n";
+        let (found, _) = check_source("t.rs", src, ALL);
+        // The panic violation survives AND the allow is unused.
+        assert!(found.iter().any(|v| v.lint == Lint::Panic));
+        assert!(found.iter().any(|v| v.lint == Lint::UnusedAllow));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// analyzer: allow(panic, \"stale\")\nfn f() {}\n";
+        let (found, _) = check_source("t.rs", src, ALL);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, Lint::UnusedAllow);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(v: Vec<u8>) { v.clone().pop().unwrap(); let m = HashMap::new(); }\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+}

@@ -18,7 +18,7 @@ use crate::messages::CheckpointMsg;
 use bytes::Bytes;
 use spider_crypto::{CostModel, Digest, Keyring, Signature};
 use spider_types::{GroupId, SeqNr, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Effects of checkpoint-component calls.
 #[derive(Debug, Clone)]
@@ -65,7 +65,7 @@ pub struct CheckpointComponent {
     /// Snapshots this replica holds (own or fetched), by sequence number.
     snapshots: BTreeMap<u64, (Digest, Bytes)>,
     /// Announce votes per sequence number: member index -> (hash, sig).
-    votes: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
+    votes: BTreeMap<u64, BTreeMap<usize, (Digest, Signature)>>,
     /// Latest stable checkpoint: (seq, hash, certificate).
     stable: Option<(SeqNr, Digest, Vec<Signature>)>,
     /// Highest sequence number delivered via `Stable` *with* state.
@@ -181,7 +181,7 @@ impl CheckpointComponent {
             return;
         };
         // Count votes per hash; stability needs f+1 on one hash.
-        let mut by_hash: HashMap<Digest, Vec<Signature>> = HashMap::new();
+        let mut by_hash: BTreeMap<Digest, Vec<Signature>> = BTreeMap::new();
         for (hash, sig) in votes.values() {
             by_hash.entry(*hash).or_default().push(*sig);
         }
@@ -281,7 +281,7 @@ impl CheckpointComponent {
         // …and the certificate must carry f+1 valid signatures from
         // distinct members of the providing group.
         let digest = cp_digest(provider_group, seq, &state_hash);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let valid = cert
             .iter()
             .filter(|sig| {

@@ -14,7 +14,7 @@ use bytes::Bytes;
 use rand::Rng;
 use spider_sim::{Actor, Context, Timer, TimerId};
 use spider_types::{ClientId, GroupId, NodeId, OpKind, SimTime, WireSize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const TAG_ISSUE: u64 = 1;
@@ -158,7 +158,7 @@ struct InFlight {
     tc: u64,
     issued: SimTime,
     /// Replies per replica node: (result, resubmit flag).
-    replies: HashMap<NodeId, (Bytes, bool)>,
+    replies: BTreeMap<NodeId, (Bytes, bool)>,
     weak_retries_left: u32,
     /// Retransmissions without completion; drives group failover (§3.1).
     retries: u32,
@@ -185,7 +185,7 @@ pub struct SpiderClient {
     in_flight: Option<InFlight>,
     /// Completed request samples (read by the harness after the run).
     pub samples: Vec<Sample>,
-    timers: HashMap<u64, TimerId>,
+    timers: BTreeMap<u64, TimerId>,
 }
 
 impl SpiderClient {
@@ -209,7 +209,7 @@ impl SpiderClient {
             issued_count: 0,
             in_flight: None,
             samples: Vec::new(),
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
         }
     }
 
@@ -268,7 +268,7 @@ impl SpiderClient {
             op: op.clone(),
             tc,
             issued: ctx.now(),
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
             weak_retries_left: retries,
             retries: 0,
         });
@@ -325,7 +325,7 @@ impl SpiderClient {
         inf.replies.insert(from, (reply.result.clone(), reply.resubmit));
 
         // fe + 1 matching results complete the request (Fig 15 L23).
-        let mut counts: HashMap<&Bytes, usize> = HashMap::new();
+        let mut counts: BTreeMap<&Bytes, usize> = BTreeMap::new();
         for (r, resub) in inf.replies.values() {
             if !*resub {
                 *counts.entry(r).or_default() += 1;

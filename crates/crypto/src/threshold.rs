@@ -98,7 +98,7 @@ impl ThresholdKeyring {
     /// `f+1`-of-`n` semantics of Shoup's scheme as used by Steward.
     pub fn combine(&self, digest: &Digest, shares: &[SigShare]) -> Option<ThresholdSig> {
         let group = shares.first()?.group;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let valid = shares
             .iter()
             .filter(|s| s.group == group && self.verify_share(digest, s) && seen.insert(s.member))

@@ -118,13 +118,13 @@ impl Actor<M> for SenderHost {
                 let Some(idx) = self.receivers.iter().position(|n| *n == from) else {
                     return;
                 };
-                self.ep.on_receiver_message(idx, m, &mut actions);
+                let _ = self.ep.on_receiver_message(idx, m, &mut actions);
             }
             M::Peer(m) => {
                 let Some(idx) = self.peers.iter().position(|n| *n == from) else {
                     return;
                 };
-                self.ep.on_peer_message(idx, m, &mut actions);
+                let _ = self.ep.on_peer_message(idx, m, &mut actions);
             }
             M::ToReceiver(_) => return,
         }
@@ -196,7 +196,7 @@ impl Actor<M> for ReceiverHost {
             return;
         };
         let mut actions = Vec::new();
-        self.ep.on_sender_message(ctx.now(), idx, m, &mut actions);
+        let _ = self.ep.on_sender_message(ctx.now(), idx, m, &mut actions);
         self.apply(ctx, actions);
         self.drain(ctx);
     }

@@ -76,7 +76,7 @@
 //!     s.send(0, Position(1), Op(42), &mut actions);
 //!     for a in actions {
 //!         if let Action::ToReceiver { to: 0, msg } = a {
-//!             receiver.on_sender_message(SimTime::ZERO, i, msg, &mut follow_up);
+//!             let _ = receiver.on_sender_message(SimTime::ZERO, i, msg, &mut follow_up);
 //!         }
 //!     }
 //! }
@@ -88,6 +88,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod messages;
 mod receiver;
 mod sender;
@@ -123,6 +124,7 @@ pub(crate) mod tests_support {
 }
 
 pub use config::{IrmcConfig, Variant};
+pub use error::IrmcError;
 pub use messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 pub use receiver::{ReceiveResult, ReceiverEndpoint};
 pub use sender::{SendStatus, SenderEndpoint};

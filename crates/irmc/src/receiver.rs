@@ -14,10 +14,10 @@
 use crate::config::{IrmcConfig, Variant};
 use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
-use crate::{Action, Content, Subchannel};
+use crate::{Action, Content, IrmcError, Subchannel};
 use spider_crypto::{merkle_root, Digest, Keyring, Signature};
 use spider_types::{Position, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Result of polling a position (the sans-IO form of Fig 14 `receive`).
@@ -48,11 +48,11 @@ struct PendingContent<M> {
 struct ReceiverSub<M> {
     awin: Window,
     /// RC: per position, per sender: (content digest, message).
-    rc_slots: BTreeMap<u64, HashMap<usize, (Digest, M)>>,
+    rc_slots: BTreeMap<u64, BTreeMap<usize, (Digest, M)>>,
     /// SC (and RC once quorate): deliverable content per position.
     ready: BTreeMap<u64, M>,
     /// Positions for which `Action::Ready` was already emitted.
-    announced: HashSet<u64>,
+    announced: BTreeSet<u64>,
     /// SC: uncertified early-shipped range content, by first position;
     /// at most one candidate per sender (a faulty collector must not be
     /// able to evict the honest content).
@@ -85,7 +85,7 @@ impl<M> ReceiverSub<M> {
             awin: Window::new(cfg.capacity),
             rc_slots: BTreeMap::new(),
             ready: BTreeMap::new(),
-            announced: HashSet::new(),
+            announced: BTreeSet::new(),
             pending_content: BTreeMap::new(),
             pending_certs: BTreeMap::new(),
             sender_moves: vec![Position(0); cfg.n_senders],
@@ -121,7 +121,7 @@ pub struct ReceiverEndpoint<M> {
     cfg: IrmcConfig,
     me: usize,
     keyring: Keyring,
-    subs: HashMap<Subchannel, ReceiverSub<M>>,
+    subs: BTreeMap<Subchannel, ReceiverSub<M>>,
 }
 
 impl<M: Content> ReceiverEndpoint<M> {
@@ -132,7 +132,7 @@ impl<M: Content> ReceiverEndpoint<M> {
     /// Panics if `me` is out of range.
     pub fn new(cfg: IrmcConfig, me: usize, keyring: Keyring) -> Self {
         assert!(me < cfg.n_receivers, "receiver index out of range");
-        ReceiverEndpoint { cfg, me, keyring, subs: HashMap::new() }
+        ReceiverEndpoint { cfg, me, keyring, subs: BTreeMap::new() }
     }
 
     /// This endpoint's index within the receiver group.
@@ -179,15 +179,21 @@ impl<M: Content> ReceiverEndpoint<M> {
     }
 
     /// Handles a message from sender endpoint `from`.
+    ///
+    /// `Err` means the frame was rejected (and why); the channel state is
+    /// unchanged beyond the CPU cost already charged for inspecting it.
+    /// Rejections are expected under Byzantine senders — callers discard
+    /// the frame and may count or log the reason.
     pub fn on_sender_message(
         &mut self,
         now: SimTime,
         from: usize,
         msg: ChannelMsg<M>,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
+        let _ = now;
         if from >= self.cfg.n_senders {
-            return;
+            return Err(IrmcError::UnknownEndpoint { index: from });
         }
         match msg {
             ChannelMsg::Send { sc, p, msg, sig } => self.on_send(from, sc, p, msg, sig, out),
@@ -207,9 +213,9 @@ impl<M: Content> ReceiverEndpoint<M> {
             ChannelMsg::Move { sc, p } => self.on_sender_move(from, sc, p, out),
             ChannelMsg::SigShare { .. } | ChannelMsg::RangeShare { .. } => {
                 // Sender-group-internal; a receiver should never see one.
+                Err(IrmcError::UnexpectedFrame)
             }
         }
-        let _ = now;
     }
 
     // ------------------------------------------------------------------
@@ -224,18 +230,21 @@ impl<M: Content> ReceiverEndpoint<M> {
         msg: M,
         sig: Signature,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::ReceiverCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
+        let Some(&key) = self.cfg.sender_keys.get(from) else {
+            return Err(IrmcError::UnknownEndpoint { index: from });
+        };
         // Verify the sender's signature over the slot.
         out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify()));
         let digest = msg.digest();
         let slot = slot_digest(sc, p, &digest);
-        if !self.keyring.verify(self.cfg.sender_keys[from], &slot, &sig) {
-            return;
+        if !self.keyring.verify(key, &slot, &sig) {
+            return Err(IrmcError::BadSignature { sc, p });
         }
-        self.credit_rc_slot(from, sc, p, digest, msg, out);
+        self.credit_rc_slot(from, sc, p, digest, msg, out)
     }
 
     /// One signature verification covers the whole range; each member slot
@@ -250,14 +259,18 @@ impl<M: Content> ReceiverEndpoint<M> {
         msgs: Arc<Vec<M>>,
         sig: Signature,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::ReceiverCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         let count = msgs.len();
         if count < 2 || count as u64 > self.cfg.capacity {
-            return; // Senders never emit these; bogus.
+            // Senders never emit these; bogus.
+            return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
         }
+        let Some(&key) = self.cfg.sender_keys.get(from) else {
+            return Err(IrmcError::UnknownEndpoint { index: from });
+        };
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
         // Hash all payloads, rebuild the tree, verify ONE signature.
         out.push(Action::Charge(
@@ -266,17 +279,20 @@ impl<M: Content> ReceiverEndpoint<M> {
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
         let rd = range_digest(sc, first, count as u32, &root);
-        if !self.keyring.verify(self.cfg.sender_keys[from], &rd, &sig) {
-            return; // Any tampered member slot lands here: reject whole.
+        if !self.keyring.verify(key, &rd, &sig) {
+            // Any tampered member slot lands here: reject whole.
+            return Err(IrmcError::BadSignature { sc, p: first });
         }
         let sub = self.sub(sc);
         if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
-            return; // Absurdly far above the window (memory guard).
+            // Absurdly far above the window (memory guard).
+            return Err(IrmcError::OutOfWindow { sc, p: first });
         }
-        for (i, leaf) in leaves.into_iter().enumerate() {
+        for (i, (leaf, m)) in leaves.into_iter().zip(msgs.iter()).enumerate() {
             let p = Position(first.0 + i as u64);
-            self.credit_rc_slot(from, sc, p, leaf, msgs[i].clone(), out);
+            self.credit_rc_slot(from, sc, p, leaf, m.clone(), out)?;
         }
+        Ok(())
     }
 
     /// Books verified content from `from` for slot `(sc, p)` and delivers
@@ -289,29 +305,36 @@ impl<M: Content> ReceiverEndpoint<M> {
         digest: Digest,
         msg: M,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         let fs = self.cfg.fs;
         let sub = self.sub(sc);
-        if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
-            // Below the window, or absurdly far above it (memory guard;
-            // correct senders are window-limited anyway).
-            return;
+        if sub.awin.is_below(p) {
+            // Below the window: a late duplicate, normal under
+            // retransmission; drop silently.
+            return Ok(());
+        }
+        if p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            // Absurdly far above the window (memory guard; correct
+            // senders are window-limited anyway).
+            return Err(IrmcError::OutOfWindow { sc, p });
         }
         let slot_map = sub.rc_slots.entry(p.0).or_default();
         slot_map.entry(from).or_insert((digest, msg));
-        // Quorum: fs + 1 senders with identical content.
+        // Quorum: fs + 1 senders with identical content. The just-booked
+        // entry guarantees at least one value carries `digest`, so the
+        // `find` below cannot miss — but delivery is driven off it rather
+        // than an assertion, keeping the path total.
         let quorate = slot_map.values().filter(|(d, _)| *d == digest).count() > fs;
         if quorate && !sub.ready.contains_key(&p.0) {
-            let m = slot_map
-                .values()
-                .find(|(d, _)| *d == digest)
-                .map(|(_, m)| m.clone())
-                .expect("quorate content present");
-            sub.ready.insert(p.0, m);
-            if sub.announced.insert(p.0) {
-                out.push(Action::Ready { sc, p });
+            let found = slot_map.values().find(|(d, _)| *d == digest).map(|(_, m)| m.clone());
+            if let Some(m) = found {
+                sub.ready.insert(p.0, m);
+                if sub.announced.insert(p.0) {
+                    out.push(Action::Ready { sc, p });
+                }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -325,9 +348,9 @@ impl<M: Content> ReceiverEndpoint<M> {
         msg: Arc<M>,
         shares: Vec<Signature>,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::SenderCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         // Verify transport MAC + every contained share.
         out.push(Action::Charge(
@@ -336,21 +359,25 @@ impl<M: Content> ReceiverEndpoint<M> {
         let digest = msg.digest();
         let slot = slot_digest(sc, p, &digest);
         if !self.valid_share_quorum(&shares, &slot) {
-            return;
+            return Err(IrmcError::BadSignature { sc, p });
         }
         let sub = self.sub(sc);
-        if sub.awin.is_below(p) || p.0 >= sub.awin.end().0 + sub.awin.capacity() {
-            return;
+        if sub.awin.is_below(p) {
+            return Ok(()); // Late duplicate; normal under retransmission.
+        }
+        if p.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return Err(IrmcError::OutOfWindow { sc, p });
         }
         let m = (*msg).clone();
         if sub.ready.insert(p.0, m).is_none() && sub.announced.insert(p.0) {
             out.push(Action::Ready { sc, p });
         }
+        Ok(())
     }
 
     /// Counts `fs + 1` valid shares from distinct senders over `statement`.
     fn valid_share_quorum(&self, shares: &[Signature], statement: &Digest) -> bool {
-        let mut signers = HashSet::new();
+        let mut signers = BTreeSet::new();
         let valid = shares
             .iter()
             .filter(|sig| {
@@ -373,13 +400,13 @@ impl<M: Content> ReceiverEndpoint<M> {
         first: Position,
         msgs: Arc<Vec<M>>,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::SenderCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         let count = msgs.len();
         if count < 2 || count as u64 > self.cfg.capacity {
-            return;
+            return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
         }
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
         // Transport MAC + payload hashing + tree rebuild; no signature yet.
@@ -387,10 +414,11 @@ impl<M: Content> ReceiverEndpoint<M> {
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
         let sub = self.sub(sc);
-        if first.0 + count as u64 <= sub.awin.start().0
-            || first.0 >= sub.awin.end().0 + sub.awin.capacity()
-        {
-            return;
+        if first.0 + count as u64 <= sub.awin.start().0 {
+            return Ok(()); // Entirely below the window: late duplicate.
+        }
+        if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return Err(IrmcError::OutOfWindow { sc, p: first });
         }
         // A certificate that arrived first unlocks the content now.
         if let Some(certs) = sub.pending_certs.get_mut(&first.0) {
@@ -400,7 +428,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                     sub.pending_certs.remove(&first.0);
                 }
                 self.deliver_range(sc, first.0, &msgs, out);
-                return;
+                return Ok(());
             }
         }
         // Buffer one candidate per *sender*: a faulty collector flooding
@@ -414,6 +442,7 @@ impl<M: Content> ReceiverEndpoint<M> {
             }
             None => candidates.push(PendingContent { from, msgs, root }),
         }
+        Ok(())
     }
 
     /// Shares-only range certificate: one verification per share (at most
@@ -426,26 +455,27 @@ impl<M: Content> ReceiverEndpoint<M> {
         root: Digest,
         shares: Vec<Signature>,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::SenderCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         if count < 2 || count as u64 > self.cfg.capacity {
-            return;
+            return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
         }
         out.push(Action::Charge(
             self.cfg.cost.hmac(32) + self.cfg.cost.rsa_verify() * shares.len() as u64,
         ));
         let rd = range_digest(sc, first, count, &root);
         if !self.valid_share_quorum(&shares, &rd) {
-            return;
+            return Err(IrmcError::BadSignature { sc, p: first });
         }
         let n_senders = self.cfg.n_senders;
         let sub = self.sub(sc);
-        if first.0 + count as u64 <= sub.awin.start().0
-            || first.0 >= sub.awin.end().0 + sub.awin.capacity()
-        {
-            return;
+        if first.0 + count as u64 <= sub.awin.start().0 {
+            return Ok(()); // Entirely below the window: late duplicate.
+        }
+        if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return Err(IrmcError::OutOfWindow { sc, p: first });
         }
         // Certified: deliver the matching buffered content, or remember
         // the certificate until the content arrives (reordered links).
@@ -470,6 +500,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Delivers every slot of a certified range that is still in-window.
@@ -492,17 +523,19 @@ impl<M: Content> ReceiverEndpoint<M> {
         from: usize,
         positions: Vec<(Subchannel, Position)>,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         if self.cfg.variant != Variant::SenderCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
         for (sc, p) in positions {
             let fs = self.cfg.fs;
             let timeout = self.cfg.collector_timeout;
             let sub = self.sub(sc);
-            if p > sub.progress[from] {
-                sub.progress[from] = p;
+            match sub.progress.get_mut(from) {
+                Some(prev) if p > *prev => *prev = p,
+                Some(_) => {}
+                None => return Err(IrmcError::UnknownEndpoint { index: from }),
             }
             // fs+1-highest claim, selected on the reused scratch buffer.
             sub.scratch.clear();
@@ -516,6 +549,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 out.push(Action::SetTimer { token: sc, delay: timeout });
             }
         }
+        Ok(())
     }
 
     fn on_sender_move(
@@ -524,14 +558,15 @@ impl<M: Content> ReceiverEndpoint<M> {
         sc: Subchannel,
         p: Position,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         out.push(Action::Charge(self.cfg.cost.hmac(32)));
         let fs = self.cfg.fs;
         let sub = self.sub(sc);
-        if p <= sub.sender_moves[from] {
-            return;
+        match sub.sender_moves.get_mut(from) {
+            Some(prev) if p > *prev => *prev = p,
+            Some(_) => return Ok(()),
+            None => return Err(IrmcError::UnknownEndpoint { index: from }),
         }
-        sub.sender_moves[from] = p;
         // fs+1-highest sender request: at least one correct sender asked
         // for this shift (IRMC-Liveness III). Selection on the reused
         // scratch buffer instead of clone + full sort.
@@ -542,6 +577,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         if nw > sub.awin.start() {
             self.move_window(sc, nw, out);
         }
+        Ok(())
     }
 
     /// First position in `[window start, merged progress]` without a
@@ -653,13 +689,13 @@ mod tests {
         let mut r = rc_receiver();
         let m = Blob::new(b"value");
         let mut out = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, send_from(0, 3, Position(1), &m), &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, send_from(0, 3, Position(1), &m), &mut out);
         assert_eq!(
             r.try_receive(3, Position(1)),
             ReceiveResult::Pending,
             "one sender is not enough"
         );
-        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 3, Position(1), &m), &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 1, send_from(1, 3, Position(1), &m), &mut out);
         assert!(out.iter().any(|a| matches!(a, Action::Ready { sc: 3, p } if *p == Position(1))));
         assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Ready(m));
     }
@@ -668,19 +704,19 @@ mod tests {
     fn rc_conflicting_contents_never_deliver() {
         let mut r = rc_receiver();
         let mut out = Vec::new();
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             send_from(0, 0, Position(1), &Blob::new(b"a")),
             &mut out,
         );
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             1,
             send_from(1, 0, Position(1), &Blob::new(b"b")),
             &mut out,
         );
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             2,
             send_from(2, 0, Position(1), &Blob::new(b"c")),
@@ -696,8 +732,8 @@ mod tests {
         let m = Blob::new(b"v");
         let mut out = Vec::new();
         let msg = send_from(0, 0, Position(1), &m);
-        r.on_sender_message(SimTime::ZERO, 0, msg.clone(), &mut out);
-        r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, msg.clone(), &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
     }
 
@@ -709,9 +745,9 @@ mod tests {
         // check must fail (claims sender 0's key but is signed by 2).
         let msg = send_from(2, 0, Position(1), &m);
         let mut out = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, msg, &mut out);
         let msg1 = send_from(1, 0, Position(1), &m);
-        r.on_sender_message(SimTime::ZERO, 1, msg1, &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 1, msg1, &mut out);
         assert_eq!(
             r.try_receive(0, Position(1)),
             ReceiveResult::Pending,
@@ -737,9 +773,19 @@ mod tests {
     fn sender_moves_shift_window_at_fs_plus_one() {
         let mut r = rc_receiver();
         let mut out = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, ChannelMsg::Move { sc: 0, p: Position(9) }, &mut out);
+        let _ = r.on_sender_message(
+            SimTime::ZERO,
+            0,
+            ChannelMsg::Move { sc: 0, p: Position(9) },
+            &mut out,
+        );
         assert_eq!(r.window(0).start(), Position(1), "one sender cannot move the window");
-        r.on_sender_message(SimTime::ZERO, 1, ChannelMsg::Move { sc: 0, p: Position(7) }, &mut out);
+        let _ = r.on_sender_message(
+            SimTime::ZERO,
+            1,
+            ChannelMsg::Move { sc: 0, p: Position(7) },
+            &mut out,
+        );
         // fs+1 = 2-highest of [9, 7, 0] = 7.
         assert_eq!(r.window(0).start(), Position(7));
         assert!(out
@@ -760,7 +806,7 @@ mod tests {
         let other = slot_digest(0, Position(2), &d);
         let bad = ring.sign(spider_crypto::KeyId(1001), &other);
         let mut out = Vec::new();
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             ChannelMsg::Certificate {
@@ -773,7 +819,7 @@ mod tests {
         );
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
         // Duplicate shares from one sender are no better.
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             ChannelMsg::Certificate {
@@ -796,7 +842,7 @@ mod tests {
         let mut out = Vec::new();
         // fs + 1 = 2 senders claim position 4 is certified.
         for s in [1, 2] {
-            r.on_sender_message(
+            let _ = r.on_sender_message(
                 SimTime::ZERO,
                 s,
                 ChannelMsg::Progress { positions: vec![(0, Position(4))] },
@@ -826,7 +872,7 @@ mod tests {
         let mut r = rc_receiver();
         let msgs = blobs(1, 4);
         let mut out = Vec::new();
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             range_from(0, 0, Position(1), msgs.clone()),
@@ -835,7 +881,7 @@ mod tests {
         for p in 1..=4u64 {
             assert_eq!(r.try_receive(0, Position(p)), ReceiveResult::Pending, "one sender only");
         }
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             1,
             range_from(1, 0, Position(1), msgs.clone()),
@@ -857,13 +903,14 @@ mod tests {
         let mut r = rc_receiver();
         let msgs = blobs(1, 3);
         let mut out = Vec::new();
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             range_from(0, 0, Position(1), msgs.clone()),
             &mut out,
         );
-        r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(2), &msgs[1]), &mut out);
+        let _ =
+            r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(2), &msgs[1]), &mut out);
         assert_eq!(r.try_receive(0, Position(2)), ReceiveResult::Ready(msgs[1].clone()));
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
     }
@@ -874,7 +921,7 @@ mod tests {
         let msgs = blobs(1, 4);
         let mut out = Vec::new();
         // Honest range from sender 0.
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             range_from(0, 0, Position(1), msgs.clone()),
@@ -888,7 +935,7 @@ mod tests {
         };
         let mut tampered: Vec<Blob> = (*signed).clone();
         tampered[2] = Blob::new(b"evil");
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             1,
             ChannelMsg::SendRange { sc, first, msgs: Arc::new(tampered), sig },
@@ -932,7 +979,7 @@ mod tests {
             })
             .expect("overlap ships content early");
         let mut rout = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
         for p in 1..=4u64 {
             assert_eq!(
                 r.try_receive(0, Position(p)),
@@ -950,7 +997,7 @@ mod tests {
             })
             .expect("share for s0");
         let mut certs = Vec::new();
-        s0.on_peer_message(1, share, &mut certs);
+        let _ = s0.on_peer_message(1, share, &mut certs);
         let cert = certs
             .iter()
             .find_map(|a| match a {
@@ -960,7 +1007,7 @@ mod tests {
                 _ => None,
             })
             .expect("certificate shipped");
-        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
         }
@@ -982,7 +1029,7 @@ mod tests {
             })
             .unwrap();
         let mut certs = Vec::new();
-        s0.on_peer_message(1, share, &mut certs);
+        let _ = s0.on_peer_message(1, share, &mut certs);
         let cert = certs
             .iter()
             .find_map(|a| match a {
@@ -994,7 +1041,7 @@ mod tests {
             .unwrap();
         // Reordered link: the certificate overtakes the content.
         let mut rout = Vec::new();
-        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
         let content = out0
             .iter()
@@ -1005,7 +1052,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
         }
@@ -1025,7 +1072,7 @@ mod tests {
         let mut rout = Vec::new();
         // Faulty sender 2 floods distinct bogus contents for first=1.
         for k in 0..8u64 {
-            r.on_sender_message(
+            let _ = r.on_sender_message(
                 SimTime::ZERO,
                 2,
                 ChannelMsg::RangeContent {
@@ -1046,7 +1093,7 @@ mod tests {
                 _ => None,
             })
             .expect("overlap ships content");
-        r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
         // …and the certificate unlocks it despite the flood.
         let share = out1
             .iter()
@@ -1056,7 +1103,7 @@ mod tests {
             })
             .unwrap();
         let mut certs = Vec::new();
-        s0.on_peer_message(1, share, &mut certs);
+        let _ = s0.on_peer_message(1, share, &mut certs);
         let cert = certs
             .iter()
             .find_map(|a| match a {
@@ -1066,7 +1113,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
         }
@@ -1082,7 +1129,7 @@ mod tests {
         s1.send_many(0, Position(1), msgs, &mut out1);
         // A faulty collector ships different content than was certified.
         let mut rout = Vec::new();
-        r.on_sender_message(
+        let _ = r.on_sender_message(
             SimTime::ZERO,
             0,
             ChannelMsg::RangeContent { sc: 0, first: Position(1), msgs: Arc::new(blobs(7, 3)) },
@@ -1096,7 +1143,7 @@ mod tests {
             })
             .unwrap();
         let mut certs = Vec::new();
-        s0.on_peer_message(1, share, &mut certs);
+        let _ = s0.on_peer_message(1, share, &mut certs);
         let cert = certs
             .iter()
             .find_map(|a| match a {
@@ -1106,7 +1153,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
+        let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         for p in 1..=3u64 {
             assert_eq!(
                 r.try_receive(0, Position(p)),

@@ -19,10 +19,10 @@
 use crate::config::{IrmcConfig, Variant};
 use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
-use crate::{Action, Content, Subchannel};
+use crate::{Action, Content, IrmcError, Subchannel};
 use spider_crypto::{merkle_root, Digest, Keyring, Signature};
 use spider_types::{Position, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Result of a [`SenderEndpoint::send`] call.
@@ -51,19 +51,21 @@ enum SlotContent<M> {
 }
 
 impl<M: Clone> SlotContent<M> {
-    fn get(&self) -> &M {
+    /// `None` only if a range index is out of bounds, which no reachable
+    /// state produces; callers skip the slot rather than panic.
+    fn get(&self) -> Option<&M> {
         match self {
-            SlotContent::Single(m) => m,
-            SlotContent::InRange { msgs, idx } => &msgs[*idx as usize],
+            SlotContent::Single(m) => Some(m),
+            SlotContent::InRange { msgs, idx } => msgs.get(*idx as usize),
         }
     }
 
     /// Shared handle to the content (deep-copies only on the rare
     /// range-to-single fallback path).
-    fn arc(&self) -> Arc<M> {
+    fn arc(&self) -> Option<Arc<M>> {
         match self {
-            SlotContent::Single(m) => m.clone(),
-            SlotContent::InRange { msgs, idx } => Arc::new(msgs[*idx as usize].clone()),
+            SlotContent::Single(m) => Some(m.clone()),
+            SlotContent::InRange { msgs, idx } => msgs.get(*idx as usize).cloned().map(Arc::new),
         }
     }
 }
@@ -99,7 +101,7 @@ struct RangeInfo<M> {
 #[derive(Debug)]
 struct RangeShareSet {
     count: u32,
-    sigs: HashMap<usize, Signature>,
+    sigs: BTreeMap<usize, Signature>,
 }
 
 /// SC: an assembled range certificate.
@@ -132,14 +134,14 @@ struct SenderSub<M> {
     /// SC: content this endpoint submitted, by position.
     content: BTreeMap<u64, SlotContent<M>>,
     /// SC: legacy per-slot signature shares, per position per sender.
-    shares: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
+    shares: BTreeMap<u64, BTreeMap<usize, (Digest, Signature)>>,
     /// SC: assembled single-slot certificates (content shared for cheap
     /// multi-receiver fan-out).
     bundles: BTreeMap<u64, (Arc<M>, Vec<Signature>)>,
     /// SC: ranges this endpoint submitted, keyed by first position.
     ranges: BTreeMap<u64, RangeInfo<M>>,
     /// SC: range shares collected per `(first, root)` statement.
-    range_shares: HashMap<(u64, Digest), RangeShareSet>,
+    range_shares: BTreeMap<(u64, Digest), RangeShareSet>,
     /// SC: assembled range certificates, keyed by first position.
     range_bundles: BTreeMap<u64, RangeBundle<M>>,
     /// Cached gap-free certified high-watermark: every position in
@@ -167,7 +169,7 @@ impl<M: Content> SenderSub<M> {
             shares: BTreeMap::new(),
             bundles: BTreeMap::new(),
             ranges: BTreeMap::new(),
-            range_shares: HashMap::new(),
+            range_shares: BTreeMap::new(),
             range_bundles: BTreeMap::new(),
             certified_hwm: 0,
             last_tick_hwm: 0,
@@ -225,9 +227,9 @@ pub struct SenderEndpoint<M> {
     cfg: IrmcConfig,
     me: usize,
     keyring: Keyring,
-    subs: HashMap<Subchannel, SenderSub<M>>,
+    subs: BTreeMap<Subchannel, SenderSub<M>>,
     /// SC: which sender each receiver uses as collector, per subchannel.
-    collector_of: HashMap<(Subchannel, usize), usize>,
+    collector_of: BTreeMap<(Subchannel, usize), usize>,
     /// SC: the progress vector announced last tick (suppresses idle
     /// re-announcements).
     last_progress: Vec<(Subchannel, Position)>,
@@ -245,8 +247,8 @@ impl<M: Content> SenderEndpoint<M> {
             cfg,
             me,
             keyring,
-            subs: HashMap::new(),
-            collector_of: HashMap::new(),
+            subs: BTreeMap::new(),
+            collector_of: BTreeMap::new(),
             last_progress: Vec::new(),
         }
     }
@@ -378,6 +380,7 @@ impl<M: Content> SenderEndpoint<M> {
         out: &mut Vec<Action<M>>,
     ) -> SendStatus {
         if self.cfg.range_linger == SimTime::ZERO || self.cfg.max_range <= 1 {
+            // analyzer: allow(charge-coverage, "delegates to send(), which charges per transmission")
             return self.send(sc, p, msg, out);
         }
         let linger = self.cfg.range_linger;
@@ -405,6 +408,7 @@ impl<M: Content> SenderEndpoint<M> {
     /// Flushes the linger buffer of a subchannel, if any.
     pub fn flush_pending(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
         if let Some(run) = self.sub(sc).pending.take() {
+            // analyzer: allow(charge-coverage, "delegates to send_many(), which charges per transmission")
             self.send_many(sc, Position(run.first), run.msgs, out);
         }
     }
@@ -425,9 +429,18 @@ impl<M: Content> SenderEndpoint<M> {
     }
 
     /// Handles a message from receiver endpoint `from`.
-    pub fn on_receiver_message(&mut self, from: usize, msg: ReceiverMsg, out: &mut Vec<Action<M>>) {
+    ///
+    /// `Err` means the frame was rejected (and why); rejections are
+    /// expected under Byzantine receivers — callers discard the frame and
+    /// may count or log the reason.
+    pub fn on_receiver_message(
+        &mut self,
+        from: usize,
+        msg: ReceiverMsg,
+        out: &mut Vec<Action<M>>,
+    ) -> Result<(), IrmcError> {
         if from >= self.cfg.n_receivers {
-            return;
+            return Err(IrmcError::UnknownEndpoint { index: from });
         }
         // MAC check on every receiver message.
         out.push(Action::Charge(self.cfg.cost.hmac(32)));
@@ -435,12 +448,13 @@ impl<M: Content> SenderEndpoint<M> {
             ReceiverMsg::Move { sc, p } => self.on_receiver_move(from, sc, p, out),
             ReceiverMsg::Select { sc, collector } => {
                 if collector >= self.cfg.n_senders {
-                    return;
+                    return Err(IrmcError::UnknownEndpoint { index: collector });
                 }
                 self.collector_of.insert((sc, from), collector);
                 if collector == self.me {
                     self.reship_bundles(sc, from, out);
                 }
+                Ok(())
             }
         }
     }
@@ -483,8 +497,8 @@ impl<M: Content> SenderEndpoint<M> {
                     shares: rb.shares.clone(),
                 },
             });
-            if let Some(info) = sub.ranges.get_mut(&first) {
-                info.shipped[to] = true;
+            if let Some(flag) = sub.ranges.get_mut(&first).and_then(|i| i.shipped.get_mut(to)) {
+                *flag = true;
             }
         }
         out.extend(shipments);
@@ -496,13 +510,14 @@ impl<M: Content> SenderEndpoint<M> {
         sc: Subchannel,
         p: Position,
         out: &mut Vec<Action<M>>,
-    ) {
+    ) -> Result<(), IrmcError> {
         let fr = self.cfg.fr;
         let sub = self.sub(sc);
-        if p <= sub.receiver_starts[from] {
-            return;
+        match sub.receiver_starts.get_mut(from) {
+            Some(prev) if p > *prev => *prev = p,
+            Some(_) => return Ok(()),
+            None => return Err(IrmcError::UnknownEndpoint { index: from }),
         }
-        sub.receiver_starts[from] = p;
         // New window start: the (fr + 1)-highest receiver request — at
         // least one correct receiver has permitted this shift (§3.2).
         // Selection on a reused scratch buffer instead of clone + sort.
@@ -516,6 +531,7 @@ impl<M: Content> SenderEndpoint<M> {
             out.push(Action::WindowMoved { sc, start: new_start });
             self.flush_blocked(sc, out);
         }
+        Ok(())
     }
 
     /// Transmits queued sends that fit into the (moved) window.
@@ -530,7 +546,10 @@ impl<M: Content> SenderEndpoint<M> {
                 return; // The item (or its tail) still waits for a shift.
             }
             let start = sub.awin.start().0;
-            let item = sub.blocked.remove(&p).expect("just observed");
+            let Some(item) = sub.blocked.remove(&p) else {
+                return; // Key vanished between peek and remove: impossible,
+                        // but returning is safe (the item stays queued).
+            };
             match item {
                 BlockedItem::Single(msg) => {
                     if end.0 < start {
@@ -553,10 +572,13 @@ impl<M: Content> SenderEndpoint<M> {
 
     /// Performs the variant-specific submission of in-window content.
     fn transmit(&mut self, sc: Subchannel, p: Position, msg: M, out: &mut Vec<Action<M>>) {
+        let Some(key) = self.key_of_sender(self.me) else {
+            return; // `new` validated `me`; unreachable without a bad cfg.
+        };
         let digest = slot_digest(sc, p, &msg.digest());
         // Hash the payload and produce one RSA signature.
         out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign()));
-        let sig = self.keyring.sign(self.key_of_sender(self.me), &digest);
+        let sig = self.keyring.sign(key, &digest);
         match self.cfg.variant {
             Variant::ReceiverCollect => {
                 for r in 0..self.cfg.n_receivers {
@@ -631,10 +653,13 @@ impl<M: Content> SenderEndpoint<M> {
                 }
             }
         }
+        let Some(key) = self.key_of_sender(self.me) else {
+            return; // `new` validated `me`; unreachable without a bad cfg.
+        };
         // One RSA signature for the whole range.
         out.push(Action::Charge(self.cfg.cost.rsa_sign()));
         let rd = range_digest(sc, Position(first), count, &root);
-        let sig = self.keyring.sign(self.key_of_sender(self.me), &rd);
+        let sig = self.keyring.sign(key, &rd);
         match self.cfg.variant {
             Variant::ReceiverCollect => {
                 for r in 0..self.cfg.n_receivers {
@@ -660,7 +685,7 @@ impl<M: Content> SenderEndpoint<M> {
                 }
                 sub.range_shares
                     .entry((first, root))
-                    .or_insert_with(|| RangeShareSet { count, sigs: HashMap::new() })
+                    .or_insert_with(|| RangeShareSet { count, sigs: BTreeMap::new() })
                     .sigs
                     .insert(me, sig);
                 for s in 0..self.cfg.n_senders {
@@ -685,58 +710,88 @@ impl<M: Content> SenderEndpoint<M> {
     }
 
     /// Handles an intra-group message from peer sender `from` (IRMC-SC).
-    pub fn on_peer_message(&mut self, from: usize, msg: ChannelMsg<M>, out: &mut Vec<Action<M>>) {
-        if from >= self.cfg.n_senders || from == self.me {
-            return;
+    ///
+    /// `Err` means the frame was rejected (and why); rejections are
+    /// expected under Byzantine peers — callers discard the frame and may
+    /// count or log the reason.
+    pub fn on_peer_message(
+        &mut self,
+        from: usize,
+        msg: ChannelMsg<M>,
+        out: &mut Vec<Action<M>>,
+    ) -> Result<(), IrmcError> {
+        if from >= self.cfg.n_senders {
+            return Err(IrmcError::UnknownEndpoint { index: from });
+        }
+        if from == self.me {
+            return Err(IrmcError::UnexpectedFrame);
         }
         if self.cfg.variant != Variant::SenderCollect {
-            return;
+            return Err(IrmcError::WrongVariant);
         }
         match msg {
             ChannelMsg::SigShare { sc, p, digest, sig } => {
+                let Some(key) = self.key_of_sender(from) else {
+                    return Err(IrmcError::UnknownEndpoint { index: from });
+                };
                 // Verify the peer's share signature.
                 out.push(Action::Charge(self.cfg.cost.rsa_verify()));
                 let slot = slot_digest(sc, p, &digest);
-                if !self.keyring.verify(self.key_of_sender(from), &slot, &sig) {
-                    return;
+                if !self.keyring.verify(key, &slot, &sig) {
+                    return Err(IrmcError::BadSignature { sc, p });
                 }
                 let sub = self.sub(sc);
                 if sub.awin.is_below(p) {
-                    return;
+                    return Ok(()); // Late duplicate; normal.
                 }
                 // Only the first share per (position, sender) counts
                 // (Fig 19 L17).
                 sub.shares.entry(p.0).or_default().entry(from).or_insert((digest, sig));
                 self.maybe_bundle(sc, p, out);
+                Ok(())
             }
             ChannelMsg::RangeShare { sc, first, count, root, sig } => {
                 if count < 2 || count as u64 > self.cfg.capacity {
-                    return;
+                    return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
                 }
+                let Some(key) = self.key_of_sender(from) else {
+                    return Err(IrmcError::UnknownEndpoint { index: from });
+                };
                 // One verification vouches for the whole range.
                 out.push(Action::Charge(self.cfg.cost.rsa_verify()));
                 let rd = range_digest(sc, first, count, &root);
-                if !self.keyring.verify(self.key_of_sender(from), &rd, &sig) {
-                    return;
+                if !self.keyring.verify(key, &rd, &sig) {
+                    return Err(IrmcError::BadSignature { sc, p: first });
                 }
                 let sub = self.sub(sc);
                 if first.0 + count as u64 <= sub.awin.start().0 {
-                    return; // Entirely below the window.
+                    return Ok(()); // Entirely below the window.
                 }
                 if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
-                    return; // Absurdly far above it (memory guard).
+                    // Absurdly far above it (memory guard).
+                    return Err(IrmcError::OutOfWindow { sc, p: first });
                 }
                 let set = sub
                     .range_shares
                     .entry((first.0, root))
-                    .or_insert_with(|| RangeShareSet { count, sigs: HashMap::new() });
+                    .or_insert_with(|| RangeShareSet { count, sigs: BTreeMap::new() });
                 if set.count != count {
-                    return; // Same root, different length: bogus.
+                    // Same root, different length: bogus.
+                    return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
                 }
                 set.sigs.entry(from).or_insert(sig);
                 self.maybe_bundle_range(sc, first.0, root, out);
+                Ok(())
             }
-            _ => {}
+            // Receiver-bound frames have no business on the peer link; an
+            // explicit list (not `_`) so a new wire variant must be triaged.
+            ChannelMsg::Send { .. }
+            | ChannelMsg::SendRange { .. }
+            | ChannelMsg::Certificate { .. }
+            | ChannelMsg::RangeContent { .. }
+            | ChannelMsg::RangeCertificate { .. }
+            | ChannelMsg::Progress { .. }
+            | ChannelMsg::Move { .. } => Err(IrmcError::UnexpectedFrame),
         }
     }
 
@@ -753,7 +808,9 @@ impl<M: Content> SenderEndpoint<M> {
         let Some(content) = sub.content.get(&p.0) else {
             return;
         };
-        let want = content.get().digest();
+        let Some(want) = content.get().map(|m| m.digest()) else {
+            return;
+        };
         let Some(shares) = sub.shares.get(&p.0) else {
             return;
         };
@@ -768,7 +825,9 @@ impl<M: Content> SenderEndpoint<M> {
         matching.sort_by_key(|(s, _)| *s);
         matching.truncate(fs + 1);
         let vec: Vec<Signature> = matching.into_iter().map(|(_, sig)| sig).collect();
-        let arc = content.arc();
+        let Some(arc) = content.arc() else {
+            return;
+        };
         sub.bundles.insert(p.0, (arc.clone(), vec.clone()));
         sub.advance_hwm();
 
@@ -829,8 +888,11 @@ impl<M: Content> SenderEndpoint<M> {
             (0..n_receivers).filter(|r| self.collector_for(sc, *r) == me).collect();
         for r in targets {
             let sub = self.sub(sc);
-            let needs_content =
-                sub.ranges.get_mut(&first).map(|i| !std::mem::replace(&mut i.shipped[r], true));
+            let needs_content = sub
+                .ranges
+                .get_mut(&first)
+                .and_then(|i| i.shipped.get_mut(r))
+                .map(|b| !std::mem::replace(b, true));
             if needs_content.unwrap_or(true) {
                 out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
                 out.push(Action::ToReceiver {
@@ -905,6 +967,9 @@ impl<M: Content> SenderEndpoint<M> {
     fn fallback_stalled(&mut self, out: &mut Vec<Action<M>>) {
         let cap = self.range_cap() as u64;
         let me = self.me;
+        let Some(me_key) = self.key_of_sender(me) else {
+            return; // `new` validated `me`; unreachable without a bad cfg.
+        };
         let mut work: Vec<(Subchannel, u64, u64)> = Vec::new();
         for (&sc, sub) in &mut self.subs {
             sub.advance_hwm();
@@ -932,13 +997,13 @@ impl<M: Content> SenderEndpoint<M> {
                 if sub.certified(p) {
                     continue;
                 }
-                let Some(content) = sub.content.get(&p) else {
+                let Some(digest) = sub.content.get(&p).and_then(|c| c.get()).map(|m| m.digest())
+                else {
                     continue;
                 };
-                let digest = content.get().digest();
                 let slot = slot_digest(sc, Position(p), &digest);
                 out.push(Action::Charge(self.cfg.cost.rsa_sign()));
-                let sig = self.keyring.sign(self.key_of_sender(me), &slot);
+                let sig = self.keyring.sign(me_key, &slot);
                 let sub = self.sub(sc);
                 sub.shares.entry(p).or_default().insert(me, (digest, sig));
                 for s in 0..self.cfg.n_senders {
@@ -954,8 +1019,8 @@ impl<M: Content> SenderEndpoint<M> {
         }
     }
 
-    fn key_of_sender(&self, idx: usize) -> spider_crypto::KeyId {
-        self.cfg.sender_keys[idx]
+    fn key_of_sender(&self, idx: usize) -> Option<spider_crypto::KeyId> {
+        self.cfg.sender_keys.get(idx).copied()
     }
 }
 
@@ -1007,12 +1072,12 @@ mod tests {
 
         // fr + 1 = 2 receivers move their windows to 3: window = [3, 6].
         out.clear();
-        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
+        let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
         assert!(
             !out.iter().any(|a| matches!(a, Action::Unblocked { .. })),
             "one receiver is not enough (fr = 1)"
         );
-        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
+        let _ = s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(3) }, &mut out);
         assert!(out.iter().any(|a| matches!(a, Action::Unblocked { p, .. } if *p == Position(6))));
         assert!(out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
         assert_eq!(s.window(0).start(), Position(3));
@@ -1022,8 +1087,8 @@ mod tests {
     fn send_below_window_reports_too_old() {
         let mut s = sender(Variant::ReceiverCollect, 0);
         let mut out = Vec::new();
-        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
-        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
         assert_eq!(
             s.send(0, Position(2), Blob::new(b"m"), &mut out),
             SendStatus::TooOld(Position(5))
@@ -1034,9 +1099,9 @@ mod tests {
     fn stale_receiver_moves_are_ignored() {
         let mut s = sender(Variant::ReceiverCollect, 0);
         let mut out = Vec::new();
-        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
-        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(2) }, &mut out);
-        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(2) }, &mut out);
+        let _ = s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
         assert_eq!(s.window(0).start(), Position(5), "regression discarded");
     }
 
@@ -1063,7 +1128,7 @@ mod tests {
             })
             .expect("share for s0");
         let mut out = Vec::new();
-        s0.on_peer_message(1, share, &mut out);
+        let _ = s0.on_peer_message(1, share, &mut out);
         // s0 is the default collector for receiver 0 (0 % 3) and ships one
         // certificate there.
         let certs: Vec<usize> = out
@@ -1090,7 +1155,7 @@ mod tests {
         let bad_digest = Blob::new(b"evil").digest();
         let slot = slot_digest(0, Position(1), &bad_digest);
         let sig = ring.sign(spider_crypto::KeyId(1001), &slot);
-        s0.on_peer_message(
+        let _ = s0.on_peer_message(
             1,
             ChannelMsg::SigShare { sc: 0, p: Position(1), digest: bad_digest, sig },
             &mut out,
@@ -1118,7 +1183,7 @@ mod tests {
             })
             .unwrap();
         out.clear();
-        s1.on_peer_message(0, share, &mut out);
+        let _ = s1.on_peer_message(0, share, &mut out);
         // s1 is default collector for receiver 1 only.
         assert!(out.iter().any(|a| matches!(
             a,
@@ -1126,7 +1191,7 @@ mod tests {
         )));
         // Receiver 0 switches its collector to s1: the bundle re-ships.
         out.clear();
-        s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
+        let _ = s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
             Action::ToReceiver { to: 0, msg: ChannelMsg::Certificate { .. } }
@@ -1157,7 +1222,7 @@ mod tests {
                     .collect();
                 for (to, msg) in shares {
                     let mut sink = Vec::new();
-                    senders[to].on_peer_message(i, msg, &mut sink);
+                    let _ = senders[to].on_peer_message(i, msg, &mut sink);
                 }
             }
         }
@@ -1262,8 +1327,8 @@ mod tests {
         assert_eq!(st, SendStatus::Blocked);
         assert!(!out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
         out.clear();
-        s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
-        s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
+        let _ = s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
         let range = out
             .iter()
             .find_map(|a| match a {
@@ -1318,7 +1383,7 @@ mod tests {
             })
             .expect("share for s0");
         let mut out = Vec::new();
-        s0.on_peer_message(1, share, &mut out);
+        let _ = s0.on_peer_message(1, share, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
             Action::ToReceiver { to: 0, msg: ChannelMsg::RangeCertificate { shares, .. } }
@@ -1359,7 +1424,7 @@ mod tests {
             })
             .unwrap();
         let mut out = Vec::new();
-        s0.on_peer_message(1, share, &mut out);
+        let _ = s0.on_peer_message(1, share, &mut out);
         let content_at = out.iter().position(|a| {
             matches!(a, Action::ToReceiver { msg: ChannelMsg::RangeContent { .. }, .. })
         });
@@ -1388,10 +1453,10 @@ mod tests {
             })
             .unwrap();
         let mut out = Vec::new();
-        s1.on_peer_message(0, share, &mut out);
+        let _ = s1.on_peer_message(0, share, &mut out);
         out.clear();
         // Receiver 0 switches to s1: both content and certificate re-ship.
-        s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
+        let _ = s1.on_receiver_message(0, ReceiverMsg::Select { sc: 0, collector: 1 }, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
             Action::ToReceiver { to: 0, msg: ChannelMsg::RangeContent { .. } }
@@ -1417,7 +1482,7 @@ mod tests {
         s1.send_many(0, Position(3), blobs(3, 2), &mut sink);
         for a in sink.drain(..) {
             if let Action::ToPeerSender { to: 0, msg } = a {
-                s0.on_peer_message(1, msg, &mut Vec::new());
+                let _ = s0.on_peer_message(1, msg, &mut Vec::new());
             }
         }
         assert!(
@@ -1437,12 +1502,12 @@ mod tests {
             s1.tick(SimTime::ZERO, &mut fb1);
             for a in fb1.clone() {
                 if let Action::ToPeerSender { to: 0, msg } = a {
-                    s0.on_peer_message(1, msg, &mut fb0);
+                    let _ = s0.on_peer_message(1, msg, &mut fb0);
                 }
             }
             for a in fb0.clone() {
                 if let Action::ToPeerSender { to: 1, msg } = a {
-                    s1.on_peer_message(0, msg, &mut fb1);
+                    let _ = s1.on_peer_message(0, msg, &mut fb1);
                 }
             }
         }

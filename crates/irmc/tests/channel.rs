@@ -138,17 +138,17 @@ impl Net {
             match item {
                 Wire::ToReceiver { from, to, msg } => {
                     let mut out = Vec::new();
-                    self.receivers[to].on_sender_message(self.now, from, msg, &mut out);
+                    let _ = self.receivers[to].on_sender_message(self.now, from, msg, &mut out);
                     self.absorb_receiver(to, out);
                 }
                 Wire::ToSender { from, to, msg } => {
                     let mut out = Vec::new();
-                    self.senders[to].on_receiver_message(from, msg, &mut out);
+                    let _ = self.senders[to].on_receiver_message(from, msg, &mut out);
                     self.absorb_sender(to, out);
                 }
                 Wire::PeerSender { from, to, msg } => {
                     let mut out = Vec::new();
-                    self.senders[to].on_peer_message(from, msg, &mut out);
+                    let _ = self.senders[to].on_peer_message(from, msg, &mut out);
                     self.absorb_sender(to, out);
                 }
             }

@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use spider_types::{NodeId, RegionId, SimTime, ZoneId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Static description of the simulated world: regions, zones, latencies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -118,7 +118,7 @@ impl Topology {
 pub struct TopologyBuilder {
     region_names: Vec<String>,
     zones_per_region: Vec<u8>,
-    latencies: HashMap<(String, String), SimTime>,
+    latencies: BTreeMap<(String, String), SimTime>,
     inter_zone: SimTime,
     intra_zone: SimTime,
     jitter: f64,
@@ -130,7 +130,7 @@ impl Default for TopologyBuilder {
         TopologyBuilder {
             region_names: Vec::new(),
             zones_per_region: Vec::new(),
-            latencies: HashMap::new(),
+            latencies: BTreeMap::new(),
             // EC2-like defaults: ~0.5 ms between AZs, ~0.15 ms inside one.
             inter_zone: SimTime::from_micros(500),
             intra_zone: SimTime::from_micros(150),
@@ -222,13 +222,13 @@ impl TopologyBuilder {
 #[derive(Debug, Default)]
 pub struct NetworkControl {
     /// Pairs (a, b): messages from a to b are dropped while blocked.
-    blocked: HashMap<(NodeId, NodeId), SimTime>,
+    blocked: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Nodes whose messages are all dropped (crashed).
-    crashed: std::collections::HashSet<NodeId>,
+    crashed: std::collections::BTreeSet<NodeId>,
     /// Extra one-way delay per ordered pair.
-    extra_delay: HashMap<(NodeId, NodeId), SimTime>,
+    extra_delay: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Probability of dropping a message per ordered pair.
-    drop_rate: HashMap<(NodeId, NodeId), f64>,
+    drop_rate: BTreeMap<(NodeId, NodeId), f64>,
 }
 
 impl NetworkControl {

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spider_types::{NodeId, SimTime, WireSize, ZoneId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::actor::{Actor, ActorObj, Context, OutAction, Timer, TimerId};
 use crate::event::{Event, EventKind, EventQueue};
@@ -30,7 +30,7 @@ pub struct Simulation<M> {
     rng: SmallRng,
     stats: SimStats,
     net_control: NetworkControl,
-    cancelled_timers: HashSet<TimerId>,
+    cancelled_timers: BTreeSet<TimerId>,
     next_timer_id: u64,
     out_buf: Vec<OutAction<M>>,
 }
@@ -46,7 +46,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             rng: SmallRng::seed_from_u64(seed),
             stats: SimStats::default(),
             net_control: NetworkControl::default(),
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: BTreeSet::new(),
             next_timer_id: 0,
             out_buf: Vec::new(),
         }

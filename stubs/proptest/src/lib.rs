@@ -5,8 +5,9 @@
 //! integer/float range strategies, tuple strategies, the
 //! `prop::collection::{vec, btree_map, hash_set}` combinators, and the
 //! `prop_assert*` macros. Inputs are generated from a deterministic
-//! per-case RNG; there is **no shrinking** — a failing case panics with
-//! the case number so it can be replayed by re-running the test.
+//! per-case RNG. When a case fails, a greedy halving shrinker reduces it
+//! (bounded by an evaluation budget) and the test panics with the minimal
+//! counterexample it found.
 
 #![forbid(unsafe_code)]
 
@@ -34,13 +35,18 @@ impl Default for ProptestConfig {
     }
 }
 
-/// A generator of random values; mirrors `proptest::strategy::Strategy`
-/// minus shrinking.
+/// A generator of random values; mirrors `proptest::strategy::Strategy`.
 pub trait Strategy {
     /// The generated type.
     type Value;
     /// Generates one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    /// Candidates strictly simpler than `value` that this strategy could
+    /// itself have generated, in preference order (simplest first). The
+    /// default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -49,6 +55,25 @@ macro_rules! int_range_strategy {
             type Value = $ty;
             fn generate(&self, rng: &mut SmallRng) -> $ty {
                 rng.gen_range(self.clone())
+            }
+            // Halve the distance to the range start; the greedy runner
+            // re-halves from each failing candidate, so convergence is
+            // O(log n) like real proptest's binary-search shrinker. The
+            // `v - 1` candidate then walks to the exact failure boundary.
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let (lo, v) = (self.start as i128, *value as i128);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mid = lo + (v - lo) / 2;
+                if mid > lo && mid < v {
+                    out.push(mid as $ty);
+                }
+                if v - 1 > mid {
+                    out.push((v - 1) as $ty);
+                }
+                out
             }
         }
     )*};
@@ -61,28 +86,54 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut SmallRng) -> f64 {
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let (lo, v) = (self.start, *value);
+        // partial_cmp so NaN (never greater) shrinks to nothing.
+        if v.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mid = lo + (v - lo) / 2.0;
+        if mid > lo && mid < v {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut SmallRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            // Shrinks one component at a time, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut tup = value.clone();
+                        tup.$idx = cand;
+                        out.push(tup);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
 }
 
 /// A strategy that always yields a clone of one value.
@@ -169,11 +220,35 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
             let n = rng.gen_range(self.len.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        // Prefix-halving first (the cheapest big win), then dropping the
+        // last element, then per-element shrinks with the length fixed.
+        // All candidates respect the configured minimum length.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            if value.len() > self.len.start {
+                let half = (value.len() / 2).max(self.len.start);
+                if half < value.len() - 1 {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut smaller = value.clone();
+                    smaller[i] = cand;
+                    out.push(smaller);
+                }
+            }
+            out
         }
     }
 
@@ -267,8 +342,48 @@ pub fn __case_rng(test_name: &str, case: u32) -> SmallRng {
     SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-/// Defines property tests; mirrors `proptest::proptest!` without
-/// shrinking.
+/// Identity helper that anchors the property closure's argument type to
+/// the strategy's `Value` so the closure body type-checks (a bare
+/// `|vals: &_| ...` would leave the parameter uninferred).
+#[doc(hidden)]
+pub fn __property<S: Strategy, F: Fn(&S::Value)>(_strat: &S, f: F) -> F {
+    f
+}
+
+/// Greedy shrink: repeatedly replace the counterexample with its first
+/// still-failing shrink candidate until none fails or the evaluation
+/// budget runs out. Each candidate runs under `catch_unwind`, so "fails"
+/// means "the property body panics on it".
+#[doc(hidden)]
+pub fn __shrink<S, F>(strat: &S, mut current: S::Value, run: &F) -> S::Value
+where
+    S: Strategy,
+    F: Fn(&S::Value),
+{
+    let mut budget = 256u32;
+    loop {
+        let mut progressed = false;
+        for cand in strat.shrink(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            let failed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cand))).is_err();
+            if failed {
+                current = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Defines property tests; mirrors `proptest::proptest!`, including
+/// shrinking of failing cases.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -289,35 +404,47 @@ macro_rules! __proptest_fns {
     ) => {$(
         $(#[$meta])*
         fn $name() {
+            use $crate::Strategy as _;
             let cfg: $crate::ProptestConfig = $cfg;
+            let strat = ($(($strat),)+);
+            let run = $crate::__property(&strat, |__vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                $body
+            });
             for case in 0..cfg.cases {
                 let mut rng = $crate::__case_rng(stringify!($name), case);
-                let ($($arg,)+) = {
-                    use $crate::Strategy as _;
-                    ($(($strat).generate(&mut rng),)+)
-                };
-                $body
+                let vals = strat.generate(&mut rng);
+                let failed = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| run(&vals)),
+                )
+                .is_err();
+                if failed {
+                    let minimal = $crate::__shrink(&strat, vals, &run);
+                    panic!(
+                        "property {} failed on case {case}; minimal counterexample: {minimal:?}",
+                        stringify!($name),
+                    );
+                }
             }
         }
     )*};
 }
 
-/// Asserts a condition inside [`proptest!`]; panics on failure (no
-/// shrinking).
+/// Asserts a condition inside [`proptest!`]; a failure triggers
+/// shrinking.
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
 }
 
-/// Asserts equality inside [`proptest!`]; panics on failure (no
-/// shrinking).
+/// Asserts equality inside [`proptest!`]; a failure triggers shrinking.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
-/// Asserts inequality inside [`proptest!`]; panics on failure (no
-/// shrinking).
+/// Asserts inequality inside [`proptest!`]; a failure triggers
+/// shrinking.
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
@@ -360,5 +487,47 @@ mod tests {
         fn default_macro_arm_without_config(x in 0u8..5) {
             prop_assert!(x < 5);
         }
+    }
+
+    #[test]
+    fn int_shrink_converges_to_the_failure_boundary() {
+        // Property "x < 17" first fails at 17; halving from 93 plus the
+        // v-1 walk must land exactly on the boundary.
+        let strat = (0u32..100,);
+        let run = |v: &(u32,)| assert!(v.0 < 17);
+        assert_eq!(crate::__shrink(&strat, (93,), &run).0, 17);
+    }
+
+    #[test]
+    fn vec_shrink_minimises_length_then_elements() {
+        // Any length-3 vec fails, so the minimal counterexample is the
+        // shortest failing length with every element shrunk to zero.
+        let strat = (prop::collection::vec(0u32..10, 0..20),);
+        let run = |v: &(Vec<u32>,)| assert!(v.0.len() < 3);
+        let minimal = crate::__shrink(&strat, (vec![9, 8, 7, 6, 5, 4],), &run).0;
+        assert_eq!(minimal, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shrink_keeps_the_original_when_no_candidate_fails() {
+        let strat = (0u32..100,);
+        let run = |_: &(u32,)| {};
+        assert_eq!(crate::__shrink(&strat, (42,), &run).0, 42);
+    }
+
+    // Deliberately failing property (no #[test] attribute, invoked
+    // manually below): fails whenever x >= 5, so both components must
+    // shrink — x to the boundary 5, the irrelevant pad to 0.
+    proptest! {
+        fn shrink_target(x in 0u64..1000, pad in 0u64..1000) {
+            prop_assert!(x < 5 || pad > 10_000);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_counterexample() {
+        let err = std::panic::catch_unwind(shrink_target).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload is a formatted String");
+        assert!(msg.contains("minimal counterexample: (5, 0)"), "unexpected message: {msg}");
     }
 }
