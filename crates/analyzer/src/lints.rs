@@ -426,7 +426,7 @@ fn finish_arm(toks: &[Tok], m: &mut MatchCtx) {
 // ---------------------------------------------------------------------
 
 /// Identifiers that mark a message emission when called as a method.
-const SEND_METHODS: &[&str] = &["send", "broadcast", "send_many", "send_buffered"];
+const SEND_METHODS: &[&str] = &["send", "broadcast", "send_many", "send_batch", "send_buffered"];
 /// Identifiers that mark a message emission when path-qualified
 /// (`Action::ToReceiver { .. }`, `Output::Send { .. }`).
 const SEND_VARIANTS: &[&str] = &["ToReceiver", "ToSender", "ToPeerSender"];

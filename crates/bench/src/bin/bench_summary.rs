@@ -9,8 +9,9 @@
 //! 3. the batching ablation (greedy / fixed / adaptive across offered
 //!    load),
 //! 4. the commit-channel range-certification sweep (slots/s at
-//!    agreement-replica saturation for range sizes 1/8/32/128, both IRMC
-//!    variants) and the IRMC-SC §A.9 overlap latency comparison.
+//!    agreement-replica saturation for range sizes 1/8/32/128, for
+//!    legacy IRMC-RC, digest-only dedup IRMC-RC, and IRMC-SC) and the
+//!    IRMC-SC §A.9 overlap latency comparison.
 //!
 //! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`).
 //!
@@ -21,12 +22,14 @@
 //! * adaptive batching still beating the static policies at both ends,
 //! * commit-channel range certification delivering >= 3x the per-slot
 //!   saturation throughput at range 32,
+//! * the digest-only RC fan-in saturating above 100k slots/s at range 32
+//!   with per-slot receiver CPU within 2x of IRMC-SC's,
 //! * IRMC-SC overlapped shipping showing lower commit latency than
 //!   ship-after-bundle.
 
 use spider_harness::experiments::{batching, commit_channel, fig10, fig7};
 use spider_harness::scenarios::ScenarioCfg;
-use spider_irmc::Variant;
+use spider_irmc::ChannelMode;
 use spider_types::SimTime;
 use std::fmt::Write as _;
 
@@ -39,6 +42,17 @@ const COMMIT_RANGE_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// Range sizes of the commit-channel amortization curve.
 const COMMIT_RANGES: [usize; 4] = [1, 8, 32, 128];
+
+/// Saturation floor of the digest-only RC fan-in at range 32 (slots/s).
+/// The hash wall this redesign removes capped the legacy RC receiver
+/// well below this.
+const DEDUP_SATURATION_FLOOR: f64 = 100_000.0;
+
+/// Ceiling on dedup-RC per-slot receiver CPU relative to IRMC-SC's at
+/// range 32. SC receivers verify one signature per range and hash
+/// content once — the dedup fan-in must stay within 2x of that even
+/// though it still collects `fs` extra digest vouches.
+const DEDUP_RX_CPU_RATIO_CEIL: f64 = 2.0;
 
 /// The fig7 cell the perf gate tracks: Spider with the leader in
 /// Virginia zone 1, measured from Virginia clients.
@@ -130,27 +144,45 @@ fn main() {
     let commit_cfg = commit_channel::Config::default();
     let commit_rows = commit_channel::run_range_sweep(&COMMIT_RANGES, &commit_cfg);
     println!("{}", commit_channel::render(&commit_rows));
+    let commit_row = |variant: &str, range: usize| {
+        commit_rows.iter().find(|r| r.variant == variant && r.range == range)
+    };
     let commit_cell = |variant: &str, range: usize| {
-        commit_rows
-            .iter()
-            .find(|r| r.variant == variant && r.range == range)
-            .map(|r| r.slots_per_sec)
+        commit_row(variant, range).map(|r| r.slots_per_sec).unwrap_or(f64::NAN)
+    };
+    // Per-slot receiver CPU in µs of CPU per delivered slot (utilization
+    // normalized by throughput — raw utilization is meaningless across
+    // variants that saturate at different rates).
+    let rx_us_per_slot = |variant: &str, range: usize| {
+        commit_row(variant, range)
+            .map(|r| r.receiver_cpu / r.slots_per_sec * 1e6)
             .unwrap_or(f64::NAN)
     };
-    // Headline: the commit variant Spider deploys by default (IRMC-RC).
     let commit_slots_range1 = commit_cell("IRMC-RC", 1);
     let commit_slots_range32 = commit_cell("IRMC-RC", 32);
     let commit_speedup = commit_slots_range32 / commit_slots_range1;
     println!(
         "commit-channel saturation: {commit_slots_range1:.0} slots/s per-slot -> \
-         {commit_slots_range32:.0} slots/s at range 32 ({commit_speedup:.1}x)\n"
+         {commit_slots_range32:.0} slots/s at range 32 ({commit_speedup:.1}x)"
+    );
+    // Headline of the digest-only fan-in: the commit mode Spider deploys
+    // by default (IRMC-RC with dedup).
+    let dedup_slots_range32 = commit_cell("IRMC-RC-dedup", 32);
+    let rc_dedup_rx_us = rx_us_per_slot("IRMC-RC-dedup", 32);
+    let rc_legacy_rx_us = rx_us_per_slot("IRMC-RC", 32);
+    let sc_rx_us = rx_us_per_slot("IRMC-SC", 32);
+    println!(
+        "dedup fan-in at range 32: {dedup_slots_range32:.0} slots/s, receiver \
+         {rc_dedup_rx_us:.2} µs/slot (legacy RC {rc_legacy_rx_us:.2}, SC {sc_rx_us:.2})\n"
     );
 
     println!("bench_summary: IRMC-SC §A.9 overlap latency…");
     let overlap_cfg =
         commit_channel::Config { msg_size: 16 * 1024, ..commit_channel::Config::default() };
-    let overlapped = commit_channel::run_paced(Variant::SenderCollect, 64, true, &overlap_cfg);
-    let after_bundle = commit_channel::run_paced(Variant::SenderCollect, 64, false, &overlap_cfg);
+    let overlapped =
+        commit_channel::run_paced(ChannelMode::SenderCast { overlap: true }, 64, &overlap_cfg);
+    let after_bundle =
+        commit_channel::run_paced(ChannelMode::SenderCast { overlap: false }, 64, &overlap_cfg);
     let sc_overlap_p50 = overlapped.commit_p50_ms;
     let sc_after_bundle_p50 = after_bundle.commit_p50_ms;
     println!(
@@ -191,6 +223,14 @@ fn main() {
     let _ =
         writeln!(json, "  \"commit_slots_per_sec_range32\": {},", json_f64(commit_slots_range32));
     let _ = writeln!(json, "  \"commit_range32_speedup\": {},", json_f64(commit_speedup));
+    let _ = writeln!(
+        json,
+        "  \"commit_slots_per_sec_range32_dedup\": {},",
+        json_f64(dedup_slots_range32)
+    );
+    let _ = writeln!(json, "  \"rc_dedup_rx_us_per_slot\": {},", json_f64(rc_dedup_rx_us));
+    let _ = writeln!(json, "  \"rc_legacy_rx_us_per_slot\": {},", json_f64(rc_legacy_rx_us));
+    let _ = writeln!(json, "  \"sc_rx_us_per_slot\": {},", json_f64(sc_rx_us));
     let _ = writeln!(json, "  \"sc_overlap_p50_ms\": {},", json_f64(sc_overlap_p50));
     let _ = writeln!(json, "  \"sc_ship_after_bundle_p50_ms\": {},", json_f64(sc_after_bundle_p50));
     json.push_str("  \"commit_channel\": [\n");
@@ -291,6 +331,30 @@ fn main() {
             eprintln!(
                 "COMMIT-CHANNEL REGRESSION: range 32 delivers only {commit_speedup:.2}x the \
                  per-slot saturation throughput (floor {COMMIT_RANGE_SPEEDUP_FLOOR:.1}x)"
+            );
+            std::process::exit(1);
+        }
+        // The digest-only fan-in must keep the RC receiver off the hash
+        // wall: saturation above the floor, and per-slot receiver CPU
+        // within the SC ratio ceiling.
+        let rx_ratio = rc_dedup_rx_us / sc_rx_us;
+        println!(
+            "perf gate: dedup RC range-32 saturation = {dedup_slots_range32:.0} slots/s \
+             (floor {DEDUP_SATURATION_FLOOR:.0}), receiver {rc_dedup_rx_us:.2} µs/slot = \
+             {rx_ratio:.2}x SC (ceiling {DEDUP_RX_CPU_RATIO_CEIL:.1}x)"
+        );
+        if !(dedup_slots_range32.is_finite() && dedup_slots_range32 > DEDUP_SATURATION_FLOOR) {
+            eprintln!(
+                "DEDUP REGRESSION: digest-only RC saturates at {dedup_slots_range32:.0} slots/s \
+                 at range 32 (floor {DEDUP_SATURATION_FLOOR:.0})"
+            );
+            std::process::exit(1);
+        }
+        if !(rx_ratio.is_finite() && rx_ratio <= DEDUP_RX_CPU_RATIO_CEIL) {
+            eprintln!(
+                "DEDUP REGRESSION: digest-only RC burns {rc_dedup_rx_us:.2} µs of receiver CPU \
+                 per slot at range 32 = {rx_ratio:.2}x SC's {sc_rx_us:.2} µs \
+                 (ceiling {DEDUP_RX_CPU_RATIO_CEIL:.1}x)"
             );
             std::process::exit(1);
         }

@@ -141,7 +141,7 @@ impl AgreementReplica {
         .with_cost(self.cfg.cost)
         .with_keys(keys::exec_keys(group, n_exec), keys::agreement_keys(n_agree));
         let commit_cfg = IrmcConfig::new(
-            self.cfg.commit_variant,
+            self.cfg.commit_mode,
             n_agree,
             self.cfg.fa,
             n_exec,
@@ -150,7 +150,6 @@ impl AgreementReplica {
         )
         .with_cost(self.cfg.cost)
         .with_range(self.cfg.commit_max_range, self.cfg.commit_range_linger)
-        .with_sc_overlap(self.cfg.commit_sc_overlap)
         .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
         self.channels.insert(
             group,
@@ -201,7 +200,7 @@ impl AgreementReplica {
                 return;
             };
             match ch.req_recv.try_receive(client.0 as u64, Position(next)) {
-                ReceiveResult::Ready(ordered) => {
+                ReceiveResult::Ready(delivery) => {
                     // The channel guarantees fe+1 execution replicas vouch
                     // for the request; verify the client's own signature
                     // before ordering (A-Validity).
@@ -210,7 +209,7 @@ impl AgreementReplica {
                     let mut out = Vec::new();
                     self.pbft.handle(
                         ctx.now(),
-                        Input::Order(OrderItem::Request(ordered)),
+                        Input::Order(OrderItem::Request(delivery.payload)),
                         &mut out,
                     );
                     self.apply_pbft_outputs(ctx, out);
@@ -277,18 +276,20 @@ impl AgreementReplica {
     ///
     /// Consecutive ordered requests are collected into contiguous runs
     /// and flushed into every commit channel through **one**
-    /// `send_many` — one range certificate (one RSA signature) per run
+    /// `send_batch` — one range certificate (one RSA signature) per run
     /// instead of one per slot. Runs cut at admin commands, checkpoint
-    /// boundaries (`ka`), and `commit_max_range`; those cut points derive
-    /// from the agreed order alone and are identical on every correct
-    /// replica, which keeps range boundaries aligned so IRMC-SC share
-    /// collection combines across the group. A run can additionally cut
-    /// at replica-local back-pressure (the agreement window and the §3.5
-    /// commit-window check), which may transiently misalign boundaries
-    /// between replicas — the IRMC's per-slot fallback
-    /// (`SenderEndpoint::tick`) re-certifies such slots within a couple
-    /// of ticks, trading amortization for liveness only while the
-    /// channel is stalled anyway.
+    /// boundaries (`ka`), and — so boundaries re-synchronize across
+    /// replicas — at absolute multiples of `commit_max_range`; those cut
+    /// points derive from the agreed order alone and are identical on
+    /// every correct replica, which keeps range boundaries aligned so
+    /// IRMC-SC share collection (and the RC dedup vouch quorum) combines
+    /// across the group. A run can additionally cut at replica-local
+    /// back-pressure or backlog exhaustion, which may transiently
+    /// misalign boundaries between replicas; the grid cut bounds the
+    /// divergence to one grid cell, and the IRMCs recover the stretch
+    /// that is already out — IRMC-SC by per-slot share fallback
+    /// (`SenderEndpoint::tick`), RC dedup by refetching each voucher's
+    /// own copy and converging on per-slot quorums receiver-side.
     fn process_backlog(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
         loop {
             let mut run: Vec<(u64, OrderedRequest, OrderItem)> = Vec::new();
@@ -343,9 +344,13 @@ impl AgreementReplica {
                             completed.push((instance, s));
                         }
                         let at_checkpoint = s.is_multiple_of(self.cfg.ka);
+                        // Grid cut: never straddle a multiple of the range
+                        // cap, so replicas whose runs diverged at local
+                        // back-pressure re-align at the next grid line.
+                        let at_grid = s.is_multiple_of(max_run as u64);
                         run.push((s, req, item));
-                        if at_checkpoint {
-                            break; // Checkpoint exactly at the boundary.
+                        if at_checkpoint || at_grid {
+                            break;
                         }
                     }
                 }
@@ -408,7 +413,7 @@ impl AgreementReplica {
                         );
                     }
                 } else {
-                    ch.commit_send.send_many(0, Position(first), execs, &mut actions);
+                    ch.commit_send.send_batch(0, Position(first), execs, &mut actions);
                 }
             }
             self.apply_commit_actions(ctx, group, actions);
@@ -422,7 +427,7 @@ impl AgreementReplica {
     }
 
     /// Replays already-ordered history into one group's commit channel in
-    /// contiguous `send_many` chunks (AddGroup bootstrap and post-restore
+    /// contiguous `send_batch` chunks (AddGroup bootstrap and post-restore
     /// catch-up).
     fn replay_execs(
         &mut self,
@@ -451,7 +456,7 @@ impl AgreementReplica {
             let mut actions = Vec::new();
             if let Some(ch) = self.channels.get_mut(&group) {
                 // analyzer: allow(charge-coverage, "the IRMC endpoint emits Action::Charge; apply_commit_actions applies it")
-                ch.commit_send.send_many(0, Position(first), execs, &mut actions);
+                ch.commit_send.send_batch(0, Position(first), execs, &mut actions);
             }
             self.apply_commit_actions(ctx, group, actions);
             i = j;
@@ -866,7 +871,7 @@ impl Actor<SpiderMsg> for AgreementReplica {
         // The tick drives SC progress announcements and, when the range
         // linger is on, deadline flushes of buffered commit ranges (so RC
         // commit channels need it then too).
-        if self.cfg.commit_variant == Variant::SenderCollect
+        if self.cfg.commit_mode.variant() == Variant::SenderCollect
             || self.cfg.commit_range_linger > SimTime::ZERO
         {
             self.arm_timer(ctx, TAG_SC_TICK, self.commit_tick_interval());

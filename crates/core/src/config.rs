@@ -2,7 +2,7 @@
 
 use spider_consensus::PbftConfig;
 use spider_crypto::CostModel;
-use spider_irmc::Variant;
+use spider_irmc::{ChannelMode, Variant};
 use spider_types::SimTime;
 
 /// Configuration of a Spider deployment.
@@ -33,8 +33,10 @@ pub struct SpiderConfig {
     pub commit_capacity: u64,
     /// IRMC implementation for request channels.
     pub request_variant: Variant,
-    /// IRMC implementation for commit channels.
-    pub commit_variant: Variant,
+    /// IRMC implementation and tuning for commit channels: which fan-in
+    /// the channel uses plus the knob that matters for it (digest-only
+    /// dedup for IRMC-RC, §A.9 overlap for IRMC-SC).
+    pub commit_mode: ChannelMode,
     /// Client retry interval (Fig 15 `t_retry`).
     pub client_retry: SimTime,
     /// Retransmissions before a client assumes its execution group is
@@ -73,11 +75,6 @@ pub struct SpiderConfig {
     /// immediately at consensus batch boundaries (the default; batches
     /// already amortize well).
     pub commit_range_linger: SimTime,
-    /// §A.9 overlap for IRMC-SC commit channels: collectors ship range
-    /// content as soon as it is submitted and follow up with a compact
-    /// shares-only certificate, instead of shipping content together with
-    /// the certificate.
-    pub commit_sc_overlap: bool,
     /// CPU cost model applied by all nodes.
     pub cost: CostModel,
     /// Seed for the shared simulated PKI.
@@ -96,7 +93,7 @@ impl Default for SpiderConfig {
             request_capacity: 2,
             commit_capacity: 128,
             request_variant: Variant::ReceiverCollect,
-            commit_variant: Variant::ReceiverCollect,
+            commit_mode: ChannelMode::ReliableCast { dedup: true },
             client_retry: SimTime::from_millis(2_000),
             group_failover_retries: 3,
             weak_read_retries: 2,
@@ -108,7 +105,6 @@ impl Default for SpiderConfig {
             pipeline_depth: 32,
             commit_max_range: 32,
             commit_range_linger: SimTime::ZERO,
-            commit_sc_overlap: true,
             cost: CostModel::default(),
             key_seed: 7,
         }
@@ -148,11 +144,21 @@ impl SpiderConfig {
         2 * self.fe + 1
     }
 
-    /// Sets both IRMC variants (builder-style).
+    /// Sets both IRMC variants (builder-style). The commit channel gets
+    /// the variant's default mode ([`ChannelMode::from`]): IRMC-RC without
+    /// dedup, IRMC-SC with §A.9 overlap. Use [`Self::with_commit_mode`]
+    /// afterwards to tune the commit channel independently.
     #[must_use]
     pub fn with_variant(mut self, v: Variant) -> Self {
         self.request_variant = v;
-        self.commit_variant = v;
+        self.commit_mode = v.into();
+        self
+    }
+
+    /// Sets the commit-channel mode (builder-style).
+    #[must_use]
+    pub fn with_commit_mode(mut self, mode: impl Into<ChannelMode>) -> Self {
+        self.commit_mode = mode.into();
         self
     }
 
@@ -254,7 +260,21 @@ mod tests {
         c.validate();
         assert_eq!(c.commit_max_range, 64);
         assert_eq!(c.commit_range_linger, SimTime::from_millis(2));
-        assert!(c.commit_sc_overlap, "§A.9 overlap is on by default");
+        assert_eq!(
+            c.commit_mode,
+            ChannelMode::ReliableCast { dedup: true },
+            "digest-only fan-in is on by default"
+        );
+    }
+
+    #[test]
+    fn with_variant_resets_commit_mode_to_the_variant_default() {
+        let c = SpiderConfig::default().with_variant(Variant::SenderCollect);
+        assert_eq!(c.commit_mode, ChannelMode::SenderCast { overlap: true }, "§A.9 default");
+        let c = c.with_commit_mode(ChannelMode::SenderCast { overlap: false });
+        assert!(!c.commit_mode.overlap());
+        let c = SpiderConfig::default().with_variant(Variant::ReceiverCollect);
+        assert_eq!(c.commit_mode, ChannelMode::ReliableCast { dedup: false }, "legacy RC");
     }
 
     #[test]

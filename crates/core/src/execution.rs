@@ -105,18 +105,11 @@ impl<A: Application> ExecutionReplica<A> {
         )
         .with_cost(cfg.cost)
         .with_keys(keys::exec_keys(group, n_exec), keys::agreement_keys(n_agree));
-        let commit_cfg = IrmcConfig::new(
-            cfg.commit_variant,
-            n_agree,
-            cfg.fa,
-            n_exec,
-            cfg.fe,
-            cfg.commit_capacity,
-        )
-        .with_cost(cfg.cost)
-        .with_range(cfg.commit_max_range, cfg.commit_range_linger)
-        .with_sc_overlap(cfg.commit_sc_overlap)
-        .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
+        let commit_cfg =
+            IrmcConfig::new(cfg.commit_mode, n_agree, cfg.fa, n_exec, cfg.fe, cfg.commit_capacity)
+                .with_cost(cfg.cost)
+                .with_range(cfg.commit_max_range, cfg.commit_range_linger)
+                .with_keys(keys::agreement_keys(n_agree), keys::exec_keys(group, n_exec));
         ExecutionReplica {
             group,
             me,
@@ -231,10 +224,10 @@ impl<A: Application> ExecutionReplica<A> {
         let pos = Position(req.tc);
         let mut actions = Vec::new();
         self.req_sender.move_window(sc, pos, &mut actions);
-        let status = self.req_sender.send(
+        let status = self.req_sender.send_batch(
             sc,
             pos,
-            OrderedRequest { request: req, origin: self.group },
+            vec![OrderedRequest { request: req, origin: self.group }],
             &mut actions,
         );
         debug_assert!(status != SendStatus::TooOld(Position(0)));
@@ -255,8 +248,8 @@ impl<A: Application> ExecutionReplica<A> {
     fn drain_commits(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
         loop {
             match self.commit_recv.try_receive(0, Position(self.sn + 1)) {
-                ReceiveResult::Ready(exec) => {
-                    self.apply_execute(ctx, exec);
+                ReceiveResult::Ready(delivery) => {
+                    self.apply_execute(ctx, delivery.payload);
                 }
                 ReceiveResult::TooOld(start) => {
                     // Fell behind: recover via checkpoint (Fig 16 L27-29).
@@ -661,7 +654,10 @@ impl<A: Application> Actor<SpiderMsg> for ExecutionReplica<A> {
             }
             TAG_COMMIT_COLLECTOR => {
                 let mut actions = Vec::new();
-                self.commit_recv.on_timer(0, ctx.now(), &mut actions);
+                // A `CarrierTimeout` is informational: `actions` already
+                // carries the refetch traffic that works around the slow
+                // or faulty carrier.
+                let _ = self.commit_recv.on_timer(0, ctx.now(), &mut actions);
                 self.apply_commit_channel_actions(ctx, actions);
             }
             TAG_FETCH_RETRY => {

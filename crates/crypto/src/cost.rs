@@ -37,8 +37,13 @@ pub struct CostModel {
     pub rsa_sign_ns: u64,
     /// RSA-1024 signature verification.
     pub rsa_verify_ns: u64,
-    /// Fixed cost of one HMAC/digest computation.
+    /// Fixed cost of one HMAC computation (dominated by the keyed
+    /// setup/finalization, not the data).
     pub hmac_base_ns: u64,
+    /// Fixed cost of one *unkeyed* hash compression (SHA-256 block). An
+    /// order of magnitude below `hmac_base_ns`: a digest pays no key
+    /// schedule and no inner/outer re-hash.
+    pub hash_base_ns: u64,
     /// Per-byte cost of hashing message payloads.
     pub hash_per_byte_ns: u64,
     /// Threshold-RSA share generation (Shoup).
@@ -59,6 +64,7 @@ impl Default for CostModel {
             rsa_sign_ns: 600_000,
             rsa_verify_ns: 35_000,
             hmac_base_ns: 1_500,
+            hash_base_ns: 150,
             hash_per_byte_ns: 3,
             threshold_share_ns: 1_300_000,
             threshold_combine_ns: 650_000,
@@ -77,6 +83,7 @@ impl CostModel {
             rsa_sign_ns: 0,
             rsa_verify_ns: 0,
             hmac_base_ns: 0,
+            hash_base_ns: 0,
             hash_per_byte_ns: 0,
             threshold_share_ns: 0,
             threshold_combine_ns: 0,
@@ -101,16 +108,36 @@ impl CostModel {
         SimTime::from_nanos(self.hmac_base_ns + self.hash_per_byte_ns * bytes as u64)
     }
 
+    /// Cost of one unkeyed hash over `bytes` (plain digest — no HMAC key
+    /// schedule).
+    pub fn hash(&self, bytes: usize) -> SimTime {
+        SimTime::from_nanos(self.hash_base_ns + self.hash_per_byte_ns * bytes as u64)
+    }
+
     /// Cost of building (or recomputing) a Merkle tree over `leaves`
     /// 32-byte slot digests: `leaves` domain-separated leaf wraps plus
-    /// `leaves - 1` 64-byte inner combines (see [`crate::merkle`]).
+    /// `leaves - 1` 64-byte inner combines (see [`crate::merkle`]). Tree
+    /// nodes are plain hash compressions, not keyed MACs — billing each
+    /// of the `2·leaves - 1` ops an HMAC key-schedule base would
+    /// overcharge a 32-leaf tree by ~85 µs and bury the real costs the
+    /// commit-channel benchmarks measure (payload hashing and signing).
     pub fn merkle(&self, leaves: usize) -> SimTime {
         if leaves == 0 {
             return SimTime::ZERO;
         }
-        let wraps = self.hmac(32) * leaves as u64;
-        let combines = self.hmac(64) * (leaves as u64 - 1);
+        let wraps = self.hash(32) * leaves as u64;
+        let combines = self.hash(64) * (leaves as u64 - 1);
         wraps + combines
+    }
+
+    /// Cost of verifying one digest-only range vouch (IRMC-RC dedup): a
+    /// MAC check over the fixed-size statement binding subchannel (8),
+    /// first position (8), count (4), and Merkle root (32) — 52 bytes.
+    /// Deliberately MAC-class, not RSA-class: a vouch is consumed only by
+    /// the receiving endpoint and never forwarded as proof to a third
+    /// party, so the authenticated point-to-point link suffices.
+    pub fn vouch_verify(&self) -> SimTime {
+        self.hmac(52)
     }
 
     /// Cost of producing a MAC vector for `receivers` receivers.
@@ -175,11 +202,22 @@ mod tests {
     fn merkle_amortizes_below_per_slot_signing() {
         let c = CostModel::default();
         assert_eq!(c.merkle(0), SimTime::ZERO);
-        assert_eq!(c.merkle(1), c.hmac(32));
+        assert_eq!(c.merkle(1), c.hash(32));
         assert!(c.merkle(64) > c.merkle(8), "cost grows with the range");
+        // Tree nodes are unkeyed compressions: far below HMAC pricing.
+        assert!(c.merkle(32) * 4 < c.hmac(32) * 63, "no HMAC key-schedule base per node");
         // The whole point: hashing a 64-slot tree plus ONE signature is far
         // cheaper than 64 signatures.
         assert!(c.merkle(64) + c.rsa_sign() < c.rsa_sign() * 8);
+    }
+
+    #[test]
+    fn vouch_verify_is_mac_class() {
+        let c = CostModel::default();
+        assert_eq!(c.vouch_verify(), c.hmac(52));
+        // The dedup premise: confirming a range by digest must be orders
+        // of magnitude cheaper than verifying a signature over it.
+        assert!(c.vouch_verify() * 20 < c.rsa_verify());
     }
 
     #[test]

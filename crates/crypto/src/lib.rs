@@ -49,5 +49,5 @@ pub mod threshold;
 pub use cost::CostModel;
 pub use digest::{Digest, DigestBuilder, Digestible};
 pub use keyring::{KeyId, Keyring, Mac, Signature};
-pub use merkle::{merkle_proof, merkle_root, MerkleProof};
+pub use merkle::{merkle_proof, merkle_root, MerkleProof, RootCache};
 pub use threshold::{SigShare, ThresholdKeyring, ThresholdSig};

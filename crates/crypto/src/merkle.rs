@@ -33,6 +33,7 @@
 //! ```
 
 use crate::digest::Digest;
+use std::collections::BTreeMap;
 
 /// Wraps a leaf digest (domain-separated from inner nodes).
 fn leaf_hash(leaf: &Digest) -> Digest {
@@ -94,6 +95,81 @@ impl MerkleProof {
                 if *sibling_is_left { node_hash(sibling, &acc) } else { node_hash(&acc, sibling) };
         }
         acc == *root
+    }
+}
+
+/// A bounded, deterministic cache of already-verified range statements,
+/// keyed by digest.
+///
+/// The IRMC-RC dedup path verifies each certified range statement (the
+/// signed digest binding subchannel, first position, count, and Merkle
+/// root) at most once: the first content copy pays the full signature
+/// check, and every later copy of the same statement is accepted by root
+/// comparison against this cache instead of being re-verified
+/// member-by-member. Eviction is strict insertion order (oldest first),
+/// so two runs that insert the same digests in the same order hold the
+/// same cache — a requirement for the deterministic simulator.
+///
+/// # Examples
+///
+/// ```
+/// use spider_crypto::{Digest, RootCache};
+///
+/// let mut cache = RootCache::new(2);
+/// let a = Digest::of_bytes(b"a");
+/// let b = Digest::of_bytes(b"b");
+/// let c = Digest::of_bytes(b"c");
+/// cache.insert(a);
+/// cache.insert(b);
+/// cache.insert(c); // evicts `a`, the oldest entry
+/// assert!(!cache.contains(&a));
+/// assert!(cache.contains(&b) && cache.contains(&c));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RootCache {
+    cap: usize,
+    seq: u64,
+    by_digest: BTreeMap<Digest, u64>,
+    by_age: BTreeMap<u64, Digest>,
+}
+
+impl RootCache {
+    /// Creates a cache holding at most `cap` digests (`cap == 0` caches
+    /// nothing and every lookup misses).
+    pub fn new(cap: usize) -> Self {
+        RootCache { cap, seq: 0, by_digest: BTreeMap::new(), by_age: BTreeMap::new() }
+    }
+
+    /// Whether `digest` was inserted and has not been evicted.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.by_digest.contains_key(digest)
+    }
+
+    /// Records `digest` as verified, evicting the oldest entry when full.
+    /// Re-inserting an existing digest is a no-op (its age is preserved).
+    pub fn insert(&mut self, digest: Digest) {
+        if self.cap == 0 || self.by_digest.contains_key(&digest) {
+            return;
+        }
+        if self.by_digest.len() == self.cap {
+            if let Some((&oldest, &evicted)) = self.by_age.iter().next() {
+                self.by_age.remove(&oldest);
+                self.by_digest.remove(&evicted);
+            }
+        }
+        self.by_digest.insert(digest, self.seq);
+        self.by_age.insert(self.seq, digest);
+        self.seq += 1;
+    }
+
+    /// Number of cached digests.
+    pub fn len(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
     }
 }
 
@@ -194,6 +270,35 @@ mod tests {
     #[should_panic(expected = "index out of range")]
     fn proof_index_out_of_range_panics() {
         let _ = merkle_proof(&leaves(3), 3);
+    }
+
+    #[test]
+    fn root_cache_evicts_oldest_first() {
+        let mut cache = RootCache::new(3);
+        let digests = leaves(5);
+        for d in &digests[..3] {
+            cache.insert(*d);
+        }
+        assert_eq!(cache.len(), 3);
+        cache.insert(digests[0]); // refresh is a no-op, age preserved
+        cache.insert(digests[3]); // evicts digests[0], still the oldest
+        assert!(!cache.contains(&digests[0]));
+        assert!(cache.contains(&digests[1]));
+        cache.insert(digests[4]); // evicts digests[1]
+        assert!(!cache.contains(&digests[1]));
+        assert!(cache.contains(&digests[2]));
+        assert!(cache.contains(&digests[3]));
+        assert!(cache.contains(&digests[4]));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn root_cache_zero_capacity_never_hits() {
+        let mut cache = RootCache::new(0);
+        let d = Digest::of_bytes(b"x");
+        cache.insert(d);
+        assert!(!cache.contains(&d));
+        assert!(cache.is_empty());
     }
 }
 

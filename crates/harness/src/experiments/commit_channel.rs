@@ -6,7 +6,7 @@
 //! Two modes:
 //!
 //! * **Flood** ([`run_flood`]): every sender keeps the subchannel window
-//!   full with `send_many` ranges of a given size; the busy-server CPU
+//!   full with `send_batch` ranges of a given size; the busy-server CPU
 //!   model yields the saturation throughput in **slots/s** directly.
 //!   Range size 1 is the per-slot baseline (one RSA signature per slot on
 //!   each sender — the cost PR 2 identified as the high-load plateau).
@@ -19,8 +19,8 @@
 use crate::topology::ec2_topology;
 use spider_crypto::{CostModel, Digest, Digestible, Keyring};
 use spider_irmc::{
-    Action, ChannelMsg, IrmcConfig, ReceiveResult, ReceiverEndpoint, ReceiverMsg, SenderEndpoint,
-    Variant,
+    Action, ChannelMode, ChannelMsg, IrmcConfig, ReceiveResult, ReceiverEndpoint, ReceiverMsg,
+    SenderEndpoint, Variant,
 };
 use spider_sim::{Actor, Context, NodeId, Simulation, Timer};
 use spider_types::{Position, SimTime, WireSize};
@@ -105,7 +105,7 @@ impl SenderHost {
         self.next_pos = first + self.range as u64;
         let msgs = self.chunk(first);
         let mut actions = Vec::new();
-        self.ep.send_many(0, Position(first), msgs, &mut actions);
+        self.ep.send_batch(0, Position(first), msgs, &mut actions);
         self.apply(ctx, actions);
         ctx.set_timer(SimTime::from_nanos(1), TAG_NEXT);
     }
@@ -116,7 +116,7 @@ impl SenderHost {
         self.next_pos = first + self.range as u64;
         self.submits.push((first, ctx.now()));
         let msgs = self.chunk(first);
-        self.ep.send_many(0, Position(first), msgs, &mut actions);
+        self.ep.send_batch(0, Position(first), msgs, &mut actions);
         self.apply(ctx, actions);
     }
 
@@ -257,7 +257,9 @@ impl Actor<M> for ReceiverHost {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: Timer) {
         if timer.tag >= TAG_COLLECTOR {
             let mut actions = Vec::new();
-            self.ep.on_timer(timer.tag - TAG_COLLECTOR, ctx.now(), &mut actions);
+            // A `CarrierTimeout` is informational: the refetch frames it
+            // triggered are already in `actions`.
+            let _ = self.ep.on_timer(timer.tag - TAG_COLLECTOR, ctx.now(), &mut actions);
             self.apply(ctx, actions);
         }
     }
@@ -304,8 +306,10 @@ impl Default for Config {
             duration: SimTime::from_secs(3),
             // Large enough that the CPU cost model — not flow control —
             // is the binding constraint at saturation (the window admits
-            // ~50k slots/s at this capacity over a 160 ms RTT).
-            capacity: 8192,
+            // ~200k slots/s at this capacity over a 160 ms RTT; the
+            // fastest variant, digest-only dedup RC, saturates near
+            // 137k).
+            capacity: 32768,
             pace: SimTime::from_millis(50),
             seed: 42,
         }
@@ -319,20 +323,13 @@ struct RunOutcome {
     commit_p50_ms: f64,
 }
 
-fn run_inner(
-    variant: Variant,
-    range: usize,
-    overlap: bool,
-    paced: bool,
-    cfg: &Config,
-) -> RunOutcome {
+fn run_inner(mode: ChannelMode, range: usize, paced: bool, cfg: &Config) -> RunOutcome {
     let mut sim: Simulation<M> = Simulation::new(ec2_topology(), cfg.seed);
     let n_senders = 4; // Agreement group, fa = 1.
     let n_receivers = 3; // Execution group, fe = 1.
-    let icfg = IrmcConfig::new(variant, n_senders, 1, n_receivers, 1, cfg.capacity)
+    let icfg = IrmcConfig::new(mode, n_senders, 1, n_receivers, 1, cfg.capacity)
         .with_cost(CostModel::default())
-        .with_range(range.max(1), SimTime::ZERO)
-        .with_sc_overlap(overlap);
+        .with_range(range.max(1), SimTime::ZERO);
     let ring = Keyring::new(7);
 
     let sender_nodes: Vec<NodeId> = (0..n_senders as u32).map(NodeId).collect();
@@ -348,7 +345,7 @@ fn run_inner(
             next_pos: 1,
             receivers: receiver_nodes.clone(),
             peers: sender_nodes.clone(),
-            sc_tick: variant == Variant::SenderCollect,
+            sc_tick: mode.variant() == Variant::SenderCollect,
             pace: paced.then_some(cfg.pace),
             stop_at: cfg.duration - cfg.pace,
             submits: Vec::new(),
@@ -414,11 +411,13 @@ fn run_inner(
 }
 
 /// Floods the channel with ranges of `range` slots and returns the
-/// saturation throughput point.
-pub fn run_flood(variant: Variant, range: usize, cfg: &Config) -> CommitRow {
-    let o = run_inner(variant, range, true, false, cfg);
+/// saturation throughput point. `mode` selects the fan-in (and, for
+/// IRMC-RC, whether digest-only dedup is on — labelled `IRMC-RC-dedup`).
+pub fn run_flood(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> CommitRow {
+    let mode = mode.into();
+    let o = run_inner(mode, range, false, cfg);
     CommitRow {
-        variant: variant.to_string(),
+        variant: mode.to_string(),
         range,
         msg_size: cfg.msg_size,
         slots_per_sec: o.slots_per_sec,
@@ -428,13 +427,14 @@ pub fn run_flood(variant: Variant, range: usize, cfg: &Config) -> CommitRow {
     }
 }
 
-/// Paced submissions measuring submit→deliver commit latency; `overlap`
-/// toggles the §A.9 content/share-exchange overlap (IRMC-SC only — RC
-/// ignores the flag).
-pub fn run_paced(variant: Variant, range: usize, overlap: bool, cfg: &Config) -> CommitRow {
-    let o = run_inner(variant, range, overlap, true, cfg);
+/// Paced submissions measuring submit→deliver commit latency; the mode
+/// carries the per-variant knob (e.g. `SenderCast { overlap }` toggles
+/// the §A.9 content/share-exchange overlap).
+pub fn run_paced(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> CommitRow {
+    let mode = mode.into();
+    let o = run_inner(mode, range, true, cfg);
     CommitRow {
-        variant: variant.to_string(),
+        variant: mode.to_string(),
         range,
         msg_size: cfg.msg_size,
         slots_per_sec: o.slots_per_sec,
@@ -444,13 +444,17 @@ pub fn run_paced(variant: Variant, range: usize, overlap: bool, cfg: &Config) ->
     }
 }
 
-/// The amortization curve: flood throughput for each range size, both
-/// variants.
+/// The amortization curve: flood throughput for each range size, for
+/// legacy IRMC-RC, digest-only dedup IRMC-RC, and IRMC-SC.
 pub fn run_range_sweep(ranges: &[usize], cfg: &Config) -> Vec<CommitRow> {
     let mut rows = Vec::new();
-    for variant in [Variant::ReceiverCollect, Variant::SenderCollect] {
+    for mode in [
+        ChannelMode::ReliableCast { dedup: false },
+        ChannelMode::ReliableCast { dedup: true },
+        ChannelMode::SenderCast { overlap: true },
+    ] {
         for &r in ranges {
-            rows.push(run_flood(variant, r, cfg));
+            rows.push(run_flood(mode, r, cfg));
         }
     }
     rows
@@ -498,6 +502,7 @@ mod tests {
         let cfg = quick();
         let base = run_flood(Variant::ReceiverCollect, 1, &cfg);
         let ranged = run_flood(Variant::ReceiverCollect, 32, &cfg);
+        assert_eq!(base.variant, "IRMC-RC");
         assert!(base.slots_per_sec > 0.0);
         assert!(
             ranged.slots_per_sec > 3.0 * base.slots_per_sec,
@@ -509,12 +514,30 @@ mod tests {
     }
 
     #[test]
+    fn dedup_cuts_receiver_cpu_per_slot() {
+        let cfg = quick();
+        let legacy = run_flood(ChannelMode::ReliableCast { dedup: false }, 32, &cfg);
+        let dedup = run_flood(ChannelMode::ReliableCast { dedup: true }, 32, &cfg);
+        assert_eq!(dedup.variant, "IRMC-RC-dedup");
+        assert!(dedup.slots_per_sec > 0.0 && legacy.slots_per_sec > 0.0);
+        let legacy_per_slot = legacy.receiver_cpu / legacy.slots_per_sec;
+        let dedup_per_slot = dedup.receiver_cpu / dedup.slots_per_sec;
+        assert!(
+            dedup_per_slot < 0.5 * legacy_per_slot,
+            "digest-only fan-in must at least halve per-slot receiver CPU \
+             (got {:.3e} vs legacy {:.3e} cpu-s/slot)",
+            dedup_per_slot,
+            legacy_per_slot
+        );
+    }
+
+    #[test]
     fn sc_overlap_lowers_commit_latency() {
         // Big ranges of big payloads: the content WAN transfer is long
         // enough that overlapping it with signing + share exchange shows.
         let cfg = Config { msg_size: 16 * 1024, ..quick() };
-        let overlapped = run_paced(Variant::SenderCollect, 64, true, &cfg);
-        let after_bundle = run_paced(Variant::SenderCollect, 64, false, &cfg);
+        let overlapped = run_paced(ChannelMode::SenderCast { overlap: true }, 64, &cfg);
+        let after_bundle = run_paced(ChannelMode::SenderCast { overlap: false }, 64, &cfg);
         assert!(overlapped.commit_p50_ms.is_finite() && after_bundle.commit_p50_ms.is_finite());
         assert!(
             overlapped.commit_p50_ms < after_bundle.commit_p50_ms,

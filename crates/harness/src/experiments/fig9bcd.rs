@@ -80,7 +80,12 @@ impl SenderHost {
             }
             let p = self.next_pos.max(w.start().0);
             self.next_pos = p + 1;
-            self.ep.send(0, Position(p), Blob { pos: p, size: self.msg_size }, &mut actions);
+            self.ep.send_batch(
+                0,
+                Position(p),
+                vec![Blob { pos: p, size: self.msg_size }],
+                &mut actions,
+            );
         }
         self.apply(ctx, actions);
     }
@@ -204,7 +209,7 @@ impl Actor<M> for ReceiverHost {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: Timer) {
         if timer.tag >= TAG_COLLECTOR {
             let mut actions = Vec::new();
-            self.ep.on_timer(timer.tag - TAG_COLLECTOR, ctx.now(), &mut actions);
+            let _ = self.ep.on_timer(timer.tag - TAG_COLLECTOR, ctx.now(), &mut actions);
             self.apply(ctx, actions);
         }
     }

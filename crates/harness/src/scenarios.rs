@@ -82,6 +82,9 @@ pub struct ScenarioCfg {
     pub adaptive_batching: bool,
     /// Consensus pipelining window.
     pub pipeline_depth: usize,
+    /// Commit-channel mode (IRMC-RC with/without digest-only dedup, or
+    /// IRMC-SC with/without §A.9 overlap).
+    pub commit_mode: spider_irmc::ChannelMode,
 }
 
 impl Default for ScenarioCfg {
@@ -101,6 +104,7 @@ impl Default for ScenarioCfg {
             batch_delay: base.batch_delay,
             adaptive_batching: base.adaptive_batching,
             pipeline_depth: base.pipeline_depth,
+            commit_mode: base.commit_mode,
         }
     }
 }
@@ -128,6 +132,7 @@ impl ScenarioCfg {
             batch_delay: self.batch_delay,
             adaptive_batching: self.adaptive_batching,
             pipeline_depth: self.pipeline_depth,
+            commit_mode: self.commit_mode,
             ..SpiderConfig::default()
         }
     }

@@ -23,11 +23,83 @@ impl std::fmt::Display for Variant {
     }
 }
 
+/// How a channel achieves BFT delivery, together with the variant's
+/// performance lever — the single knob that replaces the old
+/// `variant` + `sc_overlap` + dedup boolean sprawl.
+///
+/// Any plain [`Variant`] converts into its legacy-faithful mode
+/// (`From<Variant>`), so call sites that only care about RC-vs-SC keep
+/// passing a `Variant` to [`IrmcConfig::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ChannelMode {
+    /// IRMC-RC: receivers collect `fs + 1` matching submissions.
+    ReliableCast {
+        /// Digest-only fan-in: per range, one deterministically-rotated
+        /// carrier ships content + signature while the other senders ship
+        /// a MAC-authenticated `RangeVouch` (subchannel, first, count,
+        /// Merkle root), so content crosses the wire and gets hashed at
+        /// most once on the happy path. `false` is the legacy
+        /// everyone-ships-content fan-in; single-slot sends and ranges of
+        /// length 1 always use the legacy path.
+        dedup: bool,
+    },
+    /// IRMC-SC: senders exchange signature shares locally; a collector
+    /// ships one certificate per receiver.
+    SenderCast {
+        /// §A.9: ship range content to receivers before certification
+        /// completes, overlapping the intra-region share exchange with
+        /// WAN shipping. `false` ships content together with the
+        /// certificate (ship-after-bundle).
+        overlap: bool,
+    },
+}
+
+impl ChannelMode {
+    /// The underlying IRMC variant (for labels and dispatch).
+    pub fn variant(&self) -> Variant {
+        match self {
+            ChannelMode::ReliableCast { .. } => Variant::ReceiverCollect,
+            ChannelMode::SenderCast { .. } => Variant::SenderCollect,
+        }
+    }
+
+    /// Whether the RC digest-only fan-in is active.
+    pub fn dedup(&self) -> bool {
+        matches!(self, ChannelMode::ReliableCast { dedup: true })
+    }
+
+    /// Whether the SC §A.9 content/share-exchange overlap is active.
+    pub fn overlap(&self) -> bool {
+        matches!(self, ChannelMode::SenderCast { overlap: true })
+    }
+}
+
+impl From<Variant> for ChannelMode {
+    /// Maps a bare variant to its legacy-faithful mode: RC without dedup,
+    /// SC with the §A.9 overlap (the pre-`ChannelMode` defaults).
+    fn from(v: Variant) -> Self {
+        match v {
+            Variant::ReceiverCollect => ChannelMode::ReliableCast { dedup: false },
+            Variant::SenderCollect => ChannelMode::SenderCast { overlap: true },
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelMode::ReliableCast { dedup: false } => write!(f, "IRMC-RC"),
+            ChannelMode::ReliableCast { dedup: true } => write!(f, "IRMC-RC-dedup"),
+            ChannelMode::SenderCast { .. } => write!(f, "IRMC-SC"),
+        }
+    }
+}
+
 /// Static parameters of one IRMC.
 #[derive(Debug, Clone)]
 pub struct IrmcConfig {
-    /// Implementation variant.
-    pub variant: Variant,
+    /// Delivery mode (variant + its performance lever).
+    pub mode: ChannelMode,
     /// Number of sender endpoints.
     pub n_senders: usize,
     /// Byzantine senders to tolerate (`fs`): delivery needs `fs + 1`
@@ -47,8 +119,16 @@ pub struct IrmcConfig {
     /// IRMC-SC: how long a receiver waits for a lagging collector before
     /// switching to another sender.
     pub collector_timeout: SimTime,
+    /// IRMC-RC dedup: how long a receiver waits for a vouched range's
+    /// content before (re)fetching copies from the vouchers. Unlike
+    /// [`IrmcConfig::collector_timeout`], expiry is not a fault
+    /// accusation — senders routinely cut ranges at diverged boundaries
+    /// under replica-local back-pressure, and the refetch is how the
+    /// receiver converges them — so this is RTT-scale, not
+    /// suspicion-scale.
+    pub refetch_delay: SimTime,
     /// Maximum slots per range certificate
-    /// ([`crate::SenderEndpoint::send_many`] chunks longer submissions).
+    /// ([`crate::SenderEndpoint::send_batch`] chunks longer submissions).
     /// 1 disables range certification entirely (always the legacy
     /// per-slot wire messages).
     pub max_range: usize,
@@ -57,11 +137,6 @@ pub struct IrmcConfig {
     /// most this long (mirrors consensus `batch_delay`). Zero disables
     /// buffering — plain `send` never lingers either way.
     pub range_linger: SimTime,
-    /// IRMC-SC: ship range content to receivers as soon as it is
-    /// submitted, overlapping the intra-region share exchange with WAN
-    /// shipping (§A.9). When false, content ships together with the
-    /// certificate (ship-after-bundle).
-    pub sc_overlap: bool,
     /// Signing identity of each sender endpoint. Defaults to
     /// `KeyId(1000 + i)`; deployments with multiple channels override this
     /// with the replicas' node identities via [`IrmcConfig::with_keys`].
@@ -79,7 +154,7 @@ impl IrmcConfig {
     /// Panics unless `n_senders > fs`, `n_receivers > fr`, and
     /// `capacity >= 1`.
     pub fn new(
-        variant: Variant,
+        mode: impl Into<ChannelMode>,
         n_senders: usize,
         fs: usize,
         n_receivers: usize,
@@ -90,7 +165,7 @@ impl IrmcConfig {
         assert!(n_receivers > fr, "need more receivers than faults");
         assert!(capacity >= 1, "capacity must be at least 1");
         IrmcConfig {
-            variant,
+            mode: mode.into(),
             n_senders,
             fs,
             n_receivers,
@@ -99,9 +174,9 @@ impl IrmcConfig {
             cost: CostModel::default(),
             progress_interval: SimTime::from_millis(20),
             collector_timeout: SimTime::from_millis(500),
+            refetch_delay: SimTime::from_millis(125),
             max_range: 32,
             range_linger: SimTime::ZERO,
-            sc_overlap: true,
             sender_keys: (0..n_senders).map(|i| KeyId(1000 + i as u32)).collect(),
             receiver_keys: (0..n_receivers).map(|j| KeyId(2000 + j as u32)).collect(),
         }
@@ -151,11 +226,37 @@ impl IrmcConfig {
         self
     }
 
+    /// Replaces the delivery mode (builder-style). Accepts a
+    /// [`ChannelMode`] or a bare [`Variant`] (legacy-faithful mapping).
+    #[must_use]
+    pub fn with_mode(mut self, mode: impl Into<ChannelMode>) -> Self {
+        self.mode = mode.into();
+        self
+    }
+
+    /// The underlying IRMC variant (for labels and dispatch).
+    pub fn variant(&self) -> Variant {
+        self.mode.variant()
+    }
+
+    /// Whether the RC digest-only fan-in is active.
+    pub fn dedup(&self) -> bool {
+        self.mode.dedup()
+    }
+
+    /// Whether the SC §A.9 content/share-exchange overlap is active.
+    pub fn sc_overlap(&self) -> bool {
+        self.mode.overlap()
+    }
+
     /// Enables or disables the §A.9 content/share-exchange overlap for
     /// IRMC-SC (builder-style).
+    #[deprecated(note = "use `with_mode(ChannelMode::SenderCast { overlap })`")]
     #[must_use]
     pub fn with_sc_overlap(mut self, overlap: bool) -> Self {
-        self.sc_overlap = overlap;
+        if let ChannelMode::SenderCast { .. } = self.mode {
+            self.mode = ChannelMode::SenderCast { overlap };
+        }
         self
     }
 
@@ -193,5 +294,29 @@ mod tests {
     fn display_names_match_paper() {
         assert_eq!(Variant::ReceiverCollect.to_string(), "IRMC-RC");
         assert_eq!(Variant::SenderCollect.to_string(), "IRMC-SC");
+        assert_eq!(ChannelMode::ReliableCast { dedup: true }.to_string(), "IRMC-RC-dedup");
+        assert_eq!(ChannelMode::SenderCast { overlap: false }.to_string(), "IRMC-SC");
+    }
+
+    #[test]
+    fn variants_map_to_legacy_faithful_modes() {
+        let rc = IrmcConfig::new(Variant::ReceiverCollect, 3, 1, 3, 1, 2);
+        assert_eq!(rc.mode, ChannelMode::ReliableCast { dedup: false });
+        assert!(!rc.dedup());
+        let sc = IrmcConfig::new(Variant::SenderCollect, 3, 1, 3, 1, 2);
+        assert_eq!(sc.mode, ChannelMode::SenderCast { overlap: true });
+        assert!(sc.sc_overlap(), "§A.9 overlap stays the SC default");
+    }
+
+    #[test]
+    fn mode_builder_replaces_flag_sprawl() {
+        let c = IrmcConfig::new(Variant::ReceiverCollect, 3, 1, 3, 1, 2)
+            .with_mode(ChannelMode::ReliableCast { dedup: true });
+        assert!(c.dedup());
+        assert_eq!(c.variant(), Variant::ReceiverCollect);
+        assert!(!c.sc_overlap(), "overlap is an SC-only lever");
+        #[allow(deprecated)]
+        let sc = IrmcConfig::new(Variant::SenderCollect, 3, 1, 3, 1, 2).with_sc_overlap(false);
+        assert_eq!(sc.mode, ChannelMode::SenderCast { overlap: false });
     }
 }

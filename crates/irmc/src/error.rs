@@ -41,6 +41,27 @@ pub enum IrmcError {
     /// A group-internal frame (e.g. a signature share) arrived at an
     /// endpoint outside that group.
     UnexpectedFrame,
+    /// A content copy for a dedup range hashed to a Merkle root that
+    /// contradicts the root the vouch quorum agreed on: the shipping
+    /// sender is faulty (tampered or equivocating content). The frame is
+    /// discarded; the receiver keeps (or resumes) fetching from other
+    /// vouchers.
+    VouchMismatch {
+        /// Subchannel of the offending range.
+        sc: Subchannel,
+        /// First position of the offending range.
+        first: Position,
+    },
+    /// The primary carrier of a vouched range failed to deliver content
+    /// before the supervision timeout; the receiver has fallen back to
+    /// requesting the content from another voucher. Informational: the
+    /// protocol recovers on its own, but callers may count occurrences.
+    CarrierTimeout {
+        /// Subchannel of the stalled range.
+        sc: Subchannel,
+        /// First position of the stalled range.
+        first: Position,
+    },
     /// The position lies absurdly far above the flow-control window; a
     /// correct peer is window-limited, so this is a memory-exhaustion
     /// attempt. (Positions *below* the window are late duplicates and are
@@ -67,6 +88,12 @@ impl std::fmt::Display for IrmcError {
             }
             IrmcError::WrongVariant => write!(f, "frame belongs to the other IRMC variant"),
             IrmcError::UnexpectedFrame => write!(f, "group-internal frame from outside the group"),
+            IrmcError::VouchMismatch { sc, first } => {
+                write!(f, "content contradicts vouched root (sc {sc}, first {})", first.0)
+            }
+            IrmcError::CarrierTimeout { sc, first } => {
+                write!(f, "carrier timed out, refetching (sc {sc}, first {})", first.0)
+            }
             IrmcError::OutOfWindow { sc, p } => {
                 write!(f, "position far above window (sc {sc}, position {})", p.0)
             }

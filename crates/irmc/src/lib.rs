@@ -17,40 +17,47 @@
 //! * **Authentication**: channel-internal messages carry (simulated) RSA
 //!   signatures; invalid ones are discarded.
 //!
-//! Two implementations share one interface:
+//! Two implementations share one interface, selected by [`ChannelMode`]:
 //!
-//! * [`Variant::ReceiverCollect`] (**IRMC-RC**, Fig 18): every sender sends
-//!   its signed `Send` directly to every receiver; receivers individually
-//!   collect `fs + 1` matching messages. Simple, CPU-light on the sender,
-//!   but `n_s × n_r` WAN messages per position.
-//! * [`Variant::SenderCollect`] (**IRMC-SC**, Figs 19–20): senders exchange
-//!   signature shares inside their region; one *collector* per receiver
-//!   assembles a `Certificate` and ships a single WAN message. `Progress`
-//!   announcements plus a timeout let receivers switch away from faulty
-//!   collectors.
+//! * [`ChannelMode::ReliableCast`] (**IRMC-RC**, Fig 18): every sender
+//!   submits directly to every receiver; receivers individually collect
+//!   `fs + 1` matching submissions. With `dedup: true` the redundant
+//!   copies are *digest-only*: a deterministically rotated primary
+//!   carrier ships the one signed content copy while the other senders
+//!   confirm the range with a MAC-authenticated [`ChannelMsg::RangeVouch`]
+//!   — content crosses the wire and gets hashed at most once per range on
+//!   the happy path, and a receiver whose carrier stalls refetches the
+//!   content from any voucher.
+//! * [`ChannelMode::SenderCast`] (**IRMC-SC**, Figs 19–20): senders
+//!   exchange signature shares inside their region; one *collector* per
+//!   receiver assembles a `Certificate` and ships a single WAN message.
+//!   With `overlap: true` (§A.9) the collector ships range content as
+//!   soon as it is submitted and follows up with a compact shares-only
+//!   certificate.
 //!
 //! Both variants support **multi-slot range certification**
-//! ([`SenderEndpoint::send_many`]): a contiguous slot run is certified by
+//! ([`SenderEndpoint::send_batch`]): a contiguous slot run is certified by
 //! **one** RSA signature over the Merkle root of the per-slot digests
 //! ([`spider_crypto::merkle`]), amortizing the dominant per-slot CPU cost
-//! of a loaded commit channel. IRMC-SC additionally overlaps WAN content
-//! shipping with the intra-region share exchange (§A.9): the collector
-//! ships range content as soon as it is submitted and follows up with a
-//! compact shares-only certificate. A range of length 1 degenerates to
-//! the legacy per-slot wire messages, so mixed configurations
-//! interoperate.
+//! of a loaded commit channel. A range of length 1 degenerates to the
+//! legacy per-slot wire messages, so mixed configurations interoperate.
 //!
 //! Endpoints are sans-IO state machines: methods append [`Action`]s
 //! (messages to peers, CPU charges, readiness events, timer requests) to a
-//! caller-provided buffer, and the host performs them.
+//! caller-provided buffer, and the host performs them. Delivered messages
+//! come wrapped in a [`Delivery`] carrying provenance: which sender's copy
+//! was delivered and whether dedup was involved ([`DedupOutcome`]).
 //!
 //! # Examples
 //!
-//! Passing one message across a 4-sender/3-receiver channel (the shape of
-//! a commit channel with `fa = 1`, `fe = 1`):
+//! Passing a batch across a 4-sender/3-receiver dedup channel (the shape
+//! of a commit channel with `fa = 1`, `fe = 1`):
 //!
 //! ```
-//! use spider_irmc::{Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SenderEndpoint, Variant};
+//! use spider_irmc::{
+//!     Action, ChannelMode, DedupOutcome, IrmcConfig, ReceiveResult, ReceiverEndpoint,
+//!     SenderEndpoint,
+//! };
 //! use spider_crypto::{Digest, Digestible, Keyring};
 //! use spider_types::{Position, SimTime, WireSize};
 //!
@@ -63,25 +70,32 @@
 //!     fn digest(&self) -> Digest { Digest::builder().u64(self.0).finish() }
 //! }
 //!
-//! let cfg = IrmcConfig::new(Variant::ReceiverCollect, 4, 1, 3, 1, 16);
+//! let cfg = IrmcConfig::new(ChannelMode::ReliableCast { dedup: true }, 4, 1, 3, 1, 16);
 //! let ring = Keyring::new(1);
 //! let mut senders: Vec<SenderEndpoint<Op>> =
 //!     (0..4).map(|i| SenderEndpoint::new(cfg.clone(), i, ring.clone())).collect();
 //! let mut receiver: ReceiverEndpoint<Op> = ReceiverEndpoint::new(cfg, 0, ring);
 //!
-//! // Every sender submits the same content for subchannel 0, position 1.
+//! // Every sender submits the same two-slot batch for subchannel 0.
+//! // Under dedup, one rotated carrier ships the signed content; the
+//! // other three send digest-only vouches.
 //! let mut follow_up = Vec::new();
 //! for (i, s) in senders.iter_mut().enumerate() {
 //!     let mut actions = Vec::new();
-//!     s.send(0, Position(1), Op(42), &mut actions);
+//!     s.send_batch(0, Position(1), vec![Op(42), Op(43)], &mut actions);
 //!     for a in actions {
 //!         if let Action::ToReceiver { to: 0, msg } = a {
 //!             let _ = receiver.on_sender_message(SimTime::ZERO, i, msg, &mut follow_up);
 //!         }
 //!     }
 //! }
-//! // fs + 1 = 2 matching submissions make the message deliverable.
-//! assert_eq!(receiver.try_receive(0, Position(1)), ReceiveResult::Ready(Op(42)));
+//! // fs + 1 = 2 matching statements (content + vouch) deliver the batch.
+//! let ReceiveResult::Ready(d) = receiver.try_receive(0, Position(1)) else {
+//!     panic!("batch should be delivered");
+//! };
+//! assert_eq!(d.payload, Op(42));
+//! assert_eq!(d.dedup, DedupOutcome::Primary);
+//! assert_eq!(receiver.try_receive(0, Position(2)).into_payload(), Some(Op(43)));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -123,10 +137,10 @@ pub(crate) mod tests_support {
     }
 }
 
-pub use config::{IrmcConfig, Variant};
+pub use config::{ChannelMode, IrmcConfig, Variant};
 pub use error::IrmcError;
 pub use messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
-pub use receiver::{ReceiveResult, ReceiverEndpoint};
+pub use receiver::{DedupOutcome, Delivery, ReceiveResult, ReceiverEndpoint};
 pub use sender::{SendStatus, SenderEndpoint};
 pub use window::Window;
 

@@ -17,10 +17,15 @@
 //! * [`ChannelMsg::RangeShare`] — IRMC-SC: a signature share over the
 //!   range root exchanged inside the sender group (analogue of
 //!   `SigShare`; the content stays out of the LAN exchange).
+//! * [`ChannelMsg::RangeVouch`] — IRMC-RC dedup: a digest-only,
+//!   MAC-authenticated confirmation of a range; the rotated primary
+//!   carrier ships the one `SendRange` while everyone else vouches, so
+//!   redundancy costs a digest instead of a payload.
 //! * [`ChannelMsg::RangeContent`] — IRMC-SC: the collector ships the raw
 //!   range content to its receivers **before** shares arrive (§A.9
 //!   overlap). Carries no proof; receivers buffer it and deliver nothing
-//!   until a certificate covers it.
+//!   until a certificate covers it. IRMC-RC dedup reuses it as the
+//!   answer to a receiver's [`ReceiverMsg::FetchRange`].
 //! * [`ChannelMsg::RangeCertificate`] — IRMC-SC: the compact shares-only
 //!   certificate (root + `fs + 1` signatures); the content is *not*
 //!   re-shipped.
@@ -100,9 +105,31 @@ pub enum ChannelMsg<M> {
         /// Signature over `range_digest(sc, first, count, root)`.
         sig: Signature,
     },
-    /// IRMC-SC: raw range content shipped by the collector ahead of
-    /// certification (§A.9 overlap). Authenticated by the transport MAC
-    /// only; never deliverable without a matching [`Self::RangeCertificate`].
+    /// Digest-only range confirmation (IRMC-RC dedup): the statement that
+    /// this sender submitted a range hashing to `root`, without shipping
+    /// the content. The deterministically-rotated carrier ships the one
+    /// [`Self::SendRange`]; every other sender ships this instead, so
+    /// content crosses the wire and gets hashed at most once per range on
+    /// the happy path. Authenticated by the transport MAC: a vouch is
+    /// consumed only by the receiving endpoint and never forwarded as
+    /// proof to a third party, so no signature is needed (IRMC-RC's
+    /// trust model, Fig 18).
+    RangeVouch {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the range.
+        first: Position,
+        /// Number of slots covered.
+        count: u32,
+        /// Merkle root over the per-slot content digests.
+        root: Digest,
+    },
+    /// Raw range content. IRMC-SC: shipped by the collector ahead of
+    /// certification (§A.9 overlap). IRMC-RC dedup: a voucher's answer to
+    /// [`ReceiverMsg::FetchRange`] when the primary carrier stalls.
+    /// Authenticated by the transport MAC only; never deliverable without
+    /// a matching [`Self::RangeCertificate`] (SC) or vouch quorum whose
+    /// root the content hashes to (RC dedup).
     RangeContent {
         /// Subchannel.
         sc: Subchannel,
@@ -153,6 +180,7 @@ impl<M: Content> WireSize for ChannelMsg<M> {
                 HEADER_BYTES + 20 + payload_size(msgs) + SIG_BYTES
             }
             ChannelMsg::RangeShare { .. } => HEADER_BYTES + 20 + DIGEST_BYTES + SIG_BYTES,
+            ChannelMsg::RangeVouch { .. } => HEADER_BYTES + 20 + DIGEST_BYTES + MAC_BYTES,
             ChannelMsg::RangeContent { msgs, .. } => {
                 HEADER_BYTES + 20 + payload_size(msgs) + MAC_BYTES
             }
@@ -189,6 +217,17 @@ pub enum ReceiverMsg {
         /// Chosen collector (sender index).
         collector: usize,
     },
+    /// IRMC-RC dedup: ask a voucher to ship the content of a range whose
+    /// vouch quorum formed but whose primary carrier has not delivered.
+    /// The voucher answers with [`ChannelMsg::RangeContent`].
+    FetchRange {
+        /// Subchannel.
+        sc: Subchannel,
+        /// First position of the stalled range.
+        first: Position,
+        /// Number of slots covered.
+        count: u32,
+    },
 }
 
 impl WireSize for ReceiverMsg {
@@ -196,8 +235,26 @@ impl WireSize for ReceiverMsg {
         match self {
             ReceiverMsg::Move { .. } => HEADER_BYTES + 16 + MAC_BYTES,
             ReceiverMsg::Select { .. } => HEADER_BYTES + 12 + MAC_BYTES,
+            ReceiverMsg::FetchRange { .. } => HEADER_BYTES + 20 + MAC_BYTES,
         }
     }
+}
+
+/// Deterministically rotates the primary content carrier of a dedup
+/// range across the sender group: a bit-mixed hash (splitmix64
+/// finalizer) of `(sc, first)` modulo `n_senders`.
+///
+/// Deliberately *not* `first % n_senders`: range firsts advance in
+/// strides of the range length, so a plain modulus would park the
+/// carrier role on a single sender forever whenever the stride and the
+/// group size share a factor (e.g. stride 32, 4 senders) — the rotation
+/// exists precisely to spread the signing + shipping cost evenly.
+pub(crate) fn carrier_for(sc: Subchannel, first: Position, n_senders: usize) -> usize {
+    let mut x = sc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ first.0;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % n_senders.max(1) as u64) as usize
 }
 
 /// Digest bound to a channel slot: signatures cover the subchannel and
@@ -250,6 +307,22 @@ mod tests {
             shares: vec![sig, sig],
         };
         assert_eq!(two.wire_size() - one.wire_size(), SIG_BYTES);
+    }
+
+    #[test]
+    fn carrier_rotation_covers_all_senders_under_fixed_stride() {
+        // Range firsts advance in a fixed stride (1, 33, 65, ...); a plain
+        // `first % n` would park the carrier on one sender forever. The
+        // mixed rotation must keep every sender carrying a fair share.
+        let mut seen = [0usize; 4];
+        for i in 0..64u64 {
+            seen[carrier_for(0, Position(1 + 32 * i), 4)] += 1;
+        }
+        for (s, &n) in seen.iter().enumerate() {
+            assert!(n >= 8, "sender {s} carries only {n}/64 ranges");
+        }
+        // And the assignment is a pure function of (sc, first).
+        assert_eq!(carrier_for(3, Position(97), 4), carrier_for(3, Position(97), 4));
     }
 
     #[test]
@@ -311,5 +384,26 @@ mod tests {
             shares: vec![sig, sig],
         };
         assert!(cert.wire_size() < single.wire_size() + 2 * SIG_BYTES);
+    }
+
+    #[test]
+    fn vouch_is_digest_sized_not_payload_sized() {
+        let ring = spider_crypto::Keyring::new(1);
+        let d = Digest::of_bytes(b"x");
+        let sig = ring.sign(spider_crypto::KeyId(0), &d);
+        let n = 32usize;
+        let range: ChannelMsg<Blob> = ChannelMsg::SendRange {
+            sc: 0,
+            first: Position(1),
+            msgs: Arc::new((0..n).map(|_| Blob(vec![0; 100])).collect()),
+            sig,
+        };
+        let vouch: ChannelMsg<Blob> =
+            ChannelMsg::RangeVouch { sc: 0, first: Position(1), count: n as u32, root: d };
+        // The dedup premise on the wire: n_s - 1 vouches must be far
+        // smaller than the redundant content copies they replace.
+        assert!(vouch.wire_size() * 10 < range.wire_size());
+        let fetch = ReceiverMsg::FetchRange { sc: 0, first: Position(1), count: n as u32 };
+        assert!(fetch.wire_size() < vouch.wire_size());
     }
 }

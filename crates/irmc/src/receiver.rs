@@ -15,16 +15,46 @@ use crate::config::{IrmcConfig, Variant};
 use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
 use crate::{Action, Content, IrmcError, Subchannel};
-use spider_crypto::{merkle_root, Digest, Keyring, Signature};
+use spider_crypto::{merkle_root, Digest, Keyring, RootCache, Signature};
 use spider_types::{Position, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+/// How the content of a delivered slot reached this receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// Legacy fan-in: IRMC-RC quorum of full content copies, or an
+    /// IRMC-SC certified delivery. No deduplication was in play.
+    Replicated,
+    /// RC dedup happy path: the rotated primary carrier's signed content
+    /// copy, confirmed by the vouch quorum (content crossed the wire and
+    /// was hashed exactly once).
+    Primary,
+    /// RC dedup fallback: raw content shipped by a voucher (after a
+    /// [`ReceiverMsg::FetchRange`], or an unsolicited early copy),
+    /// verified by comparison against the vouched Merkle root.
+    Refetched,
+}
+
+/// A delivered message plus its provenance: which sender's copy was
+/// delivered and whether the dedup machinery was involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    /// The delivered message.
+    pub payload: M,
+    /// The slot it was delivered for.
+    pub position: Position,
+    /// Index of the sender whose content copy was delivered.
+    pub carrier: usize,
+    /// How the content reached this endpoint.
+    pub dedup: DedupOutcome,
+}
+
 /// Result of polling a position (the sans-IO form of Fig 14 `receive`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReceiveResult<M> {
-    /// The message for this position.
-    Ready(M),
+    /// The message for this position, with delivery provenance.
+    Ready(Delivery<M>),
     /// The window has moved past the position: the receiver fell behind
     /// and must recover via checkpoint (§3.4). Carries the new window
     /// start, like the pseudocode's `⟨TooOld, s⟩`.
@@ -34,7 +64,20 @@ pub enum ReceiveResult<M> {
     Pending,
 }
 
-/// SC: range content received ahead of certification (§A.9 overlap).
+impl<M> ReceiveResult<M> {
+    /// The delivered payload, if any — for callers that don't care about
+    /// provenance.
+    pub fn into_payload(self) -> Option<M> {
+        match self {
+            ReceiveResult::Ready(d) => Some(d.payload),
+            ReceiveResult::TooOld(_) | ReceiveResult::Pending => None,
+        }
+    }
+}
+
+/// Range content that cannot deliver yet: SC content ahead of its
+/// certificate (§A.9 overlap), or RC-dedup content ahead of its vouch
+/// quorum.
 #[derive(Debug)]
 struct PendingContent<M> {
     /// Sender that shipped it (at most one buffered candidate per sender,
@@ -42,6 +85,9 @@ struct PendingContent<M> {
     from: usize,
     msgs: Arc<Vec<M>>,
     root: Digest,
+    /// Provenance to attach on delivery ([`DedupOutcome::Replicated`]
+    /// for SC, `Primary`/`Refetched` for RC dedup).
+    outcome: DedupOutcome,
 }
 
 #[derive(Debug)]
@@ -49,8 +95,17 @@ struct ReceiverSub<M> {
     awin: Window,
     /// RC: per position, per sender: (content digest, message).
     rc_slots: BTreeMap<u64, BTreeMap<usize, (Digest, M)>>,
-    /// SC (and RC once quorate): deliverable content per position.
-    ready: BTreeMap<u64, M>,
+    /// RC dedup: per range first position, per sender: the vouched
+    /// statement (count, Merkle root). A verified `SendRange` registers
+    /// as its sender's statement too, so the carrier counts toward the
+    /// quorum. First statement per sender wins (no equivocation).
+    vouches: BTreeMap<u64, BTreeMap<usize, (u32, Digest)>>,
+    /// RC dedup: round-robin cursor over the vouchers of a stalled range,
+    /// so successive refetches try different senders.
+    fetch_cursor: BTreeMap<u64, usize>,
+    /// Deliverable content per position, with the index of the sender
+    /// whose copy was delivered and the dedup provenance.
+    ready: BTreeMap<u64, (M, usize, DedupOutcome)>,
     /// Positions for which `Action::Ready` was already emitted.
     announced: BTreeSet<u64>,
     /// SC: uncertified early-shipped range content, by first position;
@@ -84,6 +139,8 @@ impl<M> ReceiverSub<M> {
         ReceiverSub {
             awin: Window::new(cfg.capacity),
             rc_slots: BTreeMap::new(),
+            vouches: BTreeMap::new(),
+            fetch_cursor: BTreeMap::new(),
             ready: BTreeMap::new(),
             announced: BTreeSet::new(),
             pending_content: BTreeMap::new(),
@@ -101,6 +158,8 @@ impl<M> ReceiverSub<M> {
     fn gc_below(&mut self, start: Position) {
         let s = start.0;
         self.rc_slots.retain(|&p, _| p >= s);
+        self.vouches.retain(|&p, stmts| stmts.values().any(|&(c, _)| p + c as u64 > s));
+        self.fetch_cursor.retain(|&p, _| p >= s);
         self.ready.retain(|&p, _| p >= s);
         self.announced.retain(|&p| p >= s);
         self.pending_content.retain(|&p, cands| {
@@ -122,6 +181,12 @@ pub struct ReceiverEndpoint<M> {
     me: usize,
     keyring: Keyring,
     subs: BTreeMap<Subchannel, ReceiverSub<M>>,
+    /// RC dedup: range digests whose carrier signature already verified,
+    /// so a retransmitted content copy is accepted by root comparison
+    /// (one Merkle recompute, no second RSA verification). Keyed by the
+    /// full [`range_digest`] — which binds `(sc, first, count, root)` —
+    /// not the bare root, so a hit can never be replayed across ranges.
+    root_cache: RootCache,
 }
 
 impl<M: Content> ReceiverEndpoint<M> {
@@ -132,7 +197,10 @@ impl<M: Content> ReceiverEndpoint<M> {
     /// Panics if `me` is out of range.
     pub fn new(cfg: IrmcConfig, me: usize, keyring: Keyring) -> Self {
         assert!(me < cfg.n_receivers, "receiver index out of range");
-        ReceiverEndpoint { cfg, me, keyring, subs: BTreeMap::new() }
+        // Two windows' worth of verified range digests comfortably covers
+        // in-flight retransmissions without unbounded growth.
+        let root_cache = RootCache::new((cfg.capacity as usize).saturating_mul(2));
+        ReceiverEndpoint { cfg, me, keyring, subs: BTreeMap::new(), root_cache }
     }
 
     /// This endpoint's index within the receiver group.
@@ -158,7 +226,12 @@ impl<M: Content> ReceiverEndpoint<M> {
             return ReceiveResult::TooOld(sub.awin.start());
         }
         match sub.ready.get(&p.0) {
-            Some(m) => ReceiveResult::Ready(m.clone()),
+            Some((m, carrier, outcome)) => ReceiveResult::Ready(Delivery {
+                payload: m.clone(),
+                position: p,
+                carrier: *carrier,
+                dedup: *outcome,
+            }),
             None => ReceiveResult::Pending,
         }
     }
@@ -201,7 +274,10 @@ impl<M: Content> ReceiverEndpoint<M> {
                 self.on_send_range(from, sc, first, msgs, sig, out)
             }
             ChannelMsg::Certificate { sc, p, msg, shares } => {
-                self.on_certificate(sc, p, msg, shares, out)
+                self.on_certificate(from, sc, p, msg, shares, out)
+            }
+            ChannelMsg::RangeVouch { sc, first, count, root } => {
+                self.on_range_vouch(from, sc, first, count, root, out)
             }
             ChannelMsg::RangeContent { sc, first, msgs } => {
                 self.on_range_content(from, sc, first, msgs, out)
@@ -231,7 +307,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         sig: Signature,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::ReceiverCollect {
+        if self.cfg.variant() != Variant::ReceiverCollect {
             return Err(IrmcError::WrongVariant);
         }
         let Some(&key) = self.cfg.sender_keys.get(from) else {
@@ -260,7 +336,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         sig: Signature,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::ReceiverCollect {
+        if self.cfg.variant() != Variant::ReceiverCollect {
             return Err(IrmcError::WrongVariant);
         }
         let count = msgs.len();
@@ -271,6 +347,9 @@ impl<M: Content> ReceiverEndpoint<M> {
         let Some(&key) = self.cfg.sender_keys.get(from) else {
             return Err(IrmcError::UnknownEndpoint { index: from });
         };
+        if self.cfg.dedup() {
+            return self.on_dedup_send_range(from, sc, first, msgs, sig, out);
+        }
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
         // Hash all payloads, rebuild the tree, verify ONE signature.
         out.push(Action::Charge(
@@ -293,6 +372,203 @@ impl<M: Content> ReceiverEndpoint<M> {
             self.credit_rc_slot(from, sc, p, leaf, m.clone(), out)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // IRMC-RC digest-only fan-in (dedup)
+    // ------------------------------------------------------------------
+
+    /// Signed content from the (claimed) primary carrier of a dedup
+    /// range. The content is hashed exactly once; the signature is
+    /// skipped when this exact range digest already verified (a
+    /// retransmission — [`RootCache`]). The verified statement counts as
+    /// its sender's vouch, so the carrier participates in the quorum.
+    fn on_dedup_send_range(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        first: Position,
+        msgs: Arc<Vec<M>>,
+        sig: Signature,
+        out: &mut Vec<Action<M>>,
+    ) -> Result<(), IrmcError> {
+        let Some(&key) = self.cfg.sender_keys.get(from) else {
+            return Err(IrmcError::UnknownEndpoint { index: from });
+        };
+        let count = msgs.len();
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        {
+            let sub = self.sub(sc);
+            if Self::range_delivered(sub, first.0, count as u64) {
+                // Late duplicate (below the window, or the range already
+                // delivered): drop after the transport MAC — the member
+                // slots are NOT re-hashed.
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                return Ok(());
+            }
+            if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+                return Err(IrmcError::OutOfWindow { sc, p: first });
+            }
+        }
+        // Hash the payloads and rebuild the tree (once per range).
+        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count)));
+        let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+        let root = merkle_root(&leaves);
+        let rd = range_digest(sc, first, count as u32, &root);
+        if self.root_cache.contains(&rd) {
+            // Same signed statement as before: root comparison suffices.
+            out.push(Action::Charge(self.cfg.cost.vouch_verify()));
+        } else {
+            out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+            if !self.keyring.verify(key, &rd, &sig) {
+                return Err(IrmcError::BadSignature { sc, p: first });
+            }
+            self.root_cache.insert(rd);
+        }
+        let sub = self.sub(sc);
+        sub.vouches.entry(first.0).or_default().entry(from).or_insert((count as u32, root));
+        Self::buffer_content(sub, from, first.0, msgs.clone(), root, DedupOutcome::Primary);
+        self.try_deliver_dedup(sc, first.0, out);
+        if !Self::range_delivered(self.sub(sc), first.0, count as u64) {
+            // Not (yet) deliverable as a range — the other senders may
+            // have cut their ranges at diverged boundaries, so this exact
+            // statement might never quorate. The verified signature also
+            // attests every member slot individually: credit them so
+            // overlapping foreign statements can converge on per-slot
+            // quorums (the legacy `Send` path).
+            for (i, (leaf, m)) in leaves.iter().zip(msgs.iter()).enumerate() {
+                let _ = self.credit_rc_slot(
+                    from,
+                    sc,
+                    Position(first.0 + i as u64),
+                    *leaf,
+                    m.clone(),
+                    out,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// A digest-only range confirmation from a non-carrier sender
+    /// (MAC-authenticated; see [`ChannelMsg::RangeVouch`]).
+    fn on_range_vouch(
+        &mut self,
+        from: usize,
+        sc: Subchannel,
+        first: Position,
+        count: u32,
+        root: Digest,
+        out: &mut Vec<Action<M>>,
+    ) -> Result<(), IrmcError> {
+        if self.cfg.variant() != Variant::ReceiverCollect || !self.cfg.dedup() {
+            return Err(IrmcError::WrongVariant);
+        }
+        if count < 2 || count as u64 > self.cfg.capacity {
+            return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
+        }
+        out.push(Action::Charge(self.cfg.cost.vouch_verify()));
+        let sub = self.sub(sc);
+        if first.0 + count as u64 <= sub.awin.start().0 {
+            return Ok(()); // Entirely below the window: late duplicate.
+        }
+        if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+            return Err(IrmcError::OutOfWindow { sc, p: first });
+        }
+        sub.vouches.entry(first.0).or_default().entry(from).or_insert((count, root));
+        self.try_deliver_dedup(sc, first.0, out);
+        Ok(())
+    }
+
+    /// Every in-window slot of `[first, first + count)` already
+    /// delivered? (Slots the window moved past count as handled.) With
+    /// diverged range boundaries, per-slot crediting can deliver a
+    /// *prefix* of a range, so "is slot `first` ready" is not a valid
+    /// proxy for "is this range done".
+    fn range_delivered(sub: &ReceiverSub<M>, first: u64, count: u64) -> bool {
+        let lo = first.max(sub.awin.start().0);
+        let hi = first + count;
+        hi <= lo || sub.ready.range(lo..hi).count() == (hi - lo) as usize
+    }
+
+    /// The statement `(count, root)` vouched for range `first` by more
+    /// than `fs` distinct senders, if any (at most one can reach the
+    /// quorum: statements differ ⇒ senders differ).
+    fn quorate_statement(sub: &ReceiverSub<M>, fs: usize, first: u64) -> Option<(u32, Digest)> {
+        let stmts = sub.vouches.get(&first)?;
+        stmts
+            .values()
+            .find(|&&(c, r)| stmts.values().filter(|&&(c2, r2)| c2 == c && r2 == r).count() > fs)
+            .copied()
+    }
+
+    /// Buffers one content candidate per sender (a faulty sender can only
+    /// ever replace its own slot, never evict honest content).
+    fn buffer_content(
+        sub: &mut ReceiverSub<M>,
+        from: usize,
+        first: u64,
+        msgs: Arc<Vec<M>>,
+        root: Digest,
+        outcome: DedupOutcome,
+    ) {
+        let candidates = sub.pending_content.entry(first).or_default();
+        match candidates.iter_mut().find(|c| c.from == from) {
+            Some(mine) => {
+                mine.msgs = msgs;
+                mine.root = root;
+                mine.outcome = outcome;
+            }
+            None => candidates.push(PendingContent { from, msgs, root, outcome }),
+        }
+    }
+
+    /// Delivers range `first` once a vouch quorum AND a content copy
+    /// hashing to the quorate root are both present (first arrival wins).
+    /// A quorum without content arms the carrier-supervision timer.
+    fn try_deliver_dedup(&mut self, sc: Subchannel, first: u64, out: &mut Vec<Action<M>>) {
+        let fs = self.cfg.fs;
+        let timeout = self.cfg.refetch_delay;
+        let Some(sub) = self.subs.get_mut(&sc) else {
+            return;
+        };
+        let span =
+            sub.vouches.get(&first).into_iter().flat_map(|s| s.values()).map(|&(c, _)| c).max();
+        if Self::range_delivered(sub, first, span.unwrap_or(0) as u64) {
+            return;
+        }
+        let Some((count, root)) = Self::quorate_statement(sub, fs, first) else {
+            // Vouched but not quorate: the senders may have cut their
+            // ranges at diverged boundaries (replica-local back-pressure),
+            // in which case no statement ever reaches fs + 1. Supervise:
+            // the timer refetches each voucher's own copy, and matching
+            // copies converge on per-slot quorums (`credit_rc_slot`).
+            if !sub.timer_armed {
+                sub.timer_armed = true;
+                out.push(Action::SetTimer { token: sc, delay: timeout });
+            }
+            return;
+        };
+        let matched = sub.pending_content.get(&first).and_then(|cands| {
+            cands
+                .iter()
+                .find(|c| c.root == root && c.msgs.len() == count as usize)
+                .map(|c| (c.from, c.msgs.clone(), c.outcome))
+        });
+        match matched {
+            Some((carrier, msgs, outcome)) => {
+                sub.pending_content.remove(&first);
+                sub.fetch_cursor.remove(&first);
+                self.deliver_range(sc, first, &msgs, carrier, outcome, out);
+            }
+            None if !sub.timer_armed => {
+                // fs + 1 senders confirmed the range but nobody's content
+                // arrived yet: supervise the carrier, refetch on expiry.
+                sub.timer_armed = true;
+                out.push(Action::SetTimer { token: sc, delay: timeout });
+            }
+            None => {}
+        }
     }
 
     /// Books verified content from `from` for slot `(sc, p)` and delivers
@@ -328,7 +604,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         if quorate && !sub.ready.contains_key(&p.0) {
             let found = slot_map.values().find(|(d, _)| *d == digest).map(|(_, m)| m.clone());
             if let Some(m) = found {
-                sub.ready.insert(p.0, m);
+                sub.ready.insert(p.0, (m, from, DedupOutcome::Replicated));
                 if sub.announced.insert(p.0) {
                     out.push(Action::Ready { sc, p });
                 }
@@ -343,13 +619,14 @@ impl<M: Content> ReceiverEndpoint<M> {
 
     fn on_certificate(
         &mut self,
+        from: usize,
         sc: Subchannel,
         p: Position,
         msg: Arc<M>,
         shares: Vec<Signature>,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::SenderCollect {
+        if self.cfg.variant() != Variant::SenderCollect {
             return Err(IrmcError::WrongVariant);
         }
         // Verify transport MAC + every contained share.
@@ -369,7 +646,8 @@ impl<M: Content> ReceiverEndpoint<M> {
             return Err(IrmcError::OutOfWindow { sc, p });
         }
         let m = (*msg).clone();
-        if sub.ready.insert(p.0, m).is_none() && sub.announced.insert(p.0) {
+        let entry = (m, from, DedupOutcome::Replicated);
+        if sub.ready.insert(p.0, entry).is_none() && sub.announced.insert(p.0) {
             out.push(Action::Ready { sc, p });
         }
         Ok(())
@@ -391,8 +669,11 @@ impl<M: Content> ReceiverEndpoint<M> {
         valid > self.cfg.fs
     }
 
-    /// Early-shipped range content (§A.9 overlap): hash it, remember it,
-    /// but deliver **nothing** until a valid certificate covers its root.
+    /// Raw range content without proof. IRMC-SC: early-shipped content
+    /// (§A.9 overlap) — hash it, remember it, but deliver **nothing**
+    /// until a valid certificate covers its root. IRMC-RC dedup: a
+    /// voucher's (re)shipped copy — hash it once and deliver iff it
+    /// matches the vouch quorum's root.
     fn on_range_content(
         &mut self,
         from: usize,
@@ -401,7 +682,8 @@ impl<M: Content> ReceiverEndpoint<M> {
         msgs: Arc<Vec<M>>,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::SenderCollect {
+        let dedup = self.cfg.variant() == Variant::ReceiverCollect && self.cfg.dedup();
+        if self.cfg.variant() != Variant::SenderCollect && !dedup {
             return Err(IrmcError::WrongVariant);
         }
         let count = msgs.len();
@@ -409,10 +691,59 @@ impl<M: Content> ReceiverEndpoint<M> {
             return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
         }
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
-        // Transport MAC + payload hashing + tree rebuild; no signature yet.
+        if dedup {
+            let sub = self.sub(sc);
+            if Self::range_delivered(sub, first.0, count as u64) {
+                // Late duplicate or already-delivered range: drop after
+                // the transport MAC, members are NOT re-hashed.
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                return Ok(());
+            }
+            if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
+                return Err(IrmcError::OutOfWindow { sc, p: first });
+            }
+        }
+        // Transport MAC + payload hashing + tree rebuild; no signature.
         out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count)));
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
+        if dedup {
+            let fs = self.cfg.fs;
+            let sub = self.sub(sc);
+            if let Some((qc, qroot)) = Self::quorate_statement(sub, fs, first.0) {
+                if qc as usize != count || qroot != root {
+                    // The shipping sender contradicts what fs+1 senders
+                    // vouched: it is faulty. Keep waiting/refetching.
+                    return Err(IrmcError::VouchMismatch { sc, first });
+                }
+                sub.pending_content.remove(&first.0);
+                sub.fetch_cursor.remove(&first.0);
+                self.deliver_range(sc, first.0, &msgs, from, DedupOutcome::Refetched, out);
+                return Ok(());
+            }
+            // No quorum yet: content raced ahead of the vouches, or the
+            // senders cut their ranges at diverged boundaries and no
+            // statement will ever quorate.
+            let own = sub.vouches.get(&first.0).and_then(|stmts| stmts.get(&from)).copied();
+            Self::buffer_content(sub, from, first.0, msgs.clone(), root, DedupOutcome::Refetched);
+            if own == Some((count as u32, root)) {
+                // The copy matches `from`'s own vouched statement: it is a
+                // per-slot attestation by `from`, exactly like a legacy
+                // `Send` — credit each slot so overlapping statements
+                // converge on per-slot quorums despite diverged cuts.
+                for (i, (leaf, m)) in leaves.iter().zip(msgs.iter()).enumerate() {
+                    let _ = self.credit_rc_slot(
+                        from,
+                        sc,
+                        Position(first.0 + i as u64),
+                        *leaf,
+                        m.clone(),
+                        out,
+                    );
+                }
+            }
+            return Ok(());
+        }
         let sub = self.sub(sc);
         if first.0 + count as u64 <= sub.awin.start().0 {
             return Ok(()); // Entirely below the window: late duplicate.
@@ -427,21 +758,14 @@ impl<M: Content> ReceiverEndpoint<M> {
                 if certs.is_empty() {
                     sub.pending_certs.remove(&first.0);
                 }
-                self.deliver_range(sc, first.0, &msgs, out);
+                self.deliver_range(sc, first.0, &msgs, from, DedupOutcome::Replicated, out);
                 return Ok(());
             }
         }
         // Buffer one candidate per *sender*: a faulty collector flooding
         // bogus roots can only ever replace its own slot, never evict
         // honest content.
-        let candidates = sub.pending_content.entry(first.0).or_default();
-        match candidates.iter_mut().find(|c| c.from == from) {
-            Some(mine) => {
-                mine.msgs = msgs;
-                mine.root = root;
-            }
-            None => candidates.push(PendingContent { from, msgs, root }),
-        }
+        Self::buffer_content(sub, from, first.0, msgs, root, DedupOutcome::Replicated);
         Ok(())
     }
 
@@ -456,7 +780,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         shares: Vec<Signature>,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::SenderCollect {
+        if self.cfg.variant() != Variant::SenderCollect {
             return Err(IrmcError::WrongVariant);
         }
         if count < 2 || count as u64 > self.cfg.capacity {
@@ -483,12 +807,12 @@ impl<M: Content> ReceiverEndpoint<M> {
             cands
                 .iter()
                 .find(|c| c.root == root && c.msgs.len() == count as usize)
-                .map(|c| c.msgs.clone())
+                .map(|c| (c.from, c.msgs.clone()))
         });
         match matched {
-            Some(msgs) => {
+            Some((shipper, msgs)) => {
                 sub.pending_content.remove(&first.0);
-                self.deliver_range(sc, first.0, &msgs, out);
+                self.deliver_range(sc, first.0, &msgs, shipper, DedupOutcome::Replicated, out);
             }
             None => {
                 // Keep every distinct certified statement (diverged
@@ -503,8 +827,18 @@ impl<M: Content> ReceiverEndpoint<M> {
         Ok(())
     }
 
-    /// Delivers every slot of a certified range that is still in-window.
-    fn deliver_range(&mut self, sc: Subchannel, first: u64, msgs: &[M], out: &mut Vec<Action<M>>) {
+    /// Delivers every slot of a certified (or vouch-quorate) range that
+    /// is still in-window, tagging each with the shipping sender and the
+    /// dedup provenance.
+    fn deliver_range(
+        &mut self,
+        sc: Subchannel,
+        first: u64,
+        msgs: &[M],
+        carrier: usize,
+        outcome: DedupOutcome,
+        out: &mut Vec<Action<M>>,
+    ) {
         let sub = self.sub(sc);
         let start = sub.awin.start().0;
         for (i, m) in msgs.iter().enumerate() {
@@ -512,7 +846,8 @@ impl<M: Content> ReceiverEndpoint<M> {
             if p < start {
                 continue;
             }
-            if sub.ready.insert(p, m.clone()).is_none() && sub.announced.insert(p) {
+            let entry = (m.clone(), carrier, outcome);
+            if sub.ready.insert(p, entry).is_none() && sub.announced.insert(p) {
                 out.push(Action::Ready { sc, p: Position(p) });
             }
         }
@@ -524,7 +859,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         positions: Vec<(Subchannel, Position)>,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        if self.cfg.variant != Variant::SenderCollect {
+        if self.cfg.variant() != Variant::SenderCollect {
             return Err(IrmcError::WrongVariant);
         }
         out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
@@ -594,12 +929,31 @@ impl<M: Content> ReceiverEndpoint<M> {
         (p <= hi).then_some(Position(p))
     }
 
-    /// Handles the collector-supervision timer for subchannel `token`
-    /// (IRMC-SC, Fig 20 L30-35).
-    pub fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<Action<M>>) {
-        if self.cfg.variant != Variant::SenderCollect {
-            return;
+    /// Handles the supervision timer for subchannel `token`: collector
+    /// supervision for IRMC-SC (Fig 20 L30-35), carrier supervision for
+    /// RC dedup.
+    ///
+    /// `Err(CarrierTimeout)` reports that a vouch-quorate range's content
+    /// never arrived and a refetch was issued — informational (the
+    /// protocol recovers on its own), carrying the first stalled range.
+    pub fn on_timer(
+        &mut self,
+        token: u64,
+        _now: SimTime,
+        out: &mut Vec<Action<M>>,
+    ) -> Result<(), IrmcError> {
+        match self.cfg.variant() {
+            Variant::SenderCollect => {
+                self.on_sc_timer(token, out);
+                Ok(())
+            }
+            Variant::ReceiverCollect if self.cfg.dedup() => self.on_dedup_timer(token, out),
+            Variant::ReceiverCollect => Ok(()),
         }
+    }
+
+    /// IRMC-SC collector supervision (Fig 20 L30-35).
+    fn on_sc_timer(&mut self, token: u64, out: &mut Vec<Action<M>>) {
         let sc = token;
         let n_senders = self.cfg.n_senders;
         let timeout = self.cfg.collector_timeout;
@@ -623,6 +977,80 @@ impl<M: Content> ReceiverEndpoint<M> {
             });
         }
         out.push(Action::SetTimer { token: sc, delay: timeout });
+    }
+
+    /// RC dedup carrier supervision: for every vouch-quorate range whose
+    /// content still has not arrived, ask the next voucher (round-robin)
+    /// to ship it, then re-arm.
+    fn on_dedup_timer(&mut self, token: u64, out: &mut Vec<Action<M>>) -> Result<(), IrmcError> {
+        let sc = token;
+        let fs = self.cfg.fs;
+        let timeout = self.cfg.refetch_delay;
+        let Some(sub) = self.subs.get_mut(&sc) else {
+            return Ok(());
+        };
+        sub.timer_armed = false;
+        let firsts: Vec<u64> = sub.vouches.keys().copied().collect();
+        let mut fetched: Vec<(u64, u32, usize)> = Vec::new();
+        for first in firsts {
+            let span =
+                sub.vouches.get(&first).into_iter().flat_map(|s| s.values()).map(|&(c, _)| c).max();
+            if Self::range_delivered(sub, first, span.unwrap_or(0) as u64) {
+                continue; // Delivered while the timer was pending.
+            }
+            // With a quorate statement, rotate through its vouchers —
+            // each retains the content, and any one copy completes the
+            // range. Without one (boundaries diverged between senders),
+            // ask *every* voucher for its own statement at once: a copy
+            // matching its sender's vouch credits that sender per slot,
+            // and fs + 1 overlapping copies are needed before the slots
+            // converge on per-slot quorums, so serializing the fetches
+            // would only multiply the stall by the timer period.
+            match Self::quorate_statement(sub, fs, first) {
+                Some((count, root)) => {
+                    let vouchers: Vec<usize> = sub
+                        .vouches
+                        .get(&first)
+                        .map(|stmts| {
+                            stmts
+                                .iter()
+                                .filter(|(_, &(c, r))| c == count && r == root)
+                                .map(|(&s, _)| s)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if vouchers.is_empty() {
+                        continue;
+                    }
+                    let cursor = sub.fetch_cursor.entry(first).or_insert(0);
+                    let Some(&target) = vouchers.get(*cursor % vouchers.len()) else {
+                        continue;
+                    };
+                    *cursor += 1;
+                    fetched.push((first, count, target));
+                }
+                None => {
+                    for (&s, &(c, _)) in sub.vouches.get(&first).into_iter().flatten() {
+                        fetched.push((first, c, s));
+                    }
+                }
+            }
+        }
+        let Some(&(stalled_first, _, _)) = fetched.first() else {
+            return Ok(()); // All quiet: let the timer lapse.
+        };
+        out.push(Action::Charge(self.cfg.cost.hmac(32) * fetched.len() as u64));
+        for &(first, count, target) in &fetched {
+            out.push(Action::ToSender {
+                to: target,
+                msg: ReceiverMsg::FetchRange { sc, first: Position(first), count },
+            });
+        }
+        if let Some(sub) = self.subs.get_mut(&sc) {
+            sub.timer_armed = true;
+        }
+        out.push(Action::SetTimer { token: sc, delay: timeout });
+        Err(IrmcError::CarrierTimeout { sc, first: Position(stalled_first) })
     }
 
     /// The collector this endpoint currently expects to serve `sc`.
@@ -652,7 +1080,7 @@ mod tests {
         let mut s: SenderEndpoint<Blob> =
             SenderEndpoint::new(cfg(Variant::ReceiverCollect), idx, Keyring::new(5));
         let mut out = Vec::new();
-        s.send(sc, p, m.clone(), &mut out);
+        s.send_batch(sc, p, vec![m.clone()], &mut out);
         out.into_iter()
             .find_map(|a| match a {
                 Action::ToReceiver { to: 0, msg } => Some(msg),
@@ -671,7 +1099,7 @@ mod tests {
         let mut s: SenderEndpoint<Blob> =
             SenderEndpoint::new(cfg(Variant::ReceiverCollect), idx, Keyring::new(5));
         let mut out = Vec::new();
-        s.send_many(sc, first, msgs, &mut out);
+        s.send_batch(sc, first, msgs, &mut out);
         out.into_iter()
             .find_map(|a| match a {
                 Action::ToReceiver { to: 0, msg: m @ ChannelMsg::SendRange { .. } } => Some(m),
@@ -697,7 +1125,7 @@ mod tests {
         );
         let _ = r.on_sender_message(SimTime::ZERO, 1, send_from(1, 3, Position(1), &m), &mut out);
         assert!(out.iter().any(|a| matches!(a, Action::Ready { sc: 3, p } if *p == Position(1))));
-        assert_eq!(r.try_receive(3, Position(1)), ReceiveResult::Ready(m));
+        assert_eq!(r.try_receive(3, Position(1)).into_payload(), Some(m));
     }
 
     #[test]
@@ -852,7 +1280,7 @@ mod tests {
         assert!(out.iter().any(|a| matches!(a, Action::SetTimer { token: 0, .. })));
         // Timer fires; nothing arrived from collector 0 -> switch to 1.
         out.clear();
-        r.on_timer(0, SimTime::from_millis(500), &mut out);
+        let _ = r.on_timer(0, SimTime::from_millis(500), &mut out);
         assert_eq!(r.collector(0), 1);
         let selects = out
             .iter()
@@ -889,8 +1317,8 @@ mod tests {
         );
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(
-                r.try_receive(0, Position(1 + i as u64)),
-                ReceiveResult::Ready(m.clone()),
+                r.try_receive(0, Position(1 + i as u64)).into_payload(),
+                Some(m.clone()),
                 "slot {i}"
             );
         }
@@ -911,7 +1339,7 @@ mod tests {
         );
         let _ =
             r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(2), &msgs[1]), &mut out);
-        assert_eq!(r.try_receive(0, Position(2)), ReceiveResult::Ready(msgs[1].clone()));
+        assert_eq!(r.try_receive(0, Position(2)).into_payload(), Some(msgs[1].clone()));
         assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
     }
 
@@ -966,8 +1394,8 @@ mod tests {
         let msgs = blobs(1, 4);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs.clone(), &mut out1);
         // Deliver ONLY the early content (overlap) to the receiver.
         let content = out0
             .iter()
@@ -1009,7 +1437,7 @@ mod tests {
             .expect("certificate shipped");
         let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
-            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)).into_payload(), Some(m.clone()));
         }
     }
 
@@ -1019,8 +1447,8 @@ mod tests {
         let msgs = blobs(1, 3);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs.clone(), &mut out1);
         let share = out1
             .iter()
             .find_map(|a| match a {
@@ -1054,7 +1482,7 @@ mod tests {
             .unwrap();
         let _ = r.on_sender_message(SimTime::ZERO, 0, content, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
-            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)).into_payload(), Some(m.clone()));
         }
     }
 
@@ -1067,8 +1495,8 @@ mod tests {
         let msgs = blobs(1, 4);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs.clone(), &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs.clone(), &mut out1);
         let mut rout = Vec::new();
         // Faulty sender 2 floods distinct bogus contents for first=1.
         for k in 0..8u64 {
@@ -1115,7 +1543,7 @@ mod tests {
             .unwrap();
         let _ = r.on_sender_message(SimTime::ZERO, 0, cert, &mut rout);
         for (i, m) in msgs.iter().enumerate() {
-            assert_eq!(r.try_receive(0, Position(1 + i as u64)), ReceiveResult::Ready(m.clone()));
+            assert_eq!(r.try_receive(0, Position(1 + i as u64)).into_payload(), Some(m.clone()));
         }
     }
 
@@ -1125,8 +1553,8 @@ mod tests {
         let msgs = blobs(1, 3);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs, &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs, &mut out1);
         // A faulty collector ships different content than was certified.
         let mut rout = Vec::new();
         let _ = r.on_sender_message(
@@ -1161,5 +1589,305 @@ mod tests {
                 "mismatching content must not deliver under the certificate"
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // RC digest-only fan-in (dedup)
+    // ------------------------------------------------------------------
+
+    use crate::messages::carrier_for;
+    use crate::ChannelMode;
+    use spider_types::WireSize;
+
+    fn dedup_cfg() -> IrmcConfig {
+        IrmcConfig::new(ChannelMode::ReliableCast { dedup: true }, 3, 1, 3, 1, 8)
+            .with_cost(CostModel::zero())
+    }
+
+    /// Everything sender `idx` ships to receiver 0 for this batch.
+    fn dedup_msgs_from(
+        c: &IrmcConfig,
+        idx: usize,
+        sc: Subchannel,
+        first: Position,
+        msgs: Vec<Blob>,
+    ) -> Vec<ChannelMsg<Blob>> {
+        let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), idx, Keyring::new(5));
+        let mut out = Vec::new();
+        s.send_batch(sc, first, msgs, &mut out);
+        out.into_iter()
+            .filter_map(|a| match a {
+                Action::ToReceiver { to: 0, msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn charge_sum(out: &[Action<Blob>]) -> SimTime {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::Charge(t) => Some(*t),
+                _ => None,
+            })
+            .fold(SimTime::ZERO, |acc, t| acc + t)
+    }
+
+    #[test]
+    fn dedup_carrier_content_plus_one_vouch_delivers_primary() {
+        let c = dedup_cfg();
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let voucher = (carrier + 1) % c.n_senders;
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        for m in dedup_msgs_from(&c, carrier, 0, Position(1), msgs.clone()) {
+            let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut out);
+        }
+        assert_eq!(
+            r.try_receive(0, Position(1)),
+            ReceiveResult::Pending,
+            "the carrier alone is one statement — not a quorum"
+        );
+        for m in dedup_msgs_from(&c, voucher, 0, Position(1), msgs.clone()) {
+            let _ = r.on_sender_message(SimTime::ZERO, voucher, m, &mut out);
+        }
+        for (i, m) in msgs.iter().enumerate() {
+            let got = r.try_receive(0, Position(1 + i as u64));
+            let ReceiveResult::Ready(d) = got else { panic!("slot {i} should deliver") };
+            assert_eq!(d.payload, *m, "byte-identical delivery, slot {i}");
+            assert_eq!(d.carrier, carrier, "provenance names the carrier");
+            assert_eq!(d.dedup, DedupOutcome::Primary);
+        }
+        assert!(out.iter().any(|a| matches!(a, Action::Ready { sc: 0, p } if *p == Position(1))));
+    }
+
+    #[test]
+    fn dedup_vouch_order_does_not_matter() {
+        // Vouches land before the carrier's content: delivery happens the
+        // moment the content arrives, not before.
+        let c = dedup_cfg();
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 3);
+        let mut out = Vec::new();
+        for s in 0..c.n_senders {
+            if s == carrier {
+                continue;
+            }
+            for m in dedup_msgs_from(&c, s, 0, Position(1), msgs.clone()) {
+                let _ = r.on_sender_message(SimTime::ZERO, s, m, &mut out);
+            }
+        }
+        assert_eq!(
+            r.try_receive(0, Position(1)),
+            ReceiveResult::Pending,
+            "vouches alone carry no content"
+        );
+        for m in dedup_msgs_from(&c, carrier, 0, Position(1), msgs.clone()) {
+            let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut out);
+        }
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(msgs[0].clone()));
+    }
+
+    #[test]
+    fn dedup_quorum_without_content_arms_timer_and_refetches() {
+        let c = dedup_cfg();
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let vouchers: Vec<usize> = (0..c.n_senders).filter(|&s| s != carrier).collect();
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        for &v in &vouchers {
+            for m in dedup_msgs_from(&c, v, 0, Position(1), msgs.clone()) {
+                let _ = r.on_sender_message(SimTime::ZERO, v, m, &mut out);
+            }
+        }
+        // fs + 1 = 2 vouches form a quorum with no content: supervise.
+        assert!(
+            out.iter().any(|a| matches!(a, Action::SetTimer { token: 0, .. })),
+            "quorum without content must arm the carrier-supervision timer"
+        );
+        out.clear();
+        let res = r.on_timer(0, SimTime::from_millis(500), &mut out);
+        assert_eq!(
+            res,
+            Err(IrmcError::CarrierTimeout { sc: 0, first: Position(1) }),
+            "the stalled range is reported"
+        );
+        let fetch = out
+            .iter()
+            .find_map(|a| match a {
+                Action::ToSender { to, msg: ReceiverMsg::FetchRange { sc: 0, first, count } } => {
+                    Some((*to, *first, *count))
+                }
+                _ => None,
+            })
+            .expect("a refetch goes out");
+        assert_eq!(fetch.1, Position(1));
+        assert_eq!(fetch.2, 4);
+        assert!(vouchers.contains(&fetch.0), "refetch targets a voucher");
+        assert!(
+            out.iter().any(|a| matches!(a, Action::SetTimer { token: 0, .. })),
+            "the timer re-arms until the content lands"
+        );
+        // The voucher answers with raw content: delivered as Refetched.
+        let mut out2 = Vec::new();
+        let _ = r.on_sender_message(
+            SimTime::ZERO,
+            fetch.0,
+            ChannelMsg::RangeContent { sc: 0, first: Position(1), msgs: Arc::new(msgs.clone()) },
+            &mut out2,
+        );
+        for (i, m) in msgs.iter().enumerate() {
+            let ReceiveResult::Ready(d) = r.try_receive(0, Position(1 + i as u64)) else {
+                panic!("slot {i} should deliver after the refetch")
+            };
+            assert_eq!(d.payload, *m);
+            assert_eq!(d.carrier, fetch.0);
+            assert_eq!(d.dedup, DedupOutcome::Refetched);
+        }
+        // The next timer expiry finds nothing stalled and stays quiet.
+        let mut out3 = Vec::new();
+        assert_eq!(r.on_timer(0, SimTime::from_millis(1000), &mut out3), Ok(()));
+        assert!(!out3.iter().any(|a| matches!(a, Action::SetTimer { .. })));
+    }
+
+    #[test]
+    fn dedup_successive_refetches_rotate_vouchers() {
+        let c = dedup_cfg();
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let vouchers: Vec<usize> = (0..c.n_senders).filter(|&s| s != carrier).collect();
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        for &v in &vouchers {
+            for m in dedup_msgs_from(&c, v, 0, Position(1), msgs.clone()) {
+                let _ = r.on_sender_message(SimTime::ZERO, v, m, &mut out);
+            }
+        }
+        let mut targets = Vec::new();
+        for round in 0..2u64 {
+            out.clear();
+            let _ = r.on_timer(0, SimTime::from_millis(500 * (round + 1)), &mut out);
+            targets.extend(out.iter().filter_map(|a| match a {
+                Action::ToSender { to, msg: ReceiverMsg::FetchRange { .. } } => Some(*to),
+                _ => None,
+            }));
+        }
+        assert_eq!(targets.len(), 2);
+        assert_ne!(targets[0], targets[1], "a dead voucher is not re-asked immediately");
+    }
+
+    #[test]
+    fn dedup_tampered_content_is_rejected_as_vouch_mismatch() {
+        let c = dedup_cfg();
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let vouchers: Vec<usize> = (0..c.n_senders).filter(|&s| s != carrier).collect();
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        for &v in &vouchers {
+            for m in dedup_msgs_from(&c, v, 0, Position(1), msgs.clone()) {
+                let _ = r.on_sender_message(SimTime::ZERO, v, m, &mut out);
+            }
+        }
+        // A Byzantine sender ships content contradicting the quorum root.
+        let res = r.on_sender_message(
+            SimTime::ZERO,
+            carrier,
+            ChannelMsg::RangeContent { sc: 0, first: Position(1), msgs: Arc::new(blobs(50, 4)) },
+            &mut out,
+        );
+        assert_eq!(res, Err(IrmcError::VouchMismatch { sc: 0, first: Position(1) }));
+        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Pending);
+        // The honest copy still delivers afterwards.
+        let _ = r.on_sender_message(
+            SimTime::ZERO,
+            vouchers[0],
+            ChannelMsg::RangeContent { sc: 0, first: Position(1), msgs: Arc::new(msgs.clone()) },
+            &mut out,
+        );
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(msgs[0].clone()));
+    }
+
+    #[test]
+    fn dedup_retransmitted_send_range_skips_the_second_signature_check() {
+        // RootCache: the same signed range arriving twice (retransmission)
+        // pays hashing twice but RSA verification only once.
+        let c = dedup_cfg().with_cost(CostModel::default());
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let frames = dedup_msgs_from(&c, carrier, 0, Position(1), blobs(1, 4));
+        let mut out1 = Vec::new();
+        for m in frames.clone() {
+            let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut out1);
+        }
+        let mut out2 = Vec::new();
+        for m in frames {
+            let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut out2);
+        }
+        let (c1, c2) = (charge_sum(&out1), charge_sum(&out2));
+        assert_eq!(
+            c1 + c.cost.vouch_verify(),
+            c2 + c.cost.rsa_verify(),
+            "second copy trades the RSA verification for a root comparison"
+        );
+    }
+
+    #[test]
+    fn dedup_late_copy_of_a_delivered_range_is_not_rehashed() {
+        let c = dedup_cfg().with_cost(CostModel::default());
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let voucher = (carrier + 1) % c.n_senders;
+        let mut r: ReceiverEndpoint<Blob> = ReceiverEndpoint::new(c.clone(), 0, Keyring::new(5));
+        let msgs = blobs(1, 4);
+        let mut out = Vec::new();
+        for (s, frames) in [(carrier, dedup_msgs_from(&c, carrier, 0, Position(1), msgs.clone()))]
+            .into_iter()
+            .chain([(voucher, dedup_msgs_from(&c, voucher, 0, Position(1), msgs.clone()))])
+        {
+            for m in frames {
+                let _ = r.on_sender_message(SimTime::ZERO, s, m, &mut out);
+            }
+        }
+        assert!(r.try_receive(0, Position(1)).into_payload().is_some(), "delivered");
+        // A late duplicate of the carrier's frame: transport MAC only —
+        // no Merkle rebuild, no signature.
+        let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+        let mut late = Vec::new();
+        for m in dedup_msgs_from(&c, carrier, 0, Position(1), msgs.clone()) {
+            let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut late);
+        }
+        assert_eq!(charge_sum(&late), c.cost.hmac(bytes), "the hash wall is gone for late copies");
+    }
+
+    #[test]
+    fn dedup_vouch_in_legacy_mode_is_wrong_variant() {
+        let mut r = rc_receiver();
+        let mut out = Vec::new();
+        let res = r.on_sender_message(
+            SimTime::ZERO,
+            1,
+            ChannelMsg::RangeVouch {
+                sc: 0,
+                first: Position(1),
+                count: 4,
+                root: Digest::of_bytes(b"x"),
+            },
+            &mut out,
+        );
+        assert_eq!(res, Err(IrmcError::WrongVariant));
+    }
+
+    #[test]
+    fn legacy_delivery_reports_replicated_provenance() {
+        let mut r = rc_receiver();
+        let m = Blob::new(b"value");
+        let mut out = Vec::new();
+        let _ = r.on_sender_message(SimTime::ZERO, 0, send_from(0, 0, Position(1), &m), &mut out);
+        let _ = r.on_sender_message(SimTime::ZERO, 1, send_from(1, 0, Position(1), &m), &mut out);
+        let ReceiveResult::Ready(d) = r.try_receive(0, Position(1)) else { panic!("delivered") };
+        assert_eq!(d.dedup, DedupOutcome::Replicated);
+        assert_eq!(d.position, Position(1));
     }
 }

@@ -1,13 +1,19 @@
 //! Sender-side IRMC endpoint (Fig 18 sender half; Fig 19 for IRMC-SC),
 //! with multi-slot range certification.
 //!
-//! [`SenderEndpoint::send_many`] amortizes the per-slot RSA signature —
+//! [`SenderEndpoint::send_batch`] amortizes the per-slot RSA signature —
 //! the saturating cost of a loaded commit channel — over a contiguous
 //! slot range: one signature covers the Merkle root of the per-slot
 //! digests (see [`crate::messages`]). For IRMC-SC the collector
 //! additionally overlaps WAN content shipping with the intra-region
 //! share exchange (§A.9): content ships as soon as it is submitted, the
-//! certificate follows shares-only.
+//! certificate follows shares-only. For IRMC-RC with
+//! [`crate::ChannelMode::ReliableCast`] `{ dedup: true }`, a
+//! deterministically-rotated primary carrier ships the one signed
+//! content copy while the other senders confirm the range with a
+//! digest-only [`ChannelMsg::RangeVouch`], and every sender retains the
+//! content to answer a receiver's [`ReceiverMsg::FetchRange`] should the
+//! carrier stall.
 //!
 //! Range boundaries must match across correct senders for SC shares to
 //! combine; callers therefore cut ranges at deterministic points (the
@@ -17,7 +23,7 @@
 //! back to legacy per-slot shares, which match regardless of boundaries.
 
 use crate::config::{IrmcConfig, Variant};
-use crate::messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
+use crate::messages::{carrier_for, range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 use crate::window::Window;
 use crate::{Action, Content, IrmcError, Subchannel};
 use spider_crypto::{merkle_root, Digest, Keyring, Signature};
@@ -70,24 +76,6 @@ impl<M: Clone> SlotContent<M> {
     }
 }
 
-/// A send queued above the window, waiting for a shift.
-#[derive(Debug)]
-enum BlockedItem<M> {
-    Single(M),
-    /// A whole range queued atomically so its boundaries survive the wait
-    /// (SC shares only combine over identical ranges).
-    Range(Vec<M>),
-}
-
-impl<M> BlockedItem<M> {
-    fn len(&self) -> u64 {
-        match self {
-            BlockedItem::Single(_) => 1,
-            BlockedItem::Range(msgs) => msgs.len() as u64,
-        }
-    }
-}
-
 /// SC: a range this endpoint submitted itself.
 #[derive(Debug)]
 struct RangeInfo<M> {
@@ -130,7 +118,14 @@ struct SenderSub<M> {
     /// Highest window-shift this sender itself requested.
     my_move: Position,
     /// Sends above the window, waiting for a shift (keyed by first slot).
-    blocked: BTreeMap<u64, BlockedItem<M>>,
+    /// Whole chunks queue atomically so their boundaries survive the wait
+    /// (SC shares only combine over identical ranges, and the RC dedup
+    /// carrier rotation keys on the chunk's first position).
+    blocked: BTreeMap<u64, Vec<M>>,
+    /// RC dedup: ranges this endpoint submitted, retained (until the
+    /// window moves past them) to answer a receiver's
+    /// [`ReceiverMsg::FetchRange`] when the primary carrier stalls.
+    rc_ranges: BTreeMap<u64, Arc<Vec<M>>>,
     /// SC: content this endpoint submitted, by position.
     content: BTreeMap<u64, SlotContent<M>>,
     /// SC: legacy per-slot signature shares, per position per sender.
@@ -165,6 +160,7 @@ impl<M: Content> SenderSub<M> {
             starts_scratch: Vec::new(),
             my_move: Position(0),
             blocked: BTreeMap::new(),
+            rc_ranges: BTreeMap::new(),
             content: BTreeMap::new(),
             shares: BTreeMap::new(),
             bundles: BTreeMap::new(),
@@ -180,7 +176,8 @@ impl<M: Content> SenderSub<M> {
 
     fn gc_below(&mut self, start: Position) {
         let s = start.0;
-        self.blocked.retain(|&p, item| p + item.len() > s);
+        self.blocked.retain(|&p, chunk| p + chunk.len() as u64 > s);
+        self.rc_ranges.retain(|&p, msgs| p + msgs.len() as u64 > s);
         self.content.retain(|&p, _| p >= s);
         self.shares.retain(|&p, _| p >= s);
         self.bundles.retain(|&p, _| p >= s);
@@ -284,10 +281,10 @@ impl<M: Content> SenderEndpoint<M> {
         self.cfg.max_range.min(self.cfg.capacity as usize).max(1)
     }
 
-    /// Submits content for `(sc, p)` (Fig 14 `send`).
+    /// Submits content for `(sc, p)` (Fig 14 `send`): a singleton batch.
     ///
-    /// Never blocks the caller: above-window sends are queued and flushed
-    /// automatically when the window moves ([`Action::Unblocked`]).
+    /// Thin shim over [`SenderEndpoint::send_batch`], kept for one PR.
+    #[deprecated(note = "use `send_batch(sc, p, vec![msg], out)` — a singleton batch is `send`")]
     pub fn send(
         &mut self,
         sc: Subchannel,
@@ -295,33 +292,41 @@ impl<M: Content> SenderEndpoint<M> {
         msg: M,
         out: &mut Vec<Action<M>>,
     ) -> SendStatus {
-        let sub = self.sub(sc);
-        if sub.awin.is_below(p) {
-            return SendStatus::TooOld(sub.awin.start());
-        }
-        if sub.awin.is_above(p) {
-            sub.blocked.insert(p.0, BlockedItem::Single(msg));
-            return SendStatus::Blocked;
-        }
-        self.transmit(sc, p, msg, out);
-        SendStatus::Sent
+        // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
+        self.send_batch(sc, p, vec![msg], out)
+    }
+
+    /// Submits a contiguous run of slots `[first, first + msgs.len())`.
+    ///
+    /// Thin shim over [`SenderEndpoint::send_batch`], kept for one PR.
+    #[deprecated(note = "renamed to `send_batch`")]
+    pub fn send_many(
+        &mut self,
+        sc: Subchannel,
+        first: Position,
+        msgs: Vec<M>,
+        out: &mut Vec<Action<M>>,
+    ) -> SendStatus {
+        // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
+        self.send_batch(sc, first, msgs, out)
     }
 
     /// Submits a contiguous run of slots `[first, first + msgs.len())` in
-    /// one call, certified as Merkle ranges of at most
-    /// [`IrmcConfig::max_range`] slots each — one RSA signature (and one
-    /// verification per receiver, per share for SC) amortized over each
-    /// range instead of per slot.
+    /// one call — the single submission entry point (a batch of one *is*
+    /// the legacy `send`, byte-for-byte). Runs longer than
+    /// [`IrmcConfig::max_range`] are chunked into Merkle ranges, each
+    /// certified by one RSA signature (and one verification per receiver,
+    /// per share for SC) instead of one per slot.
     ///
     /// Chunk boundaries are derived from `first`, so callers submitting
     /// identical runs produce identical ranges (required for SC share
-    /// matching). Chunks above the window queue atomically and flush on
-    /// [`Action::Unblocked`]; a run of length 1 degenerates to the legacy
-    /// single-slot wire messages.
+    /// matching and RC dedup carrier rotation). Chunks above the window
+    /// queue atomically and flush on [`Action::Unblocked`]; a run of
+    /// length 1 degenerates to the legacy single-slot wire messages.
     ///
     /// Returns `TooOld` if every slot is below the window, `Blocked` if
     /// nothing could be transmitted yet, `Sent` otherwise.
-    pub fn send_many(
+    pub fn send_batch(
         &mut self,
         sc: Subchannel,
         first: Position,
@@ -350,7 +355,7 @@ impl<M: Content> SenderEndpoint<M> {
             let sub = self.sub(sc);
             if sub.awin.is_above(Position(chunk_end)) {
                 // Queue the whole chunk so its boundary survives the wait.
-                sub.blocked.insert(chunk_first, BlockedItem::Range(chunk));
+                sub.blocked.insert(chunk_first, chunk);
                 if status != SendStatus::Sent {
                     status = SendStatus::Blocked;
                 }
@@ -369,8 +374,8 @@ impl<M: Content> SenderEndpoint<M> {
     /// [`IrmcConfig::max_range`] slots, when a non-contiguous position
     /// arrives, or at the latest one [`IrmcConfig::range_linger`] later
     /// (enforced by [`SenderEndpoint::tick`], which the host must then
-    /// drive for RC channels too). With a zero linger this is exactly
-    /// [`SenderEndpoint::send`].
+    /// drive for RC channels too). With a zero linger this is exactly a
+    /// singleton [`SenderEndpoint::send_batch`].
     pub fn send_buffered(
         &mut self,
         sc: Subchannel,
@@ -380,8 +385,8 @@ impl<M: Content> SenderEndpoint<M> {
         out: &mut Vec<Action<M>>,
     ) -> SendStatus {
         if self.cfg.range_linger == SimTime::ZERO || self.cfg.max_range <= 1 {
-            // analyzer: allow(charge-coverage, "delegates to send(), which charges per transmission")
-            return self.send(sc, p, msg, out);
+            // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
+            return self.send_batch(sc, p, vec![msg], out);
         }
         let linger = self.cfg.range_linger;
         let cap = self.range_cap();
@@ -408,8 +413,8 @@ impl<M: Content> SenderEndpoint<M> {
     /// Flushes the linger buffer of a subchannel, if any.
     pub fn flush_pending(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
         if let Some(run) = self.sub(sc).pending.take() {
-            // analyzer: allow(charge-coverage, "delegates to send_many(), which charges per transmission")
-            self.send_many(sc, Position(run.first), run.msgs, out);
+            // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
+            self.send_batch(sc, Position(run.first), run.msgs, out);
         }
     }
 
@@ -454,6 +459,35 @@ impl<M: Content> SenderEndpoint<M> {
                 if collector == self.me {
                     self.reship_bundles(sc, from, out);
                 }
+                Ok(())
+            }
+            ReceiverMsg::FetchRange { sc, first, count } => {
+                if !(self.cfg.variant() == Variant::ReceiverCollect && self.cfg.dedup()) {
+                    return Err(IrmcError::WrongVariant);
+                }
+                if count < 2 || count as u64 > self.cfg.capacity {
+                    return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
+                }
+                let sub = self.sub(sc);
+                let Some(msgs) = sub.rc_ranges.get(&first.0) else {
+                    // Already GC'd (the window moved past it) or cut at a
+                    // different boundary: the receiver will ask another
+                    // voucher, so staying quiet is safe.
+                    return Ok(());
+                };
+                if msgs.len() as u32 != count {
+                    return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
+                }
+                let msgs = msgs.clone();
+                let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+                // MAC the re-shipped content for the requesting receiver;
+                // it carries no signature — the receiver verifies it by
+                // root comparison against the vouch quorum.
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::ToReceiver {
+                    to: from,
+                    msg: ChannelMsg::RangeContent { sc, first, msgs },
+                });
                 Ok(())
             }
         }
@@ -538,35 +572,24 @@ impl<M: Content> SenderEndpoint<M> {
     fn flush_blocked(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
         loop {
             let sub = self.sub(sc);
-            let Some((&p, item)) = sub.blocked.iter().next() else {
+            let Some((&p, chunk)) = sub.blocked.iter().next() else {
                 return;
             };
-            let end = Position(p + item.len() - 1);
+            let end = Position(p + chunk.len() as u64 - 1);
             if sub.awin.is_above(end) {
-                return; // The item (or its tail) still waits for a shift.
+                return; // The chunk (or its tail) still waits for a shift.
             }
             let start = sub.awin.start().0;
-            let Some(item) = sub.blocked.remove(&p) else {
+            let Some(msgs) = sub.blocked.remove(&p) else {
                 return; // Key vanished between peek and remove: impossible,
-                        // but returning is safe (the item stays queued).
+                        // but returning is safe (the chunk stays queued).
             };
-            match item {
-                BlockedItem::Single(msg) => {
-                    if end.0 < start {
-                        continue; // overtaken by the window; drop silently
-                    }
-                    out.push(Action::Unblocked { sc, p: Position(p) });
-                    self.transmit(sc, Position(p), msg, out);
-                }
-                BlockedItem::Range(msgs) => {
-                    if end.0 < start {
-                        continue;
-                    }
-                    let (f, chunk) = trim_below(p, msgs, start);
-                    out.push(Action::Unblocked { sc, p: Position(f) });
-                    self.transmit_range(sc, f, chunk, out);
-                }
+            if end.0 < start {
+                continue; // overtaken by the window; drop silently
             }
+            let (f, chunk) = trim_below(p, msgs, start);
+            out.push(Action::Unblocked { sc, p: Position(f) });
+            self.transmit_range(sc, f, chunk, out);
         }
     }
 
@@ -579,7 +602,7 @@ impl<M: Content> SenderEndpoint<M> {
         // Hash the payload and produce one RSA signature.
         out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign()));
         let sig = self.keyring.sign(key, &digest);
-        match self.cfg.variant {
+        match self.cfg.variant() {
             Variant::ReceiverCollect => {
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
@@ -632,7 +655,7 @@ impl<M: Content> SenderEndpoint<M> {
         out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize)));
         let msgs = Arc::new(msgs);
         let mut shipped = vec![false; self.cfg.n_receivers];
-        if self.cfg.variant == Variant::SenderCollect && self.cfg.sc_overlap {
+        if self.cfg.variant() == Variant::SenderCollect && self.cfg.sc_overlap() {
             // §A.9: ship the raw content to the receivers this endpoint
             // collects for *before* spending the signature — content
             // carries no proof, so its WAN transfer overlaps both the
@@ -656,11 +679,48 @@ impl<M: Content> SenderEndpoint<M> {
         let Some(key) = self.key_of_sender(self.me) else {
             return; // `new` validated `me`; unreachable without a bad cfg.
         };
+        let rd = range_digest(sc, Position(first), count, &root);
+        if self.cfg.variant() == Variant::ReceiverCollect && self.cfg.dedup() {
+            // Digest-only fan-in: only the rotated primary carrier signs
+            // and ships the content; everyone else confirms the range with
+            // a MAC-authenticated vouch, and everyone (carrier included)
+            // retains the content until the window moves past it so a
+            // receiver can refetch from any voucher if the carrier stalls.
+            let carrier = carrier_for(sc, Position(first), self.cfg.n_senders);
+            self.sub(sc).rc_ranges.insert(first, msgs.clone());
+            if carrier == self.me {
+                // One RSA signature for the whole range.
+                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                let sig = self.keyring.sign(key, &rd);
+                for r in 0..self.cfg.n_receivers {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::SendRange {
+                            sc,
+                            first: Position(first),
+                            msgs: msgs.clone(),
+                            sig,
+                        },
+                    });
+                }
+            } else {
+                // MAC over the fixed-size vouch statement — no signature:
+                // the vouch is consumed by the receiving endpoint only,
+                // never forwarded as proof (IRMC-RC trust model, Fig 18).
+                out.push(Action::Charge(self.cfg.cost.hmac(52)));
+                for r in 0..self.cfg.n_receivers {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::RangeVouch { sc, first: Position(first), count, root },
+                    });
+                }
+            }
+            return;
+        }
         // One RSA signature for the whole range.
         out.push(Action::Charge(self.cfg.cost.rsa_sign()));
-        let rd = range_digest(sc, Position(first), count, &root);
         let sig = self.keyring.sign(key, &rd);
-        match self.cfg.variant {
+        match self.cfg.variant() {
             Variant::ReceiverCollect => {
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
@@ -726,7 +786,7 @@ impl<M: Content> SenderEndpoint<M> {
         if from == self.me {
             return Err(IrmcError::UnexpectedFrame);
         }
-        if self.cfg.variant != Variant::SenderCollect {
+        if self.cfg.variant() != Variant::SenderCollect {
             return Err(IrmcError::WrongVariant);
         }
         match msg {
@@ -788,6 +848,7 @@ impl<M: Content> SenderEndpoint<M> {
             ChannelMsg::Send { .. }
             | ChannelMsg::SendRange { .. }
             | ChannelMsg::Certificate { .. }
+            | ChannelMsg::RangeVouch { .. }
             | ChannelMsg::RangeContent { .. }
             | ChannelMsg::RangeCertificate { .. }
             | ChannelMsg::Progress { .. }
@@ -935,7 +996,7 @@ impl<M: Content> SenderEndpoint<M> {
                 self.flush_pending(sc, out);
             }
         }
-        if self.cfg.variant != Variant::SenderCollect {
+        if self.cfg.variant() != Variant::SenderCollect {
             return;
         }
         self.fallback_stalled(out);
@@ -1053,7 +1114,7 @@ mod tests {
     fn rc_send_fans_out_to_all_receivers() {
         let mut s = sender(Variant::ReceiverCollect, 0);
         let mut out = Vec::new();
-        let st = s.send(7, Position(1), Blob::new(b"m"), &mut out);
+        let st = s.send_batch(7, Position(1), vec![Blob::new(b"m")], &mut out);
         assert_eq!(st, SendStatus::Sent);
         let sends = out
             .iter()
@@ -1067,7 +1128,10 @@ mod tests {
         let mut s = sender(Variant::ReceiverCollect, 0);
         let mut out = Vec::new();
         // Window is [1, 4]; position 6 must block.
-        assert_eq!(s.send(0, Position(6), Blob::new(b"m"), &mut out), SendStatus::Blocked);
+        assert_eq!(
+            s.send_batch(0, Position(6), vec![Blob::new(b"m")], &mut out),
+            SendStatus::Blocked
+        );
         assert!(out.iter().all(|a| !matches!(a, Action::ToReceiver { .. })));
 
         // fr + 1 = 2 receivers move their windows to 3: window = [3, 6].
@@ -1090,7 +1154,7 @@ mod tests {
         let _ = s.on_receiver_message(0, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
         let _ = s.on_receiver_message(1, ReceiverMsg::Move { sc: 0, p: Position(5) }, &mut out);
         assert_eq!(
-            s.send(0, Position(2), Blob::new(b"m"), &mut out),
+            s.send_batch(0, Position(2), vec![Blob::new(b"m")], &mut out),
             SendStatus::TooOld(Position(5))
         );
     }
@@ -1113,8 +1177,8 @@ mod tests {
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
         let m = Blob::new(b"content");
-        s0.send(0, Position(1), m.clone(), &mut out0);
-        s1.send(0, Position(1), m.clone(), &mut out1);
+        s0.send_batch(0, Position(1), vec![m.clone()], &mut out0);
+        s1.send_batch(0, Position(1), vec![m.clone()], &mut out1);
         // No certificates yet (each has only its own share; fs + 1 = 2).
         assert!(!out0
             .iter()
@@ -1149,7 +1213,7 @@ mod tests {
         let ring = Keyring::new(5);
         let mut s0 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 0, ring.clone());
         let mut out = Vec::new();
-        s0.send(0, Position(1), Blob::new(b"good"), &mut out);
+        s0.send_batch(0, Position(1), vec![Blob::new(b"good")], &mut out);
         out.clear();
         // A (faulty) peer shares a signature over *different* content.
         let bad_digest = Blob::new(b"evil").digest();
@@ -1172,9 +1236,9 @@ mod tests {
         let mut s0_share_out = Vec::new();
         let mut s0 = SenderEndpoint::<Blob>::new(cfg(Variant::SenderCollect), 0, ring.clone());
         let m = Blob::new(b"c");
-        s0.send(0, Position(1), m.clone(), &mut s0_share_out);
+        s0.send_batch(0, Position(1), vec![m.clone()], &mut s0_share_out);
         let mut out = Vec::new();
-        s1.send(0, Position(1), m, &mut out);
+        s1.send_batch(0, Position(1), vec![m], &mut out);
         let share = s0_share_out
             .iter()
             .find_map(|a| match a {
@@ -1209,7 +1273,7 @@ mod tests {
             let m = Blob::new(format!("m{p}").as_bytes());
             let mut outs: Vec<Vec<Action<Blob>>> = vec![Vec::new(); 3];
             for (i, s) in senders.iter_mut().enumerate() {
-                s.send(0, Position(p), m.clone(), &mut outs[i]);
+                s.send_batch(0, Position(p), vec![m.clone()], &mut outs[i]);
             }
             // Deliver all shares to everyone.
             for (i, out) in outs.iter().enumerate() {
@@ -1259,7 +1323,7 @@ mod tests {
         let mut s: SenderEndpoint<Blob> =
             SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, Keyring::new(5));
         let mut out = Vec::new();
-        let st = s.send_many(0, Position(1), blobs(1, 5), &mut out);
+        let st = s.send_batch(0, Position(1), blobs(1, 5), &mut out);
         assert_eq!(st, SendStatus::Sent);
         let ranges: Vec<u64> = out
             .iter()
@@ -1282,7 +1346,7 @@ mod tests {
         let mut s: SenderEndpoint<Blob> =
             SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 32, 4), 0, Keyring::new(5));
         let mut out = Vec::new();
-        s.send_many(0, Position(1), blobs(1, 10), &mut out);
+        s.send_batch(0, Position(1), blobs(1, 10), &mut out);
         let mut firsts: Vec<(u64, usize)> = out
             .iter()
             .filter_map(|a| match a {
@@ -1297,24 +1361,201 @@ mod tests {
     }
 
     #[test]
-    fn send_many_of_one_is_byte_identical_to_legacy_send() {
+    #[allow(deprecated)]
+    fn deprecated_shims_are_byte_identical_to_send_batch() {
         let ring = Keyring::new(5);
         let c = range_cfg(Variant::ReceiverCollect, 16, 8);
-        let mut via_many: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
-        let mut via_send: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, ring);
+        // Singleton batch == legacy `send`, byte for byte.
+        let mut via_batch: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
+        let mut via_send: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
         let m = Blob::new(b"solo");
-        let mut out_many = Vec::new();
+        let mut out_batch = Vec::new();
         let mut out_send = Vec::new();
-        via_many.send_many(0, Position(1), vec![m.clone()], &mut out_many);
+        via_batch.send_batch(0, Position(1), vec![m.clone()], &mut out_batch);
         via_send.send(0, Position(1), m, &mut out_send);
-        assert_eq!(out_many, out_send, "range length 1 degenerates to the legacy wire messages");
+        assert_eq!(out_batch, out_send, "range length 1 degenerates to the legacy wire messages");
+        assert!(
+            out_send
+                .iter()
+                .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Send { .. }, .. })),
+            "a singleton uses the legacy per-slot frame"
+        );
         use spider_types::WireSize as _;
-        for (a, b) in out_many.iter().zip(&out_send) {
+        for (a, b) in out_batch.iter().zip(&out_send) {
             if let (Action::ToReceiver { msg: ma, .. }, Action::ToReceiver { msg: mb, .. }) = (a, b)
             {
                 assert_eq!(ma.wire_size(), mb.wire_size());
             }
         }
+        // And `send_many` is exactly `send_batch` under its old name.
+        let mut via_batch: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, ring.clone());
+        let mut via_many: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, ring);
+        let mut out_batch = Vec::new();
+        let mut out_many = Vec::new();
+        via_batch.send_batch(0, Position(1), blobs(1, 5), &mut out_batch);
+        via_many.send_many(0, Position(1), blobs(1, 5), &mut out_many);
+        assert_eq!(out_batch, out_many);
+    }
+
+    // ------------------------------------------------------------------
+    // RC digest-only fan-in (dedup)
+    // ------------------------------------------------------------------
+
+    fn dedup_cfg(capacity: u64, max_range: usize) -> IrmcConfig {
+        range_cfg(Variant::ReceiverCollect, capacity, max_range)
+            .with_mode(crate::ChannelMode::ReliableCast { dedup: true })
+    }
+
+    #[test]
+    fn dedup_carrier_ships_content_others_vouch() {
+        let ring = Keyring::new(5);
+        let c = dedup_cfg(16, 8);
+        let msgs = blobs(1, 4);
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        for me in 0..c.n_senders {
+            let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), me, ring.clone());
+            let mut out = Vec::new();
+            s.send_batch(0, Position(1), msgs.clone(), &mut out);
+            let ships_content = out
+                .iter()
+                .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::SendRange { .. }, .. }));
+            let vouches = out
+                .iter()
+                .filter(|a| {
+                    matches!(a, Action::ToReceiver { msg: ChannelMsg::RangeVouch { .. }, .. })
+                })
+                .count();
+            if me == carrier {
+                assert!(ships_content, "the carrier ships the signed content");
+                assert_eq!(vouches, 0);
+            } else {
+                assert!(!ships_content, "non-carriers never ship content up front");
+                assert_eq!(vouches, c.n_receivers, "one digest-only vouch per receiver");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_vouch_carries_the_carrier_root() {
+        let ring = Keyring::new(5);
+        let c = dedup_cfg(16, 8);
+        let msgs = blobs(1, 4);
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let voucher = (carrier + 1) % c.n_senders;
+        let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c, voucher, ring);
+        let mut out = Vec::new();
+        s.send_batch(0, Position(1), msgs.clone(), &mut out);
+        let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+        let want = merkle_root(&leaves);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { msg: ChannelMsg::RangeVouch { root, count: 4, .. }, .. }
+                if *root == want
+        )));
+    }
+
+    #[test]
+    fn dedup_voucher_serves_fetch_range() {
+        let ring = Keyring::new(5);
+        let c = dedup_cfg(16, 8);
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let voucher = (carrier + 1) % c.n_senders;
+        let mut s: SenderEndpoint<Blob> = SenderEndpoint::new(c, voucher, ring);
+        let mut out = Vec::new();
+        s.send_batch(0, Position(1), blobs(1, 4), &mut out);
+        out.clear();
+        let res = s.on_receiver_message(
+            2,
+            ReceiverMsg::FetchRange { sc: 0, first: Position(1), count: 4 },
+            &mut out,
+        );
+        assert_eq!(res, Ok(()));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::ToReceiver { to: 2, msg: ChannelMsg::RangeContent { first: Position(1), msgs, .. } }
+                if msgs.len() == 4
+        )));
+        // A mismatched count is a malformed request, not a crash.
+        out.clear();
+        let res = s.on_receiver_message(
+            2,
+            ReceiverMsg::FetchRange { sc: 0, first: Position(1), count: 3 },
+            &mut out,
+        );
+        assert!(matches!(res, Err(IrmcError::MalformedRange { .. })));
+        // An unknown (already GC'd) range is served with silence.
+        let res = s.on_receiver_message(
+            2,
+            ReceiverMsg::FetchRange { sc: 0, first: Position(9), count: 4 },
+            &mut out,
+        );
+        assert_eq!(res, Ok(()));
+    }
+
+    #[test]
+    fn dedup_off_and_singletons_stay_on_the_legacy_path() {
+        let ring = Keyring::new(5);
+        // dedup off: byte-identical to the legacy RC fan-out.
+        let mut legacy: SenderEndpoint<Blob> =
+            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, ring.clone());
+        let mut off: SenderEndpoint<Blob> = SenderEndpoint::new(
+            range_cfg(Variant::ReceiverCollect, 16, 8)
+                .with_mode(crate::ChannelMode::ReliableCast { dedup: false }),
+            0,
+            ring.clone(),
+        );
+        let mut out_legacy = Vec::new();
+        let mut out_off = Vec::new();
+        legacy.send_batch(0, Position(1), blobs(1, 5), &mut out_legacy);
+        off.send_batch(0, Position(1), blobs(1, 5), &mut out_off);
+        assert_eq!(out_legacy, out_off, "dedup off is the legacy RC path, byte for byte");
+        // dedup on, range of 1: degenerates to the legacy single-slot
+        // frame on every sender (no carrier election for singletons).
+        for me in 0..3 {
+            let mut s: SenderEndpoint<Blob> =
+                SenderEndpoint::new(dedup_cfg(16, 8), me, ring.clone());
+            let mut legacy: SenderEndpoint<Blob> =
+                SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), me, ring.clone());
+            let mut out_dedup = Vec::new();
+            let mut out_legacy = Vec::new();
+            s.send_batch(0, Position(1), vec![Blob::new(b"solo")], &mut out_dedup);
+            legacy.send_batch(0, Position(1), vec![Blob::new(b"solo")], &mut out_legacy);
+            assert_eq!(out_dedup, out_legacy, "sender {me}: singleton ignores dedup");
+        }
+    }
+
+    #[test]
+    fn dedup_vouching_skips_the_signature_charge() {
+        let ring = Keyring::new(5);
+        let c = dedup_cfg(16, 8).with_cost(spider_crypto::CostModel::default());
+        let msgs = blobs(1, 8);
+        let carrier = carrier_for(0, Position(1), c.n_senders);
+        let voucher = (carrier + 1) % c.n_senders;
+        let charge_sum = |out: &[Action<Blob>]| {
+            out.iter()
+                .filter_map(|a| match a {
+                    Action::Charge(t) => Some(*t),
+                    _ => None,
+                })
+                .fold(SimTime::ZERO, |acc, t| acc + t)
+        };
+        let mut s_carrier: SenderEndpoint<Blob> =
+            SenderEndpoint::new(c.clone(), carrier, ring.clone());
+        let mut s_voucher: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), voucher, ring);
+        let mut out_c = Vec::new();
+        let mut out_v = Vec::new();
+        s_carrier.send_batch(0, Position(1), msgs.clone(), &mut out_c);
+        s_voucher.send_batch(0, Position(1), msgs, &mut out_v);
+        let (cc, cv) = (charge_sum(&out_c), charge_sum(&out_v));
+        // Same hashing on both; the carrier pays the RSA signature, the
+        // voucher a MAC over the 52-byte statement instead.
+        assert!(
+            cc + c.cost.hmac(52) >= cv + c.cost.rsa_sign(),
+            "vouching must not pay the RSA signature: carrier {cc:?} vs voucher {cv:?}"
+        );
+        assert!(cv * 10 < cc, "a voucher's CPU is a small fraction of the carrier's");
     }
 
     #[test]
@@ -1323,7 +1564,7 @@ mod tests {
             SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 4, 4), 0, Keyring::new(5));
         let mut out = Vec::new();
         // Window [1,4]: the chunk 5..=8 must queue as a unit.
-        let st = s.send_many(0, Position(5), blobs(5, 4), &mut out);
+        let st = s.send_batch(0, Position(5), blobs(5, 4), &mut out);
         assert_eq!(st, SendStatus::Blocked);
         assert!(!out.iter().any(|a| matches!(a, Action::ToReceiver { .. })));
         out.clear();
@@ -1350,8 +1591,8 @@ mod tests {
         let msgs = blobs(1, 4);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs, &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs, &mut out1);
         // §A.9 overlap: content to this sender's receiver ships immediately…
         assert!(out0.iter().any(|a| matches!(
             a,
@@ -1401,14 +1642,15 @@ mod tests {
     #[test]
     fn sc_without_overlap_ships_content_with_certificate() {
         let ring = Keyring::new(5);
-        let c = range_cfg(Variant::SenderCollect, 16, 8).with_sc_overlap(false);
+        let c = range_cfg(Variant::SenderCollect, 16, 8)
+            .with_mode(crate::ChannelMode::SenderCast { overlap: false });
         let mut s0: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
         let mut s1: SenderEndpoint<Blob> = SenderEndpoint::new(c, 1, ring);
         let msgs = blobs(1, 4);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs, &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs, &mut out1);
         assert!(
             !out0.iter().any(|a| matches!(
                 a,
@@ -1443,8 +1685,8 @@ mod tests {
         let msgs = blobs(1, 3);
         let mut out0 = Vec::new();
         let mut out1 = Vec::new();
-        s0.send_many(0, Position(1), msgs.clone(), &mut out0);
-        s1.send_many(0, Position(1), msgs, &mut out1);
+        s0.send_batch(0, Position(1), msgs.clone(), &mut out0);
+        s1.send_batch(0, Position(1), msgs, &mut out1);
         let share = out0
             .iter()
             .find_map(|a| match a {
@@ -1477,9 +1719,9 @@ mod tests {
         // s1 as 1..=2 and 3..=4. Range shares never match.
         let mut out0 = Vec::new();
         let mut sink = Vec::new();
-        s0.send_many(0, Position(1), blobs(1, 4), &mut out0);
-        s1.send_many(0, Position(1), blobs(1, 2), &mut sink);
-        s1.send_many(0, Position(3), blobs(3, 2), &mut sink);
+        s0.send_batch(0, Position(1), blobs(1, 4), &mut out0);
+        s1.send_batch(0, Position(1), blobs(1, 2), &mut sink);
+        s1.send_batch(0, Position(3), blobs(3, 2), &mut sink);
         for a in sink.drain(..) {
             if let Action::ToPeerSender { to: 0, msg } = a {
                 let _ = s0.on_peer_message(1, msg, &mut Vec::new());

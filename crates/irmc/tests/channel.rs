@@ -114,7 +114,7 @@ impl Net {
     fn send_all(&mut self, sc: u64, p: Position, m: &Blob) {
         for i in 0..self.senders.len() {
             let mut out = Vec::new();
-            self.senders[i].send(sc, p, m.clone(), &mut out);
+            self.senders[i].send_batch(sc, p, vec![m.clone()], &mut out);
             self.absorb_sender(i, out);
         }
     }
@@ -123,7 +123,7 @@ impl Net {
     fn send_many_all(&mut self, sc: u64, first: Position, msgs: &[Blob]) {
         for i in 0..self.senders.len() {
             let mut out = Vec::new();
-            self.senders[i].send_many(sc, first, msgs.to_vec(), &mut out);
+            self.senders[i].send_batch(sc, first, msgs.to_vec(), &mut out);
             self.absorb_sender(i, out);
         }
     }
@@ -181,7 +181,7 @@ fn rc_channel_delivers_end_to_end() {
     net.send_all(0, Position(1), &m);
     net.pump();
     for r in &mut net.receivers {
-        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Ready(m.clone()));
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(m.clone()));
     }
 }
 
@@ -192,7 +192,7 @@ fn sc_channel_delivers_end_to_end() {
     net.send_all(0, Position(1), &m);
     net.pump();
     for r in &mut net.receivers {
-        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Ready(m.clone()));
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(m.clone()));
     }
 }
 
@@ -217,8 +217,8 @@ fn capacity_limits_in_flight_positions_until_receivers_advance() {
     }
     net.pump(); // Moves reach senders; blocked sends flush back.
     for r in &mut net.receivers {
-        assert_eq!(r.try_receive(0, Position(3)), ReceiveResult::Ready(Blob::of(3)));
-        assert_eq!(r.try_receive(0, Position(4)), ReceiveResult::Ready(Blob::of(4)));
+        assert_eq!(r.try_receive(0, Position(3)).into_payload(), Some(Blob::of(3)));
+        assert_eq!(r.try_receive(0, Position(4)).into_payload(), Some(Blob::of(4)));
     }
 }
 
@@ -240,7 +240,7 @@ fn lagging_receiver_gets_too_old_after_peer_moves() {
     net.pump();
     // Senders' windows are now [11, 14]: sending position 5 reports stale.
     let mut out = Vec::new();
-    let st = net.senders[0].send(0, Position(5), Blob::of(5), &mut out);
+    let st = net.senders[0].send_batch(0, Position(5), vec![Blob::of(5)], &mut out);
     assert_eq!(st, spider_irmc::SendStatus::TooOld(Position(11)));
 }
 
@@ -252,7 +252,7 @@ fn byzantine_minority_cannot_force_delivery() {
     let evil = Blob::of(666);
     {
         let mut out = Vec::new();
-        net.senders[3].send(0, Position(2), evil.clone(), &mut out);
+        net.senders[3].send_batch(0, Position(2), vec![evil.clone()], &mut out);
         net.absorb_sender(3, out);
     }
     net.pump();
@@ -270,15 +270,15 @@ fn equivocating_sender_cannot_split_receivers() {
     let b = Blob::of(2);
     for i in 0..3 {
         let mut out = Vec::new();
-        net.senders[i].send(0, Position(1), a.clone(), &mut out);
+        net.senders[i].send_batch(0, Position(1), vec![a.clone()], &mut out);
         net.absorb_sender(i, out);
     }
     let mut out = Vec::new();
-    net.senders[3].send(0, Position(1), b, &mut out);
+    net.senders[3].send_batch(0, Position(1), vec![b], &mut out);
     net.absorb_sender(3, out);
     net.pump();
     for r in &mut net.receivers {
-        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Ready(a.clone()));
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(a.clone()));
     }
 }
 
@@ -294,7 +294,7 @@ fn sc_faulty_collector_is_replaced_and_content_flows() {
     net.pump();
     // Everyone else has the message; receiver 0 does not.
     assert_eq!(net.receivers[0].try_receive(0, Position(1)), ReceiveResult::Pending);
-    assert_eq!(net.receivers[1].try_receive(0, Position(1)), ReceiveResult::Ready(m.clone()));
+    assert_eq!(net.receivers[1].try_receive(0, Position(1)).into_payload(), Some(m.clone()));
 
     // Progress announcements tell receiver 0 that fs+1 senders have the
     // certificate; its supervision timer arms.
@@ -305,12 +305,12 @@ fn sc_faulty_collector_is_replaced_and_content_flows() {
     // Timer fires: receiver 0 switches collectors; the Select makes the
     // new collector re-ship its bundle.
     let mut out = Vec::new();
-    net.receivers[r0].on_timer(token, SimTime::from_millis(500), &mut out);
+    let _ = net.receivers[r0].on_timer(token, SimTime::from_millis(500), &mut out);
     net.absorb_receiver(r0, out);
     net.pump();
     assert_eq!(
-        net.receivers[0].try_receive(0, Position(1)),
-        ReceiveResult::Ready(m),
+        net.receivers[0].try_receive(0, Position(1)).into_payload(),
+        Some(m),
         "collector switch restores delivery"
     );
 }
@@ -331,9 +331,7 @@ proptest! {
         net.pump();
         for r in &mut net.receivers {
             for p in 1..=n_msgs {
-                prop_assert_eq!(
-                    r.try_receive(0, Position(p)),
-                    ReceiveResult::Ready(Blob::of(p))
+                prop_assert_eq!(r.try_receive(0, Position(p)).into_payload(), Some(Blob::of(p))
                 );
             }
         }
@@ -394,7 +392,7 @@ fn single_byzantine_receiver_cannot_advance_sender_windows() {
     net.send_all(0, Position(1), &m);
     net.pump();
     for r in net.receivers.iter_mut().take(2) {
-        assert_eq!(r.try_receive(0, Position(1)), ReceiveResult::Ready(m.clone()));
+        assert_eq!(r.try_receive(0, Position(1)).into_payload(), Some(m.clone()));
     }
 }
 
@@ -408,7 +406,7 @@ fn capacity_one_channel_is_live_with_stop_and_wait() {
         net.pump();
         for i in 0..3 {
             let got = net.receivers[i].try_receive(0, Position(p));
-            assert_eq!(got, ReceiveResult::Ready(Blob::of(p)), "position {p}");
+            assert_eq!(got.into_payload(), Some(Blob::of(p)), "position {p}");
             let mut out = Vec::new();
             net.receivers[i].move_window(0, Position(p + 1), &mut out);
             net.absorb_receiver(i, out);
@@ -432,7 +430,7 @@ fn subchannels_are_independent_queues() {
     net.send_all(2, Position(1), &Blob::of(100));
     net.pump();
     for r in &mut net.receivers {
-        assert_eq!(r.try_receive(2, Position(1)), ReceiveResult::Ready(Blob::of(100)));
+        assert_eq!(r.try_receive(2, Position(1)).into_payload(), Some(Blob::of(100)));
     }
 }
 
@@ -458,8 +456,8 @@ fn sc_range_faulty_collector_is_replaced_and_content_flows() {
             "early content without a certificate must never deliver (slot {p})"
         );
         assert_eq!(
-            net.receivers[1].try_receive(0, Position(p)),
-            ReceiveResult::Ready(Blob::of(p)),
+            net.receivers[1].try_receive(0, Position(p)).into_payload(),
+            Some(Blob::of(p)),
             "other receivers certified normally (slot {p})"
         );
     }
@@ -474,13 +472,13 @@ fn sc_range_faulty_collector_is_replaced_and_content_flows() {
         .copied()
         .expect("receiver 0 armed its collector timer");
     let mut out = Vec::new();
-    net.receivers[r0].on_timer(token, SimTime::from_millis(500), &mut out);
+    let _ = net.receivers[r0].on_timer(token, SimTime::from_millis(500), &mut out);
     net.absorb_receiver(r0, out);
     net.pump();
     for p in 1..=4u64 {
         assert_eq!(
-            net.receivers[0].try_receive(0, Position(p)),
-            ReceiveResult::Ready(Blob::of(p)),
+            net.receivers[0].try_receive(0, Position(p)).into_payload(),
+            Some(Blob::of(p)),
             "collector switch restores range delivery (slot {p})"
         );
     }
@@ -506,9 +504,7 @@ proptest! {
         net.pump();
         for r in &mut net.receivers {
             for p in 1..=n_msgs {
-                prop_assert_eq!(
-                    r.try_receive(0, Position(p)),
-                    ReceiveResult::Ready(Blob::of(p))
+                prop_assert_eq!(r.try_receive(0, Position(p)).into_payload(), Some(Blob::of(p))
                 );
             }
         }
