@@ -63,6 +63,14 @@ const CRATE_CFG: &[(&str, bool, bool)] = &[
     ("core", true, true),
 ];
 
+/// Files outside the protocol crates that feed CI-gated numbers: the
+/// disaster experiment family and the availability metrics behind its
+/// gates. Scanned with the full determinism lints (hash collections and
+/// ambient time/randomness) so scripted fault plans and the metrics
+/// derived from them stay replayable.
+const EXTRA_FILES: &[&str] =
+    &["crates/harness/src/stats.rs", "crates/harness/src/experiments/disaster.rs"];
+
 /// Full analysis result for a workspace.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -163,6 +171,20 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             report.allows.extend(allows);
             report.files_scanned += 1;
         }
+    }
+    for rel in EXTRA_FILES {
+        let path = root.join(rel);
+        let cfg = FileLints {
+            hash_collections: true,
+            time_sources: true,
+            panic_freedom: false,
+            charge_coverage: false,
+        };
+        let src = fs::read_to_string(&path)?;
+        let (violations, allows) = check_source(rel, &src, cfg);
+        report.violations.extend(violations);
+        report.allows.extend(allows);
+        report.files_scanned += 1;
     }
     report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report.allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

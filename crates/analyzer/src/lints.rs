@@ -100,6 +100,18 @@ const TIME_SOURCES: &[(&str, &str)] = &[
 /// Checks one source file; returns findings and the allows that were used.
 pub fn check_source(file: &str, src: &str, cfg: FileLints) -> (Vec<Violation>, Vec<UsedAllow>) {
     let lexed = lex(src);
+    let mut cfg = cfg;
+    // Fault plans must stay scripted and seed-deterministic: any file
+    // that constructs or handles a `FaultPlan` is held to the
+    // ambient-time/randomness lint even in crates otherwise exempt. The
+    // sim crate owns the clock, but a wall-clock- or `thread_rng`-driven
+    // fault timeline would silently break disaster replayability.
+    if !cfg.time_sources
+        && lexed.toks.iter().any(|t| t.kind == Kind::Ident && t.text == "FaultPlan")
+    {
+        cfg.time_sources = true;
+    }
+    let cfg = cfg;
     let mut raw: Vec<Violation> = Vec::new();
 
     if cfg.hash_collections || cfg.time_sources {
@@ -526,6 +538,38 @@ mod tests {
         let src = "use std::collections::{BTreeMap, BTreeSet};\n\
                    fn f(now: SimTime) -> BTreeMap<u64, u64> { BTreeMap::new() }\n";
         assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_site_is_held_to_time_sources_even_when_exempt() {
+        let exempt = FileLints {
+            hash_collections: true,
+            time_sources: false,
+            panic_freedom: false,
+            charge_coverage: false,
+        };
+        let src = "fn plan() -> FaultPlan {\n\
+                       let jitter = thread_rng().gen_range(0..9);\n\
+                       FaultPlan::new()\n\
+                   }\n";
+        let (found, _) = check_source("sim.rs", src, exempt);
+        assert!(
+            found.iter().any(|v| v.lint == Lint::Determinism && v.message.contains("thread_rng")),
+            "a FaultPlan construction site must not draw ambient randomness: {found:?}"
+        );
+    }
+
+    #[test]
+    fn exempt_file_without_fault_plan_keeps_its_exemption() {
+        let exempt = FileLints {
+            hash_collections: true,
+            time_sources: false,
+            panic_freedom: false,
+            charge_coverage: false,
+        };
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let (found, _) = check_source("sim.rs", src, exempt);
+        assert!(found.is_empty(), "the sim crate's clock exemption must survive: {found:?}");
     }
 
     // -- panic-freedom -------------------------------------------------

@@ -11,7 +11,10 @@
 //! 4. the commit-channel range-certification sweep (slots/s at
 //!    agreement-replica saturation for range sizes 1/8/32/128, for
 //!    legacy IRMC-RC, digest-only dedup IRMC-RC, and IRMC-SC) and the
-//!    IRMC-SC §A.9 overlap latency comparison.
+//!    IRMC-SC §A.9 overlap latency comparison,
+//! 5. the disaster suite (correlated outage, WAN partition, view-change
+//!    storm, placement frontier) with goodput/unavailability/recovery
+//!    per scenario.
 //!
 //! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`).
 //!
@@ -25,9 +28,12 @@
 //! * the digest-only RC fan-in saturating above 100k slots/s at range 32
 //!   with per-slot receiver CPU within 2x of IRMC-SC's,
 //! * IRMC-SC overlapped shipping showing lower commit latency than
-//!   ship-after-bundle.
+//!   ship-after-bundle,
+//! * the WAN-partition disaster scenario losing zero ops, duplicating
+//!   zero ops, converging every store, and recovering within 10 s of
+//!   simulated time after the heal.
 
-use spider_harness::experiments::{batching, commit_channel, fig10, fig7};
+use spider_harness::experiments::{batching, commit_channel, disaster, fig10, fig7};
 use spider_harness::scenarios::ScenarioCfg;
 use spider_irmc::ChannelMode;
 use spider_types::SimTime;
@@ -54,6 +60,11 @@ const DEDUP_SATURATION_FLOOR: f64 = 100_000.0;
 /// though it still collects `fs` extra digest vouches.
 const DEDUP_RX_CPU_RATIO_CEIL: f64 = 2.0;
 
+/// Recovery-time ceiling of the WAN-partition disaster gate: goodput
+/// must return to 90 % of pre-fault within this much simulated time
+/// after the heal.
+const DISASTER_RECOVERY_CEIL_MS: f64 = 10_000.0;
+
 /// The fig7 cell the perf gate tracks: Spider with the leader in
 /// Virginia zone 1, measured from Virginia clients.
 const GATED_SYSTEM: &str = "SPIDER(leader=V-1)";
@@ -66,6 +77,19 @@ fn fig7_scale() -> ScenarioCfg {
         duration: SimTime::from_secs(12),
         warmup: SimTime::from_secs(2),
         ..ScenarioCfg::default()
+    }
+}
+
+/// Disaster scale: the same scaled-down clock the CI `disaster` job's
+/// integration tests use (fault at 6 s, heal at 14 s, 24 s of load).
+fn disaster_scale() -> disaster::Config {
+    disaster::Config {
+        clients_per_region: 2,
+        rate_per_client: 3.0,
+        fault_at: SimTime::from_secs(6),
+        heal_at: SimTime::from_secs(14),
+        duration: SimTime::from_secs(24),
+        ..disaster::Config::default()
     }
 }
 
@@ -176,6 +200,14 @@ fn main() {
          {rc_dedup_rx_us:.2} µs/slot (legacy RC {rc_legacy_rx_us:.2}, SC {sc_rx_us:.2})\n"
     );
 
+    println!("bench_summary: disaster suite…");
+    let disaster_rows = disaster::run(&disaster_scale());
+    println!("{}", disaster::render(&disaster_rows));
+    let partition_row = disaster_rows
+        .iter()
+        .find(|r| r.scenario == "wan-partition")
+        .expect("disaster suite includes the wan-partition scenario");
+
     println!("bench_summary: IRMC-SC §A.9 overlap latency…");
     let overlap_cfg =
         commit_channel::Config { msg_size: 16 * 1024, ..commit_channel::Config::default() };
@@ -285,6 +317,27 @@ fn main() {
         );
         json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"disaster\": [\n");
+    for (i, r) in disaster_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"pre_fault_rps\": {}, \"goodput_rps\": {}, \
+             \"pre_fault_p50_ms\": {}, \"unavailability_ms\": {}, \"recovery_ms\": {}, \
+             \"lost_ops\": {}, \"duplicated_ops\": {}, \"diverged_replicas\": {}, \
+             \"final_view\": {}}}",
+            r.scenario,
+            json_f64(r.pre_fault_rps),
+            json_f64(r.goodput_rps),
+            json_f64(r.pre_fault_p50_ms),
+            json_f64(r.unavailability_ms),
+            r.recovery_ms.map_or_else(|| "null".to_owned(), json_f64),
+            r.lost_ops,
+            r.duplicated_ops,
+            r.diverged_replicas,
+            r.final_view
+        );
+        json.push_str(if i + 1 < disaster_rows.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write bench summary JSON");
@@ -370,6 +423,33 @@ fn main() {
             eprintln!(
                 "SC-OVERLAP REGRESSION: overlapped shipping no longer lowers commit latency \
                  ({sc_overlap_p50:.2} ms vs {sc_after_bundle_p50:.2} ms)"
+            );
+            std::process::exit(1);
+        }
+        // The WAN-partition disaster must stay loss-free and bounded:
+        // zero lost/duplicated ops, every store converged, goodput back
+        // to 90 % of pre-fault within the recovery ceiling.
+        let recovery = partition_row.recovery_ms.unwrap_or(f64::INFINITY);
+        println!(
+            "disaster gate: wan-partition lost={} dup={} diverged={} recovery={:.0} ms \
+             (ceiling {DISASTER_RECOVERY_CEIL_MS:.0} ms)",
+            partition_row.lost_ops,
+            partition_row.duplicated_ops,
+            partition_row.diverged_replicas,
+            recovery
+        );
+        if partition_row.lost_ops != 0
+            || partition_row.duplicated_ops != 0
+            || partition_row.diverged_replicas != 0
+            || recovery > DISASTER_RECOVERY_CEIL_MS
+        {
+            eprintln!(
+                "DISASTER REGRESSION: wan-partition lost {} ops, duplicated {}, \
+                 {} diverged replicas, recovery {recovery:.0} ms \
+                 (gate: 0 / 0 / 0 / <= {DISASTER_RECOVERY_CEIL_MS:.0} ms)",
+                partition_row.lost_ops,
+                partition_row.duplicated_ops,
+                partition_row.diverged_replicas
             );
             std::process::exit(1);
         }

@@ -702,6 +702,16 @@ impl AgreementReplica {
         if window_moved {
             self.process_backlog(ctx);
         }
+        // RC commit channels have no standing heartbeat: arm the recast
+        // tick lazily while any channel holds undelivered content, so a
+        // partition that swallowed the one-shot casts cannot wedge the
+        // system, yet idle runs still quiesce.
+        if self.cfg.commit_mode.variant() != Variant::SenderCollect
+            && self.channels.values().any(|ch| ch.commit_send.has_unacked())
+        {
+            let interval = self.commit_tick_interval();
+            self.ensure_timer(ctx, TAG_SC_TICK, interval);
+        }
     }
 
     fn apply_cp_actions(&mut self, ctx: &mut Context<'_, SpiderMsg>, actions: Vec<CpAction>) {
@@ -769,6 +779,12 @@ impl AgreementReplica {
         }
         let id = ctx.set_timer(delay, tag);
         self.timers.insert(tag, id);
+    }
+
+    /// Arms `tag` only if it is not already pending (unlike [`Self::arm_timer`],
+    /// which reschedules).
+    fn ensure_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
+        self.timers.entry(tag).or_insert_with(|| ctx.set_timer(delay, tag));
     }
 
     fn agreement_index(&self, node: NodeId) -> Option<usize> {
@@ -981,8 +997,16 @@ impl Actor<SpiderMsg> for AgreementReplica {
                     }
                     self.apply_commit_actions(ctx, g, actions);
                 }
-                let interval = self.commit_tick_interval();
-                self.arm_timer(ctx, TAG_SC_TICK, interval);
+                // SC (and lingering) channels keep a standing heartbeat;
+                // RC keeps ticking only while content is undelivered
+                // (recast liveness), so idle runs quiesce.
+                if self.cfg.commit_mode.variant() == Variant::SenderCollect
+                    || self.cfg.commit_range_linger > SimTime::ZERO
+                    || self.channels.values().any(|ch| ch.commit_send.has_unacked())
+                {
+                    let interval = self.commit_tick_interval();
+                    self.arm_timer(ctx, TAG_SC_TICK, interval);
+                }
             }
             TAG_FETCH_RETRY if self.fetching => {
                 self.fetching = false;

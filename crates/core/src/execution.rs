@@ -466,6 +466,13 @@ impl<A: Application> ExecutionReplica<A> {
                 _ => {}
             }
         }
+        // RC request channels have no standing heartbeat: keep the tick
+        // armed only while submitted requests await receiver-window
+        // acknowledgement, so a partition that swallowed the one-shot
+        // casts cannot wedge the channel, yet idle runs still quiesce.
+        if self.cfg.request_variant != Variant::SenderCollect && self.req_sender.has_unacked() {
+            self.ensure_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+        }
     }
 
     fn apply_commit_channel_actions(
@@ -578,6 +585,12 @@ impl<A: Application> ExecutionReplica<A> {
         self.timers.insert(tag, id);
     }
 
+    /// Arms `tag` only if it is not already pending (unlike [`Self::arm_timer`],
+    /// which reschedules).
+    fn ensure_timer(&mut self, ctx: &mut Context<'_, SpiderMsg>, tag: u64, delay: SimTime) {
+        self.timers.entry(tag).or_insert_with(|| ctx.set_timer(delay, tag));
+    }
+
     fn replica_index_in(&self, group: GroupId, node: NodeId) -> Option<usize> {
         if group == keys::AGREEMENT_GROUP {
             self.directory.agreement().iter().position(|n| *n == node)
@@ -650,7 +663,13 @@ impl<A: Application> Actor<SpiderMsg> for ExecutionReplica<A> {
                 let mut actions = Vec::new();
                 self.req_sender.tick(ctx.now(), &mut actions);
                 self.apply_request_channel_actions(ctx, actions);
-                self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+                // SC keeps a standing heartbeat; RC re-arms only while
+                // content is undelivered (recast liveness + quiescence).
+                if self.cfg.request_variant == Variant::SenderCollect
+                    || self.req_sender.has_unacked()
+                {
+                    self.arm_timer(ctx, TAG_SC_TICK, SimTime::from_millis(20));
+                }
             }
             TAG_COMMIT_COLLECTOR => {
                 let mut actions = Vec::new();

@@ -8,6 +8,7 @@
 
 pub mod batching;
 pub mod commit_channel;
+pub mod disaster;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;

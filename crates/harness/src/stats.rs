@@ -85,6 +85,83 @@ pub fn timeline(samples: &[Sample], bucket: SimTime, until: SimTime) -> Vec<(Sim
         .collect()
 }
 
+/// Completed-ops-per-second in fixed-width buckets over `[0, until)`.
+/// Unlike [`timeline`], *every* bucket is reported — empty buckets show
+/// `0.0`, which is exactly what availability analysis needs.
+pub fn goodput_timeline(
+    samples: &[Sample],
+    bucket: SimTime,
+    until: SimTime,
+) -> Vec<(SimTime, f64)> {
+    assert!(bucket > SimTime::ZERO, "bucket must be positive");
+    let n_buckets = (until.as_nanos() / bucket.as_nanos()) as usize;
+    let mut counts = vec![0u64; n_buckets];
+    for s in samples {
+        let b = (s.completed.as_nanos() / bucket.as_nanos()) as usize;
+        if b < n_buckets {
+            counts[b] += 1;
+        }
+    }
+    let width = bucket.as_secs_f64();
+    (0..n_buckets)
+        .map(|b| (SimTime::from_nanos(b as u64 * bucket.as_nanos()), counts[b] as f64 / width))
+        .collect()
+}
+
+/// Mean completed-ops-per-second over `[start, end)`.
+pub fn mean_goodput(samples: &[Sample], start: SimTime, end: SimTime) -> f64 {
+    if end <= start {
+        return 0.0;
+    }
+    let n = samples.iter().filter(|s| s.completed >= start && s.completed < end).count();
+    n as f64 / (end - start).as_secs_f64()
+}
+
+/// The longest interval within `[start, end]` containing zero completed
+/// operations — the unavailability window clients actually experienced.
+pub fn longest_unavailability(samples: &[Sample], start: SimTime, end: SimTime) -> SimTime {
+    if end <= start {
+        return SimTime::ZERO;
+    }
+    let mut completions: Vec<SimTime> =
+        samples.iter().map(|s| s.completed).filter(|c| *c >= start && *c <= end).collect();
+    completions.sort();
+    let mut longest = SimTime::ZERO;
+    let mut prev = start;
+    for c in completions {
+        longest = longest.max(c.saturating_sub(prev));
+        prev = c;
+    }
+    longest.max(end.saturating_sub(prev))
+}
+
+/// Recovery time after a heal: the delay from `heal` until bucketed
+/// goodput first returns to `fraction` of `reference_rps`, scanning
+/// heal-aligned buckets of width `bucket` up to `until`. Returns the end
+/// of the first recovered bucket (relative to `heal`), or `None` if
+/// goodput never recovers within the horizon.
+pub fn recovery_time(
+    samples: &[Sample],
+    heal: SimTime,
+    reference_rps: f64,
+    fraction: f64,
+    bucket: SimTime,
+    until: SimTime,
+) -> Option<SimTime> {
+    assert!(bucket > SimTime::ZERO, "bucket must be positive");
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let target = reference_rps * fraction;
+    let mut lo = heal;
+    while lo < until {
+        let hi = (lo + bucket).min(until);
+        if mean_goodput(samples, lo, hi) >= target {
+            return Some(hi.saturating_sub(heal));
+        }
+        lo = hi;
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +211,73 @@ mod tests {
     #[should_panic(expected = "empty distribution")]
     fn percentile_rejects_empty() {
         let _ = percentile(&[], 50.0);
+    }
+
+    fn done_at(ms: &[u64]) -> Vec<Sample> {
+        ms.iter()
+            .map(|&at| Sample {
+                kind: OpKind::Write,
+                issued: SimTime::from_millis(at.saturating_sub(10)),
+                completed: SimTime::from_millis(at),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn goodput_timeline_reports_empty_buckets_as_zero() {
+        let samples = done_at(&[100, 200, 2500]);
+        let tl = goodput_timeline(&samples, SimTime::from_secs(1), SimTime::from_secs(3));
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0], (SimTime::ZERO, 2.0));
+        assert_eq!(tl[1], (SimTime::from_secs(1), 0.0), "empty bucket is present");
+        assert_eq!(tl[2], (SimTime::from_secs(2), 1.0));
+    }
+
+    #[test]
+    fn longest_unavailability_spans_gaps_and_edges() {
+        // Completions at 1s and 2s over a [0, 10s] window: the longest
+        // dead interval is the trailing 8 seconds.
+        let samples = done_at(&[1000, 2000]);
+        let gap = longest_unavailability(&samples, SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(gap, SimTime::from_secs(8));
+        // No completions at all: the entire window is dead.
+        let empty = longest_unavailability(&[], SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(empty, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn recovery_time_finds_first_recovered_bucket() {
+        // Heal at 10s; goodput returns at 5 ops/s from t=12s on.
+        let mut ms = Vec::new();
+        for t in (12_000..20_000).step_by(200) {
+            ms.push(t);
+        }
+        let samples = done_at(&ms);
+        let rec = recovery_time(
+            &samples,
+            SimTime::from_secs(10),
+            5.0,
+            0.9,
+            SimTime::from_secs(1),
+            SimTime::from_secs(20),
+        );
+        assert_eq!(rec, Some(SimTime::from_secs(3)), "buckets 10-11s and 11-12s are dead");
+        let never = recovery_time(
+            &samples,
+            SimTime::from_secs(10),
+            500.0,
+            0.9,
+            SimTime::from_secs(1),
+            SimTime::from_secs(20),
+        );
+        assert_eq!(never, None);
+    }
+
+    #[test]
+    fn mean_goodput_is_rate_over_window() {
+        let samples = done_at(&[500, 1500, 2500, 9500]);
+        let rate = mean_goodput(&samples, SimTime::ZERO, SimTime::from_secs(10));
+        assert!((rate - 0.4).abs() < 1e-9);
+        assert_eq!(mean_goodput(&samples, SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
     }
 }

@@ -141,7 +141,7 @@ pub use config::{ChannelMode, IrmcConfig, Variant};
 pub use error::IrmcError;
 pub use messages::{range_digest, slot_digest, ChannelMsg, ReceiverMsg};
 pub use receiver::{DedupOutcome, Delivery, ReceiveResult, ReceiverEndpoint};
-pub use sender::{SendStatus, SenderEndpoint};
+pub use sender::{SendStatus, SenderEndpoint, RC_RECAST_TICKS};
 pub use window::Window;
 
 use spider_crypto::Digestible;

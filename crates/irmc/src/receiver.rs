@@ -402,8 +402,12 @@ impl<M: Content> ReceiverEndpoint<M> {
             if Self::range_delivered(sub, first.0, count as u64) {
                 // Late duplicate (below the window, or the range already
                 // delivered): drop after the transport MAC — the member
-                // slots are NOT re-hashed.
+                // slots are NOT re-hashed. Remind the carrier where our
+                // window starts in case its view went stale during a
+                // partition (it only learns through `Move`s).
+                let start = sub.awin.start();
                 out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                self.reannounce_window(sc, start, from, out);
                 return Ok(());
             }
             if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
@@ -470,7 +474,12 @@ impl<M: Content> ReceiverEndpoint<M> {
         out.push(Action::Charge(self.cfg.cost.vouch_verify()));
         let sub = self.sub(sc);
         if first.0 + count as u64 <= sub.awin.start().0 {
-            return Ok(()); // Entirely below the window: late duplicate.
+            // Entirely below the window: late duplicate. Remind the
+            // voucher where our window starts in case its view went
+            // stale during a partition.
+            let start = sub.awin.start();
+            self.reannounce_window(sc, start, from, out);
+            return Ok(());
         }
         if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
             return Err(IrmcError::OutOfWindow { sc, p: first });
@@ -478,6 +487,22 @@ impl<M: Content> ReceiverEndpoint<M> {
         sub.vouches.entry(first.0).or_default().entry(from).or_insert((count, root));
         self.try_deliver_dedup(sc, first.0, out);
         Ok(())
+    }
+
+    /// Reminds a stale sender where this receiver's window starts.
+    /// Recast content (a sender retransmitting after a healed partition
+    /// that also ate our original `Move`s) lands below the window here;
+    /// without the reminder the sender would re-cast forever, because it
+    /// only learns of window movement through `Move` messages.
+    fn reannounce_window(
+        &self,
+        sc: Subchannel,
+        start: Position,
+        to: usize,
+        out: &mut Vec<Action<M>>,
+    ) {
+        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::ToSender { to, msg: ReceiverMsg::Move { sc, p: start } });
     }
 
     /// Every in-window slot of `[first, first + count)` already
@@ -586,7 +611,10 @@ impl<M: Content> ReceiverEndpoint<M> {
         let sub = self.sub(sc);
         if sub.awin.is_below(p) {
             // Below the window: a late duplicate, normal under
-            // retransmission; drop silently.
+            // retransmission. Remind the sender where our window starts
+            // in case its view of it went stale during a partition.
+            let start = sub.awin.start();
+            self.reannounce_window(sc, start, from, out);
             return Ok(());
         }
         if p.0 >= sub.awin.end().0 + sub.awin.capacity() {
@@ -1851,14 +1879,26 @@ mod tests {
             }
         }
         assert!(r.try_receive(0, Position(1)).into_payload().is_some(), "delivered");
-        // A late duplicate of the carrier's frame: transport MAC only —
-        // no Merkle rebuild, no signature.
+        // A late duplicate of the carrier's frame: transport MAC plus the
+        // MAC of the window re-announcement that reminds the stale sender
+        // — no Merkle rebuild, no signature.
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
         let mut late = Vec::new();
         for m in dedup_msgs_from(&c, carrier, 0, Position(1), msgs.clone()) {
             let _ = r.on_sender_message(SimTime::ZERO, carrier, m, &mut late);
         }
-        assert_eq!(charge_sum(&late), c.cost.hmac(bytes), "the hash wall is gone for late copies");
+        assert_eq!(
+            charge_sum(&late),
+            c.cost.hmac(bytes) + c.cost.hmac(32),
+            "the hash wall is gone for late copies"
+        );
+        assert!(
+            late.iter().any(|a| matches!(
+                a,
+                Action::ToSender { to, msg: ReceiverMsg::Move { sc: 0, p: Position(1) } } if *to == carrier
+            )),
+            "the stale carrier is reminded where the window starts"
+        );
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum SendStatus {
     Blocked,
 }
 
+/// RC: consecutive window-stalled ticks (at the actors' 20 ms tick
+/// cadence) before retained content is re-cast — 500 ms, comfortably
+/// above a WAN round trip, so the recast never fires while the original
+/// casts are still in flight.
+pub const RC_RECAST_TICKS: u8 = 25;
+
 /// Where a submitted slot's content lives: single submissions own their
 /// message, range submissions index into the shared range payload.
 #[derive(Debug)]
@@ -122,11 +128,15 @@ struct SenderSub<M> {
     /// (SC shares only combine over identical ranges, and the RC dedup
     /// carrier rotation keys on the chunk's first position).
     blocked: BTreeMap<u64, Vec<M>>,
-    /// RC dedup: ranges this endpoint submitted, retained (until the
-    /// window moves past them) to answer a receiver's
-    /// [`ReceiverMsg::FetchRange`] when the primary carrier stalls.
+    /// RC: ranges this endpoint submitted, retained (until the window
+    /// moves past them) to answer a receiver's
+    /// [`ReceiverMsg::FetchRange`] when the dedup primary carrier
+    /// stalls, and to re-cast when the window itself stalls (a healed
+    /// partition may have eaten the original casts).
     rc_ranges: BTreeMap<u64, Arc<Vec<M>>>,
-    /// SC: content this endpoint submitted, by position.
+    /// Content this endpoint submitted, by position. SC uses it for
+    /// share assembly and reshipping; RC retains single-slot sends here
+    /// for the stalled-window re-cast.
     content: BTreeMap<u64, SlotContent<M>>,
     /// SC: legacy per-slot signature shares, per position per sender.
     shares: BTreeMap<u64, BTreeMap<usize, (Digest, Signature)>>,
@@ -148,6 +158,11 @@ struct SenderSub<M> {
     /// drives the per-slot fallback for diverged range boundaries.
     last_tick_hwm: u64,
     stalled_ticks: u8,
+    /// RC: window start observed at the previous recast tick plus a
+    /// stall counter — drives the re-cast of retained content when the
+    /// window sits still with undelivered slots (healed partition).
+    rc_last_start: u64,
+    rc_stall_ticks: u8,
     /// Linger buffer for [`SenderEndpoint::send_buffered`].
     pending: Option<PendingRun<M>>,
 }
@@ -170,6 +185,8 @@ impl<M: Content> SenderSub<M> {
             certified_hwm: 0,
             last_tick_hwm: 0,
             stalled_ticks: 0,
+            rc_last_start: 0,
+            rc_stall_ticks: 0,
             pending: None,
         }
     }
@@ -604,6 +621,9 @@ impl<M: Content> SenderEndpoint<M> {
         let sig = self.keyring.sign(key, &digest);
         match self.cfg.variant() {
             Variant::ReceiverCollect => {
+                // Retain the content until the window moves past it so a
+                // stalled window (healed partition) can be re-cast.
+                self.sub(sc).content.insert(p.0, SlotContent::Single(Arc::new(msg.clone())));
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
                         to: r,
@@ -722,6 +742,8 @@ impl<M: Content> SenderEndpoint<M> {
         let sig = self.keyring.sign(key, &rd);
         match self.cfg.variant() {
             Variant::ReceiverCollect => {
+                // Retained for the stalled-window re-cast (see rc_ranges).
+                self.sub(sc).rc_ranges.insert(first, msgs.clone());
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
                         to: r,
@@ -997,6 +1019,7 @@ impl<M: Content> SenderEndpoint<M> {
             }
         }
         if self.cfg.variant() != Variant::SenderCollect {
+            self.rc_recast_tick(out);
             return;
         }
         self.fallback_stalled(out);
@@ -1078,6 +1101,149 @@ impl<M: Content> SenderEndpoint<M> {
                 self.maybe_bundle(sc, Position(p), out);
             }
         }
+    }
+
+    /// RC liveness net for severed links: when the window has sat still
+    /// for [`RC_RECAST_TICKS`] consecutive ticks with undelivered
+    /// content, re-cast the retained in-window slots. The original casts
+    /// went out exactly once at submit time; a partition that swallowed
+    /// them would otherwise wedge the channel forever, because receivers
+    /// that never saw a vouch cannot even ask to fetch.
+    fn rc_recast_tick(&mut self, out: &mut Vec<Action<M>>) {
+        let mut due: Vec<Subchannel> = Vec::new();
+        for (&sc, sub) in &mut self.subs {
+            let start = sub.awin.start().0;
+            let pending = !sub.blocked.is_empty()
+                || sub.rc_ranges.iter().any(|(&f, msgs)| f + msgs.len() as u64 > start)
+                || sub.content.range(start..).next().is_some();
+            if !pending {
+                sub.rc_stall_ticks = 0;
+                sub.rc_last_start = start;
+                continue;
+            }
+            if start != sub.rc_last_start {
+                sub.rc_last_start = start;
+                sub.rc_stall_ticks = 0;
+                continue;
+            }
+            sub.rc_stall_ticks = sub.rc_stall_ticks.saturating_add(1);
+            if sub.rc_stall_ticks >= RC_RECAST_TICKS {
+                sub.rc_stall_ticks = 0;
+                due.push(sc);
+            }
+        }
+        for sc in due {
+            self.recast_sub(sc, out);
+        }
+    }
+
+    /// Re-casts this endpoint's retained in-window content on `sc` to
+    /// every receiver whose last announced window start still covers it.
+    /// Receivers treat duplicates idempotently, and a receiver that
+    /// already moved past a slot re-announces its window start on the
+    /// below-window duplicate, so recasting converges rather than loops.
+    fn recast_sub(&mut self, sc: Subchannel, out: &mut Vec<Action<M>>) {
+        let Some(me_key) = self.key_of_sender(self.me) else {
+            return; // `new` validated `me`; unreachable without a bad cfg.
+        };
+        let me = self.me;
+        let n_senders = self.cfg.n_senders;
+        let n_receivers = self.cfg.n_receivers;
+        let dedup = self.cfg.dedup();
+        let sub = self.sub(sc);
+        let start = sub.awin.start().0;
+        let ranges: Vec<(u64, Arc<Vec<M>>)> = sub
+            .rc_ranges
+            .iter()
+            .filter(|&(&f, msgs)| f + msgs.len() as u64 > start)
+            .map(|(&f, msgs)| (f, msgs.clone()))
+            .collect();
+        let singles: Vec<(u64, Arc<M>)> = sub
+            .content
+            .range(start..)
+            .filter_map(|(&p, c)| match c {
+                SlotContent::Single(m) => Some((p, m.clone())),
+                SlotContent::InRange { .. } => None,
+            })
+            .collect();
+        let starts = sub.receiver_starts.clone();
+        // Only receivers whose announced window still reaches the chunk:
+        // the rest already delivered it (their `Move` told us so).
+        let targets = |last: u64| -> Vec<usize> {
+            (0..n_receivers).filter(|&r| starts.get(r).is_none_or(|s| s.0 <= last)).collect()
+        };
+        for (first, msgs) in ranges {
+            let last = first + msgs.len() as u64 - 1;
+            let to = targets(last);
+            if to.is_empty() {
+                continue;
+            }
+            let count = msgs.len() as u32;
+            let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
+            let root = merkle_root(&leaves);
+            let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
+            out.push(Action::Charge(
+                self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize),
+            ));
+            if dedup && carrier_for(sc, Position(first), n_senders) != me {
+                // Not the carrier: repeat the digest-only vouch. The
+                // receiver's carrier-supervision timer escalates to a
+                // FetchRange against us if the carrier stays dark.
+                out.push(Action::Charge(self.cfg.cost.hmac(52)));
+                for r in to {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::RangeVouch { sc, first: Position(first), count, root },
+                    });
+                }
+            } else {
+                let rd = range_digest(sc, Position(first), count, &root);
+                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                let sig = self.keyring.sign(me_key, &rd);
+                for r in to {
+                    out.push(Action::ToReceiver {
+                        to: r,
+                        msg: ChannelMsg::SendRange {
+                            sc,
+                            first: Position(first),
+                            msgs: msgs.clone(),
+                            sig,
+                        },
+                    });
+                }
+            }
+        }
+        for (p, msg) in singles {
+            let to = targets(p);
+            if to.is_empty() {
+                continue;
+            }
+            let digest = slot_digest(sc, Position(p), &msg.digest());
+            out.push(Action::Charge(
+                self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign(),
+            ));
+            let sig = self.keyring.sign(me_key, &digest);
+            for r in to {
+                out.push(Action::ToReceiver {
+                    to: r,
+                    msg: ChannelMsg::Send { sc, p: Position(p), msg: (*msg).clone(), sig },
+                });
+            }
+        }
+    }
+
+    /// Whether any subchannel still holds content the receiver quorum has
+    /// not acknowledged by moving the window past it (or sends queued
+    /// behind the window). Actors keep the RC recast tick armed only
+    /// while this is true, so idle simulations still quiesce.
+    pub fn has_unacked(&self) -> bool {
+        self.subs.values().any(|sub| {
+            let start = sub.awin.start().0;
+            !sub.blocked.is_empty()
+                || sub.pending.is_some()
+                || sub.rc_ranges.iter().any(|(&f, msgs)| f + msgs.len() as u64 > start)
+                || sub.content.range(start..).next().is_some()
+        })
     }
 
     fn key_of_sender(&self, idx: usize) -> Option<spider_crypto::KeyId> {

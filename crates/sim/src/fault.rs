@@ -1,0 +1,281 @@
+//! Scripted fault plans: a deterministic timeline of typed fault events.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults — region outages,
+//! WAN partitions, link degradation, replica crashes — that the
+//! [`Simulation`](crate::Simulation) applies at fixed `SimTime`s. Plans
+//! are written in *placement* terms (region names), not node ids: the
+//! simulation resolves regions against its [`Topology`](crate::Topology)
+//! and its node registry when each event fires, so the same plan works
+//! across deployments of different sizes.
+//!
+//! Determinism: a plan is pure data. Event application consumes no
+//! randomness, ties at the same instant apply in insertion order, and the
+//! only RNG in the system stays the simulation's single seeded stream —
+//! so a faulted run is exactly as reproducible as an unfaulted one.
+//!
+//! Semantics worth knowing:
+//!
+//! * [`FaultEvent::RegionOutage`] cuts every node placed in the region
+//!   off the network (both directions). Node state machines stay alive —
+//!   timers keep firing into the void — so a later
+//!   [`FaultEvent::RegionRestore`] or [`FaultEvent::Heal`] lets them
+//!   recover via the protocol's own catch-up paths. This matches a WAN
+//!   disaster (the region is unreachable), not a power loss; use
+//!   [`FaultEvent::CrashReplica`] for the latter.
+//! * [`FaultEvent::CrashReplica`] is a true fail-stop: the node's queued
+//!   and future events (including its timers) are discarded, so a
+//!   revived replica does *not* resume — crash faults model permanent
+//!   loss within the `f` budget.
+//! * Messages already in flight when a cut lands still arrive: drops are
+//!   decided at send time, mirroring packets that left the NIC before
+//!   the cable was pulled.
+
+use spider_types::{NodeId, SimTime};
+
+/// One typed fault, applied at a scheduled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Cuts every node in `region` off the network, both directions.
+    RegionOutage {
+        /// Region name (resolved against the topology at apply time).
+        region: String,
+    },
+    /// Reconnects a region taken down by [`FaultEvent::RegionOutage`].
+    RegionRestore {
+        /// Region name.
+        region: String,
+    },
+    /// Severs all traffic between two sets of regions (symmetric cut);
+    /// traffic within each side is untouched.
+    WanPartition {
+        /// Region names on one side of the cut.
+        side_a: Vec<String>,
+        /// Region names on the other side.
+        side_b: Vec<String>,
+    },
+    /// Removes the cuts a matching [`FaultEvent::WanPartition`] installed.
+    WanHeal {
+        /// Region names on one side of the healed cut.
+        side_a: Vec<String>,
+        /// Region names on the other side.
+        side_b: Vec<String>,
+    },
+    /// Degrades every link between two regions (symmetric): messages are
+    /// dropped with `drop_rate` and surviving ones delayed by
+    /// `extra_delay`. Zero/zero clears the degradation.
+    LinkDegrade {
+        /// One endpoint region.
+        a: String,
+        /// Other endpoint region.
+        b: String,
+        /// Per-message drop probability in `[0, 1]`.
+        drop_rate: f64,
+        /// Fixed extra one-way delay for messages that get through.
+        extra_delay: SimTime,
+    },
+    /// Fail-stops one node: its pending and future events are discarded.
+    CrashReplica {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Un-crashes a node. Note that its timers are gone for good — this
+    /// models a fresh process that must be driven by incoming messages.
+    ReviveReplica {
+        /// The node to revive.
+        node: NodeId,
+    },
+    /// Cuts one node off the network (both directions) while its state
+    /// machine and timers keep running — the recoverable analogue of
+    /// [`FaultEvent::CrashReplica`].
+    IsolateReplica {
+        /// The node to isolate.
+        node: NodeId,
+    },
+    /// Reconnects an isolated node.
+    RejoinReplica {
+        /// The node to reconnect.
+        node: NodeId,
+    },
+    /// Clears every network-level fault (outages, partitions, isolation,
+    /// degradation, timed blocks). Crashed nodes stay crashed — a crash
+    /// is not a network condition.
+    Heal,
+}
+
+/// A scripted, seed-deterministic timeline of [`FaultEvent`]s.
+///
+/// Built with the fluent helpers below (or raw [`FaultPlan::at`]) and
+/// installed via
+/// [`Simulation::install_fault_plan`](crate::Simulation::install_fault_plan).
+/// Events apply in time order; ties apply in the order they were added.
+///
+/// # Examples
+///
+/// ```
+/// use spider_sim::FaultPlan;
+/// use spider_types::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .wan_partition(
+///         &["virginia", "ireland"],
+///         &["oregon", "tokyo"],
+///         SimTime::from_secs(10),
+///         SimTime::from_secs(20),
+///     )
+///     .region_outage("tokyo", SimTime::from_secs(30), SimTime::from_secs(40));
+/// assert_eq!(plan.len(), 4); // each window is a cut + a heal event
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a raw event at `at`.
+    #[must_use]
+    pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Takes `region` offline over `[from, until)`.
+    #[must_use]
+    pub fn region_outage(self, region: &str, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "outage window is empty");
+        self.at(from, FaultEvent::RegionOutage { region: region.to_owned() })
+            .at(until, FaultEvent::RegionRestore { region: region.to_owned() })
+    }
+
+    /// Severs `side_a` from `side_b` over `[from, until)` (symmetric).
+    #[must_use]
+    pub fn wan_partition(
+        self,
+        side_a: &[&str],
+        side_b: &[&str],
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "partition window is empty");
+        assert!(!side_a.is_empty() && !side_b.is_empty(), "partition side is empty");
+        let a: Vec<String> = side_a.iter().map(|r| (*r).to_owned()).collect();
+        let b: Vec<String> = side_b.iter().map(|r| (*r).to_owned()).collect();
+        self.at(from, FaultEvent::WanPartition { side_a: a.clone(), side_b: b.clone() })
+            .at(until, FaultEvent::WanHeal { side_a: a, side_b: b })
+    }
+
+    /// Degrades the `a <-> b` links over `[from, until)` (symmetric).
+    #[must_use]
+    pub fn link_degrade(
+        self,
+        a: &str,
+        b: &str,
+        drop_rate: f64,
+        extra_delay: SimTime,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "degrade window is empty");
+        assert!((0.0..=1.0).contains(&drop_rate), "drop rate out of range");
+        self.at(
+            from,
+            FaultEvent::LinkDegrade { a: a.to_owned(), b: b.to_owned(), drop_rate, extra_delay },
+        )
+        .at(
+            until,
+            FaultEvent::LinkDegrade {
+                a: a.to_owned(),
+                b: b.to_owned(),
+                drop_rate: 0.0,
+                extra_delay: SimTime::ZERO,
+            },
+        )
+    }
+
+    /// Fail-stops `node` at `at` (permanent; see [`FaultEvent::CrashReplica`]).
+    #[must_use]
+    pub fn crash_replica(self, node: NodeId, at: SimTime) -> Self {
+        self.at(at, FaultEvent::CrashReplica { node })
+    }
+
+    /// Cuts `node` off the network over `[from, until)`; its timers keep
+    /// running, so it recovers via the protocol's catch-up paths.
+    #[must_use]
+    pub fn isolate_replica(self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "isolation window is empty");
+        self.at(from, FaultEvent::IsolateReplica { node })
+            .at(until, FaultEvent::RejoinReplica { node })
+    }
+
+    /// Clears every network-level fault at `at` (crashes persist).
+    #[must_use]
+    pub fn heal_at(self, at: SimTime) -> Self {
+        self.at(at, FaultEvent::Heal)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The timeline in application order (stable sort by time, so
+    /// same-instant events keep insertion order).
+    pub fn into_events(mut self) -> Vec<(SimTime, FaultEvent)> {
+        self.events.sort_by_key(|(at, _)| *at);
+        self.events
+    }
+
+    /// Iterates the scheduled events in insertion order (mainly for
+    /// introspection; application order is [`FaultPlan::into_events`]).
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, FaultEvent)> {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_paired_events_in_time_order() {
+        let plan = FaultPlan::new()
+            .region_outage("b", SimTime::from_secs(5), SimTime::from_secs(9))
+            .crash_replica(NodeId(3), SimTime::from_secs(1))
+            .heal_at(SimTime::from_secs(20));
+        let events = plan.into_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            (SimTime::from_secs(1), FaultEvent::CrashReplica { node: NodeId(3) })
+        );
+        assert!(matches!(events[1].1, FaultEvent::RegionOutage { .. }));
+        assert!(matches!(events[2].1, FaultEvent::RegionRestore { .. }));
+        assert_eq!(events[3].1, FaultEvent::Heal);
+    }
+
+    #[test]
+    fn same_instant_events_keep_insertion_order() {
+        let t = SimTime::from_secs(2);
+        let plan = FaultPlan::new()
+            .at(t, FaultEvent::RegionOutage { region: "a".into() })
+            .at(t, FaultEvent::RegionRestore { region: "a".into() });
+        let events = plan.into_events();
+        assert!(matches!(events[0].1, FaultEvent::RegionOutage { .. }));
+        assert!(matches!(events[1].1, FaultEvent::RegionRestore { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window is empty")]
+    fn empty_outage_window_panics() {
+        let _ = FaultPlan::new().region_outage("a", SimTime::from_secs(2), SimTime::from_secs(2));
+    }
+}

@@ -20,6 +20,10 @@
 //! * **Determinism**: one seed, one execution. All randomness flows through
 //!   a single seeded RNG, and ties in the event queue are broken by
 //!   insertion order.
+//! * **Faults**: [`NetworkControl`] injects partitions, crashes, and lossy
+//!   links at runtime; a scripted [`FaultPlan`] applies a deterministic
+//!   timeline of typed fault events (region outages, WAN partitions, link
+//!   degradation, crashes) at scheduled times, written in placement terms.
 //!
 //! # Examples
 //!
@@ -60,13 +64,15 @@
 
 mod actor;
 mod event;
+mod fault;
 mod metrics;
 mod net;
 mod world;
 
 pub use actor::{Actor, Context, Timer, TimerId};
+pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::{LinkClass, NetStats, NodeStats, SimStats};
-pub use net::{NetworkControl, Topology, TopologyBuilder};
+pub use net::{LinkQuality, NetworkControl, Topology, TopologyBuilder};
 pub use world::Simulation;
 
 pub use spider_types::{NodeId, SimTime, WireSize, ZoneId};

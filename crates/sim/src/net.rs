@@ -215,24 +215,64 @@ impl TopologyBuilder {
     }
 }
 
+/// Symmetric link-quality override between two regions: a drop
+/// probability plus fixed extra one-way delay for survivors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Per-message drop probability in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Fixed extra one-way delay for messages that get through.
+    pub extra_delay: SimTime,
+}
+
+impl LinkQuality {
+    /// Whether this override changes nothing (and can be cleared).
+    pub fn is_clean(&self) -> bool {
+        self.drop_rate == 0.0 && self.extra_delay == SimTime::ZERO
+    }
+}
+
 /// Runtime network fault injection: partitions, link blocks, extra delay.
 ///
-/// Consulted at send time for every message; used by tests to exercise
-/// checkpoint catch-up, view changes, and IRMC `TooOld` paths.
+/// Consulted at send time for every message; used by tests and
+/// [`FaultPlan`](crate::FaultPlan)s to exercise checkpoint catch-up, view
+/// changes, and IRMC `TooOld` paths.
+///
+/// Convention: cuts are **symmetric by default** — `partition_*`,
+/// `isolate`, region outages, and region cuts all sever both directions,
+/// matching how `crash` behaves. The directed forms ([`block_until`],
+/// [`set_drop_rate`], [`set_extra_delay`]) remain available for
+/// asymmetric-loss scenarios.
+///
+/// [`block_until`]: NetworkControl::block_until
+/// [`set_drop_rate`]: NetworkControl::set_drop_rate
+/// [`set_extra_delay`]: NetworkControl::set_extra_delay
 #[derive(Debug, Default)]
 pub struct NetworkControl {
     /// Pairs (a, b): messages from a to b are dropped while blocked.
     blocked: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Nodes whose messages are all dropped (crashed).
     crashed: std::collections::BTreeSet<NodeId>,
+    /// Nodes cut off the network both ways (state machines keep running).
+    isolated: std::collections::BTreeSet<NodeId>,
     /// Extra one-way delay per ordered pair.
     extra_delay: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Probability of dropping a message per ordered pair.
     drop_rate: BTreeMap<(NodeId, NodeId), f64>,
+    /// Region of each node, registered by the simulation at `add_node`.
+    node_region: BTreeMap<NodeId, RegionId>,
+    /// Regions currently cut off the network entirely.
+    offline_regions: std::collections::BTreeSet<RegionId>,
+    /// Severed region pairs (stored in both orders).
+    region_cuts: std::collections::BTreeSet<(RegionId, RegionId)>,
+    /// Degraded region pairs (stored in both orders).
+    region_degrade: BTreeMap<(RegionId, RegionId), LinkQuality>,
 }
 
 impl NetworkControl {
-    /// Blocks the directed link `from -> to` until simulated time `until`.
+    /// Blocks the directed link `from -> to` until simulated time `until`
+    /// — the explicit *directed* form; prefer
+    /// [`NetworkControl::partition_pair_until`] for realistic cuts.
     pub fn block_until(&mut self, from: NodeId, to: NodeId, until: SimTime) {
         self.blocked.insert((from, to), until);
     }
@@ -241,6 +281,17 @@ impl NetworkControl {
     pub fn partition_pair_until(&mut self, a: NodeId, b: NodeId, until: SimTime) {
         self.block_until(a, b, until);
         self.block_until(b, a, until);
+    }
+
+    /// Severs every `a`-side node from every `b`-side node (symmetric)
+    /// until `until` — the group-level convenience for partitioning, say,
+    /// an agreement group from an execution group.
+    pub fn partition_groups_until(&mut self, a: &[NodeId], b: &[NodeId], until: SimTime) {
+        for &x in a {
+            for &y in b {
+                self.partition_pair_until(x, y, until);
+            }
+        }
     }
 
     /// Marks a node as crashed: it neither sends nor receives from now on.
@@ -257,6 +308,94 @@ impl NetworkControl {
     /// Whether the node is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.crashed.contains(&node)
+    }
+
+    /// Cuts `node` off the network in both directions while its state
+    /// machine and timers keep running — unlike
+    /// [`NetworkControl::crash`], a later [`NetworkControl::rejoin`]
+    /// lets it recover via the protocol's own catch-up paths.
+    pub fn isolate(&mut self, node: NodeId) {
+        self.isolated.insert(node);
+    }
+
+    /// Reconnects an isolated node.
+    pub fn rejoin(&mut self, node: NodeId) {
+        self.isolated.remove(&node);
+    }
+
+    /// Whether the node is currently isolated.
+    pub fn is_isolated(&self, node: NodeId) -> bool {
+        self.isolated.contains(&node)
+    }
+
+    /// Registers the region a node lives in. The simulation calls this
+    /// from `add_node`; region-level faults only affect registered nodes.
+    pub fn set_node_region(&mut self, node: NodeId, region: RegionId) {
+        self.node_region.insert(node, region);
+    }
+
+    /// Region of a registered node.
+    pub fn region_of(&self, node: NodeId) -> Option<RegionId> {
+        self.node_region.get(&node).copied()
+    }
+
+    /// Cuts every node in `region` off the network, both directions
+    /// (the region-outage convenience; see
+    /// [`FaultEvent::RegionOutage`](crate::FaultEvent::RegionOutage) for
+    /// the semantics).
+    pub fn outage_region(&mut self, region: RegionId) {
+        self.offline_regions.insert(region);
+    }
+
+    /// Reconnects a region taken down by
+    /// [`NetworkControl::outage_region`].
+    pub fn restore_region(&mut self, region: RegionId) {
+        self.offline_regions.remove(&region);
+    }
+
+    /// Whether the region is currently offline.
+    pub fn is_region_offline(&self, region: RegionId) -> bool {
+        self.offline_regions.contains(&region)
+    }
+
+    /// Severs all traffic between two regions (symmetric).
+    pub fn partition_regions(&mut self, a: RegionId, b: RegionId) {
+        self.region_cuts.insert((a, b));
+        self.region_cuts.insert((b, a));
+    }
+
+    /// Removes a region-level cut installed by
+    /// [`NetworkControl::partition_regions`].
+    pub fn heal_region_cut(&mut self, a: RegionId, b: RegionId) {
+        self.region_cuts.remove(&(a, b));
+        self.region_cuts.remove(&(b, a));
+    }
+
+    /// Degrades every link between two regions (symmetric). A clean
+    /// [`LinkQuality`] (zero drop, zero delay) clears the degradation.
+    pub fn degrade_regions(&mut self, a: RegionId, b: RegionId, quality: LinkQuality) {
+        assert!((0.0..=1.0).contains(&quality.drop_rate), "drop rate out of range");
+        if quality.is_clean() {
+            self.region_degrade.remove(&(a, b));
+            self.region_degrade.remove(&(b, a));
+        } else {
+            self.region_degrade.insert((a, b), quality);
+            self.region_degrade.insert((b, a), quality);
+        }
+    }
+
+    /// Clears every network-level fault: timed blocks, isolation, region
+    /// outages, region cuts, degradation, and the per-pair drop/delay
+    /// overrides. Crashed nodes stay crashed — a crash is not a network
+    /// condition (and their timers are already gone).
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+        self.isolated.clear();
+        self.offline_regions.clear();
+        self.region_cuts.clear();
+        self.region_degrade.clear();
+        self.extra_delay.clear();
+        self.drop_rate.clear();
     }
 
     /// Adds fixed extra one-way delay on the directed link.
@@ -278,8 +417,18 @@ impl NetworkControl {
         }
     }
 
+    fn region_pair(&self, from: NodeId, to: NodeId) -> Option<(RegionId, RegionId)> {
+        Some((*self.node_region.get(&from)?, *self.node_region.get(&to)?))
+    }
+
     pub(crate) fn extra_delay(&self, from: NodeId, to: NodeId) -> SimTime {
-        self.extra_delay.get(&(from, to)).copied().unwrap_or(SimTime::ZERO)
+        let pair = self.extra_delay.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
+        let regional = self
+            .region_pair(from, to)
+            .and_then(|key| self.region_degrade.get(&key))
+            .map(|q| q.extra_delay)
+            .unwrap_or(SimTime::ZERO);
+        pair + regional
     }
 
     pub(crate) fn should_drop<R: Rng>(
@@ -291,6 +440,22 @@ impl NetworkControl {
     ) -> bool {
         if self.crashed.contains(&from) || self.crashed.contains(&to) {
             return true;
+        }
+        if self.isolated.contains(&from) || self.isolated.contains(&to) {
+            return true;
+        }
+        if let Some((ra, rb)) = self.region_pair(from, to) {
+            if self.offline_regions.contains(&ra) || self.offline_regions.contains(&rb) {
+                return true;
+            }
+            if self.region_cuts.contains(&(ra, rb)) {
+                return true;
+            }
+            if let Some(q) = self.region_degrade.get(&(ra, rb)) {
+                if q.drop_rate > 0.0 && rng.gen_bool(q.drop_rate) {
+                    return true;
+                }
+            }
         }
         if let Some(until) = self.blocked.get(&(from, to)) {
             if now < *until {
@@ -375,6 +540,69 @@ mod tests {
         assert!(nc.should_drop(a, b, SimTime::from_secs(1), &mut rng));
         assert!(!nc.should_drop(b, a, SimTime::from_secs(1), &mut rng));
         assert!(!nc.should_drop(a, b, SimTime::from_secs(5), &mut rng));
+    }
+
+    #[test]
+    fn network_control_region_faults_are_symmetric_and_heal() {
+        let mut nc = NetworkControl::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (va, or) = (RegionId(0), RegionId(1));
+        let (a, b) = (NodeId(1), NodeId(2));
+        nc.set_node_region(a, va);
+        nc.set_node_region(b, or);
+
+        nc.partition_regions(va, or);
+        assert!(nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert!(nc.should_drop(b, a, SimTime::ZERO, &mut rng));
+        nc.heal_region_cut(or, va); // either argument order heals
+        assert!(!nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+
+        nc.outage_region(or);
+        assert!(nc.is_region_offline(or));
+        assert!(nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert!(nc.should_drop(b, a, SimTime::ZERO, &mut rng));
+        nc.restore_region(or);
+        assert!(!nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+
+        nc.degrade_regions(
+            va,
+            or,
+            LinkQuality { drop_rate: 1.0, extra_delay: SimTime::from_millis(5) },
+        );
+        assert!(nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert_eq!(nc.extra_delay(b, a), SimTime::from_millis(5));
+        nc.outage_region(va);
+        nc.heal();
+        assert!(!nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert_eq!(nc.extra_delay(a, b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn network_control_isolation_is_recoverable_and_heal_spares_crashes() {
+        let mut nc = NetworkControl::default();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
+        nc.isolate(a);
+        assert!(nc.is_isolated(a));
+        assert!(nc.should_drop(a, b, SimTime::ZERO, &mut rng));
+        assert!(nc.should_drop(b, a, SimTime::ZERO, &mut rng));
+        assert!(!nc.should_drop(b, c, SimTime::ZERO, &mut rng));
+        nc.crash(c);
+        nc.heal();
+        assert!(!nc.should_drop(a, b, SimTime::ZERO, &mut rng), "heal rejoins isolated nodes");
+        assert!(nc.should_drop(b, c, SimTime::ZERO, &mut rng), "heal never revives crashes");
+    }
+
+    #[test]
+    fn network_control_group_partition_cuts_cross_pairs_only() {
+        let mut nc = NetworkControl::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (a1, a2, b1) = (NodeId(1), NodeId(2), NodeId(3));
+        nc.partition_groups_until(&[a1, a2], &[b1], SimTime::from_secs(5));
+        assert!(nc.should_drop(a1, b1, SimTime::ZERO, &mut rng));
+        assert!(nc.should_drop(b1, a2, SimTime::ZERO, &mut rng));
+        assert!(!nc.should_drop(a1, a2, SimTime::ZERO, &mut rng), "intra-side traffic flows");
+        assert!(!nc.should_drop(a1, b1, SimTime::from_secs(5), &mut rng), "cut expires");
     }
 
     #[test]

@@ -2,13 +2,14 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use spider_types::{NodeId, SimTime, WireSize, ZoneId};
-use std::collections::BTreeSet;
+use spider_types::{NodeId, RegionId, SimTime, WireSize, ZoneId};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::actor::{Actor, ActorObj, Context, OutAction, Timer, TimerId};
 use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::metrics::{LinkClass, SimStats};
-use crate::net::{NetworkControl, Topology};
+use crate::net::{LinkQuality, NetworkControl, Topology};
 
 struct NodeSlot<M> {
     actor: Box<dyn ActorObj<M>>,
@@ -33,6 +34,8 @@ pub struct Simulation<M> {
     cancelled_timers: BTreeSet<TimerId>,
     next_timer_id: u64,
     out_buf: Vec<OutAction<M>>,
+    /// Installed fault events in application order (front = next due).
+    fault_timeline: VecDeque<(SimTime, FaultEvent)>,
 }
 
 impl<M: Clone + WireSize + 'static> Simulation<M> {
@@ -49,6 +52,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             cancelled_timers: BTreeSet::new(),
             next_timer_id: 0,
             out_buf: Vec::new(),
+            fault_timeline: VecDeque::new(),
         }
     }
 
@@ -57,6 +61,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     pub fn add_node<A: Actor<M>>(&mut self, zone: ZoneId, actor: A) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.stats.ensure_node(id);
+        self.net_control.set_node_region(id, zone.region());
         self.nodes.push(NodeSlot {
             actor: Box::new(actor),
             zone,
@@ -95,6 +100,107 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     /// Immutable access to fault injection state.
     pub fn net_control(&self) -> &NetworkControl {
         &self.net_control
+    }
+
+    /// All node ids placed in `region`, in id order.
+    pub fn nodes_in_region(&self, region: RegionId) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.nodes[n.0 as usize].zone.region() == region)
+            .collect()
+    }
+
+    /// Installs a scripted [`FaultPlan`]: its events apply to
+    /// [`NetworkControl`] at their scheduled times as the simulation
+    /// advances. Multiple plans merge; same-instant events keep install
+    /// order. Region names are validated eagerly.
+    ///
+    /// Events in the past (at or before [`Simulation::now`]) apply on the
+    /// next step. Messages already in flight across a new cut still
+    /// arrive — drops are decided at send time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a region the topology doesn't know.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let events = plan.into_events();
+        for (_, event) in &events {
+            match event {
+                FaultEvent::RegionOutage { region } | FaultEvent::RegionRestore { region } => {
+                    let _ = self.topology.region(region);
+                }
+                FaultEvent::WanPartition { side_a, side_b }
+                | FaultEvent::WanHeal { side_a, side_b } => {
+                    for r in side_a.iter().chain(side_b) {
+                        let _ = self.topology.region(r);
+                    }
+                }
+                FaultEvent::LinkDegrade { a, b, .. } => {
+                    let _ = self.topology.region(a);
+                    let _ = self.topology.region(b);
+                }
+                FaultEvent::CrashReplica { .. }
+                | FaultEvent::ReviveReplica { .. }
+                | FaultEvent::IsolateReplica { .. }
+                | FaultEvent::RejoinReplica { .. }
+                | FaultEvent::Heal => {}
+            }
+        }
+        let mut merged: Vec<(SimTime, FaultEvent)> =
+            self.fault_timeline.drain(..).chain(events).collect();
+        merged.sort_by_key(|(at, _)| *at);
+        self.fault_timeline = merged.into();
+    }
+
+    /// Number of fault events still pending application.
+    pub fn pending_faults(&self) -> usize {
+        self.fault_timeline.len()
+    }
+
+    /// Applies every installed fault event due at or before `upto`.
+    fn apply_due_faults(&mut self, upto: SimTime) {
+        while self.fault_timeline.front().is_some_and(|(at, _)| *at <= upto) {
+            let (_, event) = self.fault_timeline.pop_front().expect("front checked");
+            self.apply_fault(event);
+        }
+    }
+
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::RegionOutage { region } => {
+                let r = self.topology.region(&region);
+                self.net_control.outage_region(r);
+            }
+            FaultEvent::RegionRestore { region } => {
+                let r = self.topology.region(&region);
+                self.net_control.restore_region(r);
+            }
+            FaultEvent::WanPartition { side_a, side_b } => {
+                for a in &side_a {
+                    for b in &side_b {
+                        let (ra, rb) = (self.topology.region(a), self.topology.region(b));
+                        self.net_control.partition_regions(ra, rb);
+                    }
+                }
+            }
+            FaultEvent::WanHeal { side_a, side_b } => {
+                for a in &side_a {
+                    for b in &side_b {
+                        let (ra, rb) = (self.topology.region(a), self.topology.region(b));
+                        self.net_control.heal_region_cut(ra, rb);
+                    }
+                }
+            }
+            FaultEvent::LinkDegrade { a, b, drop_rate, extra_delay } => {
+                let (ra, rb) = (self.topology.region(&a), self.topology.region(&b));
+                self.net_control.degrade_regions(ra, rb, LinkQuality { drop_rate, extra_delay });
+            }
+            FaultEvent::CrashReplica { node } => self.net_control.crash(node),
+            FaultEvent::ReviveReplica { node } => self.net_control.revive(node),
+            FaultEvent::IsolateReplica { node } => self.net_control.isolate(node),
+            FaultEvent::RejoinReplica { node } => self.net_control.rejoin(node),
+            FaultEvent::Heal => self.net_control.heal(),
+        }
     }
 
     /// Injects a message `from -> to` that arrives with normal network
@@ -148,6 +254,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             n += 1;
         }
         self.now = self.now.max(deadline.min(self.queue.peek_time().unwrap_or(deadline)));
+        self.apply_due_faults(self.now);
         n
     }
 
@@ -163,6 +270,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             n += 1;
         }
         self.now = self.now.max(deadline);
+        self.apply_due_faults(self.now);
         n
     }
 
@@ -173,6 +281,11 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
 
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
+        // Scripted faults due before the next event take effect first, so
+        // the event's send decisions see the post-fault network.
+        if let Some(next) = self.queue.peek_time() {
+            self.apply_due_faults(next.max(self.now));
+        }
         let Some(event) = self.queue.pop() else {
             return false;
         };
@@ -474,6 +587,130 @@ mod tests {
         let mut sim: Simulation<Msg> = Simulation::new(topo, 1);
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    /// Sends one message per tick to a peer and counts echoes.
+    struct Ticker {
+        peer: NodeId,
+        period: SimTime,
+        sent: u64,
+        echoed: Vec<SimTime>,
+    }
+    impl Actor<Msg> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+            self.echoed.push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: Timer) {
+            self.sent += 1;
+            ctx.send(self.peer, Msg(self.sent, 16));
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    /// Echoes everything straight back.
+    struct EchoBack;
+    impl Actor<Msg> for EchoBack {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            ctx.send(from, msg);
+        }
+    }
+
+    #[test]
+    fn fault_plan_outage_window_suppresses_and_restores_traffic() {
+        let topo = two_region_topo();
+        let mut sim = Simulation::new(topo, 1);
+        let echo = sim.add_node(sim.topology().zone("b", 0), EchoBack);
+        let ticker = sim.add_node(
+            sim.topology().zone("a", 0),
+            Ticker { peer: echo, period: SimTime::from_millis(100), sent: 0, echoed: vec![] },
+        );
+        sim.install_fault_plan(FaultPlan::new().region_outage(
+            "b",
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        ));
+        sim.run_until(SimTime::from_secs(6));
+        let echoed = &sim.actor::<Ticker>(ticker).echoed;
+        let during = |t: &&SimTime| {
+            **t > SimTime::from_secs(2) + SimTime::from_millis(200) && **t < SimTime::from_secs(4)
+        };
+        assert_eq!(echoed.iter().filter(during).count(), 0, "no echoes during the outage");
+        let before = echoed.iter().filter(|t| **t < SimTime::from_secs(2)).count();
+        let after = echoed.iter().filter(|t| **t > SimTime::from_secs(4)).count();
+        assert!(before > 10, "traffic before the outage, got {before}");
+        assert!(after > 10, "traffic resumes after restore, got {after}");
+        assert_eq!(sim.pending_faults(), 0, "both events applied");
+    }
+
+    #[test]
+    fn fault_plan_heal_clears_partition_but_not_crash() {
+        let topo = two_region_topo();
+        let mut sim = Simulation::new(topo, 1);
+        let echo = sim.add_node(sim.topology().zone("b", 0), EchoBack);
+        let ticker = sim.add_node(
+            sim.topology().zone("a", 0),
+            Ticker { peer: echo, period: SimTime::from_millis(100), sent: 0, echoed: vec![] },
+        );
+        let dead = sim.add_node(sim.topology().zone("b", 1), EchoBack);
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .crash_replica(dead, SimTime::from_secs(1))
+                .at(
+                    SimTime::from_secs(1),
+                    FaultEvent::WanPartition { side_a: vec!["a".into()], side_b: vec!["b".into()] },
+                )
+                .heal_at(SimTime::from_secs(3)),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert!(!sim.net_control().is_crashed(ticker));
+        assert!(sim.net_control().is_crashed(dead), "heal leaves crashes in place");
+        let echoed = &sim.actor::<Ticker>(ticker).echoed;
+        assert!(
+            echoed.iter().any(|t| *t > SimTime::from_secs(3)),
+            "traffic resumes after the heal event"
+        );
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic_and_diverge_from_unfaulted() {
+        fn run(seed: u64, faulted: bool) -> Vec<(SimTime, u64)> {
+            let topo = two_region_topo();
+            let mut sim = Simulation::new(topo, seed);
+            let rec = sim.add_node(sim.topology().zone("a", 0), Recorder::default());
+            let w = sim
+                .add_node(sim.topology().zone("b", 0), Worker { cost: SimTime::from_micros(200) });
+            if faulted {
+                // Covers the instants the worker's echoes depart (the
+                // requests take 40ms of propagation to reach it).
+                sim.install_fault_plan(FaultPlan::new().region_outage(
+                    "b",
+                    SimTime::from_millis(45),
+                    SimTime::from_millis(70),
+                ));
+            }
+            for i in 0..50 {
+                sim.post(SimTime::from_millis(i), rec, w, Msg(i, 64));
+            }
+            sim.run_until_quiescent(SimTime::from_secs(5));
+            sim.actor::<Recorder>(rec).arrivals.clone()
+        }
+        assert_eq!(run(7, true), run(7, true), "same seed, same faulted trace");
+        assert_ne!(run(7, true), run(7, false), "the outage must be observable");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn fault_plan_rejects_unknown_regions_at_install() {
+        let topo = two_region_topo();
+        let mut sim: Simulation<Msg> = Simulation::new(topo, 1);
+        sim.install_fault_plan(FaultPlan::new().region_outage(
+            "atlantis",
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        ));
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! 2. partitions an execution replica long enough that it misses the
 //!    commit-channel window and must recover via checkpoint (§3.4),
 //! 3. runs a Byzantine client that equivocates between replicas —
-//!    blocked by the request channel without hurting anyone else (§3.7).
+//!    blocked by the request channel without hurting anyone else (§3.7),
+//! 4. takes the whole Tokyo region offline for six seconds (a
+//!    correlated outage) and lets it catch back up.
+//!
+//! The drill is declared up front as a deterministic [`FaultPlan`]; the
+//! run below merely narrates it as the scripted faults fire.
 //!
 //! Run with: `cargo run -p spider_examples --example fault_drill`
 
@@ -16,7 +21,7 @@ use spider::{ClientFault, DeploymentBuilder, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
 use spider_examples::fmt_latencies;
 use spider_harness::ec2_topology;
-use spider_sim::Simulation;
+use spider_sim::{FaultPlan, Simulation};
 use spider_types::SimTime;
 
 fn main() {
@@ -50,22 +55,21 @@ fn main() {
         ClientFault::ConflictingRequests,
     );
 
-    // t = 2s: kill the consensus leader.
-    sim.run_until(SimTime::from_secs(2));
     let leader = dep.agreement[0];
-    sim.net_control_mut().crash(leader);
-    println!("t=2s   crashed agreement leader {leader:?}");
-
-    // t = 4s .. 12s: partition one Tokyo execution replica.
-    sim.run_until(SimTime::from_secs(4));
     let victim = dep.group_nodes(1)[1];
-    let node_count = 32u32;
-    for other in (0..node_count).map(spider_types::NodeId) {
-        if other != victim {
-            sim.net_control_mut().partition_pair_until(victim, other, SimTime::from_secs(12));
-        }
-    }
+    sim.install_fault_plan(
+        FaultPlan::new()
+            .crash_replica(leader, SimTime::from_secs(2))
+            .isolate_replica(victim, SimTime::from_secs(4), SimTime::from_secs(12))
+            .region_outage("tokyo", SimTime::from_secs(14), SimTime::from_secs(20)),
+    );
+
+    sim.run_until(SimTime::from_secs(2));
+    println!("t=2s   crashed agreement leader {leader:?}");
+    sim.run_until(SimTime::from_secs(4));
     println!("t=4s   partitioned execution replica {victim:?} until t=12s");
+    sim.run_until(SimTime::from_secs(14));
+    println!("t=14s  tokyo region offline until t=20s (correlated outage)");
 
     sim.run_until_quiescent(SimTime::from_secs(90));
 
