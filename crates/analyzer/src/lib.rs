@@ -16,6 +16,10 @@
 //!    wire-message enum.
 //! 4. **charge-coverage** — every function that emits messages also
 //!    charges CPU cost, keeping the busy-server perf model honest.
+//! 5. **trace-hygiene** — span enter/exit pairs recorded by the
+//!    observability layer stay balanced per function with no early
+//!    `return` leaking an open span (cross-function lifecycle spans,
+//!    which only enter or only exit, are exempt by construction).
 //!
 //! Escape hatch: `// analyzer: allow(<lint>, <reason>)` on (or directly
 //! above) the offending line. The reason is mandatory, and an allow that
@@ -53,14 +57,15 @@ const HOT_PATHS: &[&str] = &[
 /// still must not use hash collections — the event loop's iteration order
 /// feeds straight into the trace). Crates that run inside the simulator
 /// (`irmc`, `consensus`, `core`) additionally get charge-coverage.
-const CRATE_CFG: &[(&str, bool, bool)] = &[
-    // (crate, time_sources, charge_coverage)
-    ("types", true, false),
-    ("crypto", true, false),
-    ("sim", false, false),
-    ("irmc", true, true),
-    ("consensus", true, true),
-    ("core", true, true),
+const CRATE_CFG: &[(&str, bool, bool, bool)] = &[
+    // (crate, time_sources, charge_coverage, trace_hygiene)
+    ("types", true, false, false),
+    ("crypto", true, false, false),
+    ("sim", false, false, true),
+    ("obs", true, false, true),
+    ("irmc", true, true, true),
+    ("consensus", true, true, true),
+    ("core", true, true, true),
 ];
 
 /// Files outside the protocol crates that feed CI-gated numbers: the
@@ -152,7 +157,7 @@ fn json_str(s: &str) -> String {
 /// Analyzes every checked crate under `root` (the workspace root).
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
-    for &(krate, time_sources, charge_coverage) in CRATE_CFG {
+    for &(krate, time_sources, charge_coverage, trace_hygiene) in CRATE_CFG {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
         collect_rs(&src_dir, &mut files)?;
@@ -164,6 +169,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
                 time_sources,
                 panic_freedom: HOT_PATHS.contains(&rel.as_str()),
                 charge_coverage,
+                trace_hygiene,
             };
             let src = fs::read_to_string(&path)?;
             let (violations, allows) = check_source(&rel, &src, cfg);
@@ -179,6 +185,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             time_sources: true,
             panic_freedom: false,
             charge_coverage: false,
+            trace_hygiene: false,
         };
         let src = fs::read_to_string(&path)?;
         let (violations, allows) = check_source(rel, &src, cfg);

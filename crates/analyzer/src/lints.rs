@@ -1,4 +1,4 @@
-//! The four lint families, implemented over the token stream.
+//! The five lint families, implemented over the token stream.
 //!
 //! All passes work on [`crate::lexer::Lexed`] output, so comments,
 //! strings, and `#[cfg(test)]` items are already out of the picture.
@@ -16,6 +16,8 @@ pub enum Lint {
     WireTotality,
     /// Message emission without a CPU cost charge.
     ChargeCoverage,
+    /// Unbalanced or leak-prone trace span enter/exit pairs.
+    TraceHygiene,
     /// Malformed `analyzer:` annotation.
     BadAllow,
     /// Allow annotation that suppresses nothing.
@@ -30,6 +32,7 @@ impl Lint {
             Lint::Panic => "panic",
             Lint::WireTotality => "wire-totality",
             Lint::ChargeCoverage => "charge-coverage",
+            Lint::TraceHygiene => "trace-hygiene",
             Lint::BadAllow => "bad-allow",
             Lint::UnusedAllow => "unused-allow",
         }
@@ -74,6 +77,8 @@ pub struct FileLints {
     pub panic_freedom: bool,
     /// Send-without-charge detection.
     pub charge_coverage: bool,
+    /// Span enter/exit balance checks (crates that record trace spans).
+    pub trace_hygiene: bool,
 }
 
 /// Enums that travel on the wire: a `match` with an arm over any of these
@@ -123,6 +128,9 @@ pub fn check_source(file: &str, src: &str, cfg: FileLints) -> (Vec<Violation>, V
     wire_totality_pass(file, &lexed, &mut raw);
     if cfg.charge_coverage {
         charge_pass(file, &lexed, &mut raw);
+    }
+    if cfg.trace_hygiene {
+        trace_hygiene_pass(file, &lexed, &mut raw);
     }
 
     // Apply allow annotations: a violation on an annotated line (for the
@@ -203,7 +211,16 @@ fn determinism_pass(file: &str, lexed: &Lexed, cfg: FileLints, out: &mut Vec<Vio
         }
         if cfg.time_sources {
             if let Some((_, why)) = TIME_SOURCES.iter().find(|(name, _)| t.text == *name) {
-                violation(out, Lint::Determinism, file, t.line, format!("{}: {}", t.text, why));
+                // `SpanKind::Instant`-style variant paths reuse the name
+                // without touching the OS clock; only a path through the
+                // `time` module (or a bare use) is the std type.
+                let foreign_variant = i >= 2
+                    && toks[i - 1].is_punct("::")
+                    && !toks[i - 2].is_ident("time")
+                    && !toks[i - 2].is_ident("std");
+                if !foreign_variant {
+                    violation(out, Lint::Determinism, file, t.line, format!("{}: {}", t.text, why));
+                }
             }
             // `thread::spawn` / `std::thread::spawn`.
             if t.text == "spawn"
@@ -507,6 +524,139 @@ fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Family 5: trace hygiene
+// ---------------------------------------------------------------------
+
+/// One span call site inside a function body.
+struct SpanCall {
+    /// Token index of the `span_enter`/`span_exit` identifier.
+    tok: usize,
+    line: u32,
+    /// The phase argument: the last identifier before the call's `)`.
+    phase: String,
+    enter: bool,
+}
+
+/// Checks span enter/exit pairing per function.
+///
+/// A function that both enters and exits the same phase is treated as
+/// owning that span locally, so the counts must balance and no `return`
+/// may sit between the first enter and the last exit (an early return
+/// would leak the span and skew every phase-latency percentile built on
+/// it). Functions that only enter or only exit a phase are lifecycle
+/// spans closed elsewhere (e.g. the client request span opened at issue
+/// time and closed by the reply quorum) and are exempt by construction.
+fn trace_hygiene_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut calls: Vec<SpanCall> = Vec::new();
+        let mut returns: Vec<(usize, u32)> = Vec::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("return") {
+                returns.push((j, t.line));
+            } else if (t.is_ident("span_enter") || t.is_ident("span_exit"))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                // Scan to the call's closing paren; the phase is the last
+                // identifier before it (a PHASE_* const, possibly
+                // path-qualified).
+                let mut paren = 0i32;
+                let mut k = j + 1;
+                let mut phase = String::new();
+                while k < toks.len() {
+                    if toks[k].is_punct("(") {
+                        paren += 1;
+                    } else if toks[k].is_punct(")") {
+                        paren -= 1;
+                        if paren == 0 {
+                            break;
+                        }
+                    } else if toks[k].kind == Kind::Ident {
+                        phase = toks[k].text.clone();
+                    }
+                    k += 1;
+                }
+                calls.push(SpanCall {
+                    tok: j,
+                    line: t.line,
+                    phase,
+                    enter: t.is_ident("span_enter"),
+                });
+            }
+            j += 1;
+        }
+        // Phases in first-appearance order (no hash maps here either).
+        let mut phases: Vec<&str> = Vec::new();
+        for c in &calls {
+            if !phases.contains(&c.phase.as_str()) {
+                phases.push(&c.phase);
+            }
+        }
+        for phase in phases {
+            let enters: Vec<&SpanCall> =
+                calls.iter().filter(|c| c.enter && c.phase == phase).collect();
+            let exits: Vec<&SpanCall> =
+                calls.iter().filter(|c| !c.enter && c.phase == phase).collect();
+            let (Some(first_enter), Some(last_exit)) = (enters.first(), exits.last()) else {
+                // Enter-only or exit-only: a lifecycle span closed in
+                // another handler; nothing to check locally.
+                continue;
+            };
+            if enters.len() != exits.len() {
+                violation(
+                    out,
+                    Lint::TraceHygiene,
+                    file,
+                    first_enter.line,
+                    format!(
+                        "fn `{name}` enters span `{phase}` {} time(s) but exits it {} time(s); \
+                         unbalanced spans corrupt the phase-latency breakdown",
+                        enters.len(),
+                        exits.len()
+                    ),
+                );
+                continue;
+            }
+            for &(_, line) in
+                returns.iter().filter(|&&(r, _)| r > first_enter.tok && r < last_exit.tok)
+            {
+                violation(
+                    out,
+                    Lint::TraceHygiene,
+                    file,
+                    line,
+                    format!(
+                        "fn `{name}` returns between span_enter({phase}) and \
+                         span_exit({phase}); the early return leaks the span — exit before \
+                         returning or restructure without `return`"
+                    ),
+                );
+            }
+        }
+        i = if j > i { j } else { i + 1 };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +666,7 @@ mod tests {
         time_sources: true,
         panic_freedom: true,
         charge_coverage: true,
+        trace_hygiene: true,
     };
 
     fn lints_of(src: &str) -> Vec<(Lint, u32)> {
@@ -534,6 +685,20 @@ mod tests {
     }
 
     #[test]
+    fn determinism_accepts_foreign_instant_variant_but_flags_std_paths() {
+        let src = "fn f(k: SpanKind) -> char {\n\
+                       match k { SpanKind::Instant => 'I', SpanKind::Enter => 'B' }\n\
+                   }\n\
+                   fn g() { let t = std::time::Instant::now(); }\n";
+        let found = lints_of(src);
+        assert_eq!(
+            found.iter().filter(|(l, _)| *l == Lint::Determinism).count(),
+            1,
+            "only the std path is a time source: {found:?}"
+        );
+    }
+
+    #[test]
     fn determinism_accepts_btree_and_sim_time() {
         let src = "use std::collections::{BTreeMap, BTreeSet};\n\
                    fn f(now: SimTime) -> BTreeMap<u64, u64> { BTreeMap::new() }\n";
@@ -547,6 +712,7 @@ mod tests {
             time_sources: false,
             panic_freedom: false,
             charge_coverage: false,
+            trace_hygiene: false,
         };
         let src = "fn plan() -> FaultPlan {\n\
                        let jitter = thread_rng().gen_range(0..9);\n\
@@ -566,6 +732,7 @@ mod tests {
             time_sources: false,
             panic_freedom: false,
             charge_coverage: false,
+            trace_hygiene: false,
         };
         let src = "fn f() { let t = Instant::now(); }\n";
         let (found, _) = check_source("sim.rs", src, exempt);
@@ -679,6 +846,80 @@ mod tests {
                        out.push(Action::ToReceiver { to: 0, msg });\n\
                    }\n";
         assert!(lints_of(src).is_empty());
+    }
+
+    // -- trace-hygiene -------------------------------------------------
+
+    #[test]
+    fn trace_hygiene_accepts_balanced_span_pair() {
+        let src = "fn f(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_enter(rid, PHASE_EXEC);\n\
+                       self.run();\n\
+                       ctx.span_exit(rid, PHASE_EXEC);\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn trace_hygiene_exempts_lifecycle_spans_split_across_fns() {
+        // Enter-only / exit-only functions close the span elsewhere (the
+        // client request span spans issue() → on_reply()).
+        let src = "fn issue(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_enter(rid, PHASE_REQUEST);\n\
+                       if done { return; }\n\
+                   }\n\
+                   fn on_reply(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_exit(rid, PHASE_REQUEST);\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn trace_hygiene_flags_unbalanced_counts() {
+        let src = "fn f(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_enter(rid, PHASE_EXEC);\n\
+                       ctx.span_enter(rid2, PHASE_EXEC);\n\
+                       ctx.span_exit(rid, PHASE_EXEC);\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::TraceHygiene, 2)]);
+    }
+
+    #[test]
+    fn trace_hygiene_flags_return_between_enter_and_exit() {
+        let src = "fn f(&mut self, ctx: &mut Ctx) -> u32 {\n\
+                       ctx.span_enter(rid, PHASE_EXEC);\n\
+                       if bad { return 0; }\n\
+                       ctx.span_exit(rid, PHASE_EXEC);\n\
+                       1\n\
+                   }\n";
+        let found = lints_of(src);
+        assert_eq!(found, vec![(Lint::TraceHygiene, 3)]);
+    }
+
+    #[test]
+    fn trace_hygiene_tracks_phases_independently() {
+        // A balanced exec pair next to a lifecycle enter of another
+        // phase: only phases with both an enter and an exit are audited.
+        let src = "fn f(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_enter(rid, PHASE_REQUEST);\n\
+                       ctx.span_enter(rid, PHASE_EXEC);\n\
+                       ctx.span_exit(rid, PHASE_EXEC);\n\
+                   }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn trace_hygiene_allow_suppresses() {
+        let src = "fn f(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.span_enter(rid, PHASE_EXEC); \
+                       // analyzer: allow(trace-hygiene, \"exit charged via drop guard\")\n\
+                       ctx.span_enter(rid2, PHASE_EXEC);\n\
+                       ctx.span_exit(rid, PHASE_EXEC);\n\
+                   }\n";
+        let (found, used) = check_source("t.rs", src, ALL);
+        assert!(found.is_empty(), "{found:?}");
+        assert_eq!(used.len(), 1);
     }
 
     // -- allow handling ------------------------------------------------

@@ -10,8 +10,9 @@ fn usage() -> ! {
         "usage: spider-analyzer check [--json PATH] [--root PATH]\n\
          \n\
          Lints the protocol crates for determinism, panic-freedom,\n\
-         wire-format totality, and cost-charge coverage. Exits 1 when any\n\
-         unallowed violation is found. See README \"Sans-IO invariants\"."
+         wire-format totality, cost-charge coverage, and trace-span\n\
+         hygiene. Exits 1 when any unallowed violation is found. See\n\
+         README \"Sans-IO invariants\"."
     );
     std::process::exit(2);
 }

@@ -91,7 +91,7 @@ impl<A: Application> BftReplica<A> {
                         ctx.cancel_timer(id);
                     }
                 }
-                Output::Charge(c) => ctx.charge(c),
+                Output::Charge(c) => ctx.charge_op("consensus", "handle", c),
                 _ => {}
             }
         }

@@ -190,7 +190,7 @@ impl<A: Application> StewardReplica<A> {
                         ctx.cancel_timer(id);
                     }
                 }
-                Output::Charge(c) => ctx.charge(c),
+                Output::Charge(c) => ctx.charge_op("consensus", "handle", c),
                 _ => {}
             }
         }

@@ -16,7 +16,15 @@
 //!    storm, placement frontier) with goodput/unavailability/recovery
 //!    per scenario.
 //!
-//! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`).
+//! On top of the numbers it runs two traced repeats with the
+//! observability recorder on: a Spider fig7-scale run (per-phase
+//! request-latency breakdown + Perfetto trace) and a dedup-RC range-32
+//! flood (per-(component, operation) CPU attribution + folded stacks
+//! for flamegraphs).
+//!
+//! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`),
+//! plus `BENCH_trace_perfetto.json` (load in ui.perfetto.dev) and
+//! `BENCH_cpu_folded.txt` (feed to flamegraph.pl / inferno).
 //!
 //! `--check BASELINE` additionally gates (exit non-zero on failure):
 //!
@@ -31,11 +39,16 @@
 //!   ship-after-bundle,
 //! * the WAN-partition disaster scenario losing zero ops, duplicating
 //!   zero ops, converging every store, and recovering within 10 s of
-//!   simulated time after the heal.
+//!   simulated time after the heal,
+//! * CPU attribution naming range signing as the dominant sender cost
+//!   of the dedup-RC flood at range 32,
+//! * the traced WAN-partition run containing a commit-channel recast
+//!   span after the heal (the liveness mechanism actually fired).
 
 use spider_harness::experiments::{batching, commit_channel, disaster, fig10, fig7};
-use spider_harness::scenarios::ScenarioCfg;
+use spider_harness::scenarios::{run_scenario_obs, ScenarioCfg, SystemKind};
 use spider_irmc::ChannelMode;
+use spider_obs::export as obs_export;
 use spider_types::SimTime;
 use std::fmt::Write as _;
 
@@ -150,6 +163,22 @@ fn main() {
     let fig7_cfg = fig7_scale();
     let fig7_measured = (fig7_cfg.duration - fig7_cfg.warmup).as_secs_f64();
 
+    println!("bench_summary: traced Spider run (fig7 scale, end-to-end request tracing)…");
+    let (_, spider_trace) = run_scenario_obs(SystemKind::Spider { leader_zone: 0 }, &fig7_scale());
+    let phase_rows = obs_export::phase_breakdown(&spider_trace);
+    println!("per-phase request latency breakdown (traced Spider run):");
+    println!(
+        "  {:<16} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "segment", "n", "p50[ms]", "p90[ms]", "p99[ms]", "mean[ms]"
+    );
+    for r in &phase_rows {
+        println!(
+            "  {:<16} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.segment, r.count, r.p50_ms, r.p90_ms, r.p99_ms, r.mean_ms
+        );
+    }
+    println!();
+
     println!("bench_summary: fig10 adaptability write workload…");
     let fig10_rows = fig10::run_write_summaries(&fig10_scale());
     for r in &fig10_rows {
@@ -200,8 +229,21 @@ fn main() {
          {rc_dedup_rx_us:.2} µs/slot (legacy RC {rc_legacy_rx_us:.2}, SC {sc_rx_us:.2})\n"
     );
 
+    println!("bench_summary: traced dedup-RC range-32 flood (CPU attribution)…");
+    let (_, commit_trace) = commit_channel::run_flood_traced(
+        ChannelMode::ReliableCast { dedup: true },
+        32,
+        &commit_cfg,
+    );
+    println!("{}", obs_export::cpu_table(&commit_trace));
+    let top_sender = obs_export::top_op(&commit_trace, "sender");
+
     println!("bench_summary: disaster suite…");
-    let disaster_rows = disaster::run(&disaster_scale());
+    let dis_cfg = disaster_scale();
+    let (partition_traced_row, partition_trace) = disaster::run_wan_partition_traced(&dis_cfg);
+    let mut disaster_rows = vec![disaster::run_correlated_outage(&dis_cfg), partition_traced_row];
+    disaster_rows.push(disaster::run_view_change_storm(&dis_cfg));
+    disaster_rows.extend(disaster::run_placement_sweep(&dis_cfg, &[0, 3]));
     println!("{}", disaster::render(&disaster_rows));
     let partition_row = disaster_rows
         .iter()
@@ -283,11 +325,12 @@ fn main() {
     for (i, r) in fig7_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"system\": \"{}\", \"region\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            "    {{\"system\": \"{}\", \"region\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"throughput_rps\": {}}}",
             r.system,
             r.client_region,
             json_f64(r.summary.p50_ms),
             json_f64(r.summary.p90_ms),
+            json_f64(r.summary.p99_ms),
             json_f64(r.summary.count as f64 / fig7_measured)
         );
         json.push_str(if i + 1 < fig7_rows.len() { ",\n" } else { "\n" });
@@ -296,10 +339,11 @@ fn main() {
     for (i, r) in fig10_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"system\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            "    {{\"system\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"throughput_rps\": {}}}",
             r.system,
             json_f64(r.summary.p50_ms),
             json_f64(r.summary.p90_ms),
+            json_f64(r.summary.p99_ms),
             json_f64(r.throughput_rps)
         );
         json.push_str(if i + 1 < fig10_rows.len() { ",\n" } else { "\n" });
@@ -308,14 +352,30 @@ fn main() {
     for (i, r) in sweep.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"mode\": \"{}\", \"offered_rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"throughput_rps\": {}}}",
+            "    {{\"mode\": \"{}\", \"offered_rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"throughput_rps\": {}}}",
             r.mode,
             json_f64(r.offered_rps),
             json_f64(r.summary.p50_ms),
             json_f64(r.summary.p90_ms),
+            json_f64(r.summary.p99_ms),
             json_f64(r.throughput_rps)
         );
         json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"phase_breakdown\": [\n");
+    for (i, r) in phase_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"segment\": \"{}\", \"count\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
+             \"p99_ms\": {}, \"mean_ms\": {}}}",
+            r.segment,
+            r.count,
+            json_f64(r.p50_ms),
+            json_f64(r.p90_ms),
+            json_f64(r.p99_ms),
+            json_f64(r.mean_ms)
+        );
+        json.push_str(if i + 1 < phase_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n  \"disaster\": [\n");
     for (i, r) in disaster_rows.iter().enumerate() {
@@ -342,6 +402,17 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write bench summary JSON");
     println!("\nwrote {out_path}");
+
+    // Trace artifacts: the Perfetto track view of the traced Spider run
+    // and the folded stacks of the traced commit-channel flood.
+    let perfetto_path = "BENCH_trace_perfetto.json";
+    std::fs::write(perfetto_path, obs_export::perfetto_json(&spider_trace))
+        .expect("write Perfetto trace");
+    println!("wrote {perfetto_path}");
+    let folded_path = "BENCH_cpu_folded.txt";
+    std::fs::write(folded_path, obs_export::folded_stacks(&commit_trace))
+        .expect("write folded stacks");
+    println!("wrote {folded_path}");
 
     if let Some(path) = baseline_path {
         let baseline =
@@ -450,6 +521,43 @@ fn main() {
                 partition_row.lost_ops,
                 partition_row.duplicated_ops,
                 partition_row.diverged_replicas
+            );
+            std::process::exit(1);
+        }
+        // CPU attribution must keep naming range signing as the dominant
+        // sender cost of the dedup-RC flood — if another operation takes
+        // the top slot, either the attribution plumbing broke or the
+        // sender picked up an unplanned hot spot.
+        match top_sender {
+            Some(("range_sign", share)) => {
+                println!(
+                    "obs gate: dedup-RC range-32 top sender op = range_sign \
+                     ({:.0} % of sender CPU)",
+                    share * 100.0
+                );
+            }
+            other => {
+                eprintln!(
+                    "OBS REGRESSION: expected range_sign as the top sender operation of the \
+                     dedup-RC range-32 flood, got {other:?}"
+                );
+                std::process::exit(1);
+            }
+        }
+        // Smoke gate on the traced partition run: the commit channel
+        // must have recast unacked ranges after the heal, otherwise the
+        // post-partition catch-up worked by accident (or the trace lost
+        // the recast instants).
+        let recast_after_heal = partition_trace
+            .spans
+            .iter()
+            .any(|e| e.phase == spider_obs::PHASE_RECAST && e.at > dis_cfg.heal_at);
+        println!("obs gate: wan-partition trace has a recast span after heal: {recast_after_heal}");
+        if !recast_after_heal {
+            eprintln!(
+                "OBS REGRESSION: traced wan-partition run recorded no commit-channel recast \
+                 span after the heal at {} ms",
+                dis_cfg.heal_at.as_millis()
             );
             std::process::exit(1);
         }

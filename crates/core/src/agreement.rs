@@ -18,8 +18,13 @@ use crate::messages::{
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use spider_consensus::{Input, Output, Pbft, PbftConfig, TimerToken};
 use spider_crypto::Keyring;
-use spider_irmc::{Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SenderEndpoint, Variant};
-use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_irmc::{
+    Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SenderEndpoint, Variant, OP_RECAST,
+};
+use spider_sim::{
+    req_id, Actor, Context, Timer, TimerId, PHASE_BATCH, PHASE_COMMIT, PHASE_PROPOSE, PHASE_RECAST,
+    PHASE_SHIP,
+};
 use spider_types::{ClientId, GroupId, NodeId, OpKind, Position, SeqNr, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -204,7 +209,8 @@ impl AgreementReplica {
                     // The channel guarantees fe+1 execution replicas vouch
                     // for the request; verify the client's own signature
                     // before ordering (A-Validity).
-                    ctx.charge(self.cfg.cost.rsa_verify());
+                    ctx.charge_op("agreement", "req_verify", self.cfg.cost.rsa_verify());
+                    ctx.span_instant(req_id(client.0, next), PHASE_PROPOSE);
                     self.t_next.insert(client, next + 1);
                     let mut out = Vec::new();
                     self.pbft.handle(
@@ -243,6 +249,10 @@ impl AgreementReplica {
                 Output::Deliver { seq, batch } => {
                     let n = batch.len();
                     for (i, item) in batch.into_iter().enumerate() {
+                        if let OrderItem::Request(req) = &item {
+                            let rid = req_id(req.request.client.0, req.request.tc);
+                            ctx.span_instant(rid, PHASE_COMMIT);
+                        }
                         self.backlog.push_back((seq.0, item, i + 1 == n));
                     }
                     if n == 0 {
@@ -259,7 +269,7 @@ impl AgreementReplica {
                         ctx.cancel_timer(id);
                     }
                 }
-                Output::Charge(c) => ctx.charge(c),
+                Output::Charge(c) => ctx.charge_op("consensus", "handle", c),
                 Output::ViewChanged { .. } => {}
                 Output::Skipped { .. } => {
                     // We missed decided instances: catch up via the
@@ -379,9 +389,12 @@ impl AgreementReplica {
         let Some(first) = run.first().map(|r| r.0) else {
             return;
         };
+        ctx.span_enter(0, PHASE_BATCH);
+        ctx.metric_hist("commit_run_len", run.len() as u64);
         for (s, req, item) in &run {
             self.sn = *s;
             self.ordered += 1;
+            ctx.metric_inc("ordered", 1);
             let c = req.request.client;
             let tc = req.request.tc;
             self.t.insert(c, tc);
@@ -418,6 +431,10 @@ impl AgreementReplica {
             }
             self.apply_commit_actions(ctx, group, actions);
         }
+        for (_, req, _) in &run {
+            ctx.span_instant(req_id(req.request.client.0, req.request.tc), PHASE_SHIP);
+        }
+        ctx.span_exit(0, PHASE_BATCH);
         if self.sn.is_multiple_of(self.cfg.ka) {
             let snapshot = self.encode_snapshot();
             let mut actions = Vec::new();
@@ -653,7 +670,7 @@ impl AgreementReplica {
                         to_poll.push(c);
                     }
                 }
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("req-channel", op, c),
                 Action::SetTimer { .. } => {
                     // Request channels use one collector timer per client
                     // subchannel; with RC as default this is unused. SC
@@ -695,7 +712,14 @@ impl AgreementReplica {
                     }
                 }
                 Action::WindowMoved { .. } | Action::Unblocked { .. } => window_moved = true,
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => {
+                    if op == OP_RECAST {
+                        // Liveness milestone: the disaster smoke gate
+                        // checks a recast appears after a partition heal.
+                        ctx.span_instant(0, PHASE_RECAST);
+                    }
+                    ctx.charge_op("commit-channel", op, c);
+                }
                 _ => {}
             }
         }
@@ -753,7 +777,7 @@ impl AgreementReplica {
                     }
                 }
                 CpAction::Stable { seq, state } => stable.push((seq, state)),
-                CpAction::Charge(c) => ctx.charge(c),
+                CpAction::Charge(c, op) => ctx.charge_op("checkpoint", op, c),
             }
         }
         for (seq, state) in stable {

@@ -45,8 +45,9 @@ pub enum CpAction {
         /// Snapshot bytes, if locally available.
         state: Option<Bytes>,
     },
-    /// Charge CPU to the host node.
-    Charge(SimTime),
+    /// Charge CPU to the host node, labeled with the operation the cost
+    /// models (for CPU attribution).
+    Charge(SimTime, &'static str),
 }
 
 fn cp_digest(group: GroupId, seq: SeqNr, state_hash: &Digest) -> Digest {
@@ -104,7 +105,7 @@ impl CheckpointComponent {
     /// Fig 13 `gen_cp`: snapshot taken at `seq`; announce its hash.
     pub fn generate(&mut self, seq: SeqNr, state: Bytes, out: &mut Vec<CpAction>) {
         let hash = Digest::of_bytes(&state);
-        out.push(CpAction::Charge(self.cost.hmac(state.len()) + self.cost.rsa_sign()));
+        out.push(CpAction::Charge(self.cost.hmac(state.len()) + self.cost.rsa_sign(), "cp_sign"));
         self.snapshots.insert(seq.0, (hash, state));
         let sig = self.keyring.sign(self.my_key, &cp_digest(self.group, seq, &hash));
         let msg = CheckpointMsg::Announce { seq, state_hash: hash, sig };
@@ -116,7 +117,7 @@ impl CheckpointComponent {
     /// Fig 13 `fetch_cp`: ask peers for a stable checkpoint at or after
     /// `seq`. The host decides which peers receive the emitted request.
     pub fn fetch(&mut self, seq: SeqNr, out: &mut Vec<CpAction>) {
-        out.push(CpAction::Charge(self.cost.hmac(32)));
+        out.push(CpAction::Charge(self.cost.hmac(32), "cp_mac"));
         out.push(CpAction::ToGroup(CheckpointMsg::FetchRequest { seq }));
     }
 
@@ -147,7 +148,7 @@ impl CheckpointComponent {
         if from >= self.member_keys.len() || from == self.me {
             return;
         }
-        out.push(CpAction::Charge(self.cost.rsa_verify()));
+        out.push(CpAction::Charge(self.cost.rsa_verify(), "cp_verify"));
         let digest = cp_digest(self.group, seq, &state_hash);
         if !self.keyring.verify(self.member_keys[from], &digest, &sig) {
             return;
@@ -241,7 +242,7 @@ impl CheckpointComponent {
         let Some((_, state)) = self.snapshots.get(&stable_seq.0).filter(|(h, _)| *h == hash) else {
             return; // Stable but we never held the bytes ourselves.
         };
-        out.push(CpAction::Charge(self.cost.hmac(state.len())));
+        out.push(CpAction::Charge(self.cost.hmac(state.len()), "cp_hash"));
         out.push(CpAction::ToPeer {
             group: from_group,
             idx: from_idx,
@@ -270,6 +271,7 @@ impl CheckpointComponent {
     ) {
         out.push(CpAction::Charge(
             self.cost.hmac(state.len()) + self.cost.rsa_verify() * cert.len() as u64,
+            "cp_verify",
         ));
         if seq.0 <= self.delivered {
             return;

@@ -12,7 +12,7 @@ use crate::directory::Directory;
 use crate::messages::{ClientRequest, Operation, Reply, SpiderMsg};
 use bytes::Bytes;
 use rand::Rng;
-use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_sim::{req_id, Actor, Context, Timer, TimerId, PHASE_REQUEST};
 use spider_types::{ClientId, GroupId, NodeId, OpKind, SimTime, WireSize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -272,6 +272,12 @@ impl SpiderClient {
             weak_retries_left: retries,
             retries: 0,
         });
+        // Lifecycle span: opened at first issue, closed by the reply
+        // quorum in `on_reply`. Weak reads never enter the request
+        // channel, so only ordered requests are traced end-to-end.
+        if kind != OpKind::WeakRead {
+            ctx.span_enter(req_id(self.id.0, tc), PHASE_REQUEST);
+        }
         self.transmit(ctx);
         self.arm_timer(ctx, TAG_RETRY, self.cfg.client_retry);
     }
@@ -333,6 +339,10 @@ impl SpiderClient {
         }
         if counts.values().any(|n| *n >= quorum) {
             let sample = Sample { kind: inf.kind, issued: inf.issued, completed: ctx.now() };
+            if inf.kind != OpKind::WeakRead {
+                ctx.span_exit(req_id(self.id.0, inf.tc), PHASE_REQUEST);
+            }
+            ctx.metric_hist("client_latency_ns", sample.latency().as_nanos());
             self.samples.push(sample);
             self.in_flight = None;
             self.disarm_timer(ctx, TAG_RETRY);

@@ -79,6 +79,12 @@ pub struct SpiderConfig {
     pub cost: CostModel,
     /// Seed for the shared simulated PKI.
     pub key_seed: u64,
+    /// End-to-end request tracing: when set, the deployment harness
+    /// enables the simulator's observability recorder so replicas record
+    /// request-scoped phase spans, per-node metrics, and CPU attribution.
+    /// Off by default — with tracing disabled every record call is a
+    /// single branch.
+    pub tracing: bool,
 }
 
 impl Default for SpiderConfig {
@@ -107,6 +113,7 @@ impl Default for SpiderConfig {
             commit_range_linger: SimTime::ZERO,
             cost: CostModel::default(),
             key_seed: 7,
+            tracing: false,
         }
     }
 }
@@ -186,6 +193,13 @@ impl SpiderConfig {
         self.adaptive_batching = true;
         self.batch_delay = delay;
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Enables end-to-end request tracing (builder-style).
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 

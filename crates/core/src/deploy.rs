@@ -107,6 +107,9 @@ impl<A: Application> DeploymentBuilder<A> {
     /// Panics if no agreement region was set or the config is invalid.
     pub fn build(self, sim: &mut Simulation<SpiderMsg>) -> Deployment {
         self.cfg.validate();
+        if self.cfg.tracing && !sim.obs().is_enabled() {
+            sim.enable_obs(spider_sim::ObsConfig::default());
+        }
         assert!(
             !self.agreement_region.is_empty() || self.agreement_span.is_some(),
             "agreement region required"

@@ -20,7 +20,7 @@ use spider_crypto::Keyring;
 use spider_irmc::{
     Action, IrmcConfig, ReceiveResult, ReceiverEndpoint, SendStatus, SenderEndpoint, Variant,
 };
-use spider_sim::{Actor, Context, Timer, TimerId};
+use spider_sim::{req_id, Actor, Context, Timer, TimerId, PHASE_DELIVER, PHASE_EXEC};
 use spider_types::{ClientId, GroupId, NodeId, OpKind, Position, SeqNr, SimTime, WireSize};
 use std::collections::BTreeMap;
 
@@ -269,12 +269,17 @@ impl<A: Application> ExecutionReplica<A> {
             ExecutePayload::Full(ordered) => {
                 let c = ordered.request.client;
                 let tc = ordered.request.tc;
+                let rid = req_id(c.0, tc);
+                ctx.span_instant(rid, PHASE_DELIVER);
                 // At-most-once (Fig 16 L34 / E-Validity II).
                 let fresh = self.replies.get(&c).is_none_or(|r| r.tc() < tc);
                 if fresh {
-                    ctx.charge(self.cfg.cost.app_execute());
+                    ctx.span_enter(rid, PHASE_EXEC);
+                    ctx.charge_op("execution", "app_execute", self.cfg.cost.app_execute());
                     let result = self.app.execute(&ordered.request.operation.op);
+                    ctx.span_exit(rid, PHASE_EXEC);
                     self.executed += 1;
+                    ctx.metric_inc("executed", 1);
                     let result = if self.fault == ExecFault::WrongReply {
                         Bytes::from_static(b"corrupted")
                     } else {
@@ -462,7 +467,7 @@ impl<A: Application> ExecutionReplica<A> {
                         );
                     }
                 }
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("req-channel", op, c),
                 _ => {}
             }
         }
@@ -500,7 +505,7 @@ impl<A: Application> ExecutionReplica<A> {
                     debug_assert_eq!(token, 0, "single commit subchannel");
                     self.arm_timer(ctx, TAG_COMMIT_COLLECTOR, delay);
                 }
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("commit-channel", op, c),
                 _ => {}
             }
         }
@@ -569,7 +574,7 @@ impl<A: Application> ExecutionReplica<A> {
                     }
                 }
                 CpAction::Stable { seq, state } => stable.push((seq, state)),
-                CpAction::Charge(c) => ctx.charge(c),
+                CpAction::Charge(c, op) => ctx.charge_op("checkpoint", op, c),
             }
         }
         for (seq, state) in stable {

@@ -22,7 +22,7 @@ use spider_irmc::{
     Action, ChannelMode, ChannelMsg, IrmcConfig, ReceiveResult, ReceiverEndpoint, ReceiverMsg,
     SenderEndpoint, Variant,
 };
-use spider_sim::{Actor, Context, NodeId, Simulation, Timer};
+use spider_sim::{Actor, Context, NodeId, ObsConfig, ObsReport, Simulation, Timer};
 use spider_types::{Position, SimTime, WireSize};
 
 /// Flood/paced payload: identical content per position on all senders.
@@ -126,7 +126,7 @@ impl SenderHost {
             match a {
                 Action::ToReceiver { to, msg } => ctx.send(self.receivers[to], M::ToReceiver(msg)),
                 Action::ToPeerSender { to, msg } => ctx.send(self.peers[to], M::Peer(msg)),
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("sender", op, c),
                 Action::WindowMoved { .. } | Action::Unblocked { .. } => moved = true,
                 _ => {}
             }
@@ -232,7 +232,7 @@ impl ReceiverHost {
         for a in actions {
             match a {
                 Action::ToSender { to, msg } => ctx.send(self.senders[to], M::ToSender(msg)),
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("receiver", op, c),
                 Action::SetTimer { token, delay } => {
                     ctx.set_timer(delay, TAG_COLLECTOR + token);
                 }
@@ -282,6 +282,8 @@ pub struct CommitRow {
     pub receiver_cpu: f64,
     /// Paced mode: p50 submit→deliver commit latency (ms); NaN for flood.
     pub commit_p50_ms: f64,
+    /// Paced mode: p99 submit→deliver commit latency (ms); NaN for flood.
+    pub commit_p99_ms: f64,
 }
 
 /// Scale configuration of the commit-channel benchmark.
@@ -321,10 +323,21 @@ struct RunOutcome {
     sender_cpu: f64,
     receiver_cpu: f64,
     commit_p50_ms: f64,
+    commit_p99_ms: f64,
+    obs: Option<ObsReport>,
 }
 
-fn run_inner(mode: ChannelMode, range: usize, paced: bool, cfg: &Config) -> RunOutcome {
+fn run_inner(
+    mode: ChannelMode,
+    range: usize,
+    paced: bool,
+    traced: bool,
+    cfg: &Config,
+) -> RunOutcome {
     let mut sim: Simulation<M> = Simulation::new(ec2_topology(), cfg.seed);
+    if traced {
+        sim.enable_obs(ObsConfig::default());
+    }
     let n_senders = 4; // Agreement group, fa = 1.
     let n_receivers = 3; // Execution group, fe = 1.
     let icfg = IrmcConfig::new(mode, n_senders, 1, n_receivers, 1, cfg.capacity)
@@ -385,7 +398,7 @@ fn run_inner(mode: ChannelMode, range: usize, paced: bool, cfg: &Config) -> RunO
     // receiver's collector actually submitted the range (each sender
     // records its own submit times — timer schedules slip by the
     // handler's charged CPU, so a fixed schedule would overstate it).
-    let commit_p50_ms = if paced {
+    let (commit_p50_ms, commit_p99_ms) = if paced {
         let mut lat_ms: Vec<f64> = Vec::new();
         for (j, n) in receiver_nodes.iter().enumerate() {
             let collector = j % n_senders;
@@ -399,15 +412,16 @@ fn run_inner(mode: ChannelMode, range: usize, paced: bool, cfg: &Config) -> RunO
         }
         lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         if lat_ms.is_empty() {
-            f64::NAN
+            (f64::NAN, f64::NAN)
         } else {
-            lat_ms[lat_ms.len() / 2]
+            (crate::stats::percentile(&lat_ms, 50.0), crate::stats::percentile(&lat_ms, 99.0))
         }
     } else {
-        f64::NAN
+        (f64::NAN, f64::NAN)
     };
 
-    RunOutcome { slots_per_sec, sender_cpu, receiver_cpu, commit_p50_ms }
+    let obs = traced.then(|| sim.obs().report());
+    RunOutcome { slots_per_sec, sender_cpu, receiver_cpu, commit_p50_ms, commit_p99_ms, obs }
 }
 
 /// Floods the channel with ranges of `range` slots and returns the
@@ -415,7 +429,7 @@ fn run_inner(mode: ChannelMode, range: usize, paced: bool, cfg: &Config) -> RunO
 /// IRMC-RC, whether digest-only dedup is on — labelled `IRMC-RC-dedup`).
 pub fn run_flood(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> CommitRow {
     let mode = mode.into();
-    let o = run_inner(mode, range, false, cfg);
+    let o = run_inner(mode, range, false, false, cfg);
     CommitRow {
         variant: mode.to_string(),
         range,
@@ -424,7 +438,32 @@ pub fn run_flood(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> Co
         sender_cpu: o.sender_cpu,
         receiver_cpu: o.receiver_cpu,
         commit_p50_ms: f64::NAN,
+        commit_p99_ms: f64::NAN,
     }
+}
+
+/// Like [`run_flood`], but with the simulator's observability recorder
+/// enabled: every `Action::Charge` is attributed per (node, component,
+/// operation), so the returned [`ObsReport`] carries the CPU breakdown
+/// that `bench_summary` folds into a flamegraph.
+pub fn run_flood_traced(
+    mode: impl Into<ChannelMode>,
+    range: usize,
+    cfg: &Config,
+) -> (CommitRow, ObsReport) {
+    let mode = mode.into();
+    let o = run_inner(mode, range, false, true, cfg);
+    let row = CommitRow {
+        variant: mode.to_string(),
+        range,
+        msg_size: cfg.msg_size,
+        slots_per_sec: o.slots_per_sec,
+        sender_cpu: o.sender_cpu,
+        receiver_cpu: o.receiver_cpu,
+        commit_p50_ms: f64::NAN,
+        commit_p99_ms: f64::NAN,
+    };
+    (row, o.obs.expect("traced run records an obs report"))
 }
 
 /// Paced submissions measuring submit→deliver commit latency; the mode
@@ -432,7 +471,7 @@ pub fn run_flood(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> Co
 /// the §A.9 content/share-exchange overlap).
 pub fn run_paced(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> CommitRow {
     let mode = mode.into();
-    let o = run_inner(mode, range, true, cfg);
+    let o = run_inner(mode, range, true, false, cfg);
     CommitRow {
         variant: mode.to_string(),
         range,
@@ -441,6 +480,7 @@ pub fn run_paced(mode: impl Into<ChannelMode>, range: usize, cfg: &Config) -> Co
         sender_cpu: o.sender_cpu,
         receiver_cpu: o.receiver_cpu,
         commit_p50_ms: o.commit_p50_ms,
+        commit_p99_ms: o.commit_p99_ms,
     }
 }
 
@@ -466,24 +506,28 @@ pub fn render(rows: &[CommitRow]) -> String {
         "Commit channel — range certification vs per-slot (Virginia->Tokyo, flooded)\n",
     );
     out.push_str(&format!(
-        "{:<9} {:>6} {:>8} {:>13} {:>11} {:>13} {:>9}\n",
-        "variant", "range", "size[B]", "slots/s", "sender-cpu", "receiver-cpu", "p50[ms]"
+        "{:<9} {:>6} {:>8} {:>13} {:>11} {:>13} {:>9} {:>9}\n",
+        "variant",
+        "range",
+        "size[B]",
+        "slots/s",
+        "sender-cpu",
+        "receiver-cpu",
+        "p50[ms]",
+        "p99[ms]"
     ));
     for r in rows {
-        let p50 = if r.commit_p50_ms.is_finite() {
-            format!("{:.1}", r.commit_p50_ms)
-        } else {
-            "-".into()
-        };
+        let fmt = |v: f64| if v.is_finite() { format!("{v:.1}") } else { "-".into() };
         out.push_str(&format!(
-            "{:<9} {:>6} {:>8} {:>13.0} {:>10.0}% {:>12.0}% {:>9}\n",
+            "{:<9} {:>6} {:>8} {:>13.0} {:>10.0}% {:>12.0}% {:>9} {:>9}\n",
             r.variant,
             r.range,
             r.msg_size,
             r.slots_per_sec,
             r.sender_cpu * 100.0,
             r.receiver_cpu * 100.0,
-            p50
+            fmt(r.commit_p50_ms),
+            fmt(r.commit_p99_ms)
         ));
     }
     out

@@ -32,7 +32,7 @@ use spider::client::OpFactory;
 use spider::execution::ExecutionReplica;
 use spider::{Deployment, DeploymentBuilder, Sample, SpiderConfig, SpiderMsg, WorkloadSpec};
 use spider_app::{KvOp, KvStore};
-use spider_sim::{FaultPlan, Simulation};
+use spider_sim::{FaultPlan, ObsReport, Simulation};
 use spider_types::{OpKind, SimTime};
 use std::sync::Arc;
 
@@ -184,7 +184,7 @@ fn finish(
     scenario: String,
     heal_at: SimTime,
     observed_groups: &[usize],
-) -> DisasterRow {
+) -> (DisasterRow, Option<ObsReport>) {
     run.sim.run_until_quiescent(cfg.duration + SimTime::from_secs(40));
     let per_client = run.dep.collect_samples(&run.sim);
 
@@ -239,7 +239,8 @@ fn finish(
         .max()
         .unwrap_or(0);
 
-    DisasterRow {
+    let obs = run.sim.obs().is_enabled().then(|| run.sim.obs().report());
+    let row = DisasterRow {
         scenario,
         pre_fault_rps,
         goodput_rps: mean_goodput(&observed, cfg.warmup, cfg.duration),
@@ -250,7 +251,8 @@ fn finish(
         duplicated_ops,
         diverged_replicas,
         final_view,
-    }
+    };
+    (row, obs)
 }
 
 fn single_region_spans() -> Vec<Vec<&'static str>> {
@@ -270,7 +272,7 @@ pub fn run_correlated_outage(cfg: &Config) -> DisasterRow {
         cfg.heal_at,
     );
     run.sim.install_fault_plan(plan);
-    finish(run, cfg, "correlated-outage".into(), cfg.heal_at, &[0, 2])
+    finish(run, cfg, "correlated-outage".into(), cfg.heal_at, &[0, 2]).0
 }
 
 /// Scenario 2: a WAN partition severs the agreement side
@@ -280,7 +282,22 @@ pub fn run_correlated_outage(cfg: &Config) -> DisasterRow {
 /// paper's back-pressure story. After the heal the backlog must drain
 /// with zero lost/duplicated ops and byte-identical stores.
 pub fn run_wan_partition(cfg: &Config) -> DisasterRow {
-    let mut run = build(cfg, disaster_spider_cfg(0), "virginia", &single_region_spans());
+    wan_partition_inner(cfg, false).0
+}
+
+/// [`run_wan_partition`] with end-to-end tracing on: the returned
+/// [`ObsReport`] carries the full span timeline, including the
+/// commit-channel recast that re-ships the stalled ranges after the
+/// heal (the smoke gate `bench_summary` checks).
+pub fn run_wan_partition_traced(cfg: &Config) -> (DisasterRow, ObsReport) {
+    let (row, obs) = wan_partition_inner(cfg, true);
+    (row, obs.expect("tracing was enabled"))
+}
+
+fn wan_partition_inner(cfg: &Config, traced: bool) -> (DisasterRow, Option<ObsReport>) {
+    let mut spider_cfg = disaster_spider_cfg(0);
+    spider_cfg.tracing = traced;
+    let mut run = build(cfg, spider_cfg, "virginia", &single_region_spans());
     let plan = FaultPlan::new().wan_partition(
         &["virginia", "ireland"],
         &["oregon", "tokyo"],
@@ -307,7 +324,7 @@ pub fn run_view_change_storm(cfg: &Config) -> DisasterRow {
         last_rejoin = until;
     }
     run.sim.install_fault_plan(plan);
-    finish(run, cfg, "view-change-storm".into(), last_rejoin, &[0, 1, 2, 3])
+    finish(run, cfg, "view-change-storm".into(), last_rejoin, &[0, 1, 2, 3]).0
 }
 
 /// Scenario 4 (one point of the placement sweep): agreement in
@@ -346,6 +363,7 @@ pub fn run_placement(cfg: &Config, host_idx: usize, spread: bool) -> DisasterRow
         cfg.heal_at,
         &observed,
     )
+    .0
 }
 
 /// The placement frontier: every requested agreement host, concentrated

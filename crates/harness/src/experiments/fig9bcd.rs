@@ -96,7 +96,7 @@ impl SenderHost {
             match a {
                 Action::ToReceiver { to, msg } => ctx.send(self.receivers[to], M::ToReceiver(msg)),
                 Action::ToPeerSender { to, msg } => ctx.send(self.peers[to], M::Peer(msg)),
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("sender", op, c),
                 Action::WindowMoved { .. } | Action::Unblocked { .. } => moved = true,
                 _ => {}
             }
@@ -184,7 +184,7 @@ impl ReceiverHost {
         for a in actions {
             match a {
                 Action::ToSender { to, msg } => ctx.send(self.senders[to], M::ToSender(msg)),
-                Action::Charge(c) => ctx.charge(c),
+                Action::Charge(c, op) => ctx.charge_op("receiver", op, c),
                 Action::SetTimer { token, delay } => {
                     ctx.set_timer(delay, TAG_COLLECTOR + token);
                 }

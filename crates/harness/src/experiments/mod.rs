@@ -35,13 +35,19 @@ pub fn render_rows(title: &str, rows: &[LatencyRow]) -> String {
     out.push_str(title);
     out.push('\n');
     out.push_str(&format!(
-        "{:<28} {:<10} {:>9} {:>9} {:>7}\n",
-        "system", "clients", "p50[ms]", "p90[ms]", "n"
+        "{:<28} {:<10} {:>9} {:>9} {:>9} {:>10} {:>7}\n",
+        "system", "clients", "p50[ms]", "p90[ms]", "p99[ms]", "p99.9[ms]", "n"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<28} {:<10} {:>9.1} {:>9.1} {:>7}\n",
-            r.system, r.client_region, r.summary.p50_ms, r.summary.p90_ms, r.summary.count
+            "{:<28} {:<10} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>7}\n",
+            r.system,
+            r.client_region,
+            r.summary.p50_ms,
+            r.summary.p90_ms,
+            r.summary.p99_ms,
+            r.summary.p999_ms,
+            r.summary.count
         ));
     }
     out

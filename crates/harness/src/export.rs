@@ -21,16 +21,19 @@ fn field(s: &str) -> String {
 
 /// Latency rows (Figures 7, 8a/b, 9a, 11) as CSV.
 ///
-/// Columns: `system,client_region,p50_ms,p90_ms,mean_ms,samples`.
+/// Columns: `system,client_region,p50_ms,p90_ms,p99_ms,p999_ms,mean_ms,samples`.
 pub fn latency_rows_to_csv(rows: &[LatencyRow]) -> String {
-    let mut out = String::from("system,client_region,p50_ms,p90_ms,mean_ms,samples\n");
+    let mut out =
+        String::from("system,client_region,p50_ms,p90_ms,p99_ms,p999_ms,mean_ms,samples\n");
     for r in rows {
         out.push_str(&format!(
-            "{},{},{:.3},{:.3},{:.3},{}\n",
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
             field(&r.system),
             field(&r.client_region),
             r.summary.p50_ms,
             r.summary.p90_ms,
+            r.summary.p99_ms,
+            r.summary.p999_ms,
             r.summary.mean_ms,
             r.summary.count
         ));
@@ -82,7 +85,14 @@ mod tests {
         LatencyRow {
             system: system.to_owned(),
             client_region: region.to_owned(),
-            summary: LatencySummary { count: 3, p50_ms: 1.5, p90_ms: 2.5, mean_ms: 1.75 },
+            summary: LatencySummary {
+                count: 3,
+                p50_ms: 1.5,
+                p90_ms: 2.5,
+                p99_ms: 2.9,
+                p999_ms: 2.99,
+                mean_ms: 1.75,
+            },
         }
     }
 
@@ -90,8 +100,14 @@ mod tests {
     fn latency_csv_has_header_and_rows() {
         let csv = latency_rows_to_csv(&[row("SPIDER(leader=V-1)", "tokyo")]);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "system,client_region,p50_ms,p90_ms,mean_ms,samples");
-        assert_eq!(lines.next().unwrap(), "SPIDER(leader=V-1),tokyo,1.500,2.500,1.750,3");
+        assert_eq!(
+            lines.next().unwrap(),
+            "system,client_region,p50_ms,p90_ms,p99_ms,p999_ms,mean_ms,samples"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "SPIDER(leader=V-1),tokyo,1.500,2.500,2.900,2.990,1.750,3"
+        );
         assert_eq!(lines.next(), None);
     }
 

@@ -5,7 +5,7 @@ use crate::topology::{ec2_topology, REGIONS4};
 use spider::{DeploymentBuilder, Sample, SpiderConfig, WorkloadSpec};
 use spider_app::{kv_op_factory, KvStore};
 use spider_baselines::{BftDeployment, StewardDeployment};
-use spider_sim::Simulation;
+use spider_sim::{ObsConfig, ObsReport, Simulation};
 use spider_types::{OpKind, SimTime};
 use std::collections::BTreeMap;
 
@@ -85,6 +85,10 @@ pub struct ScenarioCfg {
     /// Commit-channel mode (IRMC-RC with/without digest-only dedup, or
     /// IRMC-SC with/without §A.9 overlap).
     pub commit_mode: spider_irmc::ChannelMode,
+    /// End-to-end request tracing: enables the simulator's observability
+    /// recorder (phase spans, per-node metrics, CPU attribution). Off by
+    /// default; [`run_scenario_obs`] turns it on.
+    pub tracing: bool,
 }
 
 impl Default for ScenarioCfg {
@@ -105,6 +109,7 @@ impl Default for ScenarioCfg {
             adaptive_batching: base.adaptive_batching,
             pipeline_depth: base.pipeline_depth,
             commit_mode: base.commit_mode,
+            tracing: false,
         }
     }
 }
@@ -133,6 +138,7 @@ impl ScenarioCfg {
             adaptive_batching: self.adaptive_batching,
             pipeline_depth: self.pipeline_depth,
             commit_mode: self.commit_mode,
+            tracing: self.tracing,
             ..SpiderConfig::default()
         }
     }
@@ -147,6 +153,20 @@ fn keep(s: &Sample, warmup: SimTime) -> bool {
 
 /// Runs one scenario and returns per-region samples.
 pub fn run_scenario(kind: SystemKind, cfg: &ScenarioCfg) -> RegionSamples {
+    run_scenario_inner(kind, cfg).0
+}
+
+/// Runs one scenario with end-to-end tracing forced on and returns both
+/// the per-region samples and the observability report (phase spans,
+/// metrics snapshots, per-operation CPU attribution).
+pub fn run_scenario_obs(kind: SystemKind, cfg: &ScenarioCfg) -> (RegionSamples, ObsReport) {
+    let mut cfg = cfg.clone();
+    cfg.tracing = true;
+    let (samples, obs) = run_scenario_inner(kind, &cfg);
+    (samples, obs.expect("tracing was enabled"))
+}
+
+fn run_scenario_inner(kind: SystemKind, cfg: &ScenarioCfg) -> (RegionSamples, Option<ObsReport>) {
     match kind {
         SystemKind::Bft { leader } => run_bft(leader, cfg),
         SystemKind::Hft { leader_site } => run_hft(leader_site, cfg),
@@ -161,7 +181,11 @@ enum SpiderShape {
     OneGroup,
 }
 
-fn run_spider(leader_zone: u8, cfg: &ScenarioCfg, shape: SpiderShape) -> RegionSamples {
+fn run_spider(
+    leader_zone: u8,
+    cfg: &ScenarioCfg,
+    shape: SpiderShape,
+) -> (RegionSamples, Option<ObsReport>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
     let mut builder = DeploymentBuilder::new(cfg.spider_config())
         .with_app(KvStore::new)
@@ -196,7 +220,8 @@ fn run_spider(leader_zone: u8, cfg: &ScenarioCfg, shape: SpiderShape) -> RegionS
             .collect();
         out.insert(region, samples);
     }
-    out
+    let obs = cfg.tracing.then(|| sim.obs().report());
+    (out, obs)
 }
 
 /// Spawns Spider clients whose *group* is `group_idx` but whose *node*
@@ -230,10 +255,13 @@ fn spawn_spider_clients_in_region(
     nodes
 }
 
-fn run_spider0e(cfg: &ScenarioCfg) -> RegionSamples {
+fn run_spider0e(cfg: &ScenarioCfg) -> (RegionSamples, Option<ObsReport>) {
     // The agreement group executes directly: equivalent to a PBFT group
     // whose replicas all sit in separate Virginia zones.
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    if cfg.tracing {
+        sim.enable_obs(ObsConfig::default());
+    }
     let n = 3 * cfg.f + 1;
     let placements: Vec<(&str, u8)> = (0..n).map(|i| ("virginia", i as u8 % 6)).collect();
     let mut dep =
@@ -244,11 +272,15 @@ fn run_spider0e(cfg: &ScenarioCfg) -> RegionSamples {
         client_nodes.push((region.to_owned(), nodes));
     }
     sim.run_until(cfg.duration);
-    collect_baseline(&sim, client_nodes, cfg)
+    let obs = cfg.tracing.then(|| sim.obs().report());
+    (collect_baseline(&sim, client_nodes, cfg), obs)
 }
 
-fn run_bft(leader: usize, cfg: &ScenarioCfg) -> RegionSamples {
+fn run_bft(leader: usize, cfg: &ScenarioCfg) -> (RegionSamples, Option<ObsReport>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    if cfg.tracing {
+        sim.enable_obs(ObsConfig::default());
+    }
     // Leader region first: replica 0 is the view-0 leader.
     let mut regions = REGIONS4.to_vec();
     regions.rotate_left(leader);
@@ -259,11 +291,15 @@ fn run_bft(leader: usize, cfg: &ScenarioCfg) -> RegionSamples {
         client_nodes.push((region.to_owned(), nodes));
     }
     sim.run_until(cfg.duration);
-    collect_baseline(&sim, client_nodes, cfg)
+    let obs = cfg.tracing.then(|| sim.obs().report());
+    (collect_baseline(&sim, client_nodes, cfg), obs)
 }
 
-fn run_hft(leader_site: u16, cfg: &ScenarioCfg) -> RegionSamples {
+fn run_hft(leader_site: u16, cfg: &ScenarioCfg) -> (RegionSamples, Option<ObsReport>) {
     let mut sim = Simulation::new(ec2_topology(), cfg.seed);
+    if cfg.tracing {
+        sim.enable_obs(ObsConfig::default());
+    }
     let mut dep = StewardDeployment::build(
         &mut sim,
         cfg.spider_config(),
@@ -278,7 +314,8 @@ fn run_hft(leader_site: u16, cfg: &ScenarioCfg) -> RegionSamples {
         client_nodes.push(((*region).to_owned(), nodes));
     }
     sim.run_until(cfg.duration);
-    collect_baseline(&sim, client_nodes, cfg)
+    let obs = cfg.tracing.then(|| sim.obs().report());
+    (collect_baseline(&sim, client_nodes, cfg), obs)
 }
 
 fn collect_baseline(

@@ -13,6 +13,10 @@ pub struct LatencySummary {
     pub p50_ms: f64,
     /// 90th percentile (the paper's second reported quantile).
     pub p90_ms: f64,
+    /// 99th percentile (tail latency).
+    pub p99_ms: f64,
+    /// 99.9th percentile (deep tail; meaningful only with enough samples).
+    pub p999_ms: f64,
     /// Mean.
     pub mean_ms: f64,
 }
@@ -29,6 +33,8 @@ impl LatencySummary {
             count: ms.len(),
             p50_ms: percentile(&ms, 50.0),
             p90_ms: percentile(&ms, 90.0),
+            p99_ms: percentile(&ms, 99.0),
+            p999_ms: percentile(&ms, 99.9),
             mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
         })
     }
@@ -183,6 +189,24 @@ mod tests {
         assert!((s.p50_ms - 50.5).abs() < 0.01);
         assert!((s.p90_ms - 90.1).abs() < 0.51);
         assert!((s.mean_ms - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn tail_percentiles_pin_distribution_edges() {
+        // A single sample: every quantile collapses to that sample.
+        let one = LatencySummary::of(&[SimTime::from_millis(7)]).unwrap();
+        assert_eq!(one.p99_ms, 7.0);
+        assert_eq!(one.p999_ms, 7.0);
+        // Uniform 1..=1000 ms: interpolated nearest-rank values.
+        let lats: Vec<SimTime> = (1..=1000).map(SimTime::from_millis).collect();
+        let s = LatencySummary::of(&lats).unwrap();
+        assert!((s.p99_ms - 990.01).abs() < 1e-6);
+        assert!((s.p999_ms - 999.001).abs() < 1e-6);
+        // Two samples: p99.9 interpolates almost entirely to the max.
+        assert!((percentile(&[1.0, 2.0], 99.9) - 1.999).abs() < 1e-12);
+        // p100 is exactly the max, p0 exactly the min.
+        assert_eq!(percentile(&[3.0, 9.0, 27.0], 100.0), 27.0);
+        assert_eq!(percentile(&[3.0, 9.0, 27.0], 0.0), 3.0);
     }
 
     #[test]

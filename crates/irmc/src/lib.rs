@@ -155,6 +155,12 @@ impl<T: Digestible + Clone + PartialEq + std::fmt::Debug + WireSize + 'static> C
 /// (the client id); commit channels use subchannel 0.
 pub type Subchannel = u64;
 
+/// Charge label of the RC recast path: a sender re-shipping unacked
+/// ranges (e.g. after a partition heal swallowed the one-shot casts).
+/// Hosts can match [`Action::Charge`]'s label against this to surface
+/// liveness milestones in traces.
+pub const OP_RECAST: &str = "recast";
+
 /// Effects produced by endpoint calls, applied by the host.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action<M> {
@@ -179,8 +185,10 @@ pub enum Action<M> {
         /// The message.
         msg: ChannelMsg<M>,
     },
-    /// Charge CPU time to the hosting node.
-    Charge(SimTime),
+    /// Charge CPU time to the hosting node. The second field names the
+    /// operation the cost models (e.g. `"range_sign"`, `"window_mac"`)
+    /// so hosts can attribute node busy-time for flamegraphs.
+    Charge(SimTime, &'static str),
     /// A message became available: `try_receive(sc, p)` will now succeed
     /// (receiver side only).
     Ready {

@@ -244,7 +244,7 @@ impl<M: Content> ReceiverEndpoint<M> {
             return;
         }
         sub.gc_below(p);
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "window_mac"));
         for s in 0..self.cfg.n_senders {
             out.push(Action::ToSender { to: s, msg: ReceiverMsg::Move { sc, p } });
         }
@@ -314,7 +314,10 @@ impl<M: Content> ReceiverEndpoint<M> {
             return Err(IrmcError::UnknownEndpoint { index: from });
         };
         // Verify the sender's signature over the slot.
-        out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify()));
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify(),
+            "slot_verify",
+        ));
         let digest = msg.digest();
         let slot = slot_digest(sc, p, &digest);
         if !self.keyring.verify(key, &slot, &sig) {
@@ -354,6 +357,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         // Hash all payloads, rebuild the tree, verify ONE signature.
         out.push(Action::Charge(
             self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count) + self.cfg.cost.rsa_verify(),
+            "range_verify",
         ));
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
@@ -406,7 +410,7 @@ impl<M: Content> ReceiverEndpoint<M> {
                 // window starts in case its view went stale during a
                 // partition (it only learns through `Move`s).
                 let start = sub.awin.start();
-                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes), "payload_hash"));
                 self.reannounce_window(sc, start, from, out);
                 return Ok(());
             }
@@ -415,15 +419,18 @@ impl<M: Content> ReceiverEndpoint<M> {
             }
         }
         // Hash the payloads and rebuild the tree (once per range).
-        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count)));
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count),
+            "range_hash",
+        ));
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
         let rd = range_digest(sc, first, count as u32, &root);
         if self.root_cache.contains(&rd) {
             // Same signed statement as before: root comparison suffices.
-            out.push(Action::Charge(self.cfg.cost.vouch_verify()));
+            out.push(Action::Charge(self.cfg.cost.vouch_verify(), "vouch_verify"));
         } else {
-            out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+            out.push(Action::Charge(self.cfg.cost.rsa_verify(), "range_verify"));
             if !self.keyring.verify(key, &rd, &sig) {
                 return Err(IrmcError::BadSignature { sc, p: first });
             }
@@ -471,7 +478,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         if count < 2 || count as u64 > self.cfg.capacity {
             return Err(IrmcError::MalformedRange { sc, first, count: count as u64 });
         }
-        out.push(Action::Charge(self.cfg.cost.vouch_verify()));
+        out.push(Action::Charge(self.cfg.cost.vouch_verify(), "vouch_verify"));
         let sub = self.sub(sc);
         if first.0 + count as u64 <= sub.awin.start().0 {
             // Entirely below the window: late duplicate. Remind the
@@ -501,7 +508,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         to: usize,
         out: &mut Vec<Action<M>>,
     ) {
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "window_mac"));
         out.push(Action::ToSender { to, msg: ReceiverMsg::Move { sc, p: start } });
     }
 
@@ -660,6 +667,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         // Verify transport MAC + every contained share.
         out.push(Action::Charge(
             self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_verify() * shares.len() as u64,
+            "cert_verify",
         ));
         let digest = msg.digest();
         let slot = slot_digest(sc, p, &digest);
@@ -724,7 +732,7 @@ impl<M: Content> ReceiverEndpoint<M> {
             if Self::range_delivered(sub, first.0, count as u64) {
                 // Late duplicate or already-delivered range: drop after
                 // the transport MAC, members are NOT re-hashed.
-                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes), "payload_hash"));
                 return Ok(());
             }
             if first.0 >= sub.awin.end().0 + sub.awin.capacity() {
@@ -732,7 +740,10 @@ impl<M: Content> ReceiverEndpoint<M> {
             }
         }
         // Transport MAC + payload hashing + tree rebuild; no signature.
-        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count)));
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count),
+            "range_hash",
+        ));
         let leaves: Vec<Digest> = msgs.iter().map(|m| m.digest()).collect();
         let root = merkle_root(&leaves);
         if dedup {
@@ -816,6 +827,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         }
         out.push(Action::Charge(
             self.cfg.cost.hmac(32) + self.cfg.cost.rsa_verify() * shares.len() as u64,
+            "cert_verify",
         ));
         let rd = range_digest(sc, first, count, &root);
         if !self.valid_share_quorum(&shares, &rd) {
@@ -890,7 +902,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         if self.cfg.variant() != Variant::SenderCollect {
             return Err(IrmcError::WrongVariant);
         }
-        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
+        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16), "progress_mac"));
         for (sc, p) in positions {
             let fs = self.cfg.fs;
             let timeout = self.cfg.collector_timeout;
@@ -922,7 +934,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         p: Position,
         out: &mut Vec<Action<M>>,
     ) -> Result<(), IrmcError> {
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "window_mac"));
         let fs = self.cfg.fs;
         let sub = self.sub(sc);
         match sub.sender_moves.get_mut(from) {
@@ -997,7 +1009,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         sub.collector = (sub.collector + 1) % n_senders;
         let new_collector = sub.collector;
         sub.timer_armed = true;
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "select_mac"));
         for s in 0..n_senders {
             out.push(Action::ToSender {
                 to: s,
@@ -1067,7 +1079,7 @@ impl<M: Content> ReceiverEndpoint<M> {
         let Some(&(stalled_first, _, _)) = fetched.first() else {
             return Ok(()); // All quiet: let the timer lapse.
         };
-        out.push(Action::Charge(self.cfg.cost.hmac(32) * fetched.len() as u64));
+        out.push(Action::Charge(self.cfg.cost.hmac(32) * fetched.len() as u64, "refetch"));
         for &(first, count, target) in &fetched {
             out.push(Action::ToSender {
                 to: target,
@@ -1654,7 +1666,7 @@ mod tests {
     fn charge_sum(out: &[Action<Blob>]) -> SimTime {
         out.iter()
             .filter_map(|a| match a {
-                Action::Charge(t) => Some(*t),
+                Action::Charge(t, _) => Some(*t),
                 _ => None,
             })
             .fold(SimTime::ZERO, |acc, t| acc + t)

@@ -298,36 +298,6 @@ impl<M: Content> SenderEndpoint<M> {
         self.cfg.max_range.min(self.cfg.capacity as usize).max(1)
     }
 
-    /// Submits content for `(sc, p)` (Fig 14 `send`): a singleton batch.
-    ///
-    /// Thin shim over [`SenderEndpoint::send_batch`], kept for one PR.
-    #[deprecated(note = "use `send_batch(sc, p, vec![msg], out)` — a singleton batch is `send`")]
-    pub fn send(
-        &mut self,
-        sc: Subchannel,
-        p: Position,
-        msg: M,
-        out: &mut Vec<Action<M>>,
-    ) -> SendStatus {
-        // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
-        self.send_batch(sc, p, vec![msg], out)
-    }
-
-    /// Submits a contiguous run of slots `[first, first + msgs.len())`.
-    ///
-    /// Thin shim over [`SenderEndpoint::send_batch`], kept for one PR.
-    #[deprecated(note = "renamed to `send_batch`")]
-    pub fn send_many(
-        &mut self,
-        sc: Subchannel,
-        first: Position,
-        msgs: Vec<M>,
-        out: &mut Vec<Action<M>>,
-    ) -> SendStatus {
-        // analyzer: allow(charge-coverage, "delegates to send_batch(), which charges per transmission")
-        self.send_batch(sc, first, msgs, out)
-    }
-
     /// Submits a contiguous run of slots `[first, first + msgs.len())` in
     /// one call — the single submission entry point (a batch of one *is*
     /// the legacy `send`, byte-for-byte). Runs longer than
@@ -444,7 +414,7 @@ impl<M: Content> SenderEndpoint<M> {
             return;
         }
         sub.my_move = p;
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "window_mac"));
         for r in 0..self.cfg.n_receivers {
             out.push(Action::ToReceiver { to: r, msg: ChannelMsg::Move { sc, p } });
         }
@@ -465,7 +435,7 @@ impl<M: Content> SenderEndpoint<M> {
             return Err(IrmcError::UnknownEndpoint { index: from });
         }
         // MAC check on every receiver message.
-        out.push(Action::Charge(self.cfg.cost.hmac(32)));
+        out.push(Action::Charge(self.cfg.cost.hmac(32), "msg_mac"));
         match msg {
             ReceiverMsg::Move { sc, p } => self.on_receiver_move(from, sc, p, out),
             ReceiverMsg::Select { sc, collector } => {
@@ -500,7 +470,7 @@ impl<M: Content> SenderEndpoint<M> {
                 // MAC the re-shipped content for the requesting receiver;
                 // it carries no signature — the receiver verifies it by
                 // root comparison against the vouch quorum.
-                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes), "refetch_serve"));
                 out.push(Action::ToReceiver {
                     to: from,
                     msg: ChannelMsg::RangeContent { sc, first, msgs },
@@ -519,7 +489,7 @@ impl<M: Content> SenderEndpoint<M> {
         };
         let mut shipments: Vec<Action<M>> = Vec::new();
         for (&p, (msg, shares)) in &sub.bundles {
-            shipments.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size())));
+            shipments.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()), "reship"));
             shipments.push(Action::ToReceiver {
                 to,
                 msg: ChannelMsg::Certificate {
@@ -532,12 +502,12 @@ impl<M: Content> SenderEndpoint<M> {
         }
         for (&first, rb) in &sub.range_bundles {
             let bytes: usize = rb.msgs.iter().map(|m| m.wire_size()).sum();
-            shipments.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+            shipments.push(Action::Charge(self.cfg.cost.hmac(bytes), "reship"));
             shipments.push(Action::ToReceiver {
                 to,
                 msg: ChannelMsg::RangeContent { sc, first: Position(first), msgs: rb.msgs.clone() },
             });
-            shipments.push(Action::Charge(self.cfg.cost.hmac(32)));
+            shipments.push(Action::Charge(self.cfg.cost.hmac(32), "reship"));
             shipments.push(Action::ToReceiver {
                 to,
                 msg: ChannelMsg::RangeCertificate {
@@ -617,7 +587,10 @@ impl<M: Content> SenderEndpoint<M> {
         };
         let digest = slot_digest(sc, p, &msg.digest());
         // Hash the payload and produce one RSA signature.
-        out.push(Action::Charge(self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign()));
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign(),
+            "slot_sign",
+        ));
         let sig = self.keyring.sign(key, &digest);
         match self.cfg.variant() {
             Variant::ReceiverCollect => {
@@ -672,7 +645,10 @@ impl<M: Content> SenderEndpoint<M> {
         let root = merkle_root(&leaves);
         let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
         // Hash all payloads and build the tree.
-        out.push(Action::Charge(self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize)));
+        out.push(Action::Charge(
+            self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize),
+            "range_hash",
+        ));
         let msgs = Arc::new(msgs);
         let mut shipped = vec![false; self.cfg.n_receivers];
         if self.cfg.variant() == Variant::SenderCollect && self.cfg.sc_overlap() {
@@ -684,7 +660,7 @@ impl<M: Content> SenderEndpoint<M> {
             for (r, was_shipped) in shipped.iter_mut().enumerate() {
                 if self.collector_for(sc, r) == self.me {
                     *was_shipped = true;
-                    out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                    out.push(Action::Charge(self.cfg.cost.hmac(bytes), "range_ship"));
                     out.push(Action::ToReceiver {
                         to: r,
                         msg: ChannelMsg::RangeContent {
@@ -710,7 +686,7 @@ impl<M: Content> SenderEndpoint<M> {
             self.sub(sc).rc_ranges.insert(first, msgs.clone());
             if carrier == self.me {
                 // One RSA signature for the whole range.
-                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                out.push(Action::Charge(self.cfg.cost.rsa_sign(), "range_sign"));
                 let sig = self.keyring.sign(key, &rd);
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
@@ -727,7 +703,7 @@ impl<M: Content> SenderEndpoint<M> {
                 // MAC over the fixed-size vouch statement — no signature:
                 // the vouch is consumed by the receiving endpoint only,
                 // never forwarded as proof (IRMC-RC trust model, Fig 18).
-                out.push(Action::Charge(self.cfg.cost.hmac(52)));
+                out.push(Action::Charge(self.cfg.cost.hmac(52), "vouch_mac"));
                 for r in 0..self.cfg.n_receivers {
                     out.push(Action::ToReceiver {
                         to: r,
@@ -738,7 +714,7 @@ impl<M: Content> SenderEndpoint<M> {
             return;
         }
         // One RSA signature for the whole range.
-        out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+        out.push(Action::Charge(self.cfg.cost.rsa_sign(), "range_sign"));
         let sig = self.keyring.sign(key, &rd);
         match self.cfg.variant() {
             Variant::ReceiverCollect => {
@@ -817,7 +793,7 @@ impl<M: Content> SenderEndpoint<M> {
                     return Err(IrmcError::UnknownEndpoint { index: from });
                 };
                 // Verify the peer's share signature.
-                out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+                out.push(Action::Charge(self.cfg.cost.rsa_verify(), "share_verify"));
                 let slot = slot_digest(sc, p, &digest);
                 if !self.keyring.verify(key, &slot, &sig) {
                     return Err(IrmcError::BadSignature { sc, p });
@@ -840,7 +816,7 @@ impl<M: Content> SenderEndpoint<M> {
                     return Err(IrmcError::UnknownEndpoint { index: from });
                 };
                 // One verification vouches for the whole range.
-                out.push(Action::Charge(self.cfg.cost.rsa_verify()));
+                out.push(Action::Charge(self.cfg.cost.rsa_verify(), "share_verify"));
                 let rd = range_digest(sc, first, count, &root);
                 if !self.keyring.verify(key, &rd, &sig) {
                     return Err(IrmcError::BadSignature { sc, p: first });
@@ -917,7 +893,7 @@ impl<M: Content> SenderEndpoint<M> {
         let targets: Vec<usize> =
             (0..n_receivers).filter(|r| self.collector_for(sc, *r) == me).collect();
         for r in targets {
-            out.push(Action::Charge(self.cfg.cost.hmac(arc.wire_size())));
+            out.push(Action::Charge(self.cfg.cost.hmac(arc.wire_size()), "bundle_mac"));
             out.push(Action::ToReceiver {
                 to: r,
                 msg: ChannelMsg::Certificate { sc, p, msg: arc.clone(), shares: vec.clone() },
@@ -977,7 +953,7 @@ impl<M: Content> SenderEndpoint<M> {
                 .and_then(|i| i.shipped.get_mut(r))
                 .map(|b| !std::mem::replace(b, true));
             if needs_content.unwrap_or(true) {
-                out.push(Action::Charge(self.cfg.cost.hmac(bytes)));
+                out.push(Action::Charge(self.cfg.cost.hmac(bytes), "bundle_mac"));
                 out.push(Action::ToReceiver {
                     to: r,
                     msg: ChannelMsg::RangeContent {
@@ -987,7 +963,7 @@ impl<M: Content> SenderEndpoint<M> {
                     },
                 });
             }
-            out.push(Action::Charge(self.cfg.cost.hmac(32)));
+            out.push(Action::Charge(self.cfg.cost.hmac(32), "bundle_mac"));
             out.push(Action::ToReceiver {
                 to: r,
                 msg: ChannelMsg::RangeCertificate {
@@ -1034,7 +1010,7 @@ impl<M: Content> SenderEndpoint<M> {
             return; // Nothing new to announce; stay quiet.
         }
         self.last_progress = positions.clone();
-        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16)));
+        out.push(Action::Charge(self.cfg.cost.hmac(positions.len() * 16), "progress_mac"));
         for r in 0..self.cfg.n_receivers {
             out.push(Action::ToReceiver {
                 to: r,
@@ -1086,7 +1062,7 @@ impl<M: Content> SenderEndpoint<M> {
                     continue;
                 };
                 let slot = slot_digest(sc, Position(p), &digest);
-                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                out.push(Action::Charge(self.cfg.cost.rsa_sign(), "slot_sign"));
                 let sig = self.keyring.sign(me_key, &slot);
                 let sub = self.sub(sc);
                 sub.shares.entry(p).or_default().insert(me, (digest, sig));
@@ -1184,12 +1160,13 @@ impl<M: Content> SenderEndpoint<M> {
             let bytes: usize = msgs.iter().map(|m| m.wire_size()).sum();
             out.push(Action::Charge(
                 self.cfg.cost.hmac(bytes) + self.cfg.cost.merkle(count as usize),
+                crate::OP_RECAST,
             ));
             if dedup && carrier_for(sc, Position(first), n_senders) != me {
                 // Not the carrier: repeat the digest-only vouch. The
                 // receiver's carrier-supervision timer escalates to a
                 // FetchRange against us if the carrier stays dark.
-                out.push(Action::Charge(self.cfg.cost.hmac(52)));
+                out.push(Action::Charge(self.cfg.cost.hmac(52), crate::OP_RECAST));
                 for r in to {
                     out.push(Action::ToReceiver {
                         to: r,
@@ -1198,7 +1175,7 @@ impl<M: Content> SenderEndpoint<M> {
                 }
             } else {
                 let rd = range_digest(sc, Position(first), count, &root);
-                out.push(Action::Charge(self.cfg.cost.rsa_sign()));
+                out.push(Action::Charge(self.cfg.cost.rsa_sign(), crate::OP_RECAST));
                 let sig = self.keyring.sign(me_key, &rd);
                 for r in to {
                     out.push(Action::ToReceiver {
@@ -1221,6 +1198,7 @@ impl<M: Content> SenderEndpoint<M> {
             let digest = slot_digest(sc, Position(p), &msg.digest());
             out.push(Action::Charge(
                 self.cfg.cost.hmac(msg.wire_size()) + self.cfg.cost.rsa_sign(),
+                crate::OP_RECAST,
             ));
             let sig = self.keyring.sign(me_key, &digest);
             for r in to {
@@ -1527,42 +1505,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_are_byte_identical_to_send_batch() {
+    fn singleton_batch_degenerates_to_legacy_per_slot_frame() {
         let ring = Keyring::new(5);
         let c = range_cfg(Variant::ReceiverCollect, 16, 8);
-        // Singleton batch == legacy `send`, byte for byte.
-        let mut via_batch: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
-        let mut via_send: SenderEndpoint<Blob> = SenderEndpoint::new(c.clone(), 0, ring.clone());
-        let m = Blob::new(b"solo");
-        let mut out_batch = Vec::new();
-        let mut out_send = Vec::new();
-        via_batch.send_batch(0, Position(1), vec![m.clone()], &mut out_batch);
-        via_send.send(0, Position(1), m, &mut out_send);
-        assert_eq!(out_batch, out_send, "range length 1 degenerates to the legacy wire messages");
+        let mut ep: SenderEndpoint<Blob> = SenderEndpoint::new(c, 0, ring);
+        let mut out = Vec::new();
+        ep.send_batch(0, Position(1), vec![Blob::new(b"solo")], &mut out);
         assert!(
-            out_send
-                .iter()
+            out.iter()
                 .any(|a| matches!(a, Action::ToReceiver { msg: ChannelMsg::Send { .. }, .. })),
-            "a singleton uses the legacy per-slot frame"
+            "a singleton uses the legacy per-slot frame, not a range"
         );
-        use spider_types::WireSize as _;
-        for (a, b) in out_batch.iter().zip(&out_send) {
-            if let (Action::ToReceiver { msg: ma, .. }, Action::ToReceiver { msg: mb, .. }) = (a, b)
-            {
-                assert_eq!(ma.wire_size(), mb.wire_size());
-            }
-        }
-        // And `send_many` is exactly `send_batch` under its old name.
-        let mut via_batch: SenderEndpoint<Blob> =
-            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, ring.clone());
-        let mut via_many: SenderEndpoint<Blob> =
-            SenderEndpoint::new(range_cfg(Variant::ReceiverCollect, 16, 8), 0, ring);
-        let mut out_batch = Vec::new();
-        let mut out_many = Vec::new();
-        via_batch.send_batch(0, Position(1), blobs(1, 5), &mut out_batch);
-        via_many.send_many(0, Position(1), blobs(1, 5), &mut out_many);
-        assert_eq!(out_batch, out_many);
     }
 
     // ------------------------------------------------------------------
@@ -1702,7 +1655,7 @@ mod tests {
         let charge_sum = |out: &[Action<Blob>]| {
             out.iter()
                 .filter_map(|a| match a {
-                    Action::Charge(t) => Some(*t),
+                    Action::Charge(t, _) => Some(*t),
                     _ => None,
                 })
                 .fold(SimTime::ZERO, |acc, t| acc + t)

@@ -1,0 +1,292 @@
+//! `spider-obs`: deterministic observability for the Spider workspace.
+//!
+//! Every bottleneck found so far (per-slot RSA, the RC receiver hash
+//! wall, the current sender-CPU saturation) was located by ad-hoc printf
+//! archaeology. This crate replaces that with three substrates, all
+//! recorded against simulated time so they are *reproducible artifacts*
+//! — the same seed yields the byte-identical trace:
+//!
+//! 1. **Request-scoped trace spans** ([`SpanEvent`]): phase enter/exit/
+//!    instant milestones keyed by a request id, recorded into bounded
+//!    per-node ring buffers. Disabled recorders are a single branch per
+//!    call, and recording itself never allocates once a ring has grown
+//!    to capacity.
+//! 2. **Per-node metrics registry** ([`Recorder::counter_add`],
+//!    [`Recorder::hist_record`]): counters and log-bucketed histograms
+//!    ([`Histogram`]) good to p99.9 with bounded relative error
+//!    (≤ 1/32), snapshotted deterministically at sim end.
+//! 3. **CPU attribution** ([`Recorder::cpu_add`]): busy time per
+//!    `(node, component, operation)`, accumulated at every `CostModel`
+//!    charge site, exported as folded stacks for flamegraphs.
+//!
+//! Exporters ([`export`]) turn an [`ObsReport`] into Chrome/Perfetto
+//! `trace_event` JSON, a JSONL span dump, folded stacks, and per-phase
+//! latency breakdowns. [`export::fnv64`] digests any of those for
+//! determinism double-run tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod metrics;
+mod trace;
+
+pub use metrics::Histogram;
+pub use trace::{Ring, SpanEvent, SpanKind};
+
+use spider_types::{NodeId, SimTime};
+use std::collections::BTreeMap;
+
+/// Milestone phase: a client accepted a request (span enter) or saw its
+/// reply quorum (span exit).
+pub const PHASE_REQUEST: &str = "request";
+/// Milestone phase: the agreement group handed the request to consensus.
+pub const PHASE_PROPOSE: &str = "propose";
+/// Milestone phase: consensus delivered (committed) the request.
+pub const PHASE_COMMIT: &str = "commit";
+/// Milestone phase: the committed request was shipped on a commit channel.
+pub const PHASE_SHIP: &str = "ship";
+/// Milestone phase: an execution replica received the committed request.
+pub const PHASE_DELIVER: &str = "deliver";
+/// Node-local phase: application execution of one committed request.
+pub const PHASE_EXEC: &str = "exec";
+/// Node-local phase: cutting one consensus batch out of the backlog.
+pub const PHASE_BATCH: &str = "batch";
+/// Channel-level instant: an IRMC-RC sender re-cast an unacked range
+/// (liveness path; expected after partitions heal).
+pub const PHASE_RECAST: &str = "recast";
+
+/// Request id for client request `seq` of client `client`: unique across
+/// the deployment, stable across runs.
+pub fn req_id(client: u32, seq: u64) -> u64 {
+    ((client as u64) << 40) | (seq & 0xff_ffff_ffff)
+}
+
+/// Recorder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Span events retained per node; the ring overwrites its oldest
+    /// events beyond this.
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { span_capacity: 1 << 15 }
+    }
+}
+
+/// The per-simulation observability state: span rings, metrics registry,
+/// and CPU attribution. A disabled recorder (the default) reduces every
+/// record call to one branch.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: bool,
+    cfg: ObsConfig,
+    rings: Vec<trace::Ring>,
+    counters: BTreeMap<(u32, &'static str), u64>,
+    hists: BTreeMap<(u32, &'static str), Histogram>,
+    cpu: BTreeMap<(u32, &'static str, &'static str), SimTime>,
+}
+
+impl Recorder {
+    /// A disabled recorder: every record call is a no-op.
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// An enabled recorder.
+    pub fn enabled(cfg: ObsConfig) -> Self {
+        Recorder { enabled: true, cfg, ..Recorder::default() }
+    }
+
+    /// Whether this recorder records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Makes room for `node`'s ring (idempotent; cheap when disabled).
+    pub fn ensure_node(&mut self, node: NodeId) {
+        if !self.enabled {
+            return;
+        }
+        let idx = node.0 as usize;
+        while self.rings.len() <= idx {
+            self.rings.push(trace::Ring::new(self.cfg.span_capacity));
+        }
+    }
+
+    fn span(&mut self, at: SimTime, node: NodeId, req: u64, phase: &'static str, kind: SpanKind) {
+        if !self.enabled {
+            return;
+        }
+        self.ensure_node(node);
+        if let Some(ring) = self.rings.get_mut(node.0 as usize) {
+            ring.push(SpanEvent { at, node, req, phase, kind });
+        }
+    }
+
+    /// Records a span enter for `(req, phase)` on `node` at `at`.
+    pub fn span_enter(&mut self, at: SimTime, node: NodeId, req: u64, phase: &'static str) {
+        self.span(at, node, req, phase, SpanKind::Enter);
+    }
+
+    /// Records a span exit for `(req, phase)` on `node` at `at`.
+    pub fn span_exit(&mut self, at: SimTime, node: NodeId, req: u64, phase: &'static str) {
+        self.span(at, node, req, phase, SpanKind::Exit);
+    }
+
+    /// Records an instant milestone for `(req, phase)` on `node` at `at`.
+    pub fn span_instant(&mut self, at: SimTime, node: NodeId, req: u64, phase: &'static str) {
+        self.span(at, node, req, phase, SpanKind::Instant);
+    }
+
+    /// Adds `delta` to counter `name` of `node`.
+    pub fn counter_add(&mut self, node: NodeId, name: &'static str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry((node.0, name)).or_insert(0) += delta;
+    }
+
+    /// Records `value` into histogram `name` of `node`.
+    pub fn hist_record(&mut self, node: NodeId, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.entry((node.0, name)).or_default().record(value);
+    }
+
+    /// Attributes `cost` of busy time to `(node, component, op)`.
+    pub fn cpu_add(
+        &mut self,
+        node: NodeId,
+        component: &'static str,
+        op: &'static str,
+        cost: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self.cpu.entry((node.0, component, op)).or_insert(SimTime::ZERO);
+        *slot += cost;
+    }
+
+    /// Snapshots everything recorded so far into an owned report. Span
+    /// events merge across nodes in global time order (ties keep node
+    /// order), so the report is a deterministic function of the run.
+    pub fn report(&self) -> ObsReport {
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        for ring in &self.rings {
+            ring.for_each(|e| spans.push(*e));
+        }
+        spans.sort_by_key(|e| (e.at, e.node.0, e.req, e.phase));
+        ObsReport {
+            spans,
+            counters: self.counters.clone(),
+            hists: self.hists.clone(),
+            cpu: self.cpu.clone(),
+        }
+    }
+}
+
+/// An owned, deterministic snapshot of a [`Recorder`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// All retained span events in global `(time, node)` order.
+    pub spans: Vec<SpanEvent>,
+    /// Counters keyed by `(node, name)`.
+    pub counters: BTreeMap<(u32, &'static str), u64>,
+    /// Histograms keyed by `(node, name)`.
+    pub hists: BTreeMap<(u32, &'static str), Histogram>,
+    /// Attributed busy time keyed by `(node, component, op)`.
+    pub cpu: BTreeMap<(u32, &'static str, &'static str), SimTime>,
+}
+
+impl ObsReport {
+    /// Merges another report into this one (multi-sim experiments).
+    pub fn merge(&mut self, other: &ObsReport) {
+        self.spans.extend(other.spans.iter().copied());
+        self.spans.sort_by_key(|e| (e.at, e.node.0, e.req, e.phase));
+        for (k, v) in &other.counters {
+            *self.counters.entry(*k).or_insert(0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(*k).or_default().merge(h);
+        }
+        for (k, v) in &other.cpu {
+            let slot = self.cpu.entry(*k).or_insert(SimTime::ZERO);
+            *slot += *v;
+        }
+    }
+
+    /// Total attributed busy time per `(component, op)` across all nodes.
+    pub fn cpu_by_op(&self) -> BTreeMap<(&'static str, &'static str), SimTime> {
+        let mut out: BTreeMap<(&'static str, &'static str), SimTime> = BTreeMap::new();
+        for (&(_, component, op), &t) in &self.cpu {
+            let slot = out.entry((component, op)).or_insert(SimTime::ZERO);
+            *slot += t;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        r.span_enter(SimTime::from_millis(1), NodeId(0), 1, PHASE_REQUEST);
+        r.counter_add(NodeId(0), "x", 1);
+        r.hist_record(NodeId(0), "h", 5);
+        r.cpu_add(NodeId(0), "c", "o", SimTime::from_micros(3));
+        let rep = r.report();
+        assert!(rep.spans.is_empty() && rep.counters.is_empty());
+        assert!(rep.hists.is_empty() && rep.cpu.is_empty());
+    }
+
+    #[test]
+    fn spans_merge_in_time_order() {
+        let mut r = Recorder::enabled(ObsConfig::default());
+        r.span_instant(SimTime::from_millis(5), NodeId(1), 7, PHASE_COMMIT);
+        r.span_instant(SimTime::from_millis(2), NodeId(2), 7, PHASE_PROPOSE);
+        r.span_instant(SimTime::from_millis(5), NodeId(0), 7, PHASE_SHIP);
+        let rep = r.report();
+        let order: Vec<&str> = rep.spans.iter().map(|e| e.phase).collect();
+        assert_eq!(order, vec![PHASE_PROPOSE, PHASE_SHIP, PHASE_COMMIT]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let mut r = Recorder::enabled(ObsConfig { span_capacity: 4 });
+        for i in 0..10u64 {
+            r.span_instant(SimTime::from_millis(i), NodeId(0), i, PHASE_COMMIT);
+        }
+        let rep = r.report();
+        assert_eq!(rep.spans.len(), 4);
+        assert_eq!(rep.spans.first().map(|e| e.req), Some(6));
+        assert_eq!(rep.spans.last().map(|e| e.req), Some(9));
+    }
+
+    #[test]
+    fn cpu_attribution_accumulates_per_key() {
+        let mut r = Recorder::enabled(ObsConfig::default());
+        r.cpu_add(NodeId(0), "sender", "range_sign", SimTime::from_micros(600));
+        r.cpu_add(NodeId(0), "sender", "range_sign", SimTime::from_micros(600));
+        r.cpu_add(NodeId(1), "sender", "range_sign", SimTime::from_micros(600));
+        r.cpu_add(NodeId(0), "sender", "vouch_mac", SimTime::from_micros(2));
+        let rep = r.report();
+        let by_op = rep.cpu_by_op();
+        assert_eq!(by_op[&("sender", "range_sign")], SimTime::from_micros(1800));
+        assert_eq!(by_op[&("sender", "vouch_mac")], SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn req_id_is_injective_over_practical_ranges() {
+        assert_ne!(req_id(1, 0), req_id(0, 1));
+        assert_ne!(req_id(10_000, 3), req_id(10_001, 3));
+        assert_eq!(req_id(5, 9) >> 40, 5);
+    }
+}

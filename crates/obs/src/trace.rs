@@ -1,0 +1,146 @@
+//! Request-scoped trace spans and the per-node event ring.
+
+use spider_types::{NodeId, SimTime};
+
+/// What a [`SpanEvent`] marks: the start of a phase, its end, or a
+/// point-in-time milestone with no duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// The request entered this phase.
+    Enter,
+    /// The request left this phase.
+    Exit,
+    /// A point-in-time milestone.
+    Instant, // analyzer: allow(determinism, "Perfetto's name for a zero-duration event, not std::time")
+}
+
+impl SpanKind {
+    /// Stable single-character tag for rendering and digests.
+    pub fn tag(self) -> char {
+        match self {
+            SpanKind::Enter => 'B',
+            SpanKind::Exit => 'E',
+            SpanKind::Instant => 'I',
+        }
+    }
+}
+
+/// One trace event: request `req` hit `phase` on `node` at simulated
+/// time `at`. `Copy` and pointer-sized fields only, so recording is a
+/// store into a preallocated ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Node the event was recorded on.
+    pub node: NodeId,
+    /// Request id (see [`crate::req_id`]); 0 is the channel-level
+    /// sentinel for events not tied to one request.
+    pub req: u64,
+    /// Phase name (one of the `PHASE_*` constants).
+    pub phase: &'static str,
+    /// Enter, exit, or instant.
+    pub kind: SpanKind,
+}
+
+/// Fixed-capacity overwrite-oldest event buffer. Grows lazily up to its
+/// capacity, then wraps; iteration yields events oldest-first.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    /// Index the next event will be written at once the buffer is full.
+    head: usize,
+}
+
+impl Ring {
+    /// An empty ring retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Ring {
+        Ring { buf: Vec::new(), capacity: capacity.max(1), head: 0 }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&mut self, ev: SpanEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Visits retained events oldest-first.
+    pub fn for_each(&self, mut f: impl FnMut(&SpanEvent)) {
+        let n = self.buf.len();
+        for i in 0..n {
+            let idx = if n < self.capacity { i } else { (self.head + i) % n };
+            f(&self.buf[idx]);
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> SpanEvent {
+        SpanEvent {
+            at: SimTime::from_nanos(i),
+            node: NodeId(0),
+            req: i,
+            phase: "test",
+            kind: SpanKind::Instant,
+        }
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_insertion_order() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let mut got = Vec::new();
+        r.for_each(|e| got.push(e.req));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_and_yields_oldest_first() {
+        let mut r = Ring::new(3);
+        for i in 0..7 {
+            r.push(ev(i));
+        }
+        let mut got = Vec::new();
+        r.for_each(|e| got.push(e.req));
+        assert_eq!(got, vec![4, 5, 6]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        let mut got = Vec::new();
+        r.for_each(|e| got.push(e.req));
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn kind_tags_are_distinct() {
+        assert_eq!(SpanKind::Enter.tag(), 'B');
+        assert_eq!(SpanKind::Exit.tag(), 'E');
+        assert_eq!(SpanKind::Instant.tag(), 'I');
+    }
+}

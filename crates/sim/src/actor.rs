@@ -1,6 +1,7 @@
 //! Actors and the handler-side API ([`Context`]).
 
 use rand::rngs::SmallRng;
+use spider_obs::Recorder;
 use spider_types::{NodeId, SimTime};
 
 /// Identifier of a pending timer, used for cancellation.
@@ -86,6 +87,7 @@ pub struct Context<'a, M> {
     pub(crate) out: &'a mut Vec<OutAction<M>>,
     pub(crate) charged: &'a mut SimTime,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) obs: &'a mut Recorder,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -120,6 +122,57 @@ impl<'a, M> Context<'a, M> {
     /// outgoing messages wait) until all charged work is done.
     pub fn charge(&mut self, cost: SimTime) {
         *self.charged += cost;
+    }
+
+    /// Like [`Context::charge`], but also attributes the cost to
+    /// `(component, op)` when observability is enabled, so flamegraphs
+    /// can break node busy-time down by operation. Simulated time is
+    /// identical either way.
+    pub fn charge_op(&mut self, component: &'static str, op: &'static str, cost: SimTime) {
+        *self.charged += cost;
+        self.obs.cpu_add(self.node, component, op, cost);
+    }
+
+    /// The virtual instant the handler's execution has reached: its start
+    /// time plus all CPU work charged so far. Span events use this so
+    /// intra-handler milestones are ordered by the work preceding them.
+    fn vnow(&self) -> SimTime {
+        self.now + *self.charged
+    }
+
+    /// Records a trace span enter for `(req, phase)` (no-op when
+    /// observability is disabled).
+    pub fn span_enter(&mut self, req: u64, phase: &'static str) {
+        let at = self.vnow();
+        self.obs.span_enter(at, self.node, req, phase);
+    }
+
+    /// Records a trace span exit for `(req, phase)`.
+    pub fn span_exit(&mut self, req: u64, phase: &'static str) {
+        let at = self.vnow();
+        self.obs.span_exit(at, self.node, req, phase);
+    }
+
+    /// Records an instant trace milestone for `(req, phase)`.
+    pub fn span_instant(&mut self, req: u64, phase: &'static str) {
+        let at = self.vnow();
+        self.obs.span_instant(at, self.node, req, phase);
+    }
+
+    /// Adds `delta` to this node's counter `name` in the metrics registry.
+    pub fn metric_inc(&mut self, name: &'static str, delta: u64) {
+        self.obs.counter_add(self.node, name, delta);
+    }
+
+    /// Records `value` into this node's histogram `name`.
+    pub fn metric_hist(&mut self, name: &'static str, value: u64) {
+        self.obs.hist_record(self.node, name, value);
+    }
+
+    /// Whether observability recording is enabled for this run. Hot paths
+    /// can use this to skip computing values that exist only for metrics.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_enabled()
     }
 
     /// Sets a timer that fires `delay` after the end of this handler's

@@ -75,4 +75,8 @@ pub use metrics::{LinkClass, NetStats, NodeStats, SimStats};
 pub use net::{LinkQuality, NetworkControl, Topology, TopologyBuilder};
 pub use world::Simulation;
 
+pub use spider_obs::{
+    req_id, ObsConfig, ObsReport, Recorder, PHASE_BATCH, PHASE_COMMIT, PHASE_DELIVER, PHASE_EXEC,
+    PHASE_PROPOSE, PHASE_RECAST, PHASE_REQUEST, PHASE_SHIP,
+};
 pub use spider_types::{NodeId, SimTime, WireSize, ZoneId};

@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use spider_obs::{ObsConfig, Recorder};
 use spider_types::{NodeId, RegionId, SimTime, WireSize, ZoneId};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -36,6 +37,9 @@ pub struct Simulation<M> {
     out_buf: Vec<OutAction<M>>,
     /// Installed fault events in application order (front = next due).
     fault_timeline: VecDeque<(SimTime, FaultEvent)>,
+    /// Observability recorder; disabled (every record call a no-op)
+    /// unless [`Simulation::enable_obs`] is called.
+    obs: Recorder,
 }
 
 impl<M: Clone + WireSize + 'static> Simulation<M> {
@@ -53,7 +57,29 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             next_timer_id: 0,
             out_buf: Vec::new(),
             fault_timeline: VecDeque::new(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on observability recording (trace spans, metrics registry,
+    /// CPU attribution) for the rest of the run. Nodes added before and
+    /// after this call are both covered.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Recorder::enabled(cfg);
+        for i in 0..self.nodes.len() {
+            self.obs.ensure_node(NodeId(i as u32));
+        }
+    }
+
+    /// The observability recorder (disabled by default).
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the observability recorder, e.g. for the
+    /// harness to record run-level counters.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// Adds a node in `zone` running `actor`; returns its id. The actor's
@@ -61,6 +87,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     pub fn add_node<A: Actor<M>>(&mut self, zone: ZoneId, actor: A) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.stats.ensure_node(id);
+        self.obs.ensure_node(id);
         self.net_control.set_node_region(id, zone.region());
         self.nodes.push(NodeSlot {
             actor: Box::new(actor),
@@ -380,6 +407,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
                 out: &mut out,
                 charged: &mut charged,
                 next_timer_id: &mut self.next_timer_id,
+                obs: &mut self.obs,
             };
             f(slot.actor.as_mut(), &mut ctx);
         }

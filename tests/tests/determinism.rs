@@ -12,7 +12,7 @@
 
 use spider::{SpiderConfig, WorkloadSpec};
 use spider_app::kv_op_factory;
-use spider_harness::scenarios::{run_scenario, ScenarioCfg, SystemKind};
+use spider_harness::scenarios::{run_scenario, run_scenario_obs, ScenarioCfg, SystemKind};
 use spider_tests::standard_deployment;
 use spider_types::SimTime;
 
@@ -80,6 +80,37 @@ fn same_seed_same_sim_stats() {
     assert_eq!(now_a, now_b, "same seed, different quiescence time");
     assert_eq!(digest(&samples_a), digest(&samples_b), "same seed, different samples");
     assert_eq!(digest(&stats_a), digest(&stats_b), "same seed, different sim stats");
+}
+
+#[test]
+fn same_seed_same_obs_trace_digest() {
+    // The observability recorder is itself part of the determinism
+    // contract: two traced runs with the same seed must produce
+    // byte-identical span streams, metrics, and CPU attribution. This is
+    // what makes a recorded trace usable as a regression artifact.
+    let traced = || {
+        let (samples, obs) =
+            run_scenario_obs(SystemKind::Spider { leader_zone: 0 }, &scenario_cfg());
+        (format!("{samples:?}"), spider_obs::export::digest_render(&obs))
+    };
+    let (samples_a, trace_a) = traced();
+    let (samples_b, trace_b) = traced();
+    assert!(trace_a.contains("span "), "traced run recorded no spans; the digest would be vacuous");
+    assert_eq!(digest(&trace_a), digest(&trace_b), "same seed, different observability traces");
+    assert_eq!(
+        digest(&samples_a),
+        digest(&samples_b),
+        "same seed, different samples under tracing"
+    );
+
+    // Tracing must observe, not participate: the client-visible samples
+    // of a traced run match an untraced run of the same seed exactly.
+    let plain = run_scenario(SystemKind::Spider { leader_zone: 0 }, &scenario_cfg());
+    assert_eq!(
+        digest(&format!("{plain:?}")),
+        digest(&samples_a),
+        "enabling the recorder changed the execution"
+    );
 }
 
 #[test]
