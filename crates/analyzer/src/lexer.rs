@@ -78,8 +78,30 @@ pub struct Lexed {
 pub fn lex(src: &str) -> Lexed {
     let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() };
     lx.run();
+    chain_stacked_allows(&mut lx.out);
     mask_cfg_test(&mut lx.out);
     lx.out
+}
+
+/// Retargets stacked standalone allow comments: a line of allows for
+/// several lints above one offending line must all land on that line,
+/// not on each other. An allow whose target is another allow's
+/// comment-only line is forwarded to that allow's own target (targets
+/// strictly increase, so the chain terminates).
+fn chain_stacked_allows(out: &mut Lexed) {
+    let standalone: Vec<(u32, u32)> = out
+        .allows
+        .iter()
+        .filter(|a| a.target_line != a.comment_line)
+        .map(|a| (a.comment_line, a.target_line))
+        .collect();
+    for a in out.allows.iter_mut() {
+        while let Some(&(_, next)) =
+            standalone.iter().find(|&&(c, t)| c == a.target_line && t > a.target_line)
+        {
+            a.target_line = next;
+        }
+    }
 }
 
 struct Lexer {
@@ -478,6 +500,17 @@ mod tests {
         let src = "// analyzer: allow(determinism, order never observed)\nlet m = HashMap::new();";
         let lexed = lex(src);
         assert_eq!(lexed.allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn stacked_allows_all_target_the_code_line_below() {
+        let src = "// analyzer: allow(charge-coverage, \"charged at caller\")\n\
+                   // analyzer: allow(edge-pairing, \"no request payload\")\n\
+                   ctx.send(peer, msg);\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].target_line, 3, "chained through the second comment");
+        assert_eq!(lexed.allows[1].target_line, 3);
     }
 
     #[test]

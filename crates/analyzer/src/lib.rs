@@ -20,6 +20,10 @@
 //!    observability layer stay balanced per function with no early
 //!    `return` leaking an open span (cross-function lifecycle spans,
 //!    which only enter or only exit, are exempt by construction).
+//! 6. **edge-pairing** — in the fully traced core stack, every function
+//!    that emits messages also records a causal edge
+//!    (`ctx.edge`/`ctx.edge_for`), so the critical-path assembly can
+//!    follow each hop; payload-free sends carry a reasoned allow.
 //!
 //! Escape hatch: `// analyzer: allow(<lint>, <reason>)` on (or directly
 //! above) the offending line. The reason is mandatory, and an allow that
@@ -57,15 +61,18 @@ const HOT_PATHS: &[&str] = &[
 /// still must not use hash collections — the event loop's iteration order
 /// feeds straight into the trace). Crates that run inside the simulator
 /// (`irmc`, `consensus`, `core`) additionally get charge-coverage.
-const CRATE_CFG: &[(&str, bool, bool, bool)] = &[
-    // (crate, time_sources, charge_coverage, trace_hygiene)
-    ("types", true, false, false),
-    ("crypto", true, false, false),
-    ("sim", false, false, true),
-    ("obs", true, false, true),
-    ("irmc", true, true, true),
-    ("consensus", true, true, true),
-    ("core", true, true, true),
+const CRATE_CFG: &[(&str, bool, bool, bool, bool)] = &[
+    // (crate, time_sources, charge_coverage, trace_hygiene, edge_pairing)
+    ("types", true, false, false, false),
+    ("crypto", true, false, false, false),
+    ("sim", false, false, true, false),
+    ("obs", true, false, true, false),
+    ("irmc", true, true, true, false),
+    ("consensus", true, true, true, false),
+    // Core is the fully traced stack: every send that carries request
+    // payload must also record a causal edge, or the critical-path
+    // assembly silently loses the hop.
+    ("core", true, true, true, true),
 ];
 
 /// Files outside the protocol crates that feed CI-gated numbers: the
@@ -157,7 +164,7 @@ fn json_str(s: &str) -> String {
 /// Analyzes every checked crate under `root` (the workspace root).
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
-    for &(krate, time_sources, charge_coverage, trace_hygiene) in CRATE_CFG {
+    for &(krate, time_sources, charge_coverage, trace_hygiene, edge_pairing) in CRATE_CFG {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
         collect_rs(&src_dir, &mut files)?;
@@ -170,6 +177,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
                 panic_freedom: HOT_PATHS.contains(&rel.as_str()),
                 charge_coverage,
                 trace_hygiene,
+                edge_pairing,
             };
             let src = fs::read_to_string(&path)?;
             let (violations, allows) = check_source(&rel, &src, cfg);
@@ -186,6 +194,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             panic_freedom: false,
             charge_coverage: false,
             trace_hygiene: false,
+            edge_pairing: false,
         };
         let src = fs::read_to_string(&path)?;
         let (violations, allows) = check_source(rel, &src, cfg);

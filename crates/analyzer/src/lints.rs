@@ -18,6 +18,8 @@ pub enum Lint {
     ChargeCoverage,
     /// Unbalanced or leak-prone trace span enter/exit pairs.
     TraceHygiene,
+    /// Message emission in a traced module without a causal edge record.
+    EdgePairing,
     /// Malformed `analyzer:` annotation.
     BadAllow,
     /// Allow annotation that suppresses nothing.
@@ -33,6 +35,7 @@ impl Lint {
             Lint::WireTotality => "wire-totality",
             Lint::ChargeCoverage => "charge-coverage",
             Lint::TraceHygiene => "trace-hygiene",
+            Lint::EdgePairing => "edge-pairing",
             Lint::BadAllow => "bad-allow",
             Lint::UnusedAllow => "unused-allow",
         }
@@ -79,6 +82,9 @@ pub struct FileLints {
     pub charge_coverage: bool,
     /// Span enter/exit balance checks (crates that record trace spans).
     pub trace_hygiene: bool,
+    /// Send-without-causal-edge detection (modules whose sends carry
+    /// request payloads the critical-path assembly must follow).
+    pub edge_pairing: bool,
 }
 
 /// Enums that travel on the wire: a `match` with an arm over any of these
@@ -131,6 +137,9 @@ pub fn check_source(file: &str, src: &str, cfg: FileLints) -> (Vec<Violation>, V
     }
     if cfg.trace_hygiene {
         trace_hygiene_pass(file, &lexed, &mut raw);
+    }
+    if cfg.edge_pairing {
+        edge_pairing_pass(file, &lexed, &mut raw);
     }
 
     // Apply allow annotations: a violation on an annotated line (for the
@@ -456,11 +465,18 @@ fn finish_arm(toks: &[Tok], m: &mut MatchCtx) {
 
 /// Identifiers that mark a message emission when called as a method.
 const SEND_METHODS: &[&str] = &["send", "broadcast", "send_many", "send_batch", "send_buffered"];
-/// Identifiers that mark a message emission when path-qualified
-/// (`Action::ToReceiver { .. }`, `Output::Send { .. }`).
+/// Identifiers that mark a message emission when `Action::`-qualified
+/// (`Action::ToReceiver { .. }`, as the irmc endpoints emit). The bare
+/// variant names also appear in `match` patterns on the receiving
+/// side, so only the constructing path counts as a send site.
 const SEND_VARIANTS: &[&str] = &["ToReceiver", "ToSender", "ToPeerSender"];
 
-fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+/// Scans each function body for message-send sites and for pairing
+/// evidence (any identifier in `evidence`). Calls `sink(name, line)`
+/// with the first send line of every sending function that lacks the
+/// evidence. Shared by the charge-coverage and edge-pairing lints,
+/// which differ only in what must accompany a send.
+fn for_each_unpaired_send(lexed: &Lexed, evidence: &[&str], mut sink: impl FnMut(&str, u32)) {
     let toks = &lexed.toks;
     let mut i = 0;
     while i < toks.len() {
@@ -477,7 +493,7 @@ fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
         let body_start = j;
         let mut depth = 0i32;
         let mut first_send: Option<u32> = None;
-        let mut has_charge = false;
+        let mut has_evidence = false;
         while j < toks.len() {
             let t = &toks[j];
             if t.is_punct("{") {
@@ -493,8 +509,10 @@ fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                     && toks[j - 1].is_punct(".")
                     && toks.get(j + 1).is_some_and(|n| n.is_punct("("));
                 let is_variant_send = SEND_VARIANTS.contains(&t.text.as_str())
+                    && j >= 2
                     && j > body_start
-                    && toks[j - 1].is_punct("::");
+                    && toks[j - 1].is_punct("::")
+                    && toks[j - 2].is_ident("Action");
                 let is_output_send = t.text == "Send"
                     && j >= 2
                     && toks[j - 1].is_punct("::")
@@ -502,26 +520,59 @@ fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                 if is_method_send || is_variant_send || is_output_send {
                     first_send.get_or_insert(t.line);
                 }
-                if t.text == "charge" || t.text == "Charge" {
-                    has_charge = true;
+                if evidence.contains(&t.text.as_str()) {
+                    has_evidence = true;
                 }
             }
             j += 1;
         }
-        if let (Some(line), false) = (first_send, has_charge) {
-            violation(
-                out,
-                Lint::ChargeCoverage,
-                file,
-                line,
-                format!(
-                    "fn `{name}` emits messages but never charges CPU cost; pair every send \
-                     site with a CostModel charge (or charge at a caller and allow here)"
-                ),
-            );
+        if let (Some(line), false) = (first_send, has_evidence) {
+            sink(&name, line);
         }
         i = if j > i { j } else { i + 1 };
     }
+}
+
+fn charge_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    for_each_unpaired_send(lexed, &["charge", "Charge"], |name, line| {
+        violation(
+            out,
+            Lint::ChargeCoverage,
+            file,
+            line,
+            format!(
+                "fn `{name}` emits messages but never charges CPU cost; pair every send \
+                 site with a CostModel charge (or charge at a caller and allow here)"
+            ),
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Family 6: edge pairing
+// ---------------------------------------------------------------------
+
+/// Identifiers that record a causal edge for a departing message.
+const EDGE_METHODS: &[&str] = &["edge", "edge_for"];
+
+/// Checks that every sending function in a traced module also records
+/// a causal edge, so the critical-path assembly can follow the message
+/// across nodes. Sends that carry no per-request payload (checkpoint
+/// gossip, admin commands) are expected to carry a reasoned allow.
+fn edge_pairing_pass(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    for_each_unpaired_send(lexed, EDGE_METHODS, |name, line| {
+        violation(
+            out,
+            Lint::EdgePairing,
+            file,
+            line,
+            format!(
+                "fn `{name}` emits messages but records no causal edge; pair every send \
+                 site with ctx.edge()/ctx.edge_for() so the critical-path assembly can \
+                 follow the hop (or record at a caller and allow here)"
+            ),
+        );
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -667,6 +718,18 @@ mod tests {
         panic_freedom: true,
         charge_coverage: true,
         trace_hygiene: true,
+        edge_pairing: false,
+    };
+
+    /// Edge-pairing only, so its findings are not entangled with the
+    /// charge-coverage lint that shares the send-site scanner.
+    const EDGES: FileLints = FileLints {
+        hash_collections: false,
+        time_sources: false,
+        panic_freedom: false,
+        charge_coverage: false,
+        trace_hygiene: false,
+        edge_pairing: true,
     };
 
     fn lints_of(src: &str) -> Vec<(Lint, u32)> {
@@ -713,6 +776,7 @@ mod tests {
             panic_freedom: false,
             charge_coverage: false,
             trace_hygiene: false,
+            edge_pairing: false,
         };
         let src = "fn plan() -> FaultPlan {\n\
                        let jitter = thread_rng().gen_range(0..9);\n\
@@ -733,6 +797,7 @@ mod tests {
             panic_freedom: false,
             charge_coverage: false,
             trace_hygiene: false,
+            edge_pairing: false,
         };
         let src = "fn f() { let t = Instant::now(); }\n";
         let (found, _) = check_source("sim.rs", src, exempt);
@@ -846,6 +911,57 @@ mod tests {
                        out.push(Action::ToReceiver { to: 0, msg });\n\
                    }\n";
         assert!(lints_of(src).is_empty());
+    }
+
+    // -- edge-pairing --------------------------------------------------
+
+    #[test]
+    fn edge_pairing_flags_send_without_edge() {
+        let src = "fn ship(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.charge(self.cost.hmac(32));\n\
+                       ctx.send(peer, msg);\n\
+                   }\n";
+        let (found, _) = check_source("t.rs", src, EDGES);
+        assert_eq!(
+            found.iter().map(|v| (v.lint, v.line)).collect::<Vec<_>>(),
+            vec![(Lint::EdgePairing, 3)]
+        );
+    }
+
+    #[test]
+    fn edge_pairing_accepts_edge_and_edge_for() {
+        let src = "fn a(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.edge_for(node, &msg);\n\
+                       ctx.send(node, msg);\n\
+                   }\n\
+                   fn b(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.edge(node, \"reply\", rid);\n\
+                       ctx.send(node, msg);\n\
+                   }\n";
+        let (found, _) = check_source("t.rs", src, EDGES);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn edge_pairing_allow_suppresses_payload_free_sends() {
+        let src = "fn gossip(&mut self, ctx: &mut Ctx) {\n\
+                       // analyzer: allow(edge-pairing, \"checkpoint gossip carries no request\")\n\
+                       ctx.send(peer, msg);\n\
+                   }\n";
+        let (found, used) = check_source("t.rs", src, EDGES);
+        assert!(found.is_empty(), "{found:?}");
+        assert_eq!(used.len(), 1);
+    }
+
+    #[test]
+    fn edge_pairing_and_charge_coverage_report_independently() {
+        let both = FileLints { charge_coverage: true, ..EDGES };
+        let src = "fn ship(&mut self, ctx: &mut Ctx) {\n\
+                       ctx.send(peer, msg);\n\
+                   }\n";
+        let (found, _) = check_source("t.rs", src, both);
+        let lints: Vec<Lint> = found.iter().map(|v| v.lint).collect();
+        assert!(lints.contains(&Lint::ChargeCoverage) && lints.contains(&Lint::EdgePairing));
     }
 
     // -- trace-hygiene -------------------------------------------------

@@ -20,11 +20,18 @@
 //! observability recorder on: a Spider fig7-scale run (per-phase
 //! request-latency breakdown + Perfetto trace) and a dedup-RC range-32
 //! flood (per-(component, operation) CPU attribution + folded stacks
-//! for flamegraphs).
+//! for flamegraphs). The flood trace additionally records causal edges
+//! and sampled request spans, from which the differential critical-path
+//! profile (p99.9 cohort vs p50 cohort) is assembled; the traced
+//! WAN-partition run feeds the streaming health watchdog, whose event
+//! stream is checked against the fault schedule.
 //!
 //! Output: `BENCH_adaptive_batching.json` (override with `--out PATH`),
-//! plus `BENCH_trace_perfetto.json` (load in ui.perfetto.dev) and
-//! `BENCH_cpu_folded.txt` (feed to flamegraph.pl / inferno).
+//! plus `BENCH_trace_perfetto.json` (load in ui.perfetto.dev),
+//! `BENCH_cpu_folded.txt` (feed to flamegraph.pl / inferno),
+//! `BENCH_critical_path_folded.txt` (speedscope-shaped differential
+//! critical-path stacks), and `BENCH_health_events.jsonl` (the
+//! watchdog's typed event stream from the traced partition run).
 //!
 //! `--check BASELINE` additionally gates (exit non-zero on failure):
 //!
@@ -43,12 +50,20 @@
 //! * CPU attribution naming range signing as the dominant sender cost
 //!   of the dedup-RC flood at range 32,
 //! * the traced WAN-partition run containing a commit-channel recast
-//!   span after the heal (the liveness mechanism actually fired).
+//!   span after the heal (the liveness mechanism actually fired),
+//! * the p99.9-cohort differential critical path of the traced flood
+//!   attributing its dominant segment (>= 40 % of tail critical-path
+//!   time) to the `(hop, component, operation)` named by the baseline's
+//!   `tail_dominant_segment`,
+//! * the health watchdog flagging the WAN partition as an
+//!   `IrmcWindowStall` within 2 s of the cut and recovering after the
+//!   heal, with zero stall events in the unfaulted traced fig7 run.
 
 use spider_harness::experiments::{batching, commit_channel, disaster, fig10, fig7};
 use spider_harness::scenarios::{run_scenario_obs, ScenarioCfg, SystemKind};
 use spider_irmc::ChannelMode;
 use spider_obs::export as obs_export;
+use spider_obs::{causal, HealthEvent, ObsReport};
 use spider_types::SimTime;
 use std::fmt::Write as _;
 
@@ -82,6 +97,15 @@ const DISASTER_RECOVERY_CEIL_MS: f64 = 10_000.0;
 /// Virginia zone 1, measured from Virginia clients.
 const GATED_SYSTEM: &str = "SPIDER(leader=V-1)";
 const GATED_REGION: &str = "virginia";
+
+/// Minimum share of p99.9-cohort critical-path time the dominant
+/// segment must hold for the tail-forensics gate: the differential
+/// profile must *name* where the tail goes, not spread it thin.
+const TAIL_DOMINANT_SHARE_FLOOR: f64 = 0.40;
+
+/// Detection-latency ceiling of the watchdog gate: the WAN-partition
+/// stall event must be stamped within this long of the cut.
+const STALL_DETECT_CEIL: SimTime = SimTime::from_secs(2);
 
 fn fig7_scale() -> ScenarioCfg {
     ScenarioCfg {
@@ -136,6 +160,33 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts the quoted string following `"key":` in a (flat) JSON
+/// document. Same hand-rolled spirit as [`extract_number`]; the strings
+/// it reads (segment names) never contain escapes.
+fn extract_string<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Prints the non-silent-truncation warning for a traced run. Dropped
+/// events skew aggregate profiles toward the retained window; the
+/// exemplar reservoir (slowest-K + uniform sample) keeps full detail
+/// for its requests regardless, so tail forensics stay possible.
+fn warn_drops(label: &str, rep: &ObsReport) {
+    if rep.spans_dropped > 0 || rep.edges_dropped > 0 {
+        println!(
+            "WARNING: {label} trace truncated ({} span events, {} edge events dropped); \
+             aggregate profiles cover retained events only — use the {} exemplar \
+             requests (slowest-K + uniform sample) for full-detail tail forensics",
+            rep.spans_dropped,
+            rep.edges_dropped,
+            rep.exemplars.len()
+        );
+    }
 }
 
 fn main() {
@@ -237,6 +288,41 @@ fn main() {
     );
     println!("{}", obs_export::cpu_table(&commit_trace));
     let top_sender = obs_export::top_op(&commit_trace, "sender");
+    warn_drops("dedup-RC flood", &commit_trace);
+
+    println!("bench_summary: differential critical-path profile (p99.9 vs p50 cohort)…");
+    let commit_paths = causal::assemble(&commit_trace);
+    let commit_profiles = causal::differential_profile(&commit_paths);
+    for p in &commit_profiles {
+        println!(
+            "  cohort {:<5} {:>5} requests, mean latency {:.2} ms",
+            p.cohort,
+            p.requests,
+            p.mean_latency.as_millis_f64()
+        );
+        for row in p.rows.iter().take(5) {
+            println!(
+                "    {:<32} {:>5.1}%  {:>9.3} ms  (in {} requests)",
+                format!("{}/{}/{}", row.hop, row.component, row.op),
+                row.share * 100.0,
+                row.total.as_millis_f64(),
+                row.count
+            );
+        }
+    }
+    // The tail-forensics headline: where does the p99.9 cohort's
+    // critical-path time go?
+    let (tail_dominant, tail_share) = commit_profiles
+        .iter()
+        .find(|p| p.cohort == "p999")
+        .and_then(|p| p.rows.first())
+        .map(|r| (format!("{}/{}/{}", r.hop, r.component, r.op), r.share))
+        .unwrap_or_else(|| ("none".to_owned(), 0.0));
+    println!(
+        "  tail-dominant segment: {tail_dominant} ({:.0} % of p99.9-cohort \
+         critical-path time)\n",
+        tail_share * 100.0
+    );
 
     println!("bench_summary: disaster suite…");
     let dis_cfg = disaster_scale();
@@ -249,6 +335,32 @@ fn main() {
         .iter()
         .find(|r| r.scenario == "wan-partition")
         .expect("disaster suite includes the wan-partition scenario");
+    warn_drops("wan-partition", &partition_trace);
+    warn_drops("spider fig7", &spider_trace);
+
+    // Watchdog event stream vs the known fault schedule: the partition
+    // cut must surface as an IRMC window stall shortly after `fault_at`,
+    // the first post-heal window movement as a recovery; the unfaulted
+    // fig7 run must stay stall-free (false-positive check).
+    let first_stall = partition_trace.health.iter().find_map(|e| match e {
+        HealthEvent::IrmcWindowStall { at, .. } => Some(*at),
+        _ => None,
+    });
+    let recover_after_heal = partition_trace
+        .health
+        .iter()
+        .any(|e| matches!(e, HealthEvent::IrmcWindowRecover { at, .. } if *at > dis_cfg.heal_at));
+    let fig7_stalls = spider_trace
+        .health
+        .iter()
+        .filter(|e| matches!(e, HealthEvent::IrmcWindowStall { .. }))
+        .count();
+    println!(
+        "watchdog: wan-partition first stall at {} (cut at {} ms), recovery after heal: \
+         {recover_after_heal}; stalls in unfaulted fig7 run: {fig7_stalls}",
+        first_stall.map_or_else(|| "none".to_owned(), |t| format!("{} ms", t.as_millis())),
+        dis_cfg.fault_at.as_millis()
+    );
 
     println!("bench_summary: IRMC-SC §A.9 overlap latency…");
     let overlap_cfg =
@@ -289,8 +401,20 @@ fn main() {
     println!("adaptive beats fixed-size batching at low load (p50): {low_win}");
     println!("adaptive beats the greedy default at high load (throughput): {high_win}");
 
-    let mut json = String::from("{\n  \"schema\": 2,\n");
+    let mut json = String::from("{\n  \"schema\": 3,\n");
     let _ = writeln!(json, "  \"fig7_spider_p50_ms\": {},", json_f64(spider_p50));
+    let _ = writeln!(json, "  \"tail_dominant_segment\": \"{tail_dominant}\",");
+    let _ = writeln!(json, "  \"tail_dominant_share\": {},", json_f64(tail_share));
+    let _ = writeln!(json, "  \"flood_spans_dropped\": {},", commit_trace.spans_dropped);
+    let _ = writeln!(json, "  \"flood_edges_dropped\": {},", commit_trace.edges_dropped);
+    let _ = writeln!(json, "  \"partition_spans_dropped\": {},", partition_trace.spans_dropped);
+    let _ = writeln!(
+        json,
+        "  \"partition_first_stall_ms\": {},",
+        first_stall.map_or_else(|| "null".to_owned(), |t| json_f64(t.as_millis_f64()))
+    );
+    let _ = writeln!(json, "  \"partition_recover_after_heal\": {recover_after_heal},");
+    let _ = writeln!(json, "  \"fig7_stall_events\": {fig7_stalls},");
     let _ = writeln!(json, "  \"adaptive_beats_fixed_low_load_p50\": {low_win},");
     let _ = writeln!(json, "  \"adaptive_beats_greedy_high_load_throughput\": {high_win},");
     let _ = writeln!(json, "  \"commit_slots_per_sec_range1\": {},", json_f64(commit_slots_range1));
@@ -325,12 +449,13 @@ fn main() {
     for (i, r) in fig7_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"system\": \"{}\", \"region\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"throughput_rps\": {}}}",
+            "    {{\"system\": \"{}\", \"region\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \"throughput_rps\": {}}}",
             r.system,
             r.client_region,
             json_f64(r.summary.p50_ms),
             json_f64(r.summary.p90_ms),
             json_f64(r.summary.p99_ms),
+            json_f64(r.summary.p999_ms),
             json_f64(r.summary.count as f64 / fig7_measured)
         );
         json.push_str(if i + 1 < fig7_rows.len() { ",\n" } else { "\n" });
@@ -339,11 +464,12 @@ fn main() {
     for (i, r) in fig10_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"system\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"throughput_rps\": {}}}",
+            "    {{\"system\": \"{}\", \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \"throughput_rps\": {}}}",
             r.system,
             json_f64(r.summary.p50_ms),
             json_f64(r.summary.p90_ms),
             json_f64(r.summary.p99_ms),
+            json_f64(r.summary.p999_ms),
             json_f64(r.throughput_rps)
         );
         json.push_str(if i + 1 < fig10_rows.len() { ",\n" } else { "\n" });
@@ -376,6 +502,24 @@ fn main() {
             json_f64(r.mean_ms)
         );
         json.push_str(if i + 1 < phase_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"critical_path\": [\n");
+    let cp_rows: Vec<_> =
+        commit_profiles.iter().flat_map(|p| p.rows.iter().map(move |r| (p.cohort, r))).collect();
+    for (i, (cohort, r)) in cp_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"cohort\": \"{}\", \"hop\": \"{}\", \"component\": \"{}\", \"op\": \"{}\", \
+             \"total_ms\": {}, \"share\": {}, \"count\": {}}}",
+            cohort,
+            r.hop,
+            r.component,
+            r.op,
+            json_f64(r.total.as_millis_f64()),
+            json_f64(r.share),
+            r.count
+        );
+        json.push_str(if i + 1 < cp_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n  \"disaster\": [\n");
     for (i, r) in disaster_rows.iter().enumerate() {
@@ -413,6 +557,14 @@ fn main() {
     std::fs::write(folded_path, obs_export::folded_stacks(&commit_trace))
         .expect("write folded stacks");
     println!("wrote {folded_path}");
+    let cp_path = "BENCH_critical_path_folded.txt";
+    std::fs::write(cp_path, obs_export::critical_path_folded(&commit_profiles))
+        .expect("write critical-path folded stacks");
+    println!("wrote {cp_path}");
+    let health_path = "BENCH_health_events.jsonl";
+    std::fs::write(health_path, obs_export::health_jsonl(&partition_trace))
+        .expect("write health event stream");
+    println!("wrote {health_path}");
 
     if let Some(path) = baseline_path {
         let baseline =
@@ -558,6 +710,50 @@ fn main() {
                 "OBS REGRESSION: traced wan-partition run recorded no commit-channel recast \
                  span after the heal at {} ms",
                 dis_cfg.heal_at.as_millis()
+            );
+            std::process::exit(1);
+        }
+        // Tail forensics: the p99.9-cohort differential critical path
+        // must keep *naming* the tail — a dominant segment matching the
+        // baseline, holding at least the floor share. A shifted name
+        // means the tail moved (or the edge/span plumbing broke); a
+        // diluted share means the profile no longer localizes it.
+        let base_tail = extract_string(&baseline, "tail_dominant_segment")
+            .expect("baseline lacks tail_dominant_segment");
+        println!(
+            "tail gate: dominant p99.9 critical-path segment = {tail_dominant} at \
+             {:.0} % (baseline {base_tail}, floor {:.0} %)",
+            tail_share * 100.0,
+            TAIL_DOMINANT_SHARE_FLOOR * 100.0
+        );
+        if tail_dominant != base_tail || tail_share < TAIL_DOMINANT_SHARE_FLOOR {
+            eprintln!(
+                "TAIL-FORENSICS REGRESSION: expected {base_tail} to dominate the p99.9 \
+                 cohort's critical path with >= {:.0} % share, got {tail_dominant} at {:.0} %",
+                TAIL_DOMINANT_SHARE_FLOOR * 100.0,
+                tail_share * 100.0
+            );
+            std::process::exit(1);
+        }
+        // Watchdog: the partition cut must be detected as a window stall
+        // within the ceiling, the heal must produce a recovery event,
+        // and the unfaulted fig7 run must produce no stalls at all.
+        let stall_deadline = dis_cfg.fault_at + STALL_DETECT_CEIL;
+        let stall_ok = first_stall.is_some_and(|at| at >= dis_cfg.fault_at && at <= stall_deadline);
+        println!(
+            "watchdog gate: stall detected in [{}, {}] ms: {stall_ok}; recovery after \
+             heal: {recover_after_heal}; unfaulted fig7 stalls: {fig7_stalls}",
+            dis_cfg.fault_at.as_millis(),
+            stall_deadline.as_millis()
+        );
+        if !stall_ok || !recover_after_heal || fig7_stalls != 0 {
+            eprintln!(
+                "WATCHDOG REGRESSION: first partition stall at {} (must land within {} ms \
+                 of the cut at {} ms), recovery after heal: {recover_after_heal}, \
+                 stalls in unfaulted fig7 run: {fig7_stalls} (must be 0)",
+                first_stall.map_or_else(|| "none".to_owned(), |t| format!("{} ms", t.as_millis())),
+                STALL_DETECT_CEIL.as_millis(),
+                dis_cfg.fault_at.as_millis()
             );
             std::process::exit(1);
         }

@@ -122,6 +122,21 @@ impl<P: Payload> WireSize for Msg<P> {
             Msg::NewView(nv) => nv.wire_size(),
         }
     }
+
+    fn trace_kind(&self) -> &'static str {
+        "consensus"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        // Only the leader's proposal carries request payloads; votes and
+        // view-change traffic are digest-only (per-request propose→commit
+        // time is attributed through the consensus spans instead).
+        if let Msg::PrePrepare { batch, .. } = self {
+            for p in batch.iter() {
+                p.trace_reqs(visit);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -199,10 +199,11 @@ impl AgreementReplica {
     // ------------------------------------------------------------------
 
     fn poll_client(&mut self, ctx: &mut Context<'_, SpiderMsg>, group: GroupId, client: ClientId) {
+        let mut delivered = false;
         loop {
             let next = *self.t_next.entry(client).or_insert(1);
             let Some(ch) = self.channels.get_mut(&group) else {
-                return;
+                break;
             };
             match ch.req_recv.try_receive(client.0 as u64, Position(next)) {
                 ReceiveResult::Ready(delivery) => {
@@ -211,6 +212,7 @@ impl AgreementReplica {
                     // before ordering (A-Validity).
                     ctx.charge_op("agreement", "req_verify", self.cfg.cost.rsa_verify());
                     ctx.span_instant(req_id(client.0, next), PHASE_PROPOSE);
+                    delivered = true;
                     self.t_next.insert(client, next + 1);
                     let mut out = Vec::new();
                     self.pbft.handle(
@@ -224,8 +226,13 @@ impl AgreementReplica {
                     // The client has moved on (Fig 17 L16-18).
                     self.t_next.insert(client, p.0);
                 }
-                ReceiveResult::Pending => return,
+                ReceiveResult::Pending => break,
             }
+        }
+        // Receiver-side progress mark (see `drain_commits`): deliveries,
+        // not window moves, are what a healthy low-rate channel shows.
+        if delivered && ctx.obs_enabled() {
+            ctx.health_mark("req-channel", group.0 as u32);
         }
     }
 
@@ -243,7 +250,9 @@ impl AgreementReplica {
             match o {
                 Output::Send { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(*node, SpiderMsg::Agreement(msg));
+                        let msg = SpiderMsg::Agreement(msg);
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Output::Deliver { seq, batch } => {
@@ -270,7 +279,9 @@ impl AgreementReplica {
                     }
                 }
                 Output::Charge(c) => ctx.charge_op("consensus", "handle", c),
-                Output::ViewChanged { .. } => {}
+                Output::ViewChanged { view, .. } => {
+                    ctx.health_view(view.0);
+                }
                 Output::Skipped { .. } => {
                     // We missed decided instances: catch up via the
                     // agreement checkpoint (§3.4).
@@ -417,6 +428,7 @@ impl AgreementReplica {
                     // Linger knob: let the endpoint coalesce across runs.
                     for (i, exec) in execs.into_iter().enumerate() {
                         // analyzer: allow(charge-coverage, "the IRMC endpoint emits Action::Charge; apply_commit_actions applies it")
+                        // analyzer: allow(edge-pairing, "apply_commit_actions records the edges at the actual transmit sites")
                         ch.commit_send.send_buffered(
                             0,
                             Position(first + i as u64),
@@ -473,6 +485,7 @@ impl AgreementReplica {
             let mut actions = Vec::new();
             if let Some(ch) = self.channels.get_mut(&group) {
                 // analyzer: allow(charge-coverage, "the IRMC endpoint emits Action::Charge; apply_commit_actions applies it")
+                // analyzer: allow(edge-pairing, "apply_commit_actions records the edges at the actual transmit sites")
                 ch.commit_send.send_batch(0, Position(first), execs, &mut actions);
             }
             self.apply_commit_actions(ctx, group, actions);
@@ -658,10 +671,12 @@ impl AgreementReplica {
             match a {
                 Action::ToSender { to, msg } => {
                     if let Some(node) = exec_nodes.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::RequestChannel { group, leg: ChannelLeg::ToSender(msg) },
-                        );
+                        let msg =
+                            SpiderMsg::RequestChannel { group, leg: ChannelLeg::ToSender(msg) };
+                        // Window moves/acks carry no request payload, so
+                        // this records no edges; kept for uniform pairing.
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Action::Ready { sc, .. } | Action::WindowMoved { sc, .. } => {
@@ -697,21 +712,23 @@ impl AgreementReplica {
             match a {
                 Action::ToReceiver { to, msg } => {
                     if let Some(node) = exec_nodes.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::CommitChannel { group, leg: ChannelLeg::ToReceiver(msg) },
-                        );
+                        let msg =
+                            SpiderMsg::CommitChannel { group, leg: ChannelLeg::ToReceiver(msg) };
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Action::ToPeerSender { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::CommitChannel { group, leg: ChannelLeg::Peer(msg) },
-                        );
+                        let msg = SpiderMsg::CommitChannel { group, leg: ChannelLeg::Peer(msg) };
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
-                Action::WindowMoved { .. } | Action::Unblocked { .. } => window_moved = true,
+                Action::WindowMoved { .. } | Action::Unblocked { .. } => {
+                    window_moved = true;
+                    ctx.health_mark("commit-channel", group.0 as u32);
+                }
                 Action::Charge(c, op) => {
                     if op == OP_RECAST {
                         // Liveness milestone: the disaster smoke gate
@@ -721,6 +738,15 @@ impl AgreementReplica {
                     ctx.charge_op("commit-channel", op, c);
                 }
                 _ => {}
+            }
+        }
+        if ctx.obs_enabled() {
+            if let Some(ch) = self.channels.get(&group) {
+                ctx.health_pending(
+                    "commit-channel",
+                    group.0 as u32,
+                    ch.commit_send.unacked_slots(),
+                );
             }
         }
         if window_moved {
@@ -746,6 +772,7 @@ impl AgreementReplica {
                 CpAction::ToGroup(msg) => {
                     for (i, node) in agreement.iter().enumerate() {
                         if i != self.me {
+                            // analyzer: allow(edge-pairing, "checkpoint gossip and state transfer carry no per-request payload; request latency never blocks on them")
                             ctx.send(
                                 *node,
                                 SpiderMsg::Checkpoint {

@@ -300,7 +300,9 @@ impl SpiderClient {
         match self.fault {
             ClientFault::None => {
                 for node in replicas {
-                    ctx.send(node, SpiderMsg::Request(request.clone()));
+                    let msg = SpiderMsg::Request(request.clone());
+                    ctx.edge_for(node, &msg);
+                    ctx.send(node, msg);
                 }
             }
             ClientFault::ConflictingRequests => {
@@ -310,7 +312,9 @@ impl SpiderClient {
                     let mut op = inf.op.to_vec();
                     op.push(b'0' + (i as u8 % 10));
                     bad.operation.op = Bytes::from(op);
-                    ctx.send(node, SpiderMsg::Request(bad));
+                    let msg = SpiderMsg::Request(bad);
+                    ctx.edge_for(node, &msg);
+                    ctx.send(node, msg);
                 }
             }
         }

@@ -224,6 +224,7 @@ impl<A: Application> ExecutionReplica<A> {
         let pos = Position(req.tc);
         let mut actions = Vec::new();
         self.req_sender.move_window(sc, pos, &mut actions);
+        // analyzer: allow(edge-pairing, "apply_request_channel_actions records the edges at the actual transmit sites")
         let status = self.req_sender.send_batch(
             sc,
             pos,
@@ -236,6 +237,9 @@ impl<A: Application> ExecutionReplica<A> {
 
     fn reply_to(&self, ctx: &mut Context<'_, SpiderMsg>, c: ClientId, reply: Reply) {
         if let Some(node) = self.directory.client_node(c) {
+            // The Reply wire format has no client id, so the edge is
+            // recorded explicitly from the addressee we resolved here.
+            ctx.edge(node, "reply", req_id(c.0, reply.tc));
             // analyzer: allow(charge-coverage, "callers charge the reply MAC (hmac of result) right before invoking")
             ctx.send(node, SpiderMsg::Reply(reply));
         }
@@ -246,18 +250,26 @@ impl<A: Application> ExecutionReplica<A> {
     // ------------------------------------------------------------------
 
     fn drain_commits(&mut self, ctx: &mut Context<'_, SpiderMsg>) {
+        let mut delivered = false;
         loop {
             match self.commit_recv.try_receive(0, Position(self.sn + 1)) {
                 ReceiveResult::Ready(delivery) => {
                     self.apply_execute(ctx, delivery.payload);
+                    delivered = true;
                 }
                 ReceiveResult::TooOld(start) => {
                     // Fell behind: recover via checkpoint (Fig 16 L27-29).
                     self.start_fetch(ctx, SeqNr(start.0.saturating_sub(1)));
-                    return;
+                    break;
                 }
-                ReceiveResult::Pending => return,
+                ReceiveResult::Pending => break,
             }
+        }
+        // Receiver-side progress mark: deliveries advance even while the
+        // ack window waits for the next checkpoint, so the watchdog's
+        // stall clock follows delivery cadence, not checkpoint cadence.
+        if delivered && ctx.obs_enabled() {
+            ctx.health_mark("commit-channel", self.group.0 as u32);
         }
     }
 
@@ -447,29 +459,33 @@ impl<A: Application> ExecutionReplica<A> {
             match a {
                 Action::ToReceiver { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::RequestChannel {
-                                group: self.group,
-                                leg: ChannelLeg::ToReceiver(msg),
-                            },
-                        );
+                        let msg = SpiderMsg::RequestChannel {
+                            group: self.group,
+                            leg: ChannelLeg::ToReceiver(msg),
+                        };
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Action::ToPeerSender { to, msg } => {
                     if let Some(node) = peers.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::RequestChannel {
-                                group: self.group,
-                                leg: ChannelLeg::Peer(msg),
-                            },
-                        );
+                        let msg = SpiderMsg::RequestChannel {
+                            group: self.group,
+                            leg: ChannelLeg::Peer(msg),
+                        };
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Action::Charge(c, op) => ctx.charge_op("req-channel", op, c),
+                Action::WindowMoved { .. } | Action::Unblocked { .. } => {
+                    ctx.health_mark("req-channel", self.group.0 as u32);
+                }
                 _ => {}
             }
+        }
+        if ctx.obs_enabled() {
+            ctx.health_pending("req-channel", self.group.0 as u32, self.req_sender.unacked_slots());
         }
         // RC request channels have no standing heartbeat: keep the tick
         // armed only while submitted requests await receiver-window
@@ -491,13 +507,14 @@ impl<A: Application> ExecutionReplica<A> {
             match a {
                 Action::ToSender { to, msg } => {
                     if let Some(node) = agreement.get(to) {
-                        ctx.send(
-                            *node,
-                            SpiderMsg::CommitChannel {
-                                group: self.group,
-                                leg: ChannelLeg::ToSender(msg),
-                            },
-                        );
+                        let msg = SpiderMsg::CommitChannel {
+                            group: self.group,
+                            leg: ChannelLeg::ToSender(msg),
+                        };
+                        // Window moves/acks carry no request payload, so
+                        // this records no edges; kept for uniform pairing.
+                        ctx.edge_for(*node, &msg);
+                        ctx.send(*node, msg);
                     }
                 }
                 Action::Ready { .. } | Action::WindowMoved { .. } => poll = true,
@@ -523,6 +540,7 @@ impl<A: Application> ExecutionReplica<A> {
                     let is_fetch = matches!(msg, CheckpointMsg::FetchRequest { .. });
                     for (i, node) in peers.iter().enumerate() {
                         if i != self.me {
+                            // analyzer: allow(edge-pairing, "checkpoint gossip and state transfer carry no per-request payload; request latency never blocks on them")
                             ctx.send(
                                 *node,
                                 SpiderMsg::Checkpoint {

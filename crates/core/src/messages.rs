@@ -58,6 +58,14 @@ impl WireSize for ClientRequest {
         // Signed by the client and MAC'd towards the group (§5).
         HEADER_BYTES + 12 + self.operation.wire_size() + SIG_BYTES + MAC_BYTES
     }
+
+    fn trace_kind(&self) -> &'static str {
+        "request"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        visit(spider_sim::req_id(self.client.0, self.tc));
+    }
 }
 
 /// `⟨Request, r, e⟩`: a client request wrapped by execution group `origin`
@@ -84,6 +92,14 @@ impl Digestible for OrderedRequest {
 impl WireSize for OrderedRequest {
     fn wire_size(&self) -> usize {
         HEADER_BYTES + 4 + self.request.wire_size()
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        "request"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        self.request.trace_reqs(visit);
     }
 }
 
@@ -134,6 +150,19 @@ impl WireSize for Execute {
             ExecutePayload::Placeholder { .. } => HEADER_BYTES + 24,
         }
     }
+
+    fn trace_kind(&self) -> &'static str {
+        "execute"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        match &self.payload {
+            ExecutePayload::Full(r) => r.trace_reqs(visit),
+            ExecutePayload::Placeholder { client, tc, .. } => {
+                visit(spider_sim::req_id(client.0, *tc));
+            }
+        }
+    }
 }
 
 /// `⟨Result, uc, tc⟩`: the reply an execution replica returns (Fig 16
@@ -155,6 +184,14 @@ pub struct Reply {
 impl WireSize for Reply {
     fn wire_size(&self) -> usize {
         HEADER_BYTES + 10 + self.result.len() + MAC_BYTES
+    }
+
+    // A reply carries only the client-local counter `tc`, not the client
+    // id (the transport addresses the client), so it cannot reconstruct
+    // its request id here; the execution replica records the reply edge
+    // explicitly with `Context::edge`.
+    fn trace_kind(&self) -> &'static str {
+        "reply"
     }
 }
 
@@ -249,6 +286,16 @@ impl WireSize for OrderItem {
             OrderItem::Admin(_) => HEADER_BYTES + 8 + SIG_BYTES,
         }
     }
+
+    fn trace_kind(&self) -> &'static str {
+        "order"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        if let OrderItem::Request(r) = self {
+            r.trace_reqs(visit);
+        }
+    }
 }
 
 /// Identifies which IRMC a channel-leg message belongs to.
@@ -275,9 +322,21 @@ pub enum ChannelLeg<M> {
 impl<M: spider_irmc::Content> WireSize for ChannelLeg<M> {
     fn wire_size(&self) -> usize {
         match self {
-            // analyzer: allow(charge-coverage, "size accounting over channel legs, not an emission site")
             ChannelLeg::ToReceiver(m) | ChannelLeg::Peer(m) => m.wire_size(),
             ChannelLeg::ToSender(m) => m.wire_size(),
+        }
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        match self {
+            ChannelLeg::ToReceiver(m) | ChannelLeg::Peer(m) => m.trace_kind(),
+            ChannelLeg::ToSender(m) => m.trace_kind(),
+        }
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        if let ChannelLeg::ToReceiver(m) | ChannelLeg::Peer(m) = self {
+            m.trace_reqs(visit);
         }
     }
 }
@@ -341,6 +400,44 @@ impl WireSize for SpiderMsg {
             SpiderMsg::Agreement(m) => m.wire_size(),
             SpiderMsg::Checkpoint { msg, .. } => msg.wire_size(),
             SpiderMsg::Admin(_) => HEADER_BYTES + 8 + SIG_BYTES,
+        }
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        match self {
+            SpiderMsg::Request(_) => "request",
+            SpiderMsg::Reply(_) => "reply",
+            SpiderMsg::RequestChannel { leg, .. } => match leg.trace_kind() {
+                "cast" => "req-cast",
+                "share" => "req-share",
+                "cert" => "req-cert",
+                "vouch" => "req-vouch",
+                "content" => "req-content",
+                _ => "req-ctrl",
+            },
+            SpiderMsg::CommitChannel { leg, .. } => match leg.trace_kind() {
+                "cast" => "commit-cast",
+                "share" => "commit-share",
+                "cert" => "commit-cert",
+                "vouch" => "commit-vouch",
+                "content" => "commit-content",
+                _ => "commit-ctrl",
+            },
+            SpiderMsg::Agreement(m) => m.trace_kind(),
+            SpiderMsg::Checkpoint { .. } => "checkpoint",
+            SpiderMsg::Admin(_) => "admin",
+        }
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        match self {
+            SpiderMsg::Request(r) => r.trace_reqs(visit),
+            SpiderMsg::RequestChannel { leg, .. } => leg.trace_reqs(visit),
+            SpiderMsg::CommitChannel { leg, .. } => leg.trace_reqs(visit),
+            SpiderMsg::Agreement(m) => m.trace_reqs(visit),
+            // Replies (no client id on the wire), checkpoints, and admin
+            // traffic record no per-request edges here.
+            SpiderMsg::Reply(_) | SpiderMsg::Checkpoint { .. } | SpiderMsg::Admin(_) => {}
         }
     }
 }

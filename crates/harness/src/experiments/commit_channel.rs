@@ -22,8 +22,20 @@ use spider_irmc::{
     Action, ChannelMode, ChannelMsg, IrmcConfig, ReceiveResult, ReceiverEndpoint, ReceiverMsg,
     SenderEndpoint, Variant,
 };
-use spider_sim::{Actor, Context, NodeId, ObsConfig, ObsReport, Simulation, Timer};
+use spider_sim::{Actor, Context, NodeId, ObsConfig, ObsReport, Simulation, Timer, PHASE_REQUEST};
 use spider_types::{Position, SimTime, WireSize};
+
+/// Traced runs record full request spans for every `SAMPLE_STRIDE`-th slot
+/// position. Flooding certifies hundreds of thousands of slots per run;
+/// sampling keeps the recorder rings representative without letting trace
+/// bookkeeping dominate. The stride is prime so it never beats against the
+/// power-of-two range sizes the sweep uses.
+const SAMPLE_STRIDE: u64 = 97;
+
+/// Whether a slot position is one of the traced samples.
+fn sampled(pos: u64) -> bool {
+    pos.is_multiple_of(SAMPLE_STRIDE)
+}
 
 /// Flood/paced payload: identical content per position on all senders.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +47,18 @@ struct Blob {
 impl WireSize for Blob {
     fn wire_size(&self) -> usize {
         self.size
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        "commit-slot"
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        // Positions start at 1, so sampled ids are always nonzero (the
+        // recorder reserves req 0 for "untracked").
+        if sampled(self.pos) {
+            visit(self.pos);
+        }
     }
 }
 
@@ -57,6 +81,20 @@ impl WireSize for M {
         match self {
             M::ToReceiver(m) | M::Peer(m) => m.wire_size(),
             M::ToSender(m) => m.wire_size(),
+        }
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        match self {
+            M::ToReceiver(m) | M::Peer(m) => m.trace_kind(),
+            M::ToSender(m) => m.trace_kind(),
+        }
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        match self {
+            M::ToReceiver(m) | M::Peer(m) => m.trace_reqs(visit),
+            M::ToSender(_) => {}
         }
     }
 }
@@ -104,6 +142,7 @@ impl SenderHost {
         let first = self.next_pos.max(w.start().0);
         self.next_pos = first + self.range as u64;
         let msgs = self.chunk(first);
+        self.trace_submit(ctx, &msgs);
         let mut actions = Vec::new();
         self.ep.send_batch(0, Position(first), msgs, &mut actions);
         self.apply(ctx, actions);
@@ -116,20 +155,49 @@ impl SenderHost {
         self.next_pos = first + self.range as u64;
         self.submits.push((first, ctx.now()));
         let msgs = self.chunk(first);
+        self.trace_submit(ctx, &msgs);
         self.ep.send_batch(0, Position(first), msgs, &mut actions);
         self.apply(ctx, actions);
+    }
+
+    /// Opens a request span per sampled slot at submission. All senders
+    /// submit every position, so the recorder keeps the earliest enter as
+    /// the request's start (later enters fold into the same open span).
+    fn trace_submit(&mut self, ctx: &mut Context<'_, M>, msgs: &[Blob]) {
+        if !ctx.obs_enabled() {
+            return;
+        }
+        for b in msgs {
+            if sampled(b.pos) {
+                ctx.span_enter(b.pos, PHASE_REQUEST);
+            }
+        }
     }
 
     fn apply(&mut self, ctx: &mut Context<'_, M>, actions: Vec<Action<Blob>>) {
         let mut moved = false;
         for a in actions {
             match a {
-                Action::ToReceiver { to, msg } => ctx.send(self.receivers[to], M::ToReceiver(msg)),
-                Action::ToPeerSender { to, msg } => ctx.send(self.peers[to], M::Peer(msg)),
+                Action::ToReceiver { to, msg } => {
+                    let to = self.receivers[to];
+                    ctx.edge_for(to, &msg);
+                    ctx.send(to, M::ToReceiver(msg));
+                }
+                Action::ToPeerSender { to, msg } => {
+                    let to = self.peers[to];
+                    ctx.edge_for(to, &msg);
+                    ctx.send(to, M::Peer(msg));
+                }
                 Action::Charge(c, op) => ctx.charge_op("sender", op, c),
-                Action::WindowMoved { .. } | Action::Unblocked { .. } => moved = true,
+                Action::WindowMoved { .. } | Action::Unblocked { .. } => {
+                    moved = true;
+                    ctx.health_mark("bench-commit", 0);
+                }
                 _ => {}
             }
+        }
+        if ctx.obs_enabled() {
+            ctx.health_pending("bench-commit", 0, self.ep.unacked_slots());
         }
         if moved && self.pace.is_none() {
             self.pump_one(ctx);
@@ -207,12 +275,16 @@ struct ReceiverHost {
 impl ReceiverHost {
     fn drain(&mut self, ctx: &mut Context<'_, M>) {
         let mut actions = Vec::new();
+        let before = self.delivered;
         loop {
             match self.ep.try_receive(0, Position(self.next)) {
                 ReceiveResult::Ready(_) => {
                     self.delivered += 1;
                     if self.record {
                         self.deliveries.push((self.next, ctx.now()));
+                    }
+                    if sampled(self.next) && ctx.obs_enabled() {
+                        ctx.span_exit(self.next, PHASE_REQUEST);
                     }
                     self.next += 1;
                     if self.delivered.is_multiple_of(self.move_every) {
@@ -225,13 +297,22 @@ impl ReceiverHost {
                 ReceiveResult::Pending => break,
             }
         }
+        // Receiver-side progress mark, mirroring the core stack: the
+        // watchdog follows delivery cadence, not window-move cadence.
+        if self.delivered > before && ctx.obs_enabled() {
+            ctx.health_mark("bench-commit", 0);
+        }
         self.apply(ctx, actions);
     }
 
     fn apply(&mut self, ctx: &mut Context<'_, M>, actions: Vec<Action<Blob>>) {
         for a in actions {
             match a {
-                Action::ToSender { to, msg } => ctx.send(self.senders[to], M::ToSender(msg)),
+                Action::ToSender { to, msg } => {
+                    let to = self.senders[to];
+                    ctx.edge_for(to, &msg);
+                    ctx.send(to, M::ToSender(msg));
+                }
                 Action::Charge(c, op) => ctx.charge_op("receiver", op, c),
                 Action::SetTimer { token, delay } => {
                     ctx.set_timer(delay, TAG_COLLECTOR + token);

@@ -51,8 +51,9 @@ impl Default for Config {
 pub struct Series {
     /// System label.
     pub system: String,
-    /// `(bucket start seconds, mean latency ms, samples)` points.
-    pub points: Vec<(f64, f64, usize)>,
+    /// `(bucket start seconds, mean ms, p99 ms, p99.9 ms, samples)`
+    /// points.
+    pub points: Vec<(f64, f64, f64, f64, usize)>,
 }
 
 fn workload(cfg: &Config, weak_reads: bool, start: SimTime) -> WorkloadSpec {
@@ -70,7 +71,7 @@ fn workload(cfg: &Config, weak_reads: bool, start: SimTime) -> WorkloadSpec {
 fn to_series(system: &str, samples: Vec<Sample>, cfg: &Config) -> Series {
     let points = timeline(&samples, cfg.bucket, cfg.duration)
         .into_iter()
-        .map(|(t, ms, n)| (t.as_secs_f64(), ms, n))
+        .map(|b| (b.start.as_secs_f64(), b.mean_ms, b.p99_ms, b.p999_ms, b.count))
         .collect();
     Series { system: system.to_owned(), points }
 }
@@ -237,8 +238,10 @@ fn render_series(title: &str, series: &[Series]) -> String {
     out.push('\n');
     for s in series {
         out.push_str(&format!("  {}:\n", s.system));
-        for (t, ms, n) in &s.points {
-            out.push_str(&format!("    t={t:>6.1}s  mean={ms:>7.1}ms  n={n}\n"));
+        for (t, ms, p99, p999, n) in &s.points {
+            out.push_str(&format!(
+                "    t={t:>6.1}s  mean={ms:>7.1}ms  p99={p99:>7.1}ms  p99.9={p999:>7.1}ms  n={n}\n"
+            ));
         }
     }
     out

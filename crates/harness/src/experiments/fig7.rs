@@ -57,7 +57,7 @@ pub fn run(cfg: &Config) -> Vec<LatencyRow> {
 /// Renders the result table.
 pub fn render(rows: &[LatencyRow]) -> String {
     super::render_rows(
-        "Figure 7 — write latency (p50/p90) by client region and leader location",
+        "Figure 7 — write latency (p50/p90/p99/p99.9) by client region and leader location",
         rows,
     )
 }

@@ -65,12 +65,12 @@ pub fn irmc_rows_to_csv(rows: &[IrmcRow]) -> String {
 
 /// Timeline series (Figure 10) as long-format CSV.
 ///
-/// Columns: `system,t_seconds,mean_ms,samples`.
+/// Columns: `system,t_seconds,mean_ms,p99_ms,p999_ms,samples`.
 pub fn series_to_csv(series: &[Series]) -> String {
-    let mut out = String::from("system,t_seconds,mean_ms,samples\n");
+    let mut out = String::from("system,t_seconds,mean_ms,p99_ms,p999_ms,samples\n");
     for s in series {
-        for (t, ms, n) in &s.points {
-            out.push_str(&format!("{},{t:.1},{ms:.3},{n}\n", field(&s.system)));
+        for (t, ms, p99, p999, n) in &s.points {
+            out.push_str(&format!("{},{t:.1},{ms:.3},{p99:.3},{p999:.3},{n}\n", field(&s.system)));
         }
     }
     out
@@ -120,12 +120,15 @@ mod tests {
 
     #[test]
     fn series_csv_is_long_format() {
-        let s =
-            Series { system: "SPIDER".to_owned(), points: vec![(0.0, 1.7, 10), (2.0, 1.8, 12)] };
+        let s = Series {
+            system: "SPIDER".to_owned(),
+            points: vec![(0.0, 1.7, 2.4, 2.9, 10), (2.0, 1.8, 2.5, 3.1, 12)],
+        };
         let csv = series_to_csv(&[s]);
         assert_eq!(csv.lines().count(), 3);
-        assert!(csv.contains("SPIDER,0.0,1.700,10"));
-        assert!(csv.contains("SPIDER,2.0,1.800,12"));
+        assert_eq!(csv.lines().next().unwrap(), "system,t_seconds,mean_ms,p99_ms,p999_ms,samples");
+        assert!(csv.contains("SPIDER,0.0,1.700,2.400,2.900,10"));
+        assert!(csv.contains("SPIDER,2.0,1.800,2.500,3.100,12"));
     }
 
     #[test]

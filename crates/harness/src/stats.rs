@@ -65,28 +65,46 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
-/// Averages sample latencies into fixed-width time buckets (Fig 10's
-/// response-time-over-time plots). Returns `(bucket start, mean ms,
-/// count)` for every non-empty bucket.
-pub fn timeline(samples: &[Sample], bucket: SimTime, until: SimTime) -> Vec<(SimTime, f64, usize)> {
+/// One fixed-width bucket of a response-time-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Mean latency of completions in the bucket (ms).
+    pub mean_ms: f64,
+    /// 99th-percentile latency in the bucket (ms).
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency in the bucket (ms).
+    pub p999_ms: f64,
+    /// Completions in the bucket.
+    pub count: usize,
+}
+
+/// Buckets sample latencies into fixed-width time buckets (Fig 10's
+/// response-time-over-time plots), reporting mean and tail percentiles
+/// per non-empty bucket. Sparse buckets pin the tails to the bucket max,
+/// which is exactly what a per-bucket p99.9 degrades to with few samples.
+pub fn timeline(samples: &[Sample], bucket: SimTime, until: SimTime) -> Vec<TimeBucket> {
     let n_buckets = (until.as_nanos() / bucket.as_nanos()) as usize + 1;
-    let mut sums = vec![0.0f64; n_buckets];
-    let mut counts = vec![0usize; n_buckets];
+    let mut lats: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
     for s in samples {
         let b = (s.completed.as_nanos() / bucket.as_nanos()) as usize;
         if b < n_buckets {
-            sums[b] += s.latency().as_millis_f64();
-            counts[b] += 1;
+            lats[b].push(s.latency().as_millis_f64());
         }
     }
-    (0..n_buckets)
-        .filter(|b| counts[*b] > 0)
-        .map(|b| {
-            (
-                SimTime::from_nanos(b as u64 * bucket.as_nanos()),
-                sums[b] / counts[b] as f64,
-                counts[b],
-            )
+    lats.into_iter()
+        .enumerate()
+        .filter(|(_, ms)| !ms.is_empty())
+        .map(|(b, mut ms)| {
+            ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            TimeBucket {
+                start: SimTime::from_nanos(b as u64 * bucket.as_nanos()),
+                mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
+                p99_ms: percentile(&ms, 99.0),
+                p999_ms: percentile(&ms, 99.9),
+                count: ms.len(),
+            }
         })
         .collect()
 }
@@ -224,11 +242,15 @@ mod tests {
         let samples = vec![mk(500, 100), mk(900, 300), mk(1500, 200)];
         let tl = timeline(&samples, SimTime::from_secs(1), SimTime::from_secs(2));
         assert_eq!(tl.len(), 2);
-        assert_eq!(tl[0].0, SimTime::ZERO);
-        assert!((tl[0].1 - 200.0).abs() < 1e-9, "mean of 100 and 300");
-        assert_eq!(tl[0].2, 2);
-        assert_eq!(tl[1].0, SimTime::from_secs(1));
-        assert!((tl[1].1 - 200.0).abs() < 1e-9);
+        assert_eq!(tl[0].start, SimTime::ZERO);
+        assert!((tl[0].mean_ms - 200.0).abs() < 1e-9, "mean of 100 and 300");
+        assert_eq!(tl[0].count, 2);
+        assert_eq!(tl[1].start, SimTime::from_secs(1));
+        assert!((tl[1].mean_ms - 200.0).abs() < 1e-9);
+        // Tails interpolate toward the bucket max and stay ordered.
+        assert!(tl[0].p99_ms <= tl[0].p999_ms && tl[0].p999_ms <= 300.0);
+        assert!(tl[0].p999_ms > 299.0, "p99.9 of {{100, 300}} sits at the max");
+        assert_eq!(tl[1].p999_ms, 200.0, "single-sample bucket collapses");
     }
 
     #[test]

@@ -164,8 +164,15 @@ fn fig10_only_spider_keeps_new_site_reads_local() {
     };
     let result = fig10::run(&cfg);
     let mean_after = |series: &fig10::Series| {
-        let pts: Vec<f64> =
-            series.points.iter().filter(|(t, _, _)| *t >= 30.0).map(|(_, ms, _)| *ms).collect();
+        let pts: Vec<f64> = series
+            .points
+            .iter()
+            .filter(|(t, ..)| *t >= 30.0)
+            .map(|&(_, ms, p99, p999, _)| {
+                assert!(p999 >= p99 && p99 >= 0.0, "bucket tails must be ordered");
+                ms
+            })
+            .collect();
         assert!(!pts.is_empty(), "{} has no post-join points", series.system);
         pts.iter().sum::<f64>() / pts.len() as f64
     };

@@ -191,6 +191,38 @@ impl<M: Content> WireSize for ChannelMsg<M> {
             ChannelMsg::Move { .. } => HEADER_BYTES + 16 + MAC_BYTES,
         }
     }
+
+    fn trace_kind(&self) -> &'static str {
+        match self {
+            ChannelMsg::Send { .. } | ChannelMsg::SendRange { .. } => "cast",
+            ChannelMsg::SigShare { .. } | ChannelMsg::RangeShare { .. } => "share",
+            ChannelMsg::Certificate { .. } | ChannelMsg::RangeCertificate { .. } => "cert",
+            ChannelMsg::RangeVouch { .. } => "vouch",
+            ChannelMsg::RangeContent { .. } => "content",
+            ChannelMsg::Progress { .. } | ChannelMsg::Move { .. } => "ctrl",
+        }
+    }
+
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        // Content-bearing variants carry their payloads' requests; the
+        // digest-only ones (shares, vouches, shares-only certificates,
+        // progress, moves) carry none and thus record no causal edges.
+        match self {
+            ChannelMsg::Send { msg, .. } => msg.trace_reqs(visit),
+            ChannelMsg::Certificate { msg, .. } => msg.trace_reqs(visit),
+            ChannelMsg::SendRange { msgs, .. } | ChannelMsg::RangeContent { msgs, .. } => {
+                for m in msgs.iter() {
+                    m.trace_reqs(visit);
+                }
+            }
+            ChannelMsg::SigShare { .. }
+            | ChannelMsg::RangeShare { .. }
+            | ChannelMsg::RangeVouch { .. }
+            | ChannelMsg::RangeCertificate { .. }
+            | ChannelMsg::Progress { .. }
+            | ChannelMsg::Move { .. } => {}
+        }
+    }
 }
 
 /// Total payload bytes of a range (per-slot content plus a small length
@@ -237,6 +269,10 @@ impl WireSize for ReceiverMsg {
             ReceiverMsg::Select { .. } => HEADER_BYTES + 12 + MAC_BYTES,
             ReceiverMsg::FetchRange { .. } => HEADER_BYTES + 20 + MAC_BYTES,
         }
+    }
+
+    fn trace_kind(&self) -> &'static str {
+        "ack"
     }
 }
 

@@ -1224,6 +1224,32 @@ impl<M: Content> SenderEndpoint<M> {
         })
     }
 
+    /// Number of slots the receiver side owes progress on: transmitted
+    /// content the window has not moved past, plus sends queued behind a
+    /// full window — the backpressure gauge fed to the health watchdog.
+    /// The linger buffer is deliberately *excluded*: slots batching
+    /// toward a range boundary are this sender's own scheduling choice,
+    /// and counting them makes every low-rate range-certified channel
+    /// look permanently stalled. Retained range copies and per-slot
+    /// content can cover the same positions, so the larger of the two
+    /// counts per subchannel is used.
+    pub fn unacked_slots(&self) -> u64 {
+        self.subs
+            .values()
+            .map(|sub| {
+                let start = sub.awin.start().0;
+                let blocked: u64 = sub.blocked.values().map(|c| c.len() as u64).sum();
+                let retained = sub.content.range(start..).count() as u64;
+                let ranged: u64 = sub
+                    .rc_ranges
+                    .iter()
+                    .map(|(&f, msgs)| (f + msgs.len() as u64).saturating_sub(start.max(f)))
+                    .sum();
+                blocked + retained.max(ranged)
+            })
+            .sum()
+    }
+
     fn key_of_sender(&self, idx: usize) -> Option<spider_crypto::KeyId> {
         self.cfg.sender_keys.get(idx).copied()
     }

@@ -6,8 +6,10 @@
 //! collections are ordered) and fixed-precision formatting, so the same
 //! run always produces byte-identical artifacts.
 
+use crate::causal::CohortProfile;
 use crate::{
-    Histogram, ObsReport, SpanKind, PHASE_COMMIT, PHASE_DELIVER, PHASE_PROPOSE, PHASE_REQUEST,
+    HealthEvent, Histogram, ObsReport, SpanKind, PHASE_COMMIT, PHASE_DELIVER, PHASE_PROPOSE,
+    PHASE_REQUEST,
 };
 use std::fmt::Write as _;
 
@@ -54,6 +56,100 @@ pub fn digest_render(report: &ObsReport) -> String {
     }
     for (&(node, component, op), &t) in &report.cpu {
         let _ = writeln!(out, "cpu n{node} {component};{op} {}", t.as_nanos());
+    }
+    for e in &report.edges {
+        let _ = writeln!(
+            out,
+            "edge {} n{}->n{} r{} {}",
+            e.at.as_nanos(),
+            e.src.0,
+            e.dst.0,
+            e.req,
+            e.kind
+        );
+    }
+    for x in &report.exemplars {
+        let _ = writeln!(
+            out,
+            "exemplar r{} start={} lat={} spans={} edges={}",
+            x.req,
+            x.started.as_nanos(),
+            x.latency.as_nanos(),
+            x.spans.len(),
+            x.edges.len()
+        );
+    }
+    for e in &report.health {
+        let _ = writeln!(out, "health {}", health_event_json(e));
+    }
+    for (&(node, component, key), &(cur, hw)) in &report.gauges {
+        let _ = writeln!(out, "gauge n{node} {component}#{key} cur={cur} hw={hw}");
+    }
+    let _ = writeln!(out, "dropped spans={} edges={}", report.spans_dropped, report.edges_dropped);
+    out
+}
+
+/// Renders one watchdog event as a JSON object (no trailing newline).
+fn health_event_json(e: &HealthEvent) -> String {
+    match *e {
+        HealthEvent::IrmcWindowStall { at, node, component, key } => format!(
+            "{{\"event\":\"irmc_window_stall\",\"at_ms\":{:.3},\"node\":{},\"component\":\"{}\",\"key\":{}}}",
+            at.as_millis_f64(),
+            node.0,
+            component,
+            key
+        ),
+        HealthEvent::IrmcWindowRecover { at, node, component, key } => format!(
+            "{{\"event\":\"irmc_window_recover\",\"at_ms\":{:.3},\"node\":{},\"component\":\"{}\",\"key\":{}}}",
+            at.as_millis_f64(),
+            node.0,
+            component,
+            key
+        ),
+        HealthEvent::ViewChange { at, node, view } => format!(
+            "{{\"event\":\"view_change\",\"at_ms\":{:.3},\"node\":{},\"view\":{}}}",
+            at.as_millis_f64(),
+            node.0,
+            view
+        ),
+        HealthEvent::ViewChangeStorm { at, node, count } => format!(
+            "{{\"event\":\"view_change_storm\",\"at_ms\":{:.3},\"node\":{},\"count\":{}}}",
+            at.as_millis_f64(),
+            node.0,
+            count
+        ),
+    }
+}
+
+/// Renders the watchdog event stream as JSONL, one event per line in
+/// time order — the `BENCH_health_events.jsonl` artifact.
+pub fn health_jsonl(report: &ObsReport) -> String {
+    let mut out = String::new();
+    for e in &report.health {
+        let _ = writeln!(out, "{}", health_event_json(e));
+    }
+    out
+}
+
+/// Renders differential critical-path profiles as folded stacks
+/// (`cohort;hop;component;op <ns>`) — the
+/// `BENCH_critical_path_folded.txt` artifact. Load in
+/// <https://www.speedscope.app> to compare the tail cohort's flame
+/// against the median cohort's.
+pub fn critical_path_folded(profiles: &[CohortProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        for row in &p.rows {
+            let _ = writeln!(
+                out,
+                "{};{};{};{} {}",
+                p.cohort,
+                row.hop,
+                row.component,
+                row.op,
+                row.total.as_nanos()
+            );
+        }
     }
     out
 }
@@ -188,6 +284,8 @@ pub struct PhaseRow {
     pub p90_ms: f64,
     /// 99th percentile in milliseconds.
     pub p99_ms: f64,
+    /// 99.9th percentile in milliseconds.
+    pub p999_ms: f64,
     /// Mean in milliseconds.
     pub mean_ms: f64,
 }
@@ -239,6 +337,7 @@ pub fn phase_breakdown(report: &ObsReport) -> Vec<PhaseRow> {
                 p50_ms: h.quantile(0.50) as f64 / 1e6,
                 p90_ms: h.quantile(0.90) as f64 / 1e6,
                 p99_ms: h.quantile(0.99) as f64 / 1e6,
+                p999_ms: h.quantile(0.999) as f64 / 1e6,
                 mean_ms: h.mean() / 1e6,
             }
         })
@@ -334,5 +433,65 @@ mod tests {
         assert!(table.contains("sender"));
         assert!(table.contains("(total)"));
         assert!(table.contains("range_sign"));
+    }
+
+    #[test]
+    fn digest_covers_edges_exemplars_and_drops() {
+        let mut r = Recorder::enabled(ObsConfig::default());
+        let req = req_id(0, 1);
+        r.span_enter(SimTime::from_millis(1), NodeId(0), req, PHASE_REQUEST);
+        r.edge(SimTime::from_millis(2), NodeId(0), NodeId(10), "request", req);
+        r.span_exit(SimTime::from_millis(9), NodeId(0), req, PHASE_REQUEST);
+        let rep = r.report();
+        let text = digest_render(&rep);
+        assert!(text.contains("edge 2000000 n0->n10 r1 request"));
+        assert!(text.contains("exemplar r1 start=1000000 lat=8000000 spans=2 edges=1"));
+        assert!(text.contains("dropped spans=0 edges=0"));
+        let mut rep2 = rep.clone();
+        rep2.edges_dropped = 3;
+        assert_ne!(fnv64(&digest_render(&rep)), fnv64(&digest_render(&rep2)));
+    }
+
+    #[test]
+    fn health_jsonl_renders_events_in_time_order() {
+        let mut r = Recorder::enabled(ObsConfig::default());
+        r.health_pending(SimTime::from_secs(1), NodeId(4), "commit", 0, 5);
+        r.span_instant(SimTime::from_secs(5), NodeId(0), 0, crate::PHASE_RECAST);
+        r.health_mark(SimTime::from_secs(6), NodeId(4), "commit", 0);
+        let rep = r.report();
+        let jsonl = health_jsonl(&rep);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"irmc_window_stall\""));
+        assert!(lines[1].contains("\"event\":\"irmc_window_recover\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn critical_path_folded_is_speedscope_shaped() {
+        use crate::causal::{CohortProfile, ProfileRow, SegmentKind};
+        let profiles = vec![CohortProfile {
+            cohort: "p999",
+            requests: 3,
+            mean_latency: SimTime::from_millis(120),
+            rows: vec![ProfileRow {
+                hop: "commit-cast",
+                component: "wire",
+                op: SegmentKind::Transit.op(),
+                total: SimTime::from_millis(240),
+                share: 0.8,
+                count: 3,
+            }],
+        }];
+        let folded = critical_path_folded(&profiles);
+        assert_eq!(folded, "p999;commit-cast;wire;transit 240000000\n");
+    }
+
+    #[test]
+    fn phase_rows_carry_tail_columns() {
+        let rows = phase_breakdown(&sample_report());
+        let e2e = rows.iter().find(|r| r.segment == "client->reply").unwrap();
+        assert!(e2e.p999_ms >= e2e.p99_ms && e2e.p99_ms >= e2e.p50_ms);
+        assert!(e2e.p999_ms > 0.0);
     }
 }

@@ -1,4 +1,4 @@
-//! Request-scoped trace spans and the per-node event ring.
+//! Request-scoped trace spans, causal edges, and the per-node event ring.
 
 use spider_types::{NodeId, SimTime};
 
@@ -43,34 +43,60 @@ pub struct SpanEvent {
     pub kind: SpanKind,
 }
 
+/// One causal edge: a message carrying request `req` departed `src` for
+/// `dst` at simulated time `at`. Recorded at the charge/departure point
+/// of the sending handler, so `at` is the instant the bytes start
+/// leaving the node. Together with the span milestones these edges let
+/// [`crate::causal`] assemble a per-request DAG spanning nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// Departure time (virtual send instant of the emitting handler).
+    pub at: SimTime,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message kind label (e.g. `"request"`, `"commit-cast"`, `"reply"`).
+    pub kind: &'static str,
+    /// Request id carried by the message. A message carrying a batch
+    /// records one edge per request; messages carrying no request
+    /// payload (acks, vouches, window moves) record no edges.
+    pub req: u64,
+}
+
 /// Fixed-capacity overwrite-oldest event buffer. Grows lazily up to its
-/// capacity, then wraps; iteration yields events oldest-first.
+/// capacity, then wraps; iteration yields events oldest-first. The
+/// number of overwritten (lost) events is counted so reports can flag
+/// silent truncation.
 #[derive(Debug)]
-pub struct Ring {
-    buf: Vec<SpanEvent>,
+pub struct Ring<T = SpanEvent> {
+    buf: Vec<T>,
     capacity: usize,
     /// Index the next event will be written at once the buffer is full.
     head: usize,
+    /// Events overwritten since creation.
+    dropped: u64,
 }
 
-impl Ring {
+impl<T: Copy> Ring<T> {
     /// An empty ring retaining at most `capacity` events (minimum 1).
-    pub fn new(capacity: usize) -> Ring {
-        Ring { buf: Vec::new(), capacity: capacity.max(1), head: 0 }
+    pub fn new(capacity: usize) -> Ring<T> {
+        Ring { buf: Vec::new(), capacity: capacity.max(1), head: 0, dropped: 0 }
     }
 
-    /// Appends an event, overwriting the oldest once full.
-    pub fn push(&mut self, ev: SpanEvent) {
+    /// Appends an event, overwriting (and counting) the oldest once full.
+    pub fn push(&mut self, ev: T) {
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
         }
     }
 
     /// Visits retained events oldest-first.
-    pub fn for_each(&self, mut f: impl FnMut(&SpanEvent)) {
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
         let n = self.buf.len();
         for i in 0..n {
             let idx = if n < self.capacity { i } else { (self.head + i) % n };
@@ -86,6 +112,11 @@ impl Ring {
     /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Events overwritten (lost to truncation) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -112,6 +143,7 @@ mod tests {
         let mut got = Vec::new();
         r.for_each(|e| got.push(e.req));
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 0);
     }
 
     #[test]
@@ -124,6 +156,7 @@ mod tests {
         r.for_each(|e| got.push(e.req));
         assert_eq!(got, vec![4, 5, 6]);
         assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4, "four events were overwritten");
     }
 
     #[test]
@@ -135,6 +168,25 @@ mod tests {
         let mut got = Vec::new();
         r.for_each(|e| got.push(e.req));
         assert_eq!(got, vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn edge_ring_works_generically() {
+        let mut r: Ring<EdgeEvent> = Ring::new(2);
+        for i in 0..3u64 {
+            r.push(EdgeEvent {
+                at: SimTime::from_nanos(i),
+                src: NodeId(0),
+                dst: NodeId(1),
+                kind: "cast",
+                req: i,
+            });
+        }
+        let mut got = Vec::new();
+        r.for_each(|e| got.push(e.req));
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(r.dropped(), 1);
     }
 
     #[test]

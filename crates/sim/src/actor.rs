@@ -159,6 +159,49 @@ impl<'a, M> Context<'a, M> {
         self.obs.span_instant(at, self.node, req, phase);
     }
 
+    /// Records a causal edge: a message of `kind` carrying request `req`
+    /// departs this node for `to` at the handler's current virtual
+    /// instant (no-op when observability is disabled). Call it next to
+    /// the `send` whose departure it mirrors; for messages that know
+    /// their own kind and payload, prefer [`Context::edge_for`].
+    pub fn edge(&mut self, to: NodeId, kind: &'static str, req: u64) {
+        let at = self.vnow();
+        self.obs.edge(at, self.node, to, kind, req);
+    }
+
+    /// Records causal edges for a message about to be sent to `to`: one
+    /// edge per request id the message carries (via
+    /// [`spider_types::wire::WireSize::trace_reqs`]), labeled with the
+    /// message's [`spider_types::wire::WireSize::trace_kind`]. Messages
+    /// carrying no request payload record nothing.
+    pub fn edge_for<T: spider_types::wire::WireSize>(&mut self, to: NodeId, msg: &T) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let at = self.vnow();
+        let kind = msg.trace_kind();
+        let (node, obs) = (self.node, &mut *self.obs);
+        msg.trace_reqs(&mut |req| obs.edge(at, node, to, kind, req));
+    }
+
+    /// Feeds a channel window-movement mark to the health watchdog.
+    pub fn health_mark(&mut self, component: &'static str, key: u32) {
+        let at = self.vnow();
+        self.obs.health_mark(at, self.node, component, key);
+    }
+
+    /// Feeds a channel's outstanding-work gauge to the health watchdog.
+    pub fn health_pending(&mut self, component: &'static str, key: u32, pending: u64) {
+        let at = self.vnow();
+        self.obs.health_pending(at, self.node, component, key, pending);
+    }
+
+    /// Feeds a consensus view observation to the health watchdog.
+    pub fn health_view(&mut self, view: u64) {
+        let at = self.vnow();
+        self.obs.health_view(at, self.node, view);
+    }
+
     /// Adds `delta` to this node's counter `name` in the metrics registry.
     pub fn metric_inc(&mut self, name: &'static str, delta: u64) {
         self.obs.counter_add(self.node, name, delta);

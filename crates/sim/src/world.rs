@@ -30,6 +30,10 @@ pub struct Simulation<M> {
     queue: EventQueue<M>,
     now: SimTime,
     rng: SmallRng,
+    /// The seed `rng` was built from; forwarded to the observability
+    /// recorder so exemplar sampling is deterministic per run without
+    /// drawing from (and thereby perturbing) the sim RNG.
+    seed: u64,
     stats: SimStats,
     net_control: NetworkControl,
     cancelled_timers: BTreeSet<TimerId>,
@@ -51,6 +55,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(seed),
+            seed,
             stats: SimStats::default(),
             net_control: NetworkControl::default(),
             cancelled_timers: BTreeSet::new(),
@@ -66,6 +71,7 @@ impl<M: Clone + WireSize + 'static> Simulation<M> {
     /// after this call are both covered.
     pub fn enable_obs(&mut self, cfg: ObsConfig) {
         self.obs = Recorder::enabled(cfg);
+        self.obs.set_seed(self.seed);
         for i in 0..self.nodes.len() {
             self.obs.ensure_node(NodeId(i as u32));
         }

@@ -40,6 +40,21 @@ pub const HEADER_BYTES: usize = 48;
 pub trait WireSize {
     /// Number of bytes this value occupies on the wire, including framing.
     fn wire_size(&self) -> usize;
+
+    /// Message-kind label for causal trace edges (e.g. `"request"`,
+    /// `"commit-cast"`). The default covers types that never carry
+    /// request payloads; protocol messages override it.
+    fn trace_kind(&self) -> &'static str {
+        "msg"
+    }
+
+    /// Visits the request ids this message carries, for causal trace
+    /// edges. A batch visits every request it contains; control
+    /// messages (acks, vouches, window moves) visit none — the
+    /// default.
+    fn trace_reqs(&self, visit: &mut dyn FnMut(u64)) {
+        let _ = visit;
+    }
 }
 
 impl WireSize for Vec<u8> {

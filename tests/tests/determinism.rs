@@ -12,7 +12,9 @@
 
 use spider::{SpiderConfig, WorkloadSpec};
 use spider_app::kv_op_factory;
+use spider_harness::experiments::disaster;
 use spider_harness::scenarios::{run_scenario, run_scenario_obs, ScenarioCfg, SystemKind};
+use spider_obs::causal;
 use spider_tests::standard_deployment;
 use spider_types::SimTime;
 
@@ -110,6 +112,60 @@ fn same_seed_same_obs_trace_digest() {
         digest(&format!("{plain:?}")),
         digest(&samples_a),
         "enabling the recorder changed the execution"
+    );
+}
+
+#[test]
+fn same_seed_same_forensics_artifacts() {
+    // The derived forensics pipeline — causal DAG assembly, critical-path
+    // extraction, differential cohort profiles, the exemplar reservoir,
+    // and the health watchdog's typed event stream — must all be
+    // deterministic functions of the run, or a recorded tail profile
+    // could not be compared against a baseline. A shortened WAN-partition
+    // disaster run exercises every one of them (the partition guarantees
+    // at least one stall/recover pair in the watchdog stream).
+    let cfg = disaster::Config {
+        warmup: SimTime::from_secs(1),
+        fault_at: SimTime::from_secs(4),
+        heal_at: SimTime::from_secs(9),
+        duration: SimTime::from_secs(16),
+        ..disaster::Config::default()
+    };
+    let forensics = || {
+        let (row, trace) = disaster::run_wan_partition_traced(&cfg);
+        let paths = causal::assemble(&trace);
+        let profiles = causal::differential_profile(&paths);
+        (
+            format!("{row:?}"),
+            format!("{paths:?}\n{profiles:?}"),
+            format!("{:?}", trace.exemplars),
+            format!("{:?}", trace.health),
+        )
+    };
+    let (row_a, paths_a, exemplars_a, health_a) = forensics();
+    let (row_b, paths_b, exemplars_b, health_b) = forensics();
+    assert!(paths_a.contains("RequestPath"), "traced run assembled no request paths");
+    assert!(
+        health_a.contains("IrmcWindowStall") && health_a.contains("IrmcWindowRecover"),
+        "partition run produced no stall/recover pair; the watchdog digest would be vacuous"
+    );
+    assert_eq!(digest(&paths_a), digest(&paths_b), "same seed, different critical paths");
+    assert_eq!(
+        digest(&exemplars_a),
+        digest(&exemplars_b),
+        "same seed, different exemplar reservoir"
+    );
+    assert_eq!(digest(&health_a), digest(&health_b), "same seed, different watchdog events");
+    assert_eq!(digest(&row_a), digest(&row_b), "same seed, different availability row");
+
+    // The watchdog and causal recorder stay pure observers under fault
+    // injection too: the untraced partition run's availability row is
+    // byte-identical to the traced one.
+    let plain = disaster::run_wan_partition(&cfg);
+    assert_eq!(
+        format!("{plain:?}"),
+        row_a,
+        "enabling the recorder changed the disaster run's outcome"
     );
 }
 
